@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E9: sparsity-aware vs generic (dense
+//! assumption) in-cluster listing — the ablation of the paper's Challenge 2
+//! machinery.
+
+use bench::listing_workload;
+use cliquelist::{list_kp_with_mode, ExchangeMode, ListingConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_mode_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let config = ListingConfig::for_p(4).for_experiments();
+    for &n in &[120usize] {
+        let workload = listing_workload(n, 4, 41);
+        group.bench_with_input(BenchmarkId::new("sparsity_aware", n), &workload, |b, w| {
+            b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::SparsityAware))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_assumption", n), &workload, |b, w| {
+            b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::DenseAssumption))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

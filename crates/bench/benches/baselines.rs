@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E6: the paper's `K_4` algorithms against the
+//! naive broadcast and the Eden-et-al-style baseline.
+
+use bench::listing_workload;
+use cliquelist::baselines::{eden_style_k4, naive_broadcast_listing};
+use cliquelist::{list_kp, ListingConfig, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k4_baselines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 120;
+    let workload = listing_workload(n, 4, 29);
+    let naive_config = ListingConfig::for_p(4);
+    let general = ListingConfig::for_p(4).for_experiments();
+    let fast = ListingConfig {
+        variant: Variant::FastK4,
+        ..general
+    };
+    group.bench_with_input(BenchmarkId::new("naive_broadcast", n), &workload, |b, w| {
+        b.iter(|| naive_broadcast_listing(&w.graph, &naive_config))
+    });
+    group.bench_with_input(BenchmarkId::new("eden_style", n), &workload, |b, w| {
+        b.iter(|| eden_style_k4(&w.graph, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("general", n), &workload, |b, w| {
+        b.iter(|| list_kp(&w.graph, &general))
+    });
+    group.bench_with_input(BenchmarkId::new("fast_k4", n), &workload, |b, w| {
+        b.iter(|| list_kp(&w.graph, &fast))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E3: sparsity-aware `K_p` listing in the
+//! CONGESTED CLIQUE model (Theorem 1.3) across edge densities.
+
+use cliquelist::congested_clique_list;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphcore::gen;
+
+fn bench_congested_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congested_clique_listing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 300;
+    for &m in &[3_000usize, 15_000] {
+        let graph = gen::erdos_renyi_with_edges(n, m, 5);
+        for &p in &[3usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("p{p}"), m),
+                &graph,
+                |b, graph| b.iter(|| congested_clique_list(graph, p, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congested_clique);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E4: constructing and validating the
+//! δ-expander decomposition (Definition 2.2 / Theorem 2.3) on several graph
+//! families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::{decompose, DecompositionConfig};
+use graphcore::gen;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expander_decomposition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let config = DecompositionConfig::default();
+    let inputs = vec![
+        ("er_dense", gen::erdos_renyi(300, 0.3, 3)),
+        ("er_sparse", gen::erdos_renyi(300, 0.05, 3)),
+        ("turan", gen::multipartite(300, 3, 0.8, 3)),
+        ("barabasi_albert", gen::barabasi_albert(300, 6, 3)),
+    ];
+    for (label, graph) in &inputs {
+        for &delta in &[0.5f64] {
+            group.bench_with_input(
+                BenchmarkId::new(*label, format!("delta{delta}")),
+                graph,
+                |b, graph| b.iter(|| decompose(graph, delta, &config, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for experiment E2: the general algorithm (Theorem 1.1)
+//! against the specialised `K_4` algorithm (Theorem 1.2) on the same inputs.
+
+use bench::listing_workload;
+use cliquelist::{list_kp, ListingConfig, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_k4_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k4_variants");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[120usize] {
+        let workload = listing_workload(n, 4, 13);
+        let general = ListingConfig::for_p(4).for_experiments();
+        let fast = ListingConfig {
+            variant: Variant::FastK4,
+            ..general
+        };
+        group.bench_with_input(BenchmarkId::new("general", n), &workload, |b, w| {
+            b.iter(|| list_kp(&w.graph, &general))
+        });
+        group.bench_with_input(BenchmarkId::new("fast_k4", n), &workload, |b, w| {
+            b.iter(|| list_kp(&w.graph, &fast))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k4_variants);
+criterion_main!(benches);

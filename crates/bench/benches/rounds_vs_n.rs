@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E1: the full CONGEST `K_p` listing pipeline
+//! (Theorem 1.1) on dense Turán-style workloads of increasing size.
+//!
+//! Criterion measures wall-clock time of the simulation; the round counts that
+//! reproduce the paper's complexity claims are printed by the `experiments`
+//! binary (`cargo run --release -p bench --bin experiments -- e1`).
+
+use bench::listing_workload;
+use cliquelist::{list_kp, ListingConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rounds_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kp_listing_congest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &p in &[4usize, 5] {
+        for &n in &[80usize, 120] {
+            let workload = listing_workload(n, p, 7);
+            let config = ListingConfig::for_p(p).for_experiments();
+            group.bench_with_input(
+                BenchmarkId::new(format!("p{p}"), n),
+                &workload,
+                |b, workload| b.iter(|| list_kp(&workload.graph, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds_vs_n);
+criterion_main!(benches);

@@ -1,0 +1,438 @@
+//! Experiment harness reproducing the paper's quantitative claims.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- [e1|e2|...|e10|all]
+//! ```
+//!
+//! Each experiment id corresponds to a row of the per-experiment index in
+//! `DESIGN.md` §4; the output of `all` is what `EXPERIMENTS.md` records.
+
+use bench::{core_periphery_workload, fit_exponent, listing_workload, two_communities, Table};
+use cliquelist::baselines::{eden_style_k4, naive_broadcast_listing};
+use cliquelist::{
+    congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth, ExchangeMode,
+    ListingConfig, Variant,
+};
+use cliquelist::result::phase;
+use expander::{decompose, DecompositionConfig};
+use graphcore::partition::{edges_within, lemma_2_7_bound, lemma_2_7_preconditions, sample_vertices};
+use graphcore::{gen, orientation};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "e1" {
+        e1_rounds_vs_n();
+    }
+    if all || which == "e2" {
+        e2_fast_k4();
+    }
+    if all || which == "e3" {
+        e3_congested_clique();
+    }
+    if all || which == "e4" {
+        e4_decomposition_quality();
+    }
+    if all || which == "e5" {
+        e5_bad_edges_and_loads();
+    }
+    if all || which == "e6" {
+        e6_baselines();
+    }
+    if all || which == "e7" {
+        e7_lemma_2_7();
+    }
+    if all || which == "e8" {
+        e8_correctness();
+    }
+    if all || which == "e9" {
+        e9_ablation();
+    }
+    if all || which == "e10" {
+        e10_lower_bound_ratio();
+    }
+}
+
+/// The n-values of the CONGEST sweeps (dense Turán-style workloads).
+const SWEEP_N: &[usize] = &[120, 160, 220];
+
+fn experiment_config(p: usize) -> ListingConfig {
+    ListingConfig::for_p(p).for_experiments()
+}
+
+fn header(id: &str, claim: &str) {
+    println!();
+    println!("=== {id}: {claim} ===");
+}
+
+/// E1 — Theorem 1.1: K_p listing rounds scale sub-linearly, ~ n^{p/(p+2)} + n^{3/4}.
+fn e1_rounds_vs_n() {
+    header(
+        "E1",
+        "Theorem 1.1 — K_p listing in ~O(n^{3/4} + n^{p/(p+2)}) CONGEST rounds",
+    );
+    let mut table = Table::new(&[
+        "p", "n", "m", "degeneracy", "rounds", "decomp", "heavy", "probes", "exchange", "final", "rounds/n",
+    ]);
+    for &p in &[4usize, 5, 6] {
+        let mut points = Vec::new();
+        for &n in SWEEP_N {
+            let w = listing_workload(n, p, 7 + n as u64);
+            let config = experiment_config(p);
+            let result = list_kp(&w.graph, &config);
+            verify_against_ground_truth(&w.graph, p, &result).expect("E1 output must be exact");
+            let rounds = result.rounds.total();
+            points.push((n as f64, rounds as f64));
+            table.row(&[
+                p.to_string(),
+                n.to_string(),
+                w.graph.num_edges().to_string(),
+                orientation::arboricity_upper_bound(&w.graph).to_string(),
+                rounds.to_string(),
+                result.rounds.for_phase(phase::DECOMPOSITION).to_string(),
+                result.rounds.for_phase(phase::HEAVY_UPLOAD).to_string(),
+                result.rounds.for_phase(phase::LIGHT_PROBES).to_string(),
+                result.rounds.for_phase(phase::PART_EXCHANGE).to_string(),
+                result.rounds.for_phase(phase::FINAL_BROADCAST).to_string(),
+                format!("{:.3}", rounds as f64 / n as f64),
+            ]);
+        }
+        if let Some(fit) = fit_exponent(&points) {
+            println!(
+                "p = {p}: fitted rounds ~ n^{:.2} (R² = {:.3}); paper predicts n^{:.2} (+ n^0.75 term), naive baseline is n^1",
+                fit.exponent,
+                fit.r_squared,
+                p as f64 / (p as f64 + 2.0)
+            );
+        }
+    }
+    println!("{table}");
+    println!("(dense tripartite workloads with planted cliques; decreasing rounds/n is the sub-linear Theorem 1.1 shape)");
+}
+
+/// E2 — Theorem 1.2: the specialised K4 algorithm beats the general one.
+fn e2_fast_k4() {
+    header("E2", "Theorem 1.2 — K_4 listing in ~O(n^{2/3}) rounds (vs the general algorithm)");
+    let mut table = Table::new(&["n", "m", "general rounds", "fast-K4 rounds", "speedup"]);
+    let mut general_points = Vec::new();
+    let mut fast_points = Vec::new();
+    for &n in SWEEP_N {
+        let w = listing_workload(n, 4, 13 + n as u64);
+        let general = list_kp(&w.graph, &experiment_config(4));
+        let fast = list_kp(
+            &w.graph,
+            &ListingConfig {
+                variant: Variant::FastK4,
+                ..experiment_config(4)
+            },
+        );
+        verify_against_ground_truth(&w.graph, 4, &general).expect("general output exact");
+        verify_against_ground_truth(&w.graph, 4, &fast).expect("fast-K4 output exact");
+        general_points.push((n as f64, general.rounds.total() as f64));
+        fast_points.push((n as f64, fast.rounds.total() as f64));
+        table.row(&[
+            n.to_string(),
+            w.graph.num_edges().to_string(),
+            general.rounds.total().to_string(),
+            fast.rounds.total().to_string(),
+            format!("{:.2}x", general.rounds.total() as f64 / fast.rounds.total().max(1) as f64),
+        ]);
+    }
+    println!("{table}");
+    if let (Some(g), Some(f)) = (fit_exponent(&general_points), fit_exponent(&fast_points)) {
+        println!(
+            "fitted exponents: general n^{:.2} (paper: 3/4 term dominates), fast-K4 n^{:.2} (paper: 2/3)",
+            g.exponent, f.exponent
+        );
+    }
+}
+
+/// E3 — Theorem 1.3: CONGESTED CLIQUE rounds ~ Θ(1 + m / n^{1+2/p}).
+fn e3_congested_clique() {
+    header("E3", "Theorem 1.3 — sparsity-aware CONGESTED CLIQUE listing in ~Θ(1 + m/n^{1+2/p}) rounds");
+    let n = 400;
+    let mut table = Table::new(&["p", "m", "rounds", "predicted 1+m/n^{1+2/p}", "max send", "max recv"]);
+    // Density sweeps on K_p-free backgrounds (bipartite for triangles,
+    // tripartite for K4/K5) keep the ground-truth enumeration cheap while the
+    // edge volume — the quantity Theorem 1.3 is about — varies by 20x.
+    for &p in &[3usize, 4, 5] {
+        let parts = if p == 3 { 2 } else { 3 };
+        let mut points = Vec::new();
+        for &density in &[0.05f64, 0.2, 0.4, 0.7, 0.95] {
+            let g = gen::multipartite(n, parts, density, 5 + (density * 100.0) as u64);
+            let report = congested_clique_list(&g, p, 3);
+            verify_against_ground_truth(&g, p, &report.result).expect("E3 output must be exact");
+            points.push((g.num_edges() as f64, report.result.rounds.total() as f64));
+            table.row(&[
+                p.to_string(),
+                g.num_edges().to_string(),
+                report.result.rounds.total().to_string(),
+                format!("{:.2}", report.predicted_rounds),
+                report.max_send.to_string(),
+                report.max_recv.to_string(),
+            ]);
+        }
+        if let Some(fit) = fit_exponent(&points) {
+            println!(
+                "p = {p}: fitted rounds ~ m^{:.2} (paper predicts linear in m once above the constant regime)",
+                fit.exponent
+            );
+        }
+    }
+    println!("{table}");
+}
+
+/// E4 — Definition 2.2 / Theorem 2.3: decomposition quality.
+fn e4_decomposition_quality() {
+    header("E4", "Definition 2.2 — expander decomposition guarantees (|E_r| ≤ |E|/6, degrees, mixing, arboricity)");
+    let mut table = Table::new(&[
+        "graph", "delta", "|E|", "|E_m|", "|E_s|", "|E_r|", "E_r frac", "clusters", "min deg (req)", "max mixing (limit)", "valid",
+    ]);
+    let workloads: Vec<(String, graphcore::Graph)> = vec![
+        ("er(300,0.15)".into(), gen::erdos_renyi(300, 0.15, 3)),
+        ("er(300,0.35)".into(), gen::erdos_renyi(300, 0.35, 3)),
+        ("ba(350,6)".into(), gen::barabasi_albert(350, 6, 3)),
+        ("rmat(9,8)".into(), gen::rmat(9, 8, (0.57, 0.19, 0.19, 0.05), 3)),
+        ("turan(300,3,0.8)".into(), gen::multipartite(300, 3, 0.8, 3)),
+        ("2-communities(2x120)".into(), two_communities(120, 8, 0.35, 3)),
+    ];
+    let config = DecompositionConfig::default();
+    for (label, graph) in &workloads {
+        for &delta in &[0.4f64, 0.5, 0.6] {
+            let d = decompose(graph, delta, &config, 1);
+            let valid = d.verify(graph).is_ok();
+            let em_graph = d.em_graph(graph.num_vertices());
+            let min_deg = d
+                .clusters
+                .iter()
+                .map(|c| c.min_internal_degree(&em_graph))
+                .min()
+                .unwrap_or(0);
+            let max_mixing = d
+                .clusters
+                .iter()
+                .map(|c| c.mixing_time(&em_graph))
+                .fold(0.0f64, f64::max);
+            table.row(&[
+                label.clone(),
+                format!("{delta:.1}"),
+                graph.num_edges().to_string(),
+                d.em.len().to_string(),
+                d.es.len().to_string(),
+                d.er.len().to_string(),
+                format!("{:.3}", d.er.len() as f64 / graph.num_edges().max(1) as f64),
+                d.clusters.len().to_string(),
+                format!("{} ({})", min_deg, d.degree_threshold),
+                format!("{:.1} ({:.1})", max_mixing, d.config.mixing_limit(graph.num_vertices())),
+                valid.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("(paper requires E_r fraction ≤ 1/6 ≈ 0.167, cluster min degree ≥ Ω(n^δ), polylog mixing)");
+}
+
+/// E5 — Section 2.4.1: bad-edge fraction and the Remark 2.10 load bound.
+fn e5_bad_edges_and_loads() {
+    header("E5", "Section 2.4.1 — bad-edge fraction ≤ 1/25 of cluster edges; Remark 2.10 per-node load");
+    let mut table = Table::new(&[
+        "n", "bad factor", "bad edges", "cluster edges", "fraction (limit 0.04)", "max learned words", "n^{3/4}·A·w",
+    ]);
+    for &n in &[140usize, 200, 260] {
+        for &(label, factor) in &[("paper (100)", 100.0f64), ("stress (0)", 0.0)] {
+            // Core-periphery inputs: the periphery is C-light, so the cluster
+            // must learn its edges through the probe protocol, and lowering
+            // the bad-node constant makes the deferral machinery fire.
+            let w = core_periphery_workload(n, 11 + n as u64);
+            let a = orientation::arboricity_upper_bound(&w.graph);
+            let config = ListingConfig {
+                bad_node_factor: factor,
+                ..experiment_config(4)
+            };
+            let result = list_kp(&w.graph, &config);
+            verify_against_ground_truth(&w.graph, 4, &result).expect("E5 output must be exact");
+            for c in &w.planted {
+                assert!(result.cliques.contains(&c.vertices), "planted straddling K4 missing");
+            }
+            let bound = (n as f64).powf(0.75) * a as f64 * config.words_per_edge as f64;
+            table.row(&[
+                n.to_string(),
+                label.to_string(),
+                result.diagnostics.bad_edges.to_string(),
+                result.diagnostics.cluster_edges.to_string(),
+                format!("{:.4}", result.diagnostics.bad_edge_fraction()),
+                result.diagnostics.max_learned_words.to_string(),
+                format!("{:.0}", bound),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("(with the paper's constant the bad-edge fraction stays well below 1/25; the stress setting shows the deferral machinery at work while the output stays exact)");
+}
+
+/// E6 — who wins: the paper's algorithms vs the naive broadcast and the
+/// Eden-et-al-style baseline.
+fn e6_baselines() {
+    header("E6", "Comparison — paper's K4 algorithms vs naive broadcast and Eden-style baseline");
+    let mut table = Table::new(&["n", "m", "naive Θ(Δ)", "eden-style", "general K4", "fast K4"]);
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        ("naive", Vec::new()),
+        ("eden-style", Vec::new()),
+        ("general K4", Vec::new()),
+        ("fast K4", Vec::new()),
+    ];
+    for &n in SWEEP_N {
+        let w = listing_workload(n, 4, 29 + n as u64);
+        let naive = naive_broadcast_listing(&w.graph, &ListingConfig::for_p(4));
+        let eden = eden_style_k4(&w.graph, 1);
+        let general = list_kp(&w.graph, &experiment_config(4));
+        let fast = list_kp(
+            &w.graph,
+            &ListingConfig {
+                variant: Variant::FastK4,
+                ..experiment_config(4)
+            },
+        );
+        for r in [&naive, &eden, &general, &fast] {
+            verify_against_ground_truth(&w.graph, 4, r).expect("all baselines must be exact");
+        }
+        for (series, result) in series.iter_mut().zip([&naive, &eden, &general, &fast]) {
+            series.1.push((n as f64, result.rounds.total() as f64));
+        }
+        table.row(&[
+            n.to_string(),
+            w.graph.num_edges().to_string(),
+            naive.rounds.total().to_string(),
+            eden.rounds.total().to_string(),
+            general.rounds.total().to_string(),
+            fast.rounds.total().to_string(),
+        ]);
+    }
+    println!("{table}");
+    for (label, points) in &series {
+        if let Some(fit) = fit_exponent(points) {
+            println!("{label}: rounds ~ n^{:.2}", fit.exponent);
+        }
+    }
+    println!(
+        "(paper exponents: naive Θ(n) = n^1.0, Eden et al. n^0.83, Theorem 1.1 n^0.75, Theorem 1.2 n^0.67; \
+the asymptotic crossover in absolute rounds lies far beyond simulation scale because of the p² and polylog \
+constants, so the comparison is between the fitted growth exponents)"
+    );
+}
+
+/// E7 — Lemma 2.7: random vertex samples do not concentrate edges.
+fn e7_lemma_2_7() {
+    header("E7", "Lemma 2.7 — a q-sample of an m-edge graph induces ≤ 6q²m edges w.h.p.");
+    let n = 500;
+    let g = gen::erdos_renyi(n, 0.8, 2);
+    let m = g.num_edges();
+    let mut table = Table::new(&["q", "preconditions", "max sampled edges (20 seeds)", "bound 6q²m", "violations"]);
+    for &q in &[0.5f64, 0.7, 0.9] {
+        let pre = lemma_2_7_preconditions(n, m, g.max_degree(), q);
+        let mut max_edges = 0usize;
+        let mut violations = 0usize;
+        for seed in 0..20 {
+            let sample = sample_vertices(n, q, seed);
+            let within = edges_within(&g, &sample);
+            max_edges = max_edges.max(within);
+            if (within as f64) > lemma_2_7_bound(m, q) {
+                violations += 1;
+            }
+        }
+        table.row(&[
+            format!("{q:.1}"),
+            pre.to_string(),
+            max_edges.to_string(),
+            format!("{:.0}", lemma_2_7_bound(m, q)),
+            violations.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// E8 — end-to-end correctness matrix.
+fn e8_correctness() {
+    header("E8", "Correctness — union of node outputs equals the exact K_p list (all algorithms)");
+    let mut table = Table::new(&["workload", "p", "cliques", "CONGEST general", "fast K4", "congested clique", "naive"]);
+    let cases: Vec<(String, graphcore::Graph)> = vec![
+        ("er(90,0.35)".into(), gen::erdos_renyi(90, 0.35, 1)),
+        ("turan+planted(120,4)".into(), listing_workload(120, 4, 3).graph),
+        ("ba(150,8)".into(), gen::barabasi_albert(150, 8, 2)),
+        ("planted er(100)".into(), gen::planted_cliques(100, 0.05, 3, 6, 4).0),
+        ("complete(15)".into(), gen::complete_graph(15)),
+        ("bipartite(30,30)".into(), gen::complete_bipartite(30, 30)),
+    ];
+    for (label, graph) in &cases {
+        for &p in &[4usize, 5] {
+            let truth = graphcore::cliques::count_cliques(graph, p);
+            let general = list_kp(graph, &experiment_config(p));
+            let fast = if p == 4 {
+                Some(list_kp(graph, &ListingConfig { variant: Variant::FastK4, ..experiment_config(4) }))
+            } else {
+                None
+            };
+            let cc = congested_clique_list(graph, p, 1);
+            let naive = naive_broadcast_listing(graph, &ListingConfig::for_p(p));
+            let ok = |r: &cliquelist::ListingResult| {
+                if verify_against_ground_truth(graph, p, r).is_ok() { "ok" } else { "FAIL" }
+            };
+            table.row(&[
+                label.clone(),
+                p.to_string(),
+                truth.to_string(),
+                ok(&general).to_string(),
+                fast.as_ref().map(|r| ok(r).to_string()).unwrap_or_else(|| "-".into()),
+                ok(&cc.result).to_string(),
+                ok(&naive).to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+/// E9 — ablations: sparsity-aware vs dense exchange, bad-edge deferral.
+fn e9_ablation() {
+    header("E9", "Ablation — sparsity-aware in-cluster listing vs generic (dense) listing");
+    let mut table = Table::new(&["n", "sparsity-aware rounds", "dense-assumption rounds", "overhead"]);
+    for &n in SWEEP_N {
+        let w = listing_workload(n, 4, 41 + n as u64);
+        let config = experiment_config(4);
+        let sparse = list_kp_with_mode(&w.graph, &config, ExchangeMode::SparsityAware);
+        let dense = list_kp_with_mode(&w.graph, &config, ExchangeMode::DenseAssumption);
+        verify_against_ground_truth(&w.graph, 4, &sparse).expect("sparse output exact");
+        verify_against_ground_truth(&w.graph, 4, &dense).expect("dense output exact");
+        table.row(&[
+            n.to_string(),
+            sparse.rounds.total().to_string(),
+            dense.rounds.total().to_string(),
+            format!("{:.2}x", dense.rounds.total() as f64 / sparse.rounds.total().max(1) as f64),
+        ]);
+    }
+    println!("{table}");
+    println!("(the sparsity-aware exchange is the paper's novelty for Challenge 2: the dense variant pays for edges that are not there)");
+}
+
+/// E10 — measured rounds against the Ω̃(n^{(p-2)/p}) lower bound of Fischer et al.
+fn e10_lower_bound_ratio() {
+    header("E10", "Context — measured rounds vs the Fischer et al. lower bound Ω̃(n^{(p-2)/p})");
+    let mut table = Table::new(&["p", "n", "rounds", "n^{(p-2)/p}", "ratio"]);
+    for &p in &[4usize, 5, 6] {
+        for &n in SWEEP_N {
+            let w = listing_workload(n, p, 53 + n as u64);
+            let result = list_kp(&w.graph, &experiment_config(p));
+            let lower = (n as f64).powf((p as f64 - 2.0) / p as f64);
+            table.row(&[
+                p.to_string(),
+                n.to_string(),
+                result.rounds.total().to_string(),
+                format!("{lower:.0}"),
+                format!("{:.2}", result.rounds.total() as f64 / lower),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("(the ratio growing like n^{{2/(p+2)}} reflects the gap between Theorem 1.1 and the known lower bound, as discussed in the paper's Section 5)");
+}

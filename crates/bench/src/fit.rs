@@ -1,0 +1,86 @@
+//! Log–log least-squares fitting of scaling exponents.
+
+/// Result of a power-law fit `y ≈ c · x^e`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitResult {
+    /// The fitted exponent `e`.
+    pub exponent: f64,
+    /// The fitted constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination of the fit in log–log space.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ c·x^e` by least squares on `(ln x, ln y)`.
+///
+/// Points with non-positive coordinates are skipped. Returns `None` if fewer
+/// than two usable points remain.
+pub fn fit_exponent(points: &[(f64, f64)]) -> Option<FitResult> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let exponent = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - exponent * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(FitResult {
+        exponent,
+        constant: intercept.exp(),
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_clean_power_law() {
+        let points: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * (i as f64).powf(0.75))).collect();
+        let fit = fit_exponent(&points).unwrap();
+        assert!((fit.exponent - 0.75).abs() < 1e-9);
+        assert!((fit.constant - 3.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        assert!(fit_exponent(&[]).is_none());
+        assert!(fit_exponent(&[(1.0, 2.0)]).is_none());
+        assert!(fit_exponent(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+        assert!(fit_exponent(&[(2.0, 5.0), (2.0, 7.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_data_still_has_reasonable_r2() {
+        let points: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                let noise = 1.0 + 0.05 * ((i % 3) as f64 - 1.0);
+                (x, x.powf(0.66) * noise)
+            })
+            .collect();
+        let fit = fit_exponent(&points).unwrap();
+        assert!((fit.exponent - 0.66).abs() < 0.05);
+        assert!(fit.r_squared > 0.98);
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the benchmark and experiment harness.
+//!
+//! The actual experiments live in the `experiments` binary (one subcommand per
+//! experiment id from `DESIGN.md` §4) and in the Criterion benches under
+//! `benches/`. This library provides the pieces they share: standard
+//! workloads, log–log exponent fitting and plain-text table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod table;
+pub mod workloads;
+
+pub use fit::{fit_exponent, FitResult};
+pub use table::Table;
+pub use workloads::{core_periphery_workload, listing_workload, two_communities, ListingWorkload};

@@ -1,0 +1,208 @@
+//! Standard experiment workloads.
+
+use graphcore::gen::{self, PlantedClique};
+use graphcore::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A graph instance used by the listing experiments, together with the
+/// parameters that produced it.
+#[derive(Clone, Debug)]
+pub struct ListingWorkload {
+    /// Human-readable label (used in experiment tables).
+    pub label: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Clique size the workload targets.
+    pub p: usize,
+    /// The graph.
+    pub graph: Graph,
+    /// The cliques planted into the background.
+    pub planted: Vec<PlantedClique>,
+}
+
+/// Background density of the standard workload.
+pub const BACKGROUND_DENSITY: f64 = 0.8;
+
+/// The standard hard-but-checkable workload for `K_p` listing experiments: a
+/// dense random **tripartite** background with a handful of planted `K_p`
+/// instances.
+///
+/// A tripartite graph contains no `K_4` (hence no `K_p` for any `p ≥ 4`), so
+/// the only `p`-cliques are the planted ones plus the few their edges create
+/// with the background — which keeps both the ground-truth enumeration and the
+/// in-cluster listing cheap — while the arboricity is `Θ(n)`, which is what
+/// exercises the decomposition, heavy/light and sparsity-aware machinery at
+/// full communication load. The paper's hard instances are likewise dense
+/// graphs; what matters for the round-complexity measurements is the edge
+/// volume, not the clique count.
+pub fn listing_workload(n: usize, p: usize, seed: u64) -> ListingWorkload {
+    assert!(p >= 3, "clique size must be at least 3");
+    let planted_count = (n / 40).clamp(2, 8);
+    let mut graph = gen::multipartite(n, 3, BACKGROUND_DENSITY, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    vertices.shuffle(&mut rng);
+    let mut planted = Vec::with_capacity(planted_count);
+    for c in 0..planted_count {
+        let mut members: Vec<u32> = vertices[c * p..(c + 1) * p].to_vec();
+        members.sort_unstable();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                graph
+                    .add_edge(members[i], members[j])
+                    .expect("planted vertices are in range");
+            }
+        }
+        planted.push(PlantedClique { vertices: members });
+    }
+    ListingWorkload {
+        label: format!(
+            "tripartite(n={n}, d={BACKGROUND_DENSITY}) + {planted_count} planted K{p} (seed={seed})"
+        ),
+        n,
+        p,
+        graph,
+        planted,
+    }
+}
+
+/// A core–periphery workload: a dense tripartite core (which the expander
+/// decomposition turns into one cluster) surrounded by a periphery of
+/// low-degree nodes, each attached to a few core nodes and sparsely to each
+/// other, plus planted `K_4` instances that straddle the boundary.
+///
+/// This is the workload that exercises the Challenge-1 machinery of
+/// Section 2.4.1: periphery nodes are `C`-light, their edges must be learned
+/// through the probe protocol (or listed by the light nodes themselves in the
+/// fast `K_4` variant), and lowering the bad-node threshold makes the
+/// bad-edge deferral visible.
+pub fn core_periphery_workload(n: usize, seed: u64) -> ListingWorkload {
+    let core = 2 * n / 3;
+    let periphery = n - core;
+    let mut graph = gen::multipartite(n, 3, BACKGROUND_DENSITY, seed);
+    // Remove nothing: the generator already placed the periphery vertices in
+    // parts, but we rebuild their adjacency from scratch so they stay sparse.
+    let mut edges: Vec<(u32, u32)> = graph
+        .edges()
+        .filter(|&(u, v)| (u as usize) < core && (v as usize) < core)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0C0E_11FE);
+    use rand::Rng;
+    for v in core..n {
+        // Three core attachments keep the periphery node C-light
+        // (the general algorithm's heavy threshold is n^{1/4}).
+        for _ in 0..3 {
+            edges.push((v as u32, rng.gen_range(0..core) as u32));
+        }
+        // A sparse periphery-periphery edge now and then: these are the
+        // outside-outside edges the cluster has to learn about.
+        if v + 1 < n && rng.gen_bool(0.5) {
+            edges.push((v as u32, (v + 1) as u32));
+        }
+    }
+    graph = Graph::from_edges(n, &edges).expect("core-periphery edges are in range");
+    // Planted K4s with two core and two periphery vertices.
+    let planted_count = (periphery / 20).clamp(1, 4);
+    let mut planted = Vec::new();
+    for c in 0..planted_count {
+        let members = vec![
+            (2 * c) as u32,
+            (2 * c + 1) as u32,
+            (core + 2 * c) as u32,
+            (core + 2 * c + 1) as u32,
+        ];
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                graph
+                    .add_edge(members[i], members[j])
+                    .expect("planted vertices are in range");
+            }
+        }
+        let mut members = members;
+        members.sort_unstable();
+        planted.push(PlantedClique { vertices: members });
+    }
+    ListingWorkload {
+        label: format!("core-periphery(n={n}, core={core}, seed={seed})"),
+        n,
+        p: 4,
+        graph,
+        planted,
+    }
+}
+
+/// Two dense Erdős–Rényi communities joined by a handful of bridge edges —
+/// the canonical input on which an expander decomposition must place the
+/// bridges in `E_r` (or accept a slower-mixing merged cluster while keeping
+/// `|E_r| ≤ |E|/6`).
+pub fn two_communities(block: usize, bridges: usize, density: f64, seed: u64) -> Graph {
+    let n = 2 * block;
+    let a = gen::erdos_renyi(block, density, seed);
+    let b = gen::erdos_renyi(block, density, seed ^ 0xB10C);
+    let mut edges: Vec<(u32, u32)> = a.edges().collect();
+    edges.extend(b.edges().map(|(u, v)| (u + block as u32, v + block as u32)));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB41D6E);
+    use rand::Rng;
+    for _ in 0..bridges {
+        let u = rng.gen_range(0..block) as u32;
+        let v = (block + rng.gen_range(0..block)) as u32;
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges).expect("community edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_dense_and_contains_planted_cliques() {
+        let w = listing_workload(120, 4, 3);
+        assert_eq!(w.graph.num_vertices(), 120);
+        assert!(w.graph.average_degree() > 40.0);
+        assert!(!w.planted.is_empty());
+        for c in &w.planted {
+            assert!(graphcore::cliques::is_clique(&w.graph, &c.vertices));
+        }
+        assert!(w.label.contains("n=120"));
+    }
+
+    #[test]
+    fn core_periphery_has_light_nodes_and_planted_cliques() {
+        let w = core_periphery_workload(150, 3);
+        assert_eq!(w.graph.num_vertices(), 150);
+        let core = 100;
+        // Periphery degrees are small, core degrees are large.
+        assert!(w.graph.degree(149) <= 10);
+        assert!(w.graph.degree(0) > 30);
+        let _ = core;
+        for c in &w.planted {
+            assert!(graphcore::cliques::is_clique(&w.graph, &c.vertices));
+        }
+    }
+
+    #[test]
+    fn two_communities_are_dense_blocks_with_few_bridges() {
+        let g = two_communities(80, 6, 0.4, 5);
+        assert_eq!(g.num_vertices(), 160);
+        let cross = g
+            .edges()
+            .filter(|&(u, v)| (u < 80) != (v < 80))
+            .count();
+        assert!(cross <= 6);
+        assert!(g.num_edges() > 2000);
+    }
+
+    #[test]
+    fn workload_has_few_cliques_even_for_large_p() {
+        // The tripartite background is K4-free; the only K6s are the planted
+        // ones plus the bounded set their edges create together with the
+        // background, so the exact enumeration stays cheap even for p = 6.
+        let w = listing_workload(150, 6, 9);
+        let count = graphcore::cliques::count_cliques(&w.graph, 6);
+        assert!(count >= w.planted.len());
+        assert!(count < 20_000, "too many K6s for a cheap ground truth: {count}");
+    }
+}

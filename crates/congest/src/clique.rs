@@ -1,0 +1,130 @@
+//! The CONGESTED CLIQUE model: complete communication topology plus the
+//! analytic routing helpers used by the sparsity-aware listing algorithm.
+
+use crate::network::{Network, NetworkConfig};
+use crate::node::{NodeId, NodeProgram};
+use crate::topology::Topology;
+
+/// Helper for building and reasoning about CONGESTED CLIQUE executions.
+///
+/// In the CONGESTED CLIQUE model the `n` nodes communicate over the complete
+/// graph: in every round each ordered pair of nodes may exchange one
+/// `O(log n)`-bit message, so each node sends and receives up to `n - 1` words
+/// per round.
+#[derive(Clone, Copy, Debug)]
+pub struct CongestedClique {
+    n: usize,
+}
+
+impl CongestedClique {
+    /// Creates a helper for an `n`-node congested clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a congested clique needs at least two nodes");
+        CongestedClique { n }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Per-round send (and receive) capacity of a single node, in words.
+    pub fn node_bandwidth(&self) -> u64 {
+        (self.n - 1) as u64
+    }
+
+    /// Builds a message-level network over the complete topology.
+    pub fn network<P: NodeProgram>(
+        &self,
+        config: NetworkConfig,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Network<P> {
+        Network::new(Topology::complete(self.n), config, factory)
+    }
+
+    /// Rounds needed to realise an arbitrary communication pattern in which
+    /// every node sends at most `max_send` words and receives at most
+    /// `max_recv` words, using Lenzen's routing theorem: `O(1)` rounds per
+    /// `n - 1` words of per-node load (we charge the exact ceiling, times a
+    /// small constant of 2 for the routing overhead).
+    pub fn routing_rounds(&self, max_send: u64, max_recv: u64) -> u64 {
+        let load = max_send.max(max_recv);
+        2 * load.div_ceil(self.node_bandwidth()).max(1)
+    }
+
+    /// Rounds needed for every node to broadcast `words` words to all other
+    /// nodes (each broadcast word consumes one unit of send capacity per
+    /// recipient).
+    pub fn broadcast_rounds(&self, words: u64) -> u64 {
+        let total = words.saturating_mul((self.n - 1) as u64);
+        total.div_ceil(self.node_bandwidth()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Context, Status};
+
+    #[test]
+    fn bandwidth_is_n_minus_one() {
+        let cc = CongestedClique::new(10);
+        assert_eq!(cc.node_bandwidth(), 9);
+        assert_eq!(cc.num_nodes(), 10);
+    }
+
+    #[test]
+    fn routing_rounds_scale_with_load() {
+        let cc = CongestedClique::new(101);
+        assert_eq!(cc.routing_rounds(0, 0), 2);
+        assert_eq!(cc.routing_rounds(100, 50), 2);
+        assert_eq!(cc.routing_rounds(1000, 100), 2 * 10);
+        assert_eq!(cc.routing_rounds(100, 1000), 2 * 10);
+    }
+
+    #[test]
+    fn broadcast_rounds_equal_words() {
+        let cc = CongestedClique::new(51);
+        // Broadcasting w words to 50 recipients costs w * 50 send slots with
+        // capacity 50 per round.
+        assert_eq!(cc.broadcast_rounds(1), 1);
+        assert_eq!(cc.broadcast_rounds(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_clique_rejected() {
+        CongestedClique::new(1);
+    }
+
+    /// All-to-all exchange actually runs on the complete topology.
+    struct Gather {
+        got: usize,
+    }
+
+    impl NodeProgram for Gather {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            let me = ctx.id().index() as u64;
+            ctx.broadcast(me);
+        }
+        fn on_round(&mut self, _ctx: &mut Context<'_, u64>, incoming: &[(NodeId, u64)]) -> Status {
+            self.got += incoming.len();
+            Status::Done
+        }
+    }
+
+    #[test]
+    fn all_to_all_in_one_round() {
+        let cc = CongestedClique::new(8);
+        let mut net = cc.network(NetworkConfig::default(), |_| Gather { got: 0 });
+        let report = net.run(10);
+        assert!(report.terminated);
+        assert!(report.simulated_rounds <= 2);
+        assert!(net.programs().all(|(_, p)| p.got == 7));
+    }
+}

@@ -1,0 +1,118 @@
+//! Round, message and load accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics for one link direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Total number of words that traversed the link.
+    pub words: u64,
+    /// Maximum queue length observed on the link (in words).
+    pub max_queue: u64,
+}
+
+/// Counters accumulated by the simulator during an execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Messages handed to the transport by node programs.
+    pub messages_sent: u64,
+    /// Words handed to the transport by node programs.
+    pub words_sent: u64,
+    /// Messages delivered to node programs.
+    pub messages_delivered: u64,
+    /// Maximum number of words any single node sent in one round.
+    pub max_node_send_per_round: u64,
+    /// Maximum number of words any single node received in one round.
+    pub max_node_recv_per_round: u64,
+    /// Maximum number of words queued on any link at any time.
+    pub max_link_queue: u64,
+}
+
+impl Metrics {
+    /// Merges `other` into `self`, summing totals and taking maxima of peaks.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.messages_sent += other.messages_sent;
+        self.words_sent += other.words_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.max_node_send_per_round = self.max_node_send_per_round.max(other.max_node_send_per_round);
+        self.max_node_recv_per_round = self.max_node_recv_per_round.max(other.max_node_recv_per_round);
+        self.max_link_queue = self.max_link_queue.max(other.max_link_queue);
+    }
+}
+
+/// Final report of an execution: simulated rounds, charged rounds and traffic.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Rounds actually executed by the synchronous scheduler.
+    pub simulated_rounds: u64,
+    /// Rounds charged for black-box primitives through a [`crate::CostLedger`].
+    pub charged_rounds: u64,
+    /// Traffic counters.
+    pub metrics: Metrics,
+    /// Whether the execution terminated before hitting the round limit.
+    pub terminated: bool,
+}
+
+impl RoundReport {
+    /// Total rounds: simulated plus charged.
+    pub fn total_rounds(&self) -> u64 {
+        self.simulated_rounds + self.charged_rounds
+    }
+
+    /// Merges another report (e.g. of a later phase) into this one.
+    pub fn absorb(&mut self, other: &RoundReport) {
+        self.simulated_rounds += other.simulated_rounds;
+        self.charged_rounds += other.charged_rounds;
+        self.metrics.merge(&other.metrics);
+        self.terminated = self.terminated && other.terminated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = Metrics {
+            messages_sent: 5,
+            words_sent: 7,
+            messages_delivered: 5,
+            max_node_send_per_round: 3,
+            max_node_recv_per_round: 2,
+            max_link_queue: 9,
+        };
+        let b = Metrics {
+            messages_sent: 1,
+            words_sent: 1,
+            messages_delivered: 1,
+            max_node_send_per_round: 10,
+            max_node_recv_per_round: 1,
+            max_link_queue: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 6);
+        assert_eq!(a.max_node_send_per_round, 10);
+        assert_eq!(a.max_link_queue, 9);
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut r = RoundReport {
+            simulated_rounds: 10,
+            charged_rounds: 5,
+            terminated: true,
+            ..Default::default()
+        };
+        assert_eq!(r.total_rounds(), 15);
+        let other = RoundReport {
+            simulated_rounds: 1,
+            charged_rounds: 2,
+            terminated: true,
+            ..Default::default()
+        };
+        r.absorb(&other);
+        assert_eq!(r.total_rounds(), 18);
+        assert!(r.terminated);
+    }
+}

@@ -1,0 +1,422 @@
+//! The synchronous round executor.
+
+use crate::cost::{ChargePolicy, CostLedger, PrimitiveKind};
+use crate::metrics::{Metrics, RoundReport};
+use crate::node::{Context, NodeId, NodeProgram, Status};
+use crate::rng::DeterministicRng;
+use crate::topology::Topology;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Configuration of a simulated network.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Words each directed edge can carry per round. The CONGEST model allows
+    /// one `O(log n)`-bit message per edge per round, i.e. `1`.
+    pub bandwidth_words: u32,
+    /// Seed from which all per-node random generators are derived.
+    pub seed: u64,
+    /// Policy used when charging rounds for black-box primitives.
+    pub charge_policy: ChargePolicy,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            bandwidth_words: 1,
+            seed: 0xC11C_0E15,
+            charge_policy: ChargePolicy::default(),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Returns a copy of the configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy of the configuration with a different bandwidth.
+    pub fn with_bandwidth(mut self, words: u32) -> Self {
+        assert!(words > 0, "bandwidth must be at least one word per round");
+        self.bandwidth_words = words;
+        self
+    }
+}
+
+/// A synchronous network executing one [`NodeProgram`] per node.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Network<P: NodeProgram> {
+    topology: Topology,
+    config: NetworkConfig,
+    programs: Vec<P>,
+    rngs: Vec<DeterministicRng>,
+    statuses: Vec<Status>,
+    /// FIFO queue of pending words per directed link.
+    queues: HashMap<(u32, u32), VecDeque<(P::Message, u32)>>,
+    ledger: CostLedger,
+    metrics: Metrics,
+    round: u64,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl<P: NodeProgram> Network<P> {
+    /// Creates a network over `topology`, instantiating one program per node
+    /// through `factory`.
+    pub fn new(topology: Topology, config: NetworkConfig, factory: impl FnMut(NodeId) -> P) -> Self {
+        let n = topology.num_nodes();
+        let mut factory = factory;
+        let programs: Vec<P> = (0..n).map(|i| factory(NodeId::new(i))).collect();
+        let rngs = (0..n)
+            .map(|i| DeterministicRng::for_node(config.seed, i))
+            .collect();
+        Network {
+            topology,
+            config,
+            programs,
+            rngs,
+            statuses: vec![Status::Running; n],
+            queues: HashMap::new(),
+            ledger: CostLedger::new(),
+            metrics: Metrics::default(),
+            round: 0,
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Installs a trace sink receiving [`TraceEvent`]s.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The communication topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Immutable access to the program of node `id`.
+    pub fn program(&self, id: NodeId) -> &P {
+        &self.programs[id.index()]
+    }
+
+    /// Mutable access to the program of node `id`.
+    pub fn program_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.programs[id.index()]
+    }
+
+    /// Iterates over `(node, program)` pairs.
+    pub fn programs(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (NodeId::new(i), p))
+    }
+
+    /// Consumes the network and returns the node programs, in node order.
+    pub fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+
+    /// The ledger of charged (non-simulated) rounds.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Charges `rounds` rounds of primitive `kind` to the execution.
+    pub fn charge(&mut self, kind: PrimitiveKind, rounds: u64) {
+        self.ledger.charge(kind, rounds);
+    }
+
+    /// Current round number (0 before the execution starts).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs the network until every node is done and no messages are in
+    /// flight, or until `max_rounds` rounds have been simulated.
+    ///
+    /// Returns a [`RoundReport`]; `terminated` is `false` if the round limit
+    /// was hit first.
+    pub fn run(&mut self, max_rounds: u64) -> RoundReport {
+        self.start();
+        while self.round < max_rounds {
+            if self.is_quiescent() {
+                return self.report(true);
+            }
+            self.step();
+        }
+        let quiescent = self.is_quiescent();
+        self.report(quiescent)
+    }
+
+    /// Calls `on_start` on every node and enqueues the produced messages.
+    /// Calling it twice is a no-op after the first call via [`Network::run`],
+    /// but it is exposed for callers that drive the network round by round.
+    pub fn start(&mut self) {
+        if self.round > 0 {
+            return;
+        }
+        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        for i in 0..self.programs.len() {
+            outbox.clear();
+            let mut ctx = Context {
+                id: NodeId::new(i),
+                round: 0,
+                topology: &self.topology,
+                rng: &mut self.rngs[i],
+                outbox: &mut outbox,
+            };
+            self.programs[i].on_start(&mut ctx);
+            let drained: Vec<(NodeId, P::Message)> = outbox.drain(..).collect();
+            self.enqueue_from(NodeId::new(i), drained);
+        }
+    }
+
+    /// Whether every node is done and all link queues are empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.statuses.iter().all(|&s| s == Status::Done) && self.queues.values().all(VecDeque::is_empty)
+    }
+
+    /// Executes one synchronous round: delivers up to the per-link bandwidth
+    /// from each queue, then invokes `on_round` on every node.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let n = self.programs.len();
+        let bandwidth = self.config.bandwidth_words as u64;
+
+        // Phase 1: delivery respecting per-link bandwidth.
+        let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n];
+        let mut recv_words: Vec<u64> = vec![0; n];
+        let mut words_delivered = 0u64;
+        for (&(src, dst), queue) in self.queues.iter_mut() {
+            let mut budget = bandwidth;
+            while budget > 0 {
+                match queue.front() {
+                    Some((_, words)) if u64::from(*words) <= budget => {
+                        let (msg, words) = queue.pop_front().expect("front checked above");
+                        budget -= u64::from(words);
+                        words_delivered += u64::from(words);
+                        recv_words[dst as usize] += u64::from(words);
+                        self.metrics.messages_delivered += 1;
+                        inboxes[dst as usize].push((NodeId(src), msg));
+                    }
+                    // A message wider than the remaining budget waits for the
+                    // next round (no fragmentation), unless it is wider than
+                    // the whole bandwidth, in which case it takes the full
+                    // link for ceil(words / bandwidth) rounds; we model that
+                    // by letting it through alone when the budget is fresh.
+                    Some((_, words)) if u64::from(*words) > bandwidth && budget == bandwidth => {
+                        let (msg, words) = queue.pop_front().expect("front checked above");
+                        words_delivered += u64::from(words);
+                        recv_words[dst as usize] += u64::from(words);
+                        self.metrics.messages_delivered += 1;
+                        inboxes[dst as usize].push((NodeId(src), msg));
+                        budget = 0;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+        for &w in &recv_words {
+            self.metrics.max_node_recv_per_round = self.metrics.max_node_recv_per_round.max(w);
+        }
+
+        // Phase 2: local computation and message submission.
+        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        for i in 0..n {
+            let had_input = !inboxes[i].is_empty();
+            if self.statuses[i] == Status::Done && !had_input {
+                continue;
+            }
+            outbox.clear();
+            let mut ctx = Context {
+                id: NodeId::new(i),
+                round: self.round,
+                topology: &self.topology,
+                rng: &mut self.rngs[i],
+                outbox: &mut outbox,
+            };
+            let status = self.programs[i].on_round(&mut ctx, &inboxes[i]);
+            if status == Status::Done && self.statuses[i] == Status::Running {
+                self.sink.record(TraceEvent::NodeDone {
+                    node: NodeId::new(i),
+                    round: self.round,
+                });
+            }
+            self.statuses[i] = status;
+            let drained: Vec<(NodeId, P::Message)> = outbox.drain(..).collect();
+            self.enqueue_from(NodeId::new(i), drained);
+        }
+
+        self.sink.record(TraceEvent::RoundCompleted {
+            round: self.round,
+            words_delivered,
+        });
+    }
+
+    fn enqueue_from(&mut self, src: NodeId, messages: Vec<(NodeId, P::Message)>) {
+        let mut sent_words = 0u64;
+        for (dst, msg) in messages {
+            let words = self.programs[src.index()].message_words(&msg).max(1);
+            sent_words += u64::from(words);
+            self.metrics.messages_sent += 1;
+            self.metrics.words_sent += u64::from(words);
+            let queue = self.queues.entry((src.0, dst.0)).or_default();
+            queue.push_back((msg, words));
+            let queued: u64 = queue.iter().map(|(_, w)| u64::from(*w)).sum();
+            self.metrics.max_link_queue = self.metrics.max_link_queue.max(queued);
+        }
+        self.metrics.max_node_send_per_round = self.metrics.max_node_send_per_round.max(sent_words);
+    }
+
+    fn report(&self, terminated: bool) -> RoundReport {
+        RoundReport {
+            simulated_rounds: self.round,
+            charged_rounds: self.ledger.total(),
+            metrics: self.metrics.clone(),
+            terminated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Floods a single token from node 0 along a path; used to check that
+    /// bandwidth limits and termination behave as expected.
+    struct Flood {
+        seen: bool,
+    }
+
+    impl NodeProgram for Flood {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.id().index() == 0 {
+                self.seen = true;
+                ctx.broadcast(1);
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u64>, incoming: &[(NodeId, u64)]) -> Status {
+            if !incoming.is_empty() && !self.seen {
+                self.seen = true;
+                ctx.broadcast(1);
+            }
+            Status::Done
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_on_a_path() {
+        let topo = Topology::path(6);
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| Flood { seen: false });
+        let report = net.run(100);
+        assert!(report.terminated);
+        // Token must travel 5 hops.
+        assert!(report.simulated_rounds >= 5);
+        assert!(net.programs().all(|(_, p)| p.seen));
+    }
+
+    /// Node 0 sends `k` messages to node 1 over a single edge; with bandwidth 1
+    /// this must take at least `k` rounds.
+    struct Burst {
+        k: u64,
+        received: u64,
+    }
+
+    impl NodeProgram for Burst {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.id().index() == 0 {
+                for i in 0..self.k {
+                    ctx.send(NodeId::new(1), i);
+                }
+            }
+        }
+
+        fn on_round(&mut self, _ctx: &mut Context<'_, u64>, incoming: &[(NodeId, u64)]) -> Status {
+            self.received += incoming.len() as u64;
+            Status::Done
+        }
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let k = 17;
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| Burst { k, received: 0 });
+        let report = net.run(1000);
+        assert!(report.terminated);
+        assert_eq!(net.program(NodeId::new(1)).received, k);
+        assert!(report.simulated_rounds >= k, "rounds {} < k {}", report.simulated_rounds, k);
+        assert_eq!(report.metrics.messages_sent, k);
+    }
+
+    #[test]
+    fn wider_bandwidth_is_faster() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let k = 32;
+        let config = NetworkConfig::default().with_bandwidth(8);
+        let mut net = Network::new(topo, config, |_| Burst { k, received: 0 });
+        let report = net.run(1000);
+        assert!(report.terminated);
+        assert!(report.simulated_rounds <= k / 8 + 2);
+    }
+
+    #[test]
+    fn round_limit_reports_non_termination() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| Burst { k: 100, received: 0 });
+        let report = net.run(3);
+        assert!(!report.terminated);
+        assert_eq!(report.simulated_rounds, 3);
+    }
+
+    #[test]
+    fn charges_show_up_in_report() {
+        let topo = Topology::path(3);
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| Flood { seen: false });
+        net.charge(PrimitiveKind::ExpanderDecomposition, 42);
+        let report = net.run(10);
+        assert_eq!(report.charged_rounds, 42);
+        assert_eq!(report.total_rounds(), report.simulated_rounds + 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn sending_to_non_neighbour_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            type Message = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                if ctx.id().index() == 0 {
+                    ctx.send(NodeId::new(2), 1);
+                }
+            }
+            fn on_round(&mut self, _: &mut Context<'_, u64>, _: &[(NodeId, u64)]) -> Status {
+                Status::Done
+            }
+        }
+        let topo = Topology::path(3);
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| Bad);
+        net.run(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_bandwidth_rejected() {
+        let _ = NetworkConfig::default().with_bandwidth(0);
+    }
+}

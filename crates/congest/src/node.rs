@@ -1,0 +1,182 @@
+//! Node identities, node programs and the per-round execution context.
+
+use crate::rng::DeterministicRng;
+use crate::topology::Topology;
+use std::fmt;
+
+/// Identifier of a node in the communication graph.
+///
+/// Node identifiers are dense indices `0..n`; the simulator, the graph
+/// substrate and the algorithms all share this numbering.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId::new(value)
+    }
+}
+
+/// Outcome of a node's round handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The node wants to keep participating in subsequent rounds.
+    Running,
+    /// The node has produced its output. It still forwards queued messages,
+    /// and may be woken up again by incoming messages.
+    Done,
+}
+
+/// A distributed algorithm, from the point of view of a single node.
+///
+/// One instance of the program is created per node. The simulator calls
+/// [`NodeProgram::on_start`] once before the first round and then
+/// [`NodeProgram::on_round`] once per synchronous round with all messages that
+/// were delivered to the node in that round.
+pub trait NodeProgram {
+    /// Message type exchanged by the program. One message occupies
+    /// [`crate::WORD_BITS`] bits, i.e. one CONGEST word, unless the program
+    /// overrides [`NodeProgram::message_words`].
+    type Message: Clone;
+
+    /// Called once before round 1. The typical use is seeding the first wave
+    /// of messages.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called once per round with the messages delivered this round.
+    ///
+    /// Returning [`Status::Done`] signals that the node has locally finished;
+    /// the execution stops once every node is done and no messages are in
+    /// flight.
+    fn on_round(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        incoming: &[(NodeId, Self::Message)],
+    ) -> Status;
+
+    /// Number of CONGEST words a message occupies on the wire.
+    ///
+    /// Defaults to 1. Programs whose messages carry more than `O(log n)` bits
+    /// (for example a full edge plus a tag) should return the appropriate
+    /// width so that the bandwidth accounting stays honest.
+    fn message_words(&self, _message: &Self::Message) -> u32 {
+        1
+    }
+}
+
+/// Per-round execution context handed to a [`NodeProgram`].
+///
+/// The context exposes the node's identity, its neighbourhood in the
+/// communication topology, a deterministic per-node random number generator
+/// and the outbox used to submit messages for delivery.
+pub struct Context<'a, M> {
+    pub(crate) id: NodeId,
+    pub(crate) round: u64,
+    pub(crate) topology: &'a Topology,
+    pub(crate) rng: &'a mut DeterministicRng,
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// Identity of the executing node.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the communication graph.
+    pub fn num_nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    /// Current round number (0 during [`NodeProgram::on_start`], then 1, 2, …).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Neighbours of the executing node in the communication topology.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.topology.neighbors(self.id)
+    }
+
+    /// Degree of the executing node in the communication topology.
+    pub fn degree(&self) -> usize {
+        self.topology.degree(self.id)
+    }
+
+    /// Deterministic random number generator private to this node.
+    pub fn rng(&mut self) -> &mut DeterministicRng {
+        self.rng
+    }
+
+    /// Queues `message` for delivery to `to`.
+    ///
+    /// The destination must be a neighbour in the communication topology
+    /// (every node, in the CONGESTED CLIQUE). Messages are delivered in FIFO
+    /// order per link, as fast as the per-link bandwidth allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not adjacent to the sender in the topology.
+    pub fn send(&mut self, to: NodeId, message: M) {
+        assert!(
+            self.topology.are_adjacent(self.id, to),
+            "node {} attempted to send to non-neighbour {}",
+            self.id,
+            to
+        );
+        self.outbox.push((to, message));
+    }
+
+    /// Queues `message` for delivery to every neighbour.
+    pub fn broadcast(&mut self, message: M) {
+        let neighbors: Vec<NodeId> = self.topology.neighbors(self.id).to_vec();
+        for v in neighbors {
+            self.outbox.push((v, message.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(format!("{id}"), "17");
+        assert_eq!(format!("{id:?}"), "v17");
+        assert_eq!(NodeId::from(17usize), id);
+    }
+
+    #[test]
+    fn status_eq() {
+        assert_ne!(Status::Running, Status::Done);
+    }
+}

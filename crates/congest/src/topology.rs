@@ -1,0 +1,171 @@
+//! Communication topologies for the simulator.
+
+use crate::node::NodeId;
+use std::collections::BTreeSet;
+
+/// An undirected communication topology over `n` nodes.
+///
+/// In the CONGEST model the topology coincides with the input graph; in the
+/// CONGESTED CLIQUE it is the complete graph. The topology is immutable for
+/// the lifetime of an execution.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adjacency: Vec<Vec<NodeId>>,
+    /// Sorted neighbour sets used for O(log deg) adjacency queries.
+    sorted: Vec<Vec<u32>>,
+    num_edges: usize,
+    complete: bool,
+}
+
+impl Topology {
+    /// Builds a topology from an undirected edge list over `n` nodes.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for n = {n}");
+            if u == v {
+                continue;
+            }
+            sets[u].insert(v as u32);
+            sets[v].insert(u as u32);
+        }
+        let mut num_edges = 0;
+        let mut adjacency = Vec::with_capacity(n);
+        let mut sorted = Vec::with_capacity(n);
+        for set in sets {
+            num_edges += set.len();
+            adjacency.push(set.iter().map(|&v| NodeId(v)).collect());
+            sorted.push(set.into_iter().collect());
+        }
+        Topology {
+            adjacency,
+            sorted,
+            num_edges: num_edges / 2,
+            complete: false,
+        }
+    }
+
+    /// Builds the complete topology on `n` nodes (CONGESTED CLIQUE).
+    pub fn complete(n: usize) -> Self {
+        let mut adjacency = Vec::with_capacity(n);
+        let mut sorted = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut row = Vec::with_capacity(n.saturating_sub(1));
+            let mut srow = Vec::with_capacity(n.saturating_sub(1));
+            for v in 0..n {
+                if v != u {
+                    row.push(NodeId(v as u32));
+                    srow.push(v as u32);
+                }
+            }
+            adjacency.push(row);
+            sorted.push(srow);
+        }
+        Topology {
+            adjacency,
+            sorted,
+            num_edges: n * n.saturating_sub(1) / 2,
+            complete: true,
+        }
+    }
+
+    /// Builds a simple path `0 - 1 - … - (n-1)`; handy in tests and examples.
+    pub fn path(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether this is the complete topology.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Neighbours of `v`, sorted by identifier.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        if self.complete {
+            return u != v && u.index() < self.num_nodes() && v.index() < self.num_nodes();
+        }
+        self.sorted[u.index()].binary_search(&(v.0)).is_ok()
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |v| (u as u32) < v.0)
+                .map(move |&v| (NodeId(u as u32), v))
+        })
+    }
+
+    /// Maximum degree over all nodes (0 for the empty topology).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_ignores_loops() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(t.degree(NodeId::new(1)), 2);
+        assert_eq!(t.degree(NodeId::new(3)), 0);
+        assert!(t.are_adjacent(NodeId::new(0), NodeId::new(1)));
+        assert!(!t.are_adjacent(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn complete_topology() {
+        let t = Topology::complete(5);
+        assert!(t.is_complete());
+        assert_eq!(t.num_edges(), 10);
+        assert_eq!(t.max_degree(), 4);
+        assert!(t.are_adjacent(NodeId::new(0), NodeId::new(4)));
+        assert!(!t.are_adjacent(NodeId::new(2), NodeId::new(2)));
+    }
+
+    #[test]
+    fn path_topology() {
+        let t = Topology::path(4);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.edges().count(), 3);
+        assert_eq!(t.degree(NodeId::new(0)), 1);
+        assert_eq!(t.degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Lightweight execution tracing.
+//!
+//! Traces are optional: the default sink discards events. Benchmarks and the
+//! experiment harness install a collecting sink to report per-phase round
+//! budgets.
+
+use crate::node::NodeId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An event emitted by the simulator or by an algorithm phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A synchronous round completed; the payload is the number of words
+    /// delivered during the round.
+    RoundCompleted {
+        /// Round number (1-based).
+        round: u64,
+        /// Words delivered in this round.
+        words_delivered: u64,
+    },
+    /// A node finished its local computation.
+    NodeDone {
+        /// The node that finished.
+        node: NodeId,
+        /// Round in which it finished.
+        round: u64,
+    },
+    /// An algorithm-defined phase boundary (e.g. "ARB-LIST iteration 3").
+    Phase {
+        /// Phase label.
+        label: String,
+        /// Total rounds elapsed (simulated + charged) when the phase started.
+        rounds_so_far: u64,
+    },
+}
+
+/// Destination of trace events.
+pub trait TraceSink: Send + Sync {
+    /// Receives one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A sink that drops all events (the default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A sink that stores all events in memory, for tests and experiments.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Returns a snapshot of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(TraceEvent::Phase {
+            label: "start".into(),
+            rounds_so_far: 0,
+        });
+        sink.record(TraceEvent::RoundCompleted {
+            round: 1,
+            words_delivered: 10,
+        });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(
+            sink.events()[0],
+            TraceEvent::Phase {
+                label: "start".into(),
+                rounds_so_far: 0
+            }
+        );
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let sink = NullSink;
+        sink.record(TraceEvent::NodeDone {
+            node: NodeId::new(0),
+            round: 3,
+        });
+    }
+}

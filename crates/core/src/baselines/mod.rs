@@ -1,0 +1,21 @@
+//! Baseline algorithms the paper compares against (or improves upon).
+//!
+//! * [`naive`]: the trivial CONGEST listing algorithm — every node ships its
+//!   whole neighbourhood to every neighbour, costing `Θ(Δ)` rounds. This is
+//!   the baseline every sub-linear algorithm must beat, and it is also the
+//!   final step of the paper's driver once the arboricity is small.
+//! * [`eden_k4`]: a simplified stand-in for the `K_4` algorithm of Eden,
+//!   Fiat, Fischer, Kuhn and Oshman (DISC 2019), which runs in
+//!   `O(n^{5/6+o(1)})` rounds: a single decomposition pass (no arboricity
+//!   iteration) with a generic, non-sparsity-aware in-cluster listing.
+//! * [`triangle`]: triangle listing through the same machinery (`p = 3`),
+//!   the regime solved by Chang et al. and Chang–Saranurak, used as a
+//!   reference point in the experiments.
+
+pub mod eden_k4;
+pub mod naive;
+pub mod triangle;
+
+pub use eden_k4::eden_style_k4;
+pub use naive::{naive_broadcast_listing, naive_broadcast_rounds, NaiveBroadcastProgram};
+pub use triangle::triangle_listing;

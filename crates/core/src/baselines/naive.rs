@@ -1,0 +1,159 @@
+//! The trivial broadcast baseline: every node sends its full neighbourhood to
+//! every neighbour and lists the cliques it sees. `Θ(Δ)` rounds in CONGEST.
+
+use crate::config::ListingConfig;
+use crate::result::{phase, ListingResult};
+use congest::{Context, NodeId, NodeProgram, Status};
+use graphcore::{cliques, Graph};
+use std::collections::HashSet;
+
+/// Number of CONGEST rounds the naive broadcast takes on `graph`: the maximum
+/// degree (each edge must carry one identifier per neighbour of its endpoint,
+/// pipelined one per round).
+pub fn naive_broadcast_rounds(graph: &Graph) -> u64 {
+    graph.max_degree() as u64
+}
+
+/// Runs the naive baseline analytically: charges `Δ` rounds and returns the
+/// full listing (every clique is seen by each of its members, since a member
+/// learns all edges among its neighbours).
+pub fn naive_broadcast_listing(graph: &Graph, config: &ListingConfig) -> ListingResult {
+    let mut result = ListingResult::new();
+    if graph.num_edges() == 0 {
+        return result;
+    }
+    result
+        .rounds
+        .add(phase::FINAL_BROADCAST, naive_broadcast_rounds(graph));
+    for c in cliques::list_cliques(graph, config.p) {
+        result.cliques.insert(c);
+    }
+    result
+}
+
+/// A message-level implementation of the naive baseline for the CONGEST
+/// simulator: each node broadcasts the identifiers of its neighbours, one per
+/// round per edge, then lists the `p`-cliques it can certify.
+///
+/// Used in tests and examples to validate that the analytic round count of
+/// [`naive_broadcast_rounds`] matches an actual synchronous execution.
+pub struct NaiveBroadcastProgram {
+    /// Clique size to list.
+    pub p: usize,
+    /// Adjacency knowledge accumulated so far: `(a, b)` pairs with `a < b`.
+    pub known: HashSet<(u32, u32)>,
+    /// Neighbour identifiers left to broadcast.
+    pending: Vec<u32>,
+    /// The cliques this node has listed (computed when it finishes).
+    pub listed: Vec<Vec<u32>>,
+    done_broadcasting: bool,
+}
+
+impl NaiveBroadcastProgram {
+    /// Creates the program for one node.
+    pub fn new(p: usize) -> Self {
+        NaiveBroadcastProgram {
+            p,
+            known: HashSet::new(),
+            pending: Vec::new(),
+            listed: Vec::new(),
+            done_broadcasting: false,
+        }
+    }
+
+    fn list_local(&mut self, me: u32, n: usize) {
+        let edges: Vec<(u32, u32)> = self.known.iter().copied().collect();
+        if let Ok(local) = Graph::from_edges(n, &edges) {
+            for clique in cliques::list_cliques(&local, self.p) {
+                if clique.contains(&me) {
+                    self.listed.push(clique);
+                }
+            }
+        }
+    }
+}
+
+impl NodeProgram for NaiveBroadcastProgram {
+    type Message = u32;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        let me = ctx.id().index() as u32;
+        self.pending = ctx.neighbors().iter().map(|v| v.index() as u32).collect();
+        for &w in &self.pending {
+            self.known.insert((me.min(w), me.max(w)));
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u32>, incoming: &[(NodeId, u32)]) -> Status {
+        let me = ctx.id().index() as u32;
+        // Record edges reported by neighbours: sender s says "w is my
+        // neighbour", i.e. the edge {s, w} exists.
+        for &(sender, w) in incoming {
+            let s = sender.index() as u32;
+            if s != w {
+                self.known.insert((s.min(w), s.max(w)));
+            }
+        }
+        // Broadcast one pending neighbour identifier per round (one word per
+        // edge per round — the CONGEST bandwidth).
+        if let Some(w) = self.pending.pop() {
+            ctx.broadcast(w);
+            return Status::Running;
+        }
+        if !self.done_broadcasting {
+            self.done_broadcasting = true;
+            self.list_local(me, ctx.num_nodes());
+        }
+        Status::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_against_ground_truth;
+    use congest::{Network, NetworkConfig, Topology};
+    use graphcore::gen;
+
+    #[test]
+    fn analytic_baseline_lists_everything() {
+        let g = gen::erdos_renyi(60, 0.3, 3);
+        let cfg = ListingConfig::for_p(4);
+        let result = naive_broadcast_listing(&g, &cfg);
+        verify_against_ground_truth(&g, 4, &result).expect("complete listing");
+        assert_eq!(result.rounds.total(), g.max_degree() as u64);
+    }
+
+    #[test]
+    fn simulated_baseline_matches_analytic_round_count() {
+        let g = gen::erdos_renyi(24, 0.35, 5);
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u as usize, v as usize)).collect();
+        let topo = Topology::from_edges(g.num_vertices(), &edges);
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| NaiveBroadcastProgram::new(3));
+        let report = net.run(10_000);
+        assert!(report.terminated);
+        // The simulated execution needs Δ broadcast rounds plus O(1) slack for
+        // start-up and the final listing round.
+        let delta = naive_broadcast_rounds(&g);
+        assert!(report.simulated_rounds >= delta);
+        assert!(report.simulated_rounds <= delta + 3);
+
+        // Union of outputs equals ground truth.
+        let mut union: HashSet<Vec<u32>> = HashSet::new();
+        for (_, program) in net.programs() {
+            for c in &program.listed {
+                union.insert(c.clone());
+            }
+        }
+        let truth: HashSet<Vec<u32>> = cliques::list_cliques(&g, 3).into_iter().collect();
+        assert_eq!(union, truth);
+    }
+
+    #[test]
+    fn empty_graph_costs_nothing() {
+        let cfg = ListingConfig::for_p(4);
+        let result = naive_broadcast_listing(&Graph::new(10), &cfg);
+        assert!(result.is_empty());
+        assert_eq!(result.rounds.total(), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Bringing the relevant outside edges into a cluster (Section 2.4.1).
+//!
+//! For a cluster `C` produced by the expander decomposition, the listing step
+//! must know every edge that can participate in a `K_p` together with a goal
+//! edge of `C` (Challenge 1 of the paper). This module implements the
+//! heavy/light machinery:
+//!
+//! * outside neighbours with many cluster neighbours (**heavy**) upload their
+//!   outgoing edges into the cluster, split across their cluster neighbours;
+//! * cluster nodes with too many light neighbours are **bad**; cluster edges
+//!   between two bad nodes stop being goal edges and are deferred to `Ê_r`;
+//! * the remaining (**good**) cluster nodes probe each of their outside
+//!   neighbours with their list of light neighbours and learn which of those
+//!   pairs are edges (and their orientation).
+//!
+//! The function returns the cluster's pooled knowledge together with the exact
+//! per-node communication loads, from which the caller charges rounds.
+
+use crate::config::{ListingConfig, Variant};
+use expander::Cluster;
+use graphcore::{Edge, EdgeSet, Graph, Orientation};
+use std::collections::{HashMap, HashSet};
+
+/// Pooled knowledge of one cluster after the edge-learning phase.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterKnowledge {
+    /// All edges known to some node of the cluster, as oriented pairs
+    /// `(source, target)` (oriented according to the global orientation of
+    /// the current graph), deduplicated.
+    pub known_edges: Vec<(u32, u32)>,
+    /// Goal edges: the cluster's `E'_m` edges minus the bad-bad edges.
+    pub goal_edges: EdgeSet,
+    /// Bad-bad edges, to be moved to `Ê_r`.
+    pub bad_edges: EdgeSet,
+    /// Per-cluster-node number of words learned from outside the cluster
+    /// (heavy uploads plus probe replies). Remark 2.10 bounds the maximum.
+    pub learned_words: HashMap<u32, u64>,
+    /// Rounds needed by the heavy-upload phase for this cluster
+    /// (`max_v ceil(words(v) / g_{v,C})`).
+    pub heavy_upload_rounds: u64,
+    /// Rounds needed by the light-probe phase for this cluster
+    /// (`2 · max_u u_light` over good nodes `u`).
+    pub light_probe_rounds: u64,
+    /// Number of outside neighbours classified heavy.
+    pub heavy_count: usize,
+    /// Number of outside neighbours classified light.
+    pub light_count: usize,
+    /// Number of bad cluster nodes.
+    pub bad_node_count: usize,
+}
+
+impl ClusterKnowledge {
+    /// Maximum number of outside words learned by a single cluster node.
+    pub fn max_learned_words(&self) -> u64 {
+        self.learned_words.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs the edge-learning phase for one cluster.
+///
+/// * `graph` and `orientation` describe the **current** graph of the enclosing
+///   LIST invocation (communication still happens along its edges, which are a
+///   subgraph of the input graph).
+/// * `cluster_em` is the set of `E'_m` edges of this cluster.
+/// * `heavy_threshold` is the number of cluster neighbours above which an
+///   outside node is heavy (`n^{1/4}` in the general algorithm,
+///   `n^{d−1/3}` in the fast `K_4` variant).
+pub fn gather_cluster_knowledge(
+    graph: &Graph,
+    orientation: &Orientation,
+    cluster: &Cluster,
+    cluster_em: &EdgeSet,
+    heavy_threshold: f64,
+    config: &ListingConfig,
+) -> ClusterKnowledge {
+    let n = graph.num_vertices();
+    let words = config.words_per_edge;
+    let mut knowledge = ClusterKnowledge::default();
+    let mut known: HashSet<(u32, u32)> = HashSet::new();
+
+    // Every edge incident to a cluster node (in the current graph) is known to
+    // that node; record it oriented by the global orientation.
+    for &u in &cluster.vertices {
+        for &v in graph.neighbors(u) {
+            let (src, dst) = oriented(orientation, u, v);
+            known.insert((src, dst));
+        }
+    }
+
+    // Classify outside neighbours as heavy or light.
+    let mut cluster_degree: HashMap<u32, u32> = HashMap::new();
+    for &u in &cluster.vertices {
+        for &v in graph.neighbors(u) {
+            if !cluster.contains(v) {
+                *cluster_degree.entry(v).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut heavy: HashSet<u32> = HashSet::new();
+    let mut light: HashSet<u32> = HashSet::new();
+    for (&v, &g) in &cluster_degree {
+        if f64::from(g) > heavy_threshold {
+            heavy.insert(v);
+        } else {
+            light.insert(v);
+        }
+    }
+    knowledge.heavy_count = heavy.len();
+    knowledge.light_count = light.len();
+
+    // Heavy upload: each heavy node splits its outgoing edges across its
+    // cluster neighbours (round-robin), which determines both who learns what
+    // and the per-edge word count (and hence the phase's round cost).
+    let mut heavy_rounds = 0u64;
+    for &v in &heavy {
+        let out = orientation.out_neighbors(v);
+        if out.is_empty() {
+            continue;
+        }
+        let g = u64::from(cluster_degree[&v]).max(1);
+        let upload_words = words * out.len() as u64;
+        heavy_rounds = heavy_rounds.max(upload_words.div_ceil(g));
+        // Receivers: the cluster neighbours of v, in identifier order.
+        let receivers: Vec<u32> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| cluster.contains(u))
+            .collect();
+        for (i, &w) in out.iter().enumerate() {
+            known.insert((v, w));
+            let receiver = receivers[i % receivers.len()];
+            *knowledge.learned_words.entry(receiver).or_insert(0) += words;
+        }
+    }
+    knowledge.heavy_upload_rounds = heavy_rounds;
+
+    // The fast K4 variant stops here: edges involving light nodes are listed
+    // by the light nodes themselves (Section 3), not brought into the cluster.
+    if config.variant == Variant::FastK4 {
+        knowledge.goal_edges = cluster_em.iter().collect();
+        finalize(knowledge, known)
+    } else {
+        gather_light_probes(
+            graph,
+            orientation,
+            cluster,
+            cluster_em,
+            &light,
+            config,
+            n,
+            words,
+            knowledge,
+            known,
+        )
+    }
+}
+
+/// The general-algorithm continuation: bad-node detection and light probes.
+#[allow(clippy::too_many_arguments)]
+fn gather_light_probes(
+    graph: &Graph,
+    orientation: &Orientation,
+    cluster: &Cluster,
+    cluster_em: &EdgeSet,
+    light: &HashSet<u32>,
+    config: &ListingConfig,
+    n: usize,
+    words: u64,
+    mut knowledge: ClusterKnowledge,
+    mut known: HashSet<(u32, u32)>,
+) -> ClusterKnowledge {
+    // Bad nodes: cluster nodes with too many light neighbours.
+    let bad_threshold = config.bad_node_threshold(n);
+    let mut light_neighbors: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut bad: HashSet<u32> = HashSet::new();
+    for &u in &cluster.vertices {
+        let lights: Vec<u32> = graph
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|w| light.contains(w))
+            .collect();
+        if lights.len() as f64 > bad_threshold {
+            bad.insert(u);
+        }
+        light_neighbors.insert(u, lights);
+    }
+    knowledge.bad_node_count = bad.len();
+
+    // Edges between two bad nodes stop being goal edges.
+    for e in cluster_em.iter() {
+        if bad.contains(&e.u()) && bad.contains(&e.v()) {
+            knowledge.bad_edges.insert(e);
+        } else {
+            knowledge.goal_edges.insert(e);
+        }
+    }
+
+    // Light probes: every good cluster node tells each of its outside
+    // neighbours about its light neighbours; the outside neighbour answers
+    // which of them it is adjacent to (and the edge's orientation).
+    let mut probe_rounds = 0u64;
+    for &u in &cluster.vertices {
+        if bad.contains(&u) {
+            continue;
+        }
+        let lights = &light_neighbors[&u];
+        if lights.is_empty() {
+            continue;
+        }
+        let outside: Vec<u32> = graph
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| !cluster.contains(v))
+            .collect();
+        if outside.is_empty() {
+            continue;
+        }
+        // Request: one word per light neighbour; reply: one word per light
+        // neighbour (adjacency + direction bit), on each incident edge.
+        probe_rounds = probe_rounds.max(2 * lights.len() as u64);
+        for &v in &outside {
+            let mut found = 0u64;
+            for &w in lights {
+                if w != v && graph.has_edge(v, w) {
+                    let (src, dst) = oriented(orientation, v, w);
+                    known.insert((src, dst));
+                    found += 1;
+                }
+            }
+            let _ = found;
+            *knowledge.learned_words.entry(u).or_insert(0) += words * lights.len() as u64;
+        }
+    }
+    knowledge.light_probe_rounds = probe_rounds;
+
+    finalize(knowledge, known)
+}
+
+fn finalize(mut knowledge: ClusterKnowledge, known: HashSet<(u32, u32)>) -> ClusterKnowledge {
+    let mut edges: Vec<(u32, u32)> = known.into_iter().collect();
+    edges.sort_unstable();
+    knowledge.known_edges = edges;
+    knowledge
+}
+
+/// Orients an undirected edge `{u, v}` according to `orientation`, falling
+/// back to `(min, max)` for edges the orientation does not cover (which can
+/// only happen for edges the caller already removed from the orientation; the
+/// fallback keeps the bookkeeping total).
+fn oriented(orientation: &Orientation, u: u32, v: u32) -> (u32, u32) {
+    match orientation.source_of(u, v) {
+        Some(src) => (src, Edge::new(u, v).other(src)),
+        None => (u.min(v), u.max(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::gen;
+
+    /// A graph made of a dense cluster (K6 on 0..6) plus outside nodes:
+    /// a heavy node 6 adjacent to every cluster node, and light nodes 7, 8
+    /// adjacent to one cluster node each; 7 and 8 are adjacent to each other
+    /// and to 6.
+    fn clustered_graph() -> (Graph, Cluster, EdgeSet) {
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                edges.push((u, v));
+            }
+        }
+        for u in 0..6u32 {
+            edges.push((u, 6));
+        }
+        edges.push((0, 7));
+        edges.push((1, 8));
+        edges.push((7, 8));
+        edges.push((6, 7));
+        edges.push((6, 8));
+        let g = Graph::from_edges(9, &edges).unwrap();
+        let cluster = Cluster::new(0, (0..6).collect());
+        let em: EdgeSet = g
+            .edges()
+            .filter(|&(u, v)| u < 6 && v < 6)
+            .map(|(u, v)| Edge::new(u, v))
+            .collect();
+        (g, cluster, em)
+    }
+
+    #[test]
+    fn heavy_and_light_classification() {
+        let (g, cluster, em) = clustered_graph();
+        let o = Orientation::from_degeneracy(&g);
+        let cfg = ListingConfig::for_p(4);
+        // Threshold 3: node 6 (6 cluster neighbours) is heavy; 7, 8 are light.
+        let k = gather_cluster_knowledge(&g, &o, &cluster, &em, 3.0, &cfg);
+        assert_eq!(k.heavy_count, 1);
+        assert_eq!(k.light_count, 2);
+        assert_eq!(k.bad_node_count, 0);
+        assert_eq!(k.goal_edges.len(), em.len());
+        assert!(k.bad_edges.is_empty());
+        // The probes of good nodes 0 and 1 towards the shared heavy neighbour
+        // 6 reveal the outside edges {6,7} and {6,8}. The edge {7,8} is not
+        // required to be known: it cannot form a K4 with any cluster edge (no
+        // two cluster nodes are adjacent to both 7 and 8), which is exactly
+        // the guarantee of Section 2.4.2.
+        let undirected: HashSet<(u32, u32)> = k
+            .known_edges
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        assert!(undirected.contains(&(6, 7)), "edge {{6,7}} not learned");
+        assert!(undirected.contains(&(6, 8)), "edge {{6,8}} not learned");
+        // The heavy node's own edges into the cluster are known anyway.
+        assert!(undirected.contains(&(0, 6)));
+    }
+
+    #[test]
+    fn fast_k4_skips_probes() {
+        let (g, cluster, em) = clustered_graph();
+        let o = Orientation::from_degeneracy(&g);
+        let cfg = ListingConfig::fast_k4();
+        let k = gather_cluster_knowledge(&g, &o, &cluster, &em, 3.0, &cfg);
+        assert_eq!(k.light_probe_rounds, 0);
+        assert_eq!(k.goal_edges.len(), em.len());
+        assert_eq!(k.bad_node_count, 0);
+    }
+
+    #[test]
+    fn bad_nodes_defer_edges() {
+        let (g, cluster, em) = clustered_graph();
+        let o = Orientation::from_degeneracy(&g);
+        // Force every cluster node with at least one light neighbour to be bad.
+        let cfg = ListingConfig {
+            bad_node_factor: 0.0,
+            ..ListingConfig::for_p(4)
+        };
+        let k = gather_cluster_knowledge(&g, &o, &cluster, &em, 3.0, &cfg);
+        // Nodes 0 and 1 have light neighbours (7 and 8) => both bad => the
+        // edge {0,1} is a bad edge.
+        assert_eq!(k.bad_node_count, 2);
+        assert!(k.bad_edges.contains(Edge::new(0, 1)));
+        assert_eq!(k.goal_edges.len() + k.bad_edges.len(), em.len());
+    }
+
+    #[test]
+    fn loads_and_rounds_are_positive_for_heavy_uploads() {
+        let (g, cluster, em) = clustered_graph();
+        let o = Orientation::from_degeneracy(&g);
+        let cfg = ListingConfig::for_p(4);
+        let k = gather_cluster_knowledge(&g, &o, &cluster, &em, 3.0, &cfg);
+        if o.out_degree(6) > 0 {
+            assert!(k.heavy_upload_rounds >= 1);
+            assert!(k.max_learned_words() >= cfg.words_per_edge);
+        }
+        // Probe rounds reflect the largest light list of a good node (at most
+        // one light neighbour each here).
+        assert!(k.light_probe_rounds <= 2);
+    }
+
+    #[test]
+    fn every_clique_edge_is_known_for_goal_edges() {
+        // Random graph: check the §2.4.2 guarantee empirically — every K4
+        // containing a goal edge has all its edges in the known pool.
+        let g = gen::erdos_renyi(60, 0.35, 11);
+        let o = Orientation::from_degeneracy(&g);
+        let cfg = ListingConfig::for_p(4);
+        // Build one synthetic "cluster": a dense neighbourhood.
+        let vertices: Vec<u32> = (0..20).collect();
+        let cluster = Cluster::new(0, vertices.clone());
+        let em: EdgeSet = g
+            .edges()
+            .filter(|&(u, v)| u < 20 && v < 20)
+            .map(|(u, v)| Edge::new(u, v))
+            .collect();
+        let k = gather_cluster_knowledge(&g, &o, &cluster, &em, cfg.heavy_threshold(60), &cfg);
+        let known: HashSet<(u32, u32)> = k
+            .known_edges
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        for clique in graphcore::cliques::list_cliques(&g, 4) {
+            let has_goal = clique.iter().enumerate().any(|(i, &a)| {
+                clique[i + 1..]
+                    .iter()
+                    .any(|&b| k.goal_edges.contains_pair(a, b))
+            });
+            if !has_goal {
+                continue;
+            }
+            for (i, &a) in clique.iter().enumerate() {
+                for &b in &clique[i + 1..] {
+                    assert!(
+                        known.contains(&(a.min(b), a.max(b))),
+                        "edge {{{a},{b}}} of K4 {clique:?} unknown to the cluster"
+                    );
+                }
+            }
+        }
+    }
+}

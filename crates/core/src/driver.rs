@@ -1,0 +1,184 @@
+//! The top-level `K_p` listing driver (Theorems 1.1 and 1.2).
+//!
+//! The driver applies Algorithm LIST on a sequence of graphs with
+//! geometrically decreasing arboricity. Once the arboricity bound drops below
+//! the termination threshold (`n^{max(p/(p+2), 3/4)}` for the general
+//! algorithm, `n^{2/3}` for the fast `K_4` variant), every node broadcasts its
+//! remaining outgoing edges to its neighbours and the remaining instances are
+//! listed locally.
+
+use crate::config::ListingConfig;
+use crate::list::list_once;
+use crate::result::{phase, ListingResult};
+use crate::sparse_listing::ExchangeMode;
+use graphcore::{cliques, Graph, Orientation};
+
+/// Lists every `K_p` instance of `graph` with the configured algorithm and
+/// returns the union of the node outputs together with the measured round
+/// complexity.
+///
+/// # Panics
+///
+/// Panics if `config.p < 3`.
+pub fn list_kp(graph: &Graph, config: &ListingConfig) -> ListingResult {
+    list_kp_with_mode(graph, config, ExchangeMode::SparsityAware)
+}
+
+/// Same as [`list_kp`] but with an explicit in-cluster exchange mode; the
+/// dense mode is used by the ablation experiment and baselines.
+pub fn list_kp_with_mode(
+    graph: &Graph,
+    config: &ListingConfig,
+    exchange_mode: ExchangeMode,
+) -> ListingResult {
+    assert!(config.p >= 3, "clique size must be at least 3");
+    let n = graph.num_vertices();
+    let mut result = ListingResult::new();
+    if n < config.p || graph.num_edges() == 0 {
+        return result;
+    }
+
+    let mut current = graph.clone();
+    let mut orientation = Orientation::from_degeneracy(&current);
+    let slack = config.arboricity_slack(n);
+    let termination = (n.max(2) as f64).powf(config.termination_exponent());
+
+    for iteration in 0..config.max_list_iterations {
+        let a = orientation.max_out_degree().max(1);
+        // Theorem 2.8 requires n^{p/(p+2)} < A / (2 log n); the driver keeps
+        // iterating while the stronger termination threshold still holds.
+        if (a as f64) / slack <= termination {
+            break;
+        }
+        let step = list_once(
+            &current,
+            &orientation,
+            a,
+            exchange_mode,
+            config,
+            config.seed.wrapping_add(iteration as u64 * 7919),
+        );
+        result.cliques.extend(step.listed);
+        result.rounds.absorb(&step.rounds);
+        result.diagnostics.absorb(&step.diagnostics);
+        result.diagnostics.list_iterations += 1;
+
+        let new_a = step.remaining_orientation.max_out_degree().max(1);
+        current = step.remaining;
+        orientation = step.remaining_orientation;
+        if new_a >= a {
+            // No progress is possible (e.g. the graph is already below the
+            // threshold in practice); fall through to the final broadcast.
+            break;
+        }
+    }
+
+    // Final phase: every node broadcasts its remaining outgoing edges to all
+    // of its neighbours. Each edge {v, w} then carries out-deg(v) + out-deg(w)
+    // edge descriptions, so the phase costs (max out-degree) edge-messages.
+    let final_rounds =
+        (orientation.max_out_degree() as u64).max(1) * config.words_per_edge;
+    if current.num_edges() > 0 {
+        result.rounds.add(phase::FINAL_BROADCAST, final_rounds);
+        // Every member of a surviving clique sees all of the clique's edges
+        // (its own incident ones plus the broadcast out-edges of the other
+        // members), so the union of the node outputs is exactly the set of
+        // K_p instances of the surviving graph.
+        for clique in cliques::list_cliques(&current, config.p) {
+            result.cliques.insert(clique);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::verify::verify_against_ground_truth;
+    use graphcore::gen;
+
+    #[test]
+    fn complete_graph_is_fully_listed() {
+        let g = gen::complete_graph(12);
+        for p in [3, 4, 5] {
+            let result = list_kp(&g, &ListingConfig::for_p(p));
+            verify_against_ground_truth(&g, p, &result).expect("complete listing");
+            assert!(result.rounds.total() > 0);
+        }
+    }
+
+    #[test]
+    fn dense_random_graphs_are_fully_listed() {
+        for seed in [1, 2] {
+            let g = gen::erdos_renyi(90, 0.35, seed);
+            for p in [4, 5] {
+                let result = list_kp(&g, &ListingConfig::for_p(p).with_seed(seed));
+                verify_against_ground_truth(&g, p, &result)
+                    .unwrap_or_else(|e| panic!("seed {seed}, p {p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_k4_variant_is_complete() {
+        for seed in [3, 4] {
+            let g = gen::erdos_renyi(90, 0.35, seed);
+            let result = list_kp(&g, &ListingConfig::fast_k4().with_seed(seed));
+            verify_against_ground_truth(&g, 4, &result)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn planted_cliques_are_listed() {
+        let (g, planted) = gen::planted_cliques(100, 0.05, 3, 6, 9);
+        let result = list_kp(&g, &ListingConfig::for_p(6));
+        for c in &planted {
+            assert!(result.cliques.contains(&c.vertices), "planted K6 missing");
+        }
+        verify_against_ground_truth(&g, 6, &result).expect("complete K6 listing");
+    }
+
+    #[test]
+    fn graphs_without_cliques_yield_nothing() {
+        let g = gen::complete_bipartite(20, 20);
+        let result = list_kp(&g, &ListingConfig::for_p(4));
+        assert!(result.is_empty());
+        let empty = Graph::new(30);
+        let result = list_kp(&empty, &ListingConfig::for_p(4));
+        assert!(result.is_empty());
+        assert_eq!(result.rounds.total(), 0);
+    }
+
+    #[test]
+    fn tiny_graphs_are_handled() {
+        let g = gen::complete_graph(3);
+        let result = list_kp(&g, &ListingConfig::for_p(4));
+        assert!(result.is_empty());
+        let g = gen::complete_graph(4);
+        let result = list_kp(&g, &ListingConfig::for_p(4));
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn both_variants_agree_on_the_output_set() {
+        let g = gen::erdos_renyi(80, 0.3, 31);
+        let general = list_kp(&g, &ListingConfig::for_p(4));
+        let fast = list_kp(&g, &ListingConfig {
+            variant: Variant::FastK4,
+            ..ListingConfig::for_p(4)
+        });
+        assert_eq!(general.cliques, fast.cliques);
+    }
+
+    #[test]
+    fn dense_mode_lists_the_same_cliques() {
+        let g = gen::erdos_renyi(80, 0.3, 37);
+        let cfg = ListingConfig::for_p(4);
+        let sparse = list_kp_with_mode(&g, &cfg, ExchangeMode::SparsityAware);
+        let dense = list_kp_with_mode(&g, &cfg, ExchangeMode::DenseAssumption);
+        assert_eq!(sparse.cliques, dense.cliques);
+        assert!(dense.rounds.total() >= sparse.rounds.total());
+    }
+}

@@ -1,0 +1,198 @@
+//! Algorithm LIST (Theorem 2.8): halve the arboricity while listing every
+//! `K_p` that touches a removed edge.
+//!
+//! LIST repeatedly applies ARB-LIST to the pair `(E_s, E_r)`, starting from
+//! `E_s = ∅`, `E_r = E`. Each application moves the listed goal edges `Ê_m`
+//! out of the graph, grows `E_s` by the decomposition's low-arboricity part
+//! and shrinks `E_r` by at least a factor 4, so after `O(log n)` iterations
+//! `E_r` is empty and the surviving edge set `E_s` has arboricity at most
+//! `n^δ · log n ≤ A/2`, together with an explicit orientation.
+
+use crate::arb_list::arb_list;
+use crate::config::ListingConfig;
+use crate::result::{Diagnostics, Rounds};
+use crate::sparse_listing::ExchangeMode;
+use graphcore::{Clique, EdgeSet, Graph, Orientation};
+use std::collections::HashSet;
+
+/// Result of one LIST invocation.
+#[derive(Clone, Debug, Default)]
+pub struct ListOutcome {
+    /// All `K_p` listed during the invocation (every instance with at least
+    /// one edge outside the returned graph).
+    pub listed: HashSet<Clique>,
+    /// The surviving graph `(V, Ẽ_s)`, whose arboricity is at most half the
+    /// input bound.
+    pub remaining: Graph,
+    /// An orientation of the surviving graph with correspondingly bounded
+    /// out-degree.
+    pub remaining_orientation: Orientation,
+    /// Round breakdown.
+    pub rounds: Rounds,
+    /// Diagnostics.
+    pub diagnostics: Diagnostics,
+}
+
+/// Runs LIST once on `graph` with the given orientation and arboricity bound.
+///
+/// `arboricity_bound` is the paper's `A = n^d` (we use the maximum out-degree
+/// of `orientation`); the caller must ensure `A / (2 log n) > 1`, which the
+/// driver's termination condition guarantees.
+pub fn list_once(
+    graph: &Graph,
+    orientation: &Orientation,
+    arboricity_bound: usize,
+    exchange_mode: ExchangeMode,
+    config: &ListingConfig,
+    seed: u64,
+) -> ListOutcome {
+    let n = graph.num_vertices();
+    let slack = config.arboricity_slack(n);
+
+    let mut outcome = ListOutcome {
+        remaining: graph.clone(),
+        remaining_orientation: orientation.clone(),
+        ..Default::default()
+    };
+
+    // Theorem 2.8 requires n^{p/(p+2)} < A / (2 log n); when the arboricity is
+    // already that small the invocation is a no-op and the caller's final
+    // broadcast handles the rest.
+    if (arboricity_bound as f64) / slack <= 1.0 {
+        return outcome;
+    }
+
+    // n^δ = A / (2 log n)  ⇒  δ = ln(A / slack) / ln n.
+    let target = (arboricity_bound as f64 / slack).max(1.5);
+    let delta = (target.ln() / (n.max(2) as f64).ln()).clamp(0.05, 0.95);
+
+    let mut current = graph.clone();
+    let mut current_orientation = orientation.clone();
+    let mut es = EdgeSet::new();
+    let mut es_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut er = graph.edge_set();
+
+    let mut iterations = 0usize;
+    while !er.is_empty() && iterations < config.max_arb_iterations {
+        iterations += 1;
+        let step = arb_list(
+            &current,
+            &current_orientation,
+            &er,
+            arboricity_bound,
+            delta,
+            exchange_mode,
+            config,
+            seed.wrapping_add(iterations as u64),
+        );
+        outcome.listed.extend(step.listed);
+        outcome.rounds.absorb(&step.rounds);
+        outcome.diagnostics.absorb(&step.diagnostics);
+
+        // Merge E'_s and its orientation.
+        for e in step.es_added.iter() {
+            es.insert(e);
+        }
+        for (v, list) in step.es_out.iter().enumerate() {
+            es_out[v].extend(list.iter().copied());
+        }
+
+        // Remove the listed goal edges from the working graph.
+        if !step.goal_edges.is_empty() {
+            current = current.without_edges(&step.goal_edges);
+            current_orientation = current_orientation.restrict_to(&current.edge_set());
+        }
+
+        let previous_er = er.len();
+        er = step.er_new;
+        if er.len() >= previous_er && previous_er > 0 {
+            // No progress (degenerate configuration); fold the remainder into
+            // E_s and stop — correctness is preserved because unlisted edges
+            // simply survive to the next driver iteration.
+            break;
+        }
+    }
+
+    // Whatever is left of E_r survives as part of the remaining graph.
+    for e in er.iter() {
+        es.insert(e);
+        es_out[e.u() as usize].push(e.v());
+    }
+
+    outcome.remaining = Graph::from_edge_set(n, &es).expect("E_s endpoints are in range");
+    outcome.remaining_orientation = Orientation::from_out_lists(es_out);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::gen;
+
+    fn run_list(graph: &Graph, p: usize) -> ListOutcome {
+        let orientation = Orientation::from_degeneracy(graph);
+        let a = orientation.max_out_degree().max(1);
+        let config = ListingConfig::for_p(p);
+        list_once(graph, &orientation, a, ExchangeMode::SparsityAware, &config, 5)
+    }
+
+    #[test]
+    fn removed_edges_have_their_cliques_listed() {
+        let g = gen::erdos_renyi(120, 0.3, 7);
+        let out = run_list(&g, 4);
+        let remaining_edges = out.remaining.edge_set();
+        for clique in graphcore::cliques::list_cliques(&g, 4) {
+            let touches_removed = clique.iter().enumerate().any(|(i, &a)| {
+                clique[i + 1..]
+                    .iter()
+                    .any(|&b| g.has_edge(a, b) && !remaining_edges.contains_pair(a, b))
+            });
+            if touches_removed {
+                assert!(
+                    out.listed.contains(&clique),
+                    "K4 {clique:?} touching a removed edge was not listed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arboricity_roughly_halves() {
+        let g = gen::erdos_renyi(150, 0.4, 3);
+        let orientation = Orientation::from_degeneracy(&g);
+        let a = orientation.max_out_degree().max(1);
+        let out = run_list(&g, 4);
+        let new_bound = out.remaining_orientation.max_out_degree();
+        assert!(
+            new_bound <= a,
+            "out-degree bound did not decrease: {new_bound} > {a}"
+        );
+        // The surviving orientation covers exactly the surviving edges.
+        assert!(out.remaining_orientation.covers_exactly(&out.remaining));
+    }
+
+    #[test]
+    fn listed_cliques_are_real() {
+        let g = gen::erdos_renyi(100, 0.3, 9);
+        let out = run_list(&g, 4);
+        for clique in &out.listed {
+            assert!(graphcore::cliques::is_clique(&g, clique), "{clique:?} is not a clique");
+        }
+    }
+
+    #[test]
+    fn sparse_input_passes_through() {
+        let g = gen::cycle_graph(60);
+        let out = run_list(&g, 4);
+        assert!(out.listed.is_empty());
+        assert_eq!(out.remaining.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn terminates_within_iteration_cap() {
+        let g = gen::erdos_renyi(140, 0.35, 21);
+        let out = run_list(&g, 5);
+        assert!(out.diagnostics.arb_iterations <= ListingConfig::for_p(5).max_arb_iterations);
+        assert!(out.diagnostics.decompositions >= 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Listing outputs and round breakdowns.
+
+use graphcore::Clique;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Named phases of the listing pipeline, used to break down the measured
+/// round complexity.
+pub mod phase {
+    /// Expander decomposition construction (Theorem 2.3).
+    pub const DECOMPOSITION: &str = "decomposition";
+    /// Cluster-membership broadcast.
+    pub const MEMBERSHIP: &str = "membership-broadcast";
+    /// Heavy nodes uploading their outgoing edges into clusters.
+    pub const HEAVY_UPLOAD: &str = "heavy-upload";
+    /// Good cluster nodes probing their outside neighbours about light nodes.
+    pub const LIGHT_PROBES: &str = "light-probes";
+    /// Intra-cluster identifier assignment (Lemma 2.5).
+    pub const ID_ASSIGNMENT: &str = "id-assignment";
+    /// Reshuffling known edges to responsible cluster nodes.
+    pub const RESHUFFLE: &str = "reshuffle";
+    /// Broadcasting the random vertex partition inside the cluster.
+    pub const PARTITION_BROADCAST: &str = "partition-broadcast";
+    /// Delivering edges to the nodes that own the relevant part tuples.
+    pub const PART_EXCHANGE: &str = "part-exchange";
+    /// Sequential per-cluster listing by C-light nodes (fast K4 variant only).
+    pub const LIGHT_LISTING: &str = "light-listing";
+    /// Final phase of the driver: every node broadcasts its remaining
+    /// outgoing edges to its neighbours.
+    pub const FINAL_BROADCAST: &str = "final-broadcast";
+}
+
+/// Rounds accumulated by the pipeline, broken down by phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rounds {
+    by_phase: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl Rounds {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Rounds::default()
+    }
+
+    /// Adds `rounds` rounds to `phase`.
+    pub fn add(&mut self, phase: &str, rounds: u64) {
+        if rounds == 0 {
+            return;
+        }
+        *self.by_phase.entry(phase.to_string()).or_insert(0) += rounds;
+        self.total += rounds;
+    }
+
+    /// Total rounds across all phases.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Rounds attributed to one phase.
+    pub fn for_phase(&self, phase: &str) -> u64 {
+        self.by_phase.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(phase, rounds)` pairs in phase-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.by_phase.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn absorb(&mut self, other: &Rounds) {
+        for (phase, rounds) in other.iter() {
+            self.add(phase, rounds);
+        }
+    }
+}
+
+/// Diagnostics collected while running the pipeline, used by the experiments
+/// that check the paper's intermediate claims (bad-edge fraction, per-node
+/// load bounds).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Total number of edges that were declared bad (moved from `E'_m` to
+    /// `Ê_r`), summed over all ARB-LIST invocations.
+    pub bad_edges: usize,
+    /// Total number of cluster (`E'_m`) edges seen by ARB-LIST invocations.
+    pub cluster_edges: usize,
+    /// Maximum number of outside-edge words any single cluster node learned in
+    /// one ARB-LIST invocation (Remark 2.10 bounds this by `~O(n^{3/4+d})`).
+    pub max_learned_words: u64,
+    /// Number of expander decompositions performed.
+    pub decompositions: usize,
+    /// Number of clusters processed across all decompositions.
+    pub clusters: usize,
+    /// Number of LIST invocations performed by the driver.
+    pub list_iterations: usize,
+    /// Number of ARB-LIST invocations performed in total.
+    pub arb_iterations: usize,
+}
+
+impl Diagnostics {
+    /// Fraction of cluster edges that were declared bad (0 when no cluster
+    /// edges were seen). Section 2.4.1 argues this is at most `1/25`.
+    pub fn bad_edge_fraction(&self) -> f64 {
+        if self.cluster_edges == 0 {
+            0.0
+        } else {
+            self.bad_edges as f64 / self.cluster_edges as f64
+        }
+    }
+
+    /// Merges another diagnostics record into this one.
+    pub fn absorb(&mut self, other: &Diagnostics) {
+        self.bad_edges += other.bad_edges;
+        self.cluster_edges += other.cluster_edges;
+        self.max_learned_words = self.max_learned_words.max(other.max_learned_words);
+        self.decompositions += other.decompositions;
+        self.clusters += other.clusters;
+        self.list_iterations += other.list_iterations;
+        self.arb_iterations += other.arb_iterations;
+    }
+}
+
+/// The result of a listing execution: the cliques output by the nodes
+/// (as a union, since the listing problem only requires the union of node
+/// outputs to be the full list) plus the measured cost.
+#[derive(Clone, Debug, Default)]
+pub struct ListingResult {
+    /// The union of all cliques listed by any node, in canonical form.
+    pub cliques: HashSet<Clique>,
+    /// Round breakdown.
+    pub rounds: Rounds,
+    /// Pipeline diagnostics.
+    pub diagnostics: Diagnostics,
+}
+
+impl ListingResult {
+    /// Creates an empty result.
+    pub fn new() -> Self {
+        ListingResult::default()
+    }
+
+    /// Number of distinct cliques listed.
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Whether no clique was listed.
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+
+    /// Returns the cliques as a sorted vector (deterministic order).
+    pub fn sorted_cliques(&self) -> Vec<Clique> {
+        let mut v: Vec<Clique> = self.cliques.iter().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merges another result into this one.
+    pub fn absorb(&mut self, other: ListingResult) {
+        self.cliques.extend(other.cliques);
+        self.rounds.absorb(&other.rounds);
+        self.diagnostics.absorb(&other.diagnostics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_accumulate_by_phase() {
+        let mut r = Rounds::new();
+        r.add(phase::DECOMPOSITION, 10);
+        r.add(phase::DECOMPOSITION, 5);
+        r.add(phase::RESHUFFLE, 3);
+        r.add(phase::RESHUFFLE, 0);
+        assert_eq!(r.total(), 18);
+        assert_eq!(r.for_phase(phase::DECOMPOSITION), 15);
+        assert_eq!(r.for_phase(phase::PART_EXCHANGE), 0);
+        assert_eq!(r.iter().count(), 2);
+
+        let mut other = Rounds::new();
+        other.add(phase::FINAL_BROADCAST, 7);
+        r.absorb(&other);
+        assert_eq!(r.total(), 25);
+    }
+
+    #[test]
+    fn diagnostics_fraction() {
+        let mut d = Diagnostics::default();
+        assert_eq!(d.bad_edge_fraction(), 0.0);
+        d.bad_edges = 2;
+        d.cluster_edges = 100;
+        assert!((d.bad_edge_fraction() - 0.02).abs() < 1e-12);
+        let other = Diagnostics {
+            bad_edges: 1,
+            cluster_edges: 50,
+            max_learned_words: 77,
+            decompositions: 1,
+            clusters: 3,
+            list_iterations: 1,
+            arb_iterations: 2,
+        };
+        d.absorb(&other);
+        assert_eq!(d.bad_edges, 3);
+        assert_eq!(d.cluster_edges, 150);
+        assert_eq!(d.max_learned_words, 77);
+    }
+
+    #[test]
+    fn result_merging() {
+        let mut a = ListingResult::new();
+        assert!(a.is_empty());
+        a.cliques.insert(vec![1, 2, 3]);
+        let mut b = ListingResult::new();
+        b.cliques.insert(vec![1, 2, 3]);
+        b.cliques.insert(vec![2, 3, 4]);
+        b.rounds.add(phase::FINAL_BROADCAST, 4);
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.rounds.total(), 4);
+        assert_eq!(a.sorted_cliques()[0], vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Verification of listing outputs against the exact sequential enumeration.
+
+use crate::result::ListingResult;
+use graphcore::{cliques, Clique, Graph};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A mismatch between a listing output and the ground truth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerificationError {
+    /// Cliques present in the graph but missing from the output.
+    pub missing: Vec<Clique>,
+    /// Output entries that are not `p`-cliques of the graph.
+    pub spurious: Vec<Clique>,
+    /// Number of cliques in the ground truth.
+    pub expected: usize,
+}
+
+impl fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "listing mismatch: {} missing and {} spurious out of {} expected cliques",
+            self.missing.len(),
+            self.spurious.len(),
+            self.expected
+        )?;
+        if let Some(c) = self.missing.first() {
+            write!(f, "; first missing: {c:?}")?;
+        }
+        if let Some(c) = self.spurious.first() {
+            write!(f, "; first spurious: {c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// Checks that `result` lists exactly the `p`-cliques of `graph`.
+///
+/// # Errors
+///
+/// Returns a [`VerificationError`] describing the missing and spurious cliques
+/// if the output is not exactly the ground truth.
+pub fn verify_against_ground_truth(
+    graph: &Graph,
+    p: usize,
+    result: &ListingResult,
+) -> Result<(), VerificationError> {
+    let truth: HashSet<Clique> = cliques::list_cliques(graph, p).into_iter().collect();
+    let missing: Vec<Clique> = truth.difference(&result.cliques).cloned().collect();
+    let spurious: Vec<Clique> = result.cliques.difference(&truth).cloned().collect();
+    if missing.is_empty() && spurious.is_empty() {
+        Ok(())
+    } else {
+        let mut missing = missing;
+        let mut spurious = spurious;
+        missing.sort_unstable();
+        spurious.sort_unstable();
+        Err(VerificationError {
+            missing,
+            spurious,
+            expected: truth.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::gen;
+
+    #[test]
+    fn accepts_exact_output() {
+        let g = gen::complete_graph(6);
+        let mut result = ListingResult::new();
+        for c in cliques::list_cliques(&g, 4) {
+            result.cliques.insert(c);
+        }
+        assert!(verify_against_ground_truth(&g, 4, &result).is_ok());
+    }
+
+    #[test]
+    fn reports_missing_and_spurious() {
+        let g = gen::complete_graph(5);
+        let mut result = ListingResult::new();
+        for c in cliques::list_cliques(&g, 3) {
+            result.cliques.insert(c);
+        }
+        // Remove one real clique and add a fake one.
+        let removed = result.sorted_cliques()[0].clone();
+        result.cliques.remove(&removed);
+        result.cliques.insert(vec![0, 1, 99]);
+        let err = verify_against_ground_truth(&g, 3, &result).unwrap_err();
+        assert_eq!(err.missing, vec![removed]);
+        assert_eq!(err.spurious, vec![vec![0, 1, 99]]);
+        assert_eq!(err.expected, 10);
+        assert!(format!("{err}").contains("missing"));
+    }
+
+    #[test]
+    fn empty_graph_expects_empty_output() {
+        let g = Graph::new(5);
+        assert!(verify_against_ground_truth(&g, 4, &ListingResult::new()).is_ok());
+    }
+}

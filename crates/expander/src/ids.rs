@@ -1,0 +1,98 @@
+//! Intra-cluster identifier assignment (Lemma 2.5).
+//!
+//! Several steps of the listing algorithm need every cluster node to know a
+//! dense rank in `{0, …, |C| − 1}`: responsibilities for outside vertices and
+//! the radix-based part assignment are both functions of the rank. Lemma 2.5
+//! states this can be computed for all clusters in parallel in
+//! `O(polylog n)` rounds; we compute the ranks directly (sorted by original
+//! identifier, which is what a distributed prefix-sum over a BFS tree would
+//! produce) and charge that cost.
+
+use crate::cluster::Cluster;
+use congest::{ChargePolicy, PrimitiveKind};
+use std::collections::HashMap;
+
+/// The dense identifier assignment of one cluster.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterIds {
+    rank_of: HashMap<u32, usize>,
+    by_rank: Vec<u32>,
+}
+
+impl ClusterIds {
+    /// Assigns ranks `0..k` to the cluster's nodes in increasing order of
+    /// their original identifiers.
+    pub fn assign(cluster: &Cluster) -> Self {
+        let by_rank = cluster.vertices.clone();
+        let rank_of = by_rank.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        ClusterIds { rank_of, by_rank }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.by_rank.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_rank.is_empty()
+    }
+
+    /// The rank of an original vertex, if it belongs to the cluster.
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        self.rank_of.get(&v).copied()
+    }
+
+    /// The original vertex holding `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    pub fn vertex(&self, rank: usize) -> u32 {
+        self.by_rank[rank]
+    }
+
+    /// Rounds charged for running the assignment distributively (Lemma 2.5).
+    pub fn charged_rounds(n: usize, policy: &ChargePolicy) -> u64 {
+        policy.id_assignment_rounds(n)
+    }
+
+    /// The primitive kind under which the cost is charged.
+    pub fn primitive_kind() -> PrimitiveKind {
+        PrimitiveKind::ClusterIdAssignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_dense_and_consistent() {
+        let c = Cluster::new(0, vec![30, 7, 12]);
+        let ids = ClusterIds::assign(&c);
+        assert_eq!(ids.len(), 3);
+        assert!(!ids.is_empty());
+        assert_eq!(ids.rank(7), Some(0));
+        assert_eq!(ids.rank(12), Some(1));
+        assert_eq!(ids.rank(30), Some(2));
+        assert_eq!(ids.rank(99), None);
+        for r in 0..3 {
+            assert_eq!(ids.rank(ids.vertex(r)), Some(r));
+        }
+    }
+
+    #[test]
+    fn charged_rounds_are_polylog() {
+        let policy = ChargePolicy::default();
+        assert_eq!(ClusterIds::charged_rounds(1024, &policy), 10);
+        assert_eq!(ClusterIds::primitive_kind(), PrimitiveKind::ClusterIdAssignment);
+    }
+
+    #[test]
+    fn empty_cluster() {
+        let ids = ClusterIds::assign(&Cluster::new(0, vec![]));
+        assert!(ids.is_empty());
+        assert_eq!(ids.rank(0), None);
+    }
+}

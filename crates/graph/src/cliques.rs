@@ -1,0 +1,246 @@
+//! Exact sequential `K_p` enumeration, used as ground truth.
+//!
+//! The enumerator follows the standard ordered-search scheme: fix a degeneracy
+//! ordering, and for every vertex `v` enumerate cliques inside the set of
+//! neighbours of `v` that come later in the ordering. Because that candidate
+//! set has size at most the degeneracy, the running time is
+//! `O(n · k^{p-1})` for a graph of degeneracy `k`, which is fast for the
+//! sparse workloads used in the experiments.
+
+use crate::orientation::degeneracy_ordering;
+use crate::{Clique, Graph};
+
+/// Lists every clique on exactly `p` vertices, each exactly once, in
+/// canonical (sorted) form.
+///
+/// `p = 0` yields the single empty clique, `p = 1` yields all vertices and
+/// `p = 2` yields all edges, so the function is total in `p`.
+pub fn list_cliques(graph: &Graph, p: usize) -> Vec<Clique> {
+    let mut out = Vec::new();
+    for_each_clique(graph, p, |c| out.push(c.to_vec()));
+    out.sort_unstable();
+    out
+}
+
+/// Counts the cliques on exactly `p` vertices without materialising them.
+pub fn count_cliques(graph: &Graph, p: usize) -> usize {
+    let mut count = 0usize;
+    for_each_clique(graph, p, |_| count += 1);
+    count
+}
+
+/// Calls `visit` once for every `p`-clique; the slice passed to the callback
+/// is sorted in increasing vertex order.
+pub fn for_each_clique(graph: &Graph, p: usize, mut visit: impl FnMut(&[u32])) {
+    let n = graph.num_vertices();
+    if p == 0 {
+        visit(&[]);
+        return;
+    }
+    if p == 1 {
+        for v in 0..n as u32 {
+            visit(&[v]);
+        }
+        return;
+    }
+    if p == 2 {
+        for (u, v) in graph.edges() {
+            visit(&[u, v]);
+        }
+        return;
+    }
+
+    let ordering = degeneracy_ordering(graph);
+    let position = &ordering.position;
+    let mut stack: Vec<u32> = Vec::with_capacity(p);
+    for &v in &ordering.order {
+        // Candidates: later neighbours of v.
+        let candidates: Vec<u32> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| position[w as usize] > position[v as usize])
+            .collect();
+        if candidates.len() + 1 < p {
+            continue;
+        }
+        stack.push(v);
+        extend_clique(graph, p, &candidates, &mut stack, &mut visit);
+        stack.pop();
+    }
+}
+
+/// Recursively extends the clique on `stack` using vertices from `candidates`
+/// (all of which are adjacent to every vertex already on the stack).
+fn extend_clique(
+    graph: &Graph,
+    p: usize,
+    candidates: &[u32],
+    stack: &mut Vec<u32>,
+    visit: &mut impl FnMut(&[u32]),
+) {
+    if stack.len() == p {
+        let mut clique = stack.clone();
+        clique.sort_unstable();
+        visit(&clique);
+        return;
+    }
+    let needed = p - stack.len();
+    if candidates.len() < needed {
+        return;
+    }
+    for (i, &u) in candidates.iter().enumerate() {
+        // Prune: not enough candidates remain after u.
+        if candidates.len() - i < needed {
+            break;
+        }
+        let next: Vec<u32> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&w| graph.has_edge(u, w))
+            .collect();
+        stack.push(u);
+        extend_clique(graph, p, &next, stack, visit);
+        stack.pop();
+    }
+}
+
+/// Lists every `p`-clique that contains the given edge `{a, b}`.
+///
+/// Returns an empty list if the edge is absent.
+pub fn cliques_containing_edge(graph: &Graph, p: usize, a: u32, b: u32) -> Vec<Clique> {
+    if p < 2 || !graph.has_edge(a, b) {
+        return Vec::new();
+    }
+    let common = graph.common_neighbors(a, b);
+    let mut out = Vec::new();
+    let mut stack = vec![a.min(b), a.max(b)];
+    extend_clique(graph, p, &common, &mut stack, &mut |c: &[u32]| {
+        out.push(c.to_vec())
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Verifies that `candidate` is a clique of `graph` (all pairs adjacent,
+/// vertices distinct).
+pub fn is_clique(graph: &Graph, candidate: &[u32]) -> bool {
+    for (i, &u) in candidate.iter().enumerate() {
+        for &v in &candidate[i + 1..] {
+            if u == v || !graph.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn complete_graph_has_binomial_many_cliques() {
+        let g = gen::complete_graph(8);
+        for p in 0..=9 {
+            assert_eq!(count_cliques(&g, p), binomial(8, p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn small_p_special_cases() {
+        let g = gen::path_graph(4);
+        assert_eq!(list_cliques(&g, 0), vec![Vec::<u32>::new()]);
+        assert_eq!(list_cliques(&g, 1).len(), 4);
+        assert_eq!(list_cliques(&g, 2).len(), 3);
+        assert_eq!(list_cliques(&g, 3).len(), 0);
+    }
+
+    #[test]
+    fn listed_cliques_are_cliques_and_unique() {
+        let g = gen::erdos_renyi(60, 0.25, 9);
+        let k4s = list_cliques(&g, 4);
+        for c in &k4s {
+            assert_eq!(c.len(), 4);
+            assert!(is_clique(&g, c));
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "not sorted: {c:?}");
+        }
+        let mut dedup = k4s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), k4s.len());
+    }
+
+    #[test]
+    fn bipartite_graphs_have_no_triangles() {
+        let g = gen::complete_bipartite(10, 10);
+        assert_eq!(count_cliques(&g, 3), 0);
+        assert_eq!(count_cliques(&g, 4), 0);
+    }
+
+    #[test]
+    fn cliques_containing_edge_matches_filtered_listing() {
+        let g = gen::erdos_renyi(40, 0.3, 4);
+        let all = list_cliques(&g, 4);
+        if let Some((a, b)) = g.edges().next() {
+            let containing = cliques_containing_edge(&g, 4, a, b);
+            let expected: Vec<Clique> = all
+                .iter()
+                .filter(|c| c.contains(&a) && c.contains(&b))
+                .cloned()
+                .collect();
+            assert_eq!(containing, expected);
+        }
+        assert!(cliques_containing_edge(&g, 4, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn is_clique_detects_non_cliques() {
+        let g = gen::path_graph(4);
+        assert!(is_clique(&g, &[0, 1]));
+        assert!(!is_clique(&g, &[0, 2]));
+        assert!(!is_clique(&g, &[0, 0]));
+        assert!(is_clique(&g, &[]));
+        assert!(is_clique(&g, &[3]));
+    }
+
+    #[test]
+    fn planted_cliques_are_found() {
+        let (g, planted) = gen::planted_cliques(80, 0.01, 2, 6, 17);
+        let k6s = list_cliques(&g, 6);
+        for c in &planted {
+            assert!(k6s.contains(&c.vertices), "planted clique missing");
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_naive_on_random_graph() {
+        let g = gen::erdos_renyi(50, 0.2, 21);
+        let mut naive = 0;
+        for u in 0..50u32 {
+            for v in (u + 1)..50u32 {
+                if !g.has_edge(u, v) {
+                    continue;
+                }
+                for w in (v + 1)..50u32 {
+                    if g.has_edge(u, w) && g.has_edge(v, w) {
+                        naive += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count_cliques(&g, 3), naive);
+    }
+}

@@ -1,0 +1,81 @@
+//! Classic deterministic graph families, used as corner cases in tests and as
+//! building blocks for workloads.
+
+use crate::Graph;
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+/// The complete bipartite graph `K_{a,b}` with sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            edges.push((u, a as u32 + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("generated edges are in range")
+}
+
+/// The cycle `C_n` (empty for `n < 3`).
+pub fn cycle_graph(n: usize) -> Graph {
+    if n < 3 {
+        return Graph::new(n);
+    }
+    let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+    edges.push((n as u32 - 1, 0));
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+/// The path `P_n`.
+pub fn path_graph(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+/// The star `S_n`: vertex 0 connected to `1..n`.
+pub fn star_graph(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliques;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(cliques::count_cliques(&g, 3), 20);
+        assert_eq!(cliques::count_cliques(&g, 4), 15);
+        assert_eq!(cliques::count_cliques(&g, 6), 1);
+        assert_eq!(cliques::count_cliques(&g, 7), 0);
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free() {
+        let g = complete_bipartite(4, 5);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(cliques::count_cliques(&g, 3), 0);
+    }
+
+    #[test]
+    fn small_families() {
+        assert_eq!(cycle_graph(2).num_edges(), 0);
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(star_graph(5).num_edges(), 4);
+        assert_eq!(star_graph(5).degree(0), 4);
+        assert_eq!(path_graph(0).num_vertices(), 0);
+    }
+}

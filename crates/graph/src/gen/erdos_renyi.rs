@@ -1,0 +1,154 @@
+//! Erdős–Rényi random graphs.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `G(n, p)`: every unordered pair becomes an edge independently with
+/// probability `p`.
+///
+/// Sampling is done by geometric skipping over the `n(n-1)/2` pairs, so the
+/// cost is `O(n + m)` rather than `O(n^2)` for sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    if n < 2 || p == 0.0 {
+        return Graph::new(n);
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        return Graph::from_edges(n, &edges).expect("generated edges are in range");
+    }
+
+    // Geometric skipping (Batagelj–Brandes): iterate over pair index space.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    let mut idx: i64 = -1;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as i64 + 1;
+        idx += skip;
+        if idx as u64 >= total_pairs {
+            break;
+        }
+        let (u, v) = pair_from_index(idx as u64, n as u64);
+        edges.push((u as u32, v as u32));
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+/// Samples a uniform graph with exactly `m` edges (the `G(n, m)` model),
+/// clamping `m` to the number of available pairs.
+pub fn erdos_renyi_with_edges(n: usize, m: usize, seed: u64) -> Graph {
+    let total_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(total_pairs);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let idx = rng.gen_range(0..total_pairs as u64);
+        if chosen.insert(idx) {
+            let (u, v) = pair_from_index(idx, n as u64);
+            edges.push((u as u32, v as u32));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the corresponding unordered pair
+/// `(u, v)` with `u < v`, in row-major order.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u contributes (n - 1 - u) pairs. Find u by walking rows; this is
+    // O(n) worst case but amortised O(1) per edge because consecutive indices
+    // fall in nearby rows. For clarity we use direct computation via the
+    // quadratic formula instead.
+    let idxf = idx as f64;
+    let nf = n as f64;
+    // Solve u such that u*n - u*(u+1)/2 <= idx < (u+1)*n - (u+1)*(u+2)/2.
+    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * idxf).sqrt()) / 2.0).floor() as u64;
+    // Guard against floating point edge cases.
+    loop {
+        let row_start = u * n - u * (u + 1) / 2;
+        if row_start > idx {
+            u -= 1;
+            continue;
+        }
+        let next_start = (u + 1) * n - (u + 1) * (u + 2) / 2;
+        if idx >= next_start {
+            u += 1;
+            continue;
+        }
+        let v = u + 1 + (idx - row_start);
+        return (u, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 13u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = pair_from_index(idx, n);
+            assert!(u < v && v < n, "bad pair ({u},{v}) for idx {idx}");
+            assert!(seen.insert((u, v)), "pair ({u},{v}) repeated");
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(erdos_renyi(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_density_is_roughly_right() {
+        let n = 400;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, 7);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "m = {m}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = erdos_renyi(50, 0.3, 99);
+        let b = erdos_renyi(50, 0.3, 99);
+        let c = erdos_renyi(50, 0.3, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = erdos_renyi_with_edges(30, 100, 5);
+        assert_eq!(g.num_edges(), 100);
+        let clamped = erdos_renyi_with_edges(5, 1000, 5);
+        assert_eq!(clamped.num_edges(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        erdos_renyi(5, 1.5, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Synthetic workload generators.
+//!
+//! All generators are deterministic given a seed, so every experiment in the
+//! benchmark harness is reproducible. The families mirror the workloads the
+//! paper's setting motivates: sparse random graphs where cliques are rare
+//! (Erdős–Rényi at various densities), graphs with planted `K_p` instances,
+//! skewed-degree graphs (Barabási–Albert, RMAT) that stress the heavy/light
+//! machinery, and dense/classic families used as corner cases in tests.
+
+mod classic;
+mod erdos_renyi;
+mod multipartite;
+mod planted;
+mod preferential;
+mod regular;
+mod rmat;
+
+pub use classic::{complete_graph, complete_bipartite, cycle_graph, path_graph, star_graph};
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_with_edges};
+pub use multipartite::{clique_listing_workload, multipartite};
+pub use planted::{planted_cliques, PlantedClique};
+pub use preferential::barabasi_albert;
+pub use regular::random_regular;
+pub use rmat::rmat;
+
+use crate::Graph;
+
+/// A named workload: a graph together with the parameters that produced it,
+/// so experiment output can be labelled unambiguously.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable description, e.g. `"er(n=1000, p=0.05, seed=1)"`.
+    pub label: String,
+    /// The generated graph.
+    pub graph: Graph,
+}
+
+impl Workload {
+    /// Wraps a graph with a label.
+    pub fn new(label: impl Into<String>, graph: Graph) -> Self {
+        Workload {
+            label: label.into(),
+            graph,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_labels() {
+        let w = Workload::new("er", erdos_renyi(10, 0.5, 3));
+        assert_eq!(w.label, "er");
+        assert_eq!(w.graph.num_vertices(), 10);
+    }
+}

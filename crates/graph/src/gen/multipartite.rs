@@ -1,0 +1,128 @@
+//! Dense multipartite (Turán-like) graphs, with optional planted cliques.
+//!
+//! A complete or dense `(p−1)`-partite graph contains **no** `K_p` at all, yet
+//! has arboricity `Θ(n)`. These are the natural hard-but-checkable workloads
+//! for `K_p` listing experiments: the heavy/light, decomposition and
+//! reshuffling machinery is exercised at full load while the output (and the
+//! ground-truth enumeration needed to verify it) stays small. Planting a few
+//! `K_p` instances on top gives the algorithms something to find.
+
+use super::planted::PlantedClique;
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Samples a random `parts`-partite graph on `n` vertices: vertices are split
+/// into `parts` classes of (nearly) equal size and every cross-class pair is
+/// an edge independently with probability `density`.
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or `density` is not in `[0, 1]`.
+pub fn multipartite(n: usize, parts: usize, density: f64, seed: u64) -> Graph {
+    assert!(parts > 0, "need at least one part");
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let class = |v: usize| v % parts;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if class(u) != class(v) && rng.gen::<f64>() < density {
+                edges.push((u as u32, v as u32));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+/// The standard workload of the listing experiments: a dense `(p−1)`-partite
+/// background (which is `K_p`-free) with `planted` vertex-disjoint `K_p`
+/// instances added on top.
+///
+/// Returns the graph and the planted cliques.
+///
+/// # Panics
+///
+/// Panics if `p < 3` or the planted cliques do not fit (`planted * p > n`).
+pub fn clique_listing_workload(
+    n: usize,
+    p: usize,
+    density: f64,
+    planted: usize,
+    seed: u64,
+) -> (Graph, Vec<PlantedClique>) {
+    assert!(p >= 3, "clique size must be at least 3");
+    assert!(planted * p <= n, "planted cliques do not fit");
+    let mut graph = multipartite(n, p - 1, density, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    vertices.shuffle(&mut rng);
+    let mut cliques = Vec::with_capacity(planted);
+    for c in 0..planted {
+        let mut members: Vec<u32> = vertices[c * p..(c + 1) * p].to_vec();
+        members.sort_unstable();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                graph
+                    .add_edge(members[i], members[j])
+                    .expect("planted vertices are in range");
+            }
+        }
+        cliques.push(PlantedClique { vertices: members });
+    }
+    (graph, cliques)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliques;
+
+    #[test]
+    fn multipartite_is_clique_free() {
+        let g = multipartite(90, 3, 1.0, 1);
+        assert_eq!(cliques::count_cliques(&g, 4), 0);
+        assert!(cliques::count_cliques(&g, 3) > 0);
+        // Balanced classes: every vertex has ~2n/3 neighbours at density 1.
+        assert!(g.degree(0) == 60);
+    }
+
+    #[test]
+    fn density_controls_edge_count() {
+        let dense = multipartite(60, 3, 0.9, 2);
+        let sparse = multipartite(60, 3, 0.2, 2);
+        assert!(dense.num_edges() > 3 * sparse.num_edges());
+    }
+
+    #[test]
+    fn workload_contains_exactly_the_planted_cliques_when_background_is_clique_free() {
+        let (g, planted) = clique_listing_workload(80, 4, 0.6, 3, 7);
+        assert_eq!(planted.len(), 3);
+        let all = cliques::list_cliques(&g, 4);
+        for c in &planted {
+            assert!(all.contains(&c.vertices));
+        }
+        // The background is K4-free, but planted edges can combine with the
+        // background to create a handful of extra K4s; all of them must
+        // contain at least two planted vertices.
+        assert!(all.len() >= 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(multipartite(40, 3, 0.5, 9), multipartite(40, 3, 0.5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        multipartite(10, 0, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn too_many_planted_panics() {
+        clique_listing_workload(10, 4, 0.5, 4, 0);
+    }
+}

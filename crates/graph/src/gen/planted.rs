@@ -1,0 +1,107 @@
+//! Random graphs with planted cliques.
+//!
+//! The listing experiments need inputs that are sparse overall but contain a
+//! known set of `K_p` instances; planting cliques into an Erdős–Rényi
+//! background provides exactly that while keeping the ground truth cheap to
+//! enumerate.
+
+use super::erdos_renyi;
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Description of one planted clique.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlantedClique {
+    /// The vertices of the planted clique, sorted.
+    pub vertices: Vec<u32>,
+}
+
+/// Plants `count` vertex-disjoint cliques of size `size` into an
+/// Erdős–Rényi background `G(n, background_p)`.
+///
+/// Returns the graph together with the planted cliques (the graph may of
+/// course contain additional cliques formed by background edges).
+///
+/// # Panics
+///
+/// Panics if `count * size > n` (the cliques would not fit disjointly) or if
+/// `size < 2`.
+pub fn planted_cliques(
+    n: usize,
+    background_p: f64,
+    count: usize,
+    size: usize,
+    seed: u64,
+) -> (Graph, Vec<PlantedClique>) {
+    assert!(size >= 2, "a clique needs at least two vertices");
+    assert!(
+        count * size <= n,
+        "cannot plant {count} disjoint cliques of size {size} into {n} vertices"
+    );
+    let mut graph = erdos_renyi(n, background_p, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    vertices.shuffle(&mut rng);
+
+    let mut planted = Vec::with_capacity(count);
+    for c in 0..count {
+        let mut members: Vec<u32> = vertices[c * size..(c + 1) * size].to_vec();
+        members.sort_unstable();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                graph
+                    .add_edge(members[i], members[j])
+                    .expect("planted vertices are in range");
+            }
+        }
+        planted.push(PlantedClique { vertices: members });
+    }
+    (graph, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliques;
+
+    #[test]
+    fn planted_cliques_are_present() {
+        let (g, planted) = planted_cliques(60, 0.02, 3, 5, 11);
+        assert_eq!(planted.len(), 3);
+        for clique in &planted {
+            assert_eq!(clique.vertices.len(), 5);
+            for (i, &u) in clique.vertices.iter().enumerate() {
+                for &v in &clique.vertices[i + 1..] {
+                    assert!(g.has_edge(u, v), "planted edge {u}-{v} missing");
+                }
+            }
+        }
+        // Each planted K5 contains 5 distinct K4 instances, so the K4 count is
+        // at least 3 * 5 = 15 (background may add more).
+        assert!(cliques::count_cliques(&g, 4) >= 15);
+    }
+
+    #[test]
+    fn planted_cliques_are_disjoint() {
+        let (_, planted) = planted_cliques(40, 0.0, 4, 4, 2);
+        let mut all: Vec<u32> = planted.iter().flat_map(|c| c.vertices.clone()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot plant")]
+    fn too_many_cliques_panics() {
+        planted_cliques(10, 0.1, 3, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_clique_panics() {
+        planted_cliques(10, 0.1, 1, 1, 0);
+    }
+}

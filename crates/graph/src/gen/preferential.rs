@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential attachment graphs.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a Barabási–Albert preferential-attachment graph: starting from a
+/// small clique on `m0 = m + 1` vertices, every new vertex attaches to `m`
+/// distinct existing vertices chosen with probability proportional to their
+/// degree.
+///
+/// These graphs have a skewed degree distribution and small arboricity, which
+/// exercises the heavy/light classification of the listing algorithm.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment parameter m must be at least 1");
+    assert!(n > m, "need more vertices than the attachment parameter");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m0 = m + 1;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m0 * (m0 - 1) / 2 + (n - m0) * m);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it realises degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in m0..n {
+        let v = v as u32;
+        // BTreeSet keeps iteration order deterministic, which keeps the whole
+        // generator deterministic for a fixed seed.
+        let mut chosen = std::collections::BTreeSet::new();
+        // Choose m distinct targets by repeated degree-proportional sampling.
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            chosen.insert(t);
+            guard += 1;
+        }
+        // Extremely unlikely fallback: fill with arbitrary earlier vertices.
+        let mut fill = 0u32;
+        while chosen.len() < m {
+            chosen.insert(fill);
+            fill += 1;
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_model() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 5);
+        let m0 = m + 1;
+        let expected = m0 * (m0 - 1) / 2 + (n - m0) * m;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(500, 2, 7);
+        // The maximum degree should be far above the attachment parameter.
+        assert!(g.max_degree() > 10, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 1), barabasi_albert(100, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_m_panics() {
+        barabasi_albert(10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn too_small_n_panics() {
+        barabasi_albert(2, 2, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! RMAT (recursive matrix / Kronecker-style) graphs.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples an RMAT graph with `2^scale` vertices and approximately
+/// `edge_factor * 2^scale` undirected edges, using the standard quadrant
+/// probabilities `(a, b, c, d)` normalised to sum to 1.
+///
+/// RMAT graphs exhibit community structure and a heavy-tailed degree
+/// distribution, which stresses the expander decomposition (dense clusters
+/// amid a sparse periphery).
+///
+/// # Panics
+///
+/// Panics if `scale == 0` or all quadrant weights are zero.
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
+    assert!(scale > 0, "scale must be positive");
+    let (a, b, c, d) = probs;
+    let total = a + b + c + d;
+    assert!(total > 0.0, "at least one quadrant weight must be positive");
+    let (a, b, c, _d) = (a / total, b / total, c / total, d / total);
+    let n = 1usize << scale;
+    let target_edges = edge_factor * n;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(target_edges);
+    for _ in 0..target_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((u as u32, v as u32));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_plausible() {
+        let g = rmat(8, 8, (0.57, 0.19, 0.19, 0.05), 3);
+        assert_eq!(g.num_vertices(), 256);
+        // Duplicates and self-loops reduce the count below the target.
+        assert!(g.num_edges() > 256 * 3);
+        assert!(g.num_edges() <= 256 * 8);
+    }
+
+    #[test]
+    fn skewed_probabilities_give_skewed_degrees() {
+        let g = rmat(9, 8, (0.7, 0.1, 0.1, 0.1), 3);
+        assert!(g.max_degree() > 4 * g.average_degree() as usize);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = (0.45, 0.25, 0.15, 0.15);
+        assert_eq!(rmat(7, 4, p, 11), rmat(7, 4, p, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        rmat(0, 1, (0.25, 0.25, 0.25, 0.25), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant weight")]
+    fn zero_weights_panic() {
+        rmat(3, 1, (0.0, 0.0, 0.0, 0.0), 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Compact undirected graphs with sorted adjacency lists.
+
+use crate::edge::{Edge, EdgeSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating a [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is not a vertex of the graph.
+    VertexOutOfRange {
+        /// The offending vertex identifier.
+        vertex: u32,
+        /// The number of vertices of the graph.
+        n: usize,
+    },
+    /// A self-loop was supplied where a simple edge is required.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// Adjacency lists are kept sorted so that adjacency queries cost
+/// `O(log deg)` and neighbourhood intersections cost `O(deg_u + deg_v)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, ignoring duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if `u == v` for some edge.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            sets[u as usize].insert(v);
+            sets[v as usize].insert(u);
+        }
+        let mut num_edges = 0;
+        let adj: Vec<Vec<u32>> = sets
+            .into_iter()
+            .map(|s| {
+                num_edges += s.len();
+                s.into_iter().collect()
+            })
+            .collect();
+        Ok(Graph {
+            adj,
+            num_edges: num_edges / 2,
+        })
+    }
+
+    /// Builds a graph from an [`EdgeSet`] over `n` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    pub fn from_edge_set(n: usize, edges: &EdgeSet) -> Result<Self, GraphError> {
+        let list: Vec<(u32, u32)> = edges.iter().map(Edge::endpoints).collect();
+        Graph::from_edges(n, &list)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average degree (`2m / n`; 0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// The sorted neighbour list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return false;
+        }
+        let (small, large) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[small as usize].binary_search(&large).is_ok()
+    }
+
+    /// Adds an edge, returning `true` if it was not already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Result<bool, GraphError> {
+        let n = self.adj.len();
+        if u as usize >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
+        }
+        if v as usize >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        let pos_u = self.adj[u as usize].binary_search(&v).unwrap_err();
+        self.adj[u as usize].insert(pos_u, v);
+        let pos_v = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pos_v, u);
+        self.num_edges += 1;
+        Ok(true)
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`, in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u as u32, v))
+        })
+    }
+
+    /// Collects the edge set of the graph.
+    pub fn edge_set(&self) -> EdgeSet {
+        self.edges().map(|(u, v)| Edge::new(u, v)).collect()
+    }
+
+    /// Returns the subgraph on the same vertex set containing only the given
+    /// edges (edges not present in `self` are ignored).
+    pub fn edge_subgraph(&self, edges: &EdgeSet) -> Graph {
+        let filtered: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|e| self.has_edge(e.u(), e.v()))
+            .map(Edge::endpoints)
+            .collect();
+        Graph::from_edges(self.num_vertices(), &filtered)
+            .expect("edges of an existing graph are always in range")
+    }
+
+    /// Returns the subgraph on the same vertex set with the given edges
+    /// removed.
+    pub fn without_edges(&self, edges: &EdgeSet) -> Graph {
+        let remaining: Vec<(u32, u32)> = self
+            .edges()
+            .filter(|&(u, v)| !edges.contains_pair(u, v))
+            .collect();
+        Graph::from_edges(self.num_vertices(), &remaining)
+            .expect("remaining edges are always in range")
+    }
+
+    /// Returns the subgraph induced by `vertices` **keeping the original
+    /// vertex identifiers** (vertices outside the set become isolated).
+    pub fn induced_keep_ids(&self, vertices: &[u32]) -> Graph {
+        let set: BTreeSet<u32> = vertices.iter().copied().collect();
+        let edges: Vec<(u32, u32)> = self
+            .edges()
+            .filter(|&(u, v)| set.contains(&u) && set.contains(&v))
+            .collect();
+        Graph::from_edges(self.num_vertices(), &edges).expect("existing edges are in range")
+    }
+
+    /// Sorted intersection of the neighbourhoods of `u` and `v`.
+    pub fn common_neighbors(&self, u: u32, v: u32) -> Vec<u32> {
+        let a = self.neighbors(u);
+        let b = self.neighbors(v);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Connected components as lists of vertices; singleton components are
+    /// included.
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start as u32];
+            seen[start] = true;
+            let mut component = Vec::new();
+            while let Some(v) = stack.pop() {
+                component.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Vertices with at least one incident edge.
+    pub fn non_isolated_vertices(&self) -> Vec<u32> {
+        (0..self.num_vertices() as u32)
+            .filter(|&v| self.degree(v) > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1-2 triangle, 3 hanging off 2, 4 isolated.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_properties() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 1.6).abs() < 1e-12);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::VertexOutOfRange { vertex: 5, n: 2 })
+        );
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
+        let err = GraphError::SelfLoop { vertex: 1 };
+        assert!(format!("{err}").contains("self-loop"));
+    }
+
+    #[test]
+    fn add_edge_keeps_sorted_invariant() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(3, 1).unwrap());
+        assert!(g.add_edge(1, 0).unwrap());
+        assert!(!g.add_edge(0, 1).unwrap());
+        assert!(g.add_edge(1, 2).unwrap());
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.add_edge(0, 0).is_err());
+        assert!(g.add_edge(0, 9).is_err());
+    }
+
+    #[test]
+    fn common_neighbors_intersects() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.common_neighbors(0, 1), vec![2]);
+        assert_eq!(g.common_neighbors(0, 3), vec![2]);
+        assert_eq!(g.common_neighbors(3, 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn edge_subgraph_and_removal() {
+        let g = triangle_plus_pendant();
+        let mut keep = EdgeSet::new();
+        keep.insert(Edge::new(0, 1));
+        keep.insert(Edge::new(2, 3));
+        keep.insert(Edge::new(3, 4)); // not an edge of g, ignored
+        let sub = g.edge_subgraph(&keep);
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(!sub.has_edge(0, 2));
+
+        let rest = g.without_edges(&keep);
+        assert_eq!(rest.num_edges(), 2);
+        assert!(rest.has_edge(0, 2));
+        assert!(rest.has_edge(1, 2));
+        assert!(!rest.has_edge(0, 1));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_ids() {
+        let g = triangle_plus_pendant();
+        let sub = g.induced_keep_ids(&[0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 5);
+        assert_eq!(sub.num_edges(), 3);
+        assert!(!sub.has_edge(2, 3));
+    }
+
+    #[test]
+    fn components() {
+        let g = triangle_plus_pendant();
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2, 3]);
+        assert_eq!(comps[1], vec![4]);
+        assert_eq!(g.non_isolated_vertices(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edge_set_roundtrip() {
+        let g = triangle_plus_pendant();
+        let set = g.edge_set();
+        assert_eq!(set.len(), 4);
+        let g2 = Graph::from_edge_set(5, &set).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Graph substrate for the distributed clique-listing reproduction.
+//!
+//! This crate is self-contained (no external graph library) and provides
+//! everything the CONGEST algorithms need from the "sequential world":
+//!
+//! * [`Graph`]: compact undirected graphs with sorted adjacency lists,
+//!   O(log deg) adjacency queries and edge-subgraph operations;
+//! * [`gen`]: synthetic workload generators (Erdős–Rényi, planted cliques,
+//!   random regular, Barabási–Albert, RMAT/Kronecker, classic families);
+//! * [`orientation`]: degeneracy orderings, bounded out-degree orientations
+//!   and arboricity bounds — the paper's algorithms are parameterised by an
+//!   orientation with bounded out-degree;
+//! * [`cliques`]: exact sequential `K_p` enumeration, used as ground truth to
+//!   verify that the distributed algorithms list every clique;
+//! * [`spectral`]: conductance and lazy-random-walk mixing-time estimates used
+//!   to validate the clusters produced by the expander decomposition;
+//! * [`partition`]: random vertex partitions and the edge-count bound of
+//!   Lemma 2.7.
+//!
+//! # Example
+//!
+//! ```
+//! use graphcore::{gen, cliques};
+//!
+//! let graph = gen::erdos_renyi(100, 0.2, 42);
+//! let triangles = cliques::list_cliques(&graph, 3);
+//! assert_eq!(triangles.len(), cliques::count_cliques(&graph, 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cliques;
+pub mod edge;
+pub mod gen;
+pub mod graph;
+pub mod orientation;
+pub mod partition;
+pub mod spectral;
+pub mod stats;
+
+pub use edge::{Edge, EdgeSet};
+pub use graph::{Graph, GraphError};
+pub use orientation::Orientation;
+
+/// A clique, stored as a strictly increasing list of vertex identifiers.
+///
+/// Cliques are produced both by the sequential ground-truth enumerator and by
+/// the distributed algorithms; keeping them in canonical (sorted) form makes
+/// set comparison between the two trivial.
+pub type Clique = Vec<u32>;
+
+/// Canonicalises an arbitrary vertex list into a [`Clique`] (sorted, deduped).
+pub fn canonical_clique(vertices: &[u32]) -> Clique {
+    let mut c = vertices.to_vec();
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_clique_sorts_and_dedups() {
+        assert_eq!(canonical_clique(&[3, 1, 2, 1]), vec![1, 2, 3]);
+        assert_eq!(canonical_clique(&[]), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,349 @@
+//! Degeneracy orderings, bounded out-degree orientations and arboricity bounds.
+//!
+//! The listing algorithms of the paper are driven by an *orientation* of the
+//! edges with bounded out-degree: a graph with arboricity `A` always admits an
+//! orientation with out-degree `O(A)`, and the algorithms repeatedly halve the
+//! arboricity of the "remaining" edge set while maintaining such an
+//! orientation (Theorem 2.8). This module provides the sequential machinery:
+//! degeneracy (core) orderings, the induced acyclic orientation, and upper and
+//! lower bounds on the arboricity.
+
+use crate::edge::EdgeSet;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A degeneracy (smallest-last / core) ordering of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegeneracyOrdering {
+    /// Vertices in peeling order (first peeled first).
+    pub order: Vec<u32>,
+    /// Position of each vertex in `order`.
+    pub position: Vec<usize>,
+    /// The degeneracy: the maximum, over peeled vertices, of their remaining
+    /// degree at peel time.
+    pub degeneracy: usize,
+}
+
+/// Computes a degeneracy ordering in `O(n + m)` time with bucket queues.
+pub fn degeneracy_ordering(graph: &Graph) -> DegeneracyOrdering {
+    let n = graph.num_vertices();
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as u32 {
+        buckets[degree[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut position = vec![0usize; n];
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket. `cursor` can decrease by at most 1
+        // per removed edge, so the total work stays linear.
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        // Buckets can contain stale entries for already removed vertices or
+        // for vertices whose degree has since dropped; skip them lazily.
+        let v = loop {
+            if cursor >= buckets.len() {
+                // Only stale entries remained; rescan from zero.
+                cursor = 0;
+                while buckets[cursor].is_empty() {
+                    cursor += 1;
+                }
+            }
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && degree[v as usize] == cursor => break v,
+                Some(_) => continue,
+                None => {
+                    cursor += 1;
+                    continue;
+                }
+            }
+        };
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(cursor);
+        position[v as usize] = order.len();
+        order.push(v);
+        for &w in graph.neighbors(v) {
+            if !removed[w as usize] {
+                let d = degree[w as usize];
+                degree[w as usize] = d - 1;
+                buckets[d - 1].push(w);
+                if d - 1 < cursor {
+                    cursor = d - 1;
+                }
+            }
+        }
+    }
+    DegeneracyOrdering {
+        order,
+        position,
+        degeneracy,
+    }
+}
+
+/// An orientation of (a subset of) a graph's edges: each edge is directed away
+/// from exactly one endpoint, and the quantity of interest is the maximum
+/// out-degree.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Orientation {
+    out: Vec<Vec<u32>>,
+}
+
+impl Orientation {
+    /// Creates an empty orientation over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Orientation {
+            out: vec![Vec::new(); n],
+        }
+    }
+
+    /// Orients every edge of `graph` from the endpoint that appears *earlier*
+    /// in a degeneracy ordering towards the later one. The resulting maximum
+    /// out-degree equals the degeneracy, which is at most `2A - 1` for a graph
+    /// of arboricity `A`.
+    pub fn from_degeneracy(graph: &Graph) -> Self {
+        let ordering = degeneracy_ordering(graph);
+        Orientation::from_positions(graph, &ordering.position)
+    }
+
+    /// Orients every edge from the endpoint with the smaller `position` value
+    /// to the one with the larger (ties broken by vertex id).
+    pub fn from_positions(graph: &Graph, position: &[usize]) -> Self {
+        let mut out = vec![Vec::new(); graph.num_vertices()];
+        for (u, v) in graph.edges() {
+            let u_first = (position[u as usize], u) < (position[v as usize], v);
+            if u_first {
+                out[u as usize].push(v);
+            } else {
+                out[v as usize].push(u);
+            }
+        }
+        for list in &mut out {
+            list.sort_unstable();
+        }
+        Orientation { out }
+    }
+
+    /// Builds an orientation directly from per-vertex out-neighbour lists.
+    ///
+    /// Used when an algorithm carries an orientation across iterations (the
+    /// out-lists of surviving edges keep their direction).
+    pub fn from_out_lists(out: Vec<Vec<u32>>) -> Self {
+        let mut out = out;
+        for list in &mut out {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Orientation { out }
+    }
+
+    /// Number of vertices covered by the orientation.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Out-neighbours of `v` (edges directed away from `v`).
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        &self.out[v as usize]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.out[v as usize].len()
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_out_degree(&self) -> usize {
+        self.out.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of oriented edges.
+    pub fn num_edges(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Whether edge `u -> v` is oriented away from `u`.
+    pub fn is_oriented(&self, u: u32, v: u32) -> bool {
+        self.out[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// The vertex an undirected edge `{u, v}` is oriented away from, if the
+    /// edge is covered by this orientation.
+    pub fn source_of(&self, u: u32, v: u32) -> Option<u32> {
+        if self.is_oriented(u, v) {
+            Some(u)
+        } else if self.is_oriented(v, u) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Restricts the orientation to the edges in `keep`, preserving directions.
+    pub fn restrict_to(&self, keep: &EdgeSet) -> Orientation {
+        let out = self
+            .out
+            .iter()
+            .enumerate()
+            .map(|(u, nbrs)| {
+                nbrs.iter()
+                    .copied()
+                    .filter(|&v| keep.contains_pair(u as u32, v))
+                    .collect()
+            })
+            .collect();
+        Orientation { out }
+    }
+
+    /// Iterates over all oriented edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().map(move |&v| (u as u32, v)))
+    }
+
+    /// Checks that the orientation covers exactly the edges of `graph`
+    /// (each edge once, in one direction). Used by tests and debug assertions.
+    pub fn covers_exactly(&self, graph: &Graph) -> bool {
+        if self.num_edges() != graph.num_edges() {
+            return false;
+        }
+        self.edges().all(|(u, v)| graph.has_edge(u, v))
+            && self.edges().all(|(u, v)| !self.is_oriented(v, u) || u == v)
+    }
+}
+
+/// Upper bound on the arboricity: the degeneracy `k` satisfies
+/// `arboricity ≤ k ≤ 2·arboricity − 1`.
+pub fn arboricity_upper_bound(graph: &Graph) -> usize {
+    degeneracy_ordering(graph).degeneracy
+}
+
+/// Lower bound on the arboricity via Nash-Williams on the densest suffix of a
+/// degeneracy ordering: `arboricity ≥ ⌈m_S / (|S| − 1)⌉` for every vertex
+/// subset `S` with `|S| ≥ 2`; we evaluate the bound on every suffix of the
+/// peeling order, which contains the densest cores.
+pub fn arboricity_lower_bound(graph: &Graph) -> usize {
+    let n = graph.num_vertices();
+    if n < 2 || graph.num_edges() == 0 {
+        return 0;
+    }
+    let ordering = degeneracy_ordering(graph);
+    // edges_in_suffix[i] = number of edges with both endpoints at positions >= i.
+    let mut best = 1usize;
+    let mut edges_in_suffix = 0usize;
+    // Process positions from last to first, adding each vertex's edges to
+    // later vertices.
+    for i in (0..n).rev() {
+        let v = ordering.order[i];
+        let later = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| ordering.position[w as usize] > i)
+            .count();
+        edges_in_suffix += later;
+        let size = n - i;
+        if size >= 2 && edges_in_suffix > 0 {
+            let bound = edges_in_suffix.div_ceil(size - 1);
+            best = best.max(bound);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        assert_eq!(degeneracy_ordering(&gen::complete_graph(5)).degeneracy, 4);
+        assert_eq!(degeneracy_ordering(&gen::cycle_graph(10)).degeneracy, 2);
+        assert_eq!(degeneracy_ordering(&gen::path_graph(10)).degeneracy, 1);
+        assert_eq!(degeneracy_ordering(&gen::star_graph(10)).degeneracy, 1);
+        assert_eq!(degeneracy_ordering(&Graph::new(5)).degeneracy, 0);
+        assert_eq!(degeneracy_ordering(&Graph::new(0)).order.len(), 0);
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let g = gen::erdos_renyi(80, 0.1, 3);
+        let ord = degeneracy_ordering(&g);
+        let mut sorted = ord.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..80u32).collect::<Vec<_>>());
+        for (pos, &v) in ord.order.iter().enumerate() {
+            assert_eq!(ord.position[v as usize], pos);
+        }
+    }
+
+    #[test]
+    fn orientation_from_degeneracy_covers_graph() {
+        let g = gen::erdos_renyi(60, 0.15, 5);
+        let o = Orientation::from_degeneracy(&g);
+        assert!(o.covers_exactly(&g));
+        assert_eq!(o.num_edges(), g.num_edges());
+        // Out-degree bounded by degeneracy.
+        let k = degeneracy_ordering(&g).degeneracy;
+        assert!(o.max_out_degree() <= k, "{} > {}", o.max_out_degree(), k);
+    }
+
+    #[test]
+    fn orientation_queries() {
+        let g = gen::path_graph(4); // 0-1-2-3
+        let o = Orientation::from_positions(&g, &[0, 1, 2, 3]);
+        assert!(o.is_oriented(0, 1));
+        assert!(!o.is_oriented(1, 0));
+        assert_eq!(o.source_of(1, 2), Some(1));
+        assert_eq!(o.source_of(0, 3), None);
+        assert_eq!(o.out_degree(3), 0);
+        assert_eq!(o.edges().count(), 3);
+        assert_eq!(o.num_vertices(), 4);
+    }
+
+    #[test]
+    fn restrict_preserves_directions() {
+        let g = gen::complete_graph(4);
+        let o = Orientation::from_degeneracy(&g);
+        let mut keep = EdgeSet::new();
+        keep.insert(crate::Edge::new(0, 1));
+        keep.insert(crate::Edge::new(2, 3));
+        let r = o.restrict_to(&keep);
+        assert_eq!(r.num_edges(), 2);
+        for (u, v) in r.edges() {
+            assert!(o.is_oriented(u, v));
+        }
+    }
+
+    #[test]
+    fn from_out_lists_dedups() {
+        let o = Orientation::from_out_lists(vec![vec![2, 1, 2], vec![], vec![]]);
+        assert_eq!(o.out_neighbors(0), &[1, 2]);
+        assert_eq!(o.num_edges(), 2);
+    }
+
+    #[test]
+    fn arboricity_bounds_bracket_truth() {
+        // Complete graph K_n has arboricity ceil(n/2).
+        let g = gen::complete_graph(8);
+        let lower = arboricity_lower_bound(&g);
+        let upper = arboricity_upper_bound(&g);
+        assert!(lower <= upper);
+        assert_eq!(lower, 4);
+        assert!(upper >= 4 && upper <= 7);
+
+        // A forest has arboricity 1.
+        let tree = gen::star_graph(20);
+        assert_eq!(arboricity_lower_bound(&tree), 1);
+        assert_eq!(arboricity_upper_bound(&tree), 1);
+
+        // Empty graph.
+        assert_eq!(arboricity_lower_bound(&Graph::new(10)), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Random vertex partitions and subsampling (Lemma 2.7 machinery).
+//!
+//! The sparsity-aware listing step partitions the vertex set into `k^{1/p}`
+//! (or `n^{1/p}`) roughly equal parts uniformly at random and relies on the
+//! fact that, w.h.p., the number of edges between any two parts is
+//! `O(q² m̄)` where `q` is the sampling probability of a part (Lemma 2.7,
+//! quoted from Chang et al.). This module provides the partition primitive and
+//! the bound-checking helpers used in tests and in experiment E7.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random assignment of vertices to `num_parts` parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexPartition {
+    /// `part[v]` is the part of vertex `v`.
+    pub part: Vec<u32>,
+    /// Number of parts.
+    pub num_parts: u32,
+}
+
+impl VertexPartition {
+    /// Assigns every vertex of a graph on `n` vertices to one of `num_parts`
+    /// parts uniformly and independently at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_parts == 0`.
+    pub fn random(n: usize, num_parts: u32, seed: u64) -> Self {
+        assert!(num_parts > 0, "a partition needs at least one part");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let part = (0..n).map(|_| rng.gen_range(0..num_parts)).collect();
+        VertexPartition { part, num_parts }
+    }
+
+    /// Builds a partition from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry is `>= num_parts`.
+    pub fn from_assignment(part: Vec<u32>, num_parts: u32) -> Self {
+        assert!(part.iter().all(|&p| p < num_parts), "part index out of range");
+        VertexPartition { part, num_parts }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.part.len()
+    }
+
+    /// The part of vertex `v`.
+    pub fn part_of(&self, v: u32) -> u32 {
+        self.part[v as usize]
+    }
+
+    /// Vertices of the given part.
+    pub fn members(&self, part: u32) -> Vec<u32> {
+        self.part
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == part)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Sizes of all parts.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts as usize];
+        for &p in &self.part {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Counts the edges of `graph` between every ordered-normalised pair of
+    /// parts; the entry `[i][j]` with `i <= j` holds the count for parts
+    /// `(i, j)` and entries with `i > j` are zero.
+    pub fn pairwise_edge_counts(&self, graph: &Graph) -> Vec<Vec<usize>> {
+        let k = self.num_parts as usize;
+        let mut counts = vec![vec![0usize; k]; k];
+        for (u, v) in graph.edges() {
+            let (a, b) = (self.part_of(u), self.part_of(v));
+            let (i, j) = (a.min(b) as usize, a.max(b) as usize);
+            counts[i][j] += 1;
+        }
+        counts
+    }
+
+    /// Maximum number of edges between any pair of (not necessarily distinct)
+    /// parts.
+    pub fn max_pairwise_edges(&self, graph: &Graph) -> usize {
+        self.pairwise_edge_counts(graph)
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Samples a vertex subset by including each vertex independently with
+/// probability `q` (the sampling experiment of Lemma 2.7).
+pub fn sample_vertices(n: usize, q: f64, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n as u32).filter(|_| rng.gen::<f64>() < q).collect()
+}
+
+/// The bound of Lemma 2.7: with probability `1 - 10 log(n̄)/n̄⁵`, the subgraph
+/// induced by a `q`-sample of a graph with `m̄` edges has at most `6 q² m̄`
+/// edges (provided the degree and density side conditions hold).
+pub fn lemma_2_7_bound(m: usize, q: f64) -> f64 {
+    6.0 * q * q * m as f64
+}
+
+/// Whether the side conditions of Lemma 2.7 hold for a graph with `m̄` edges,
+/// `n̄` vertices, maximum degree `Δ` and sampling probability `q`:
+/// `Δ ≤ m̄ q / (20 log n̄)` and `q² m̄ ≥ 400 log² n̄`.
+pub fn lemma_2_7_preconditions(n: usize, m: usize, max_degree: usize, q: f64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let log_n = (n as f64).log2();
+    (max_degree as f64) <= (m as f64) * q / (20.0 * log_n) && q * q * (m as f64) >= 400.0 * log_n * log_n
+}
+
+/// Counts the edges of `graph` inside the subgraph induced by `sample`.
+pub fn edges_within(graph: &Graph, sample: &[u32]) -> usize {
+    let mut marker = vec![false; graph.num_vertices()];
+    for &v in sample {
+        marker[v as usize] = true;
+    }
+    graph
+        .edges()
+        .filter(|&(u, v)| marker[u as usize] && marker[v as usize])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let p = VertexPartition::random(100, 8, 3);
+        assert_eq!(p.num_vertices(), 100);
+        assert!(p.part.iter().all(|&x| x < 8));
+        assert_eq!(p.sizes().iter().sum::<usize>(), 100);
+        let members: usize = (0..8).map(|i| p.members(i).len()).sum();
+        assert_eq!(members, 100);
+    }
+
+    #[test]
+    fn parts_are_roughly_balanced() {
+        let p = VertexPartition::random(8000, 8, 7);
+        for &s in &p.sizes() {
+            assert!((s as f64 - 1000.0).abs() < 250.0, "size {s}");
+        }
+    }
+
+    #[test]
+    fn pairwise_counts_sum_to_m() {
+        let g = gen::erdos_renyi(200, 0.1, 5);
+        let p = VertexPartition::random(200, 5, 9);
+        let counts = p.pairwise_edge_counts(&g);
+        let total: usize = counts.iter().flat_map(|r| r.iter()).sum();
+        assert_eq!(total, g.num_edges());
+        // Upper triangle only.
+        for i in 0..5 {
+            for j in 0..i {
+                assert_eq!(counts[i][j], 0);
+            }
+        }
+        assert!(p.max_pairwise_edges(&g) > 0);
+    }
+
+    #[test]
+    fn explicit_assignment_validated() {
+        let p = VertexPartition::from_assignment(vec![0, 1, 1, 0], 2);
+        assert_eq!(p.part_of(2), 1);
+        assert_eq!(p.members(0), vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_panics() {
+        VertexPartition::from_assignment(vec![0, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        VertexPartition::random(10, 0, 0);
+    }
+
+    #[test]
+    fn lemma_2_7_shape() {
+        // The explicit constants in the lemma's preconditions require a dense
+        // graph and a large sampling probability before they are satisfiable.
+        let n = 500;
+        let g = gen::erdos_renyi(n, 0.8, 13);
+        let q = 0.9;
+        assert!(lemma_2_7_preconditions(n, g.num_edges(), g.max_degree(), q));
+        let mut violations = 0;
+        for seed in 0..20 {
+            let sample = sample_vertices(n, q, seed);
+            let within = edges_within(&g, &sample);
+            if (within as f64) > lemma_2_7_bound(g.num_edges(), q) {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0, "Lemma 2.7 bound violated {violations} times");
+    }
+
+    #[test]
+    fn preconditions_fail_for_tiny_graphs() {
+        assert!(!lemma_2_7_preconditions(1, 0, 0, 0.5));
+        assert!(!lemma_2_7_preconditions(100, 50, 40, 0.01));
+    }
+
+    #[test]
+    fn sampling_probability_extremes() {
+        assert!(sample_vertices(50, 0.0, 1).is_empty());
+        assert_eq!(sample_vertices(50, 1.0, 1).len(), 50);
+    }
+}

@@ -1,0 +1,237 @@
+//! Conductance and mixing-time estimation.
+//!
+//! Definition 2.1 of the paper requires clusters whose mixing time is
+//! polylogarithmic. The decomposition substrate validates its output with the
+//! estimates implemented here: the conductance of candidate cuts and the
+//! spectral gap of the lazy random walk, from which the mixing time follows
+//! (up to constants) as `t_mix ≈ log(n) / gap`.
+
+use crate::Graph;
+
+/// Volume of a vertex set: sum of degrees (within `graph`).
+pub fn volume(graph: &Graph, set: &[u32]) -> usize {
+    set.iter().map(|&v| graph.degree(v)).sum()
+}
+
+/// Number of edges with exactly one endpoint in `set`.
+pub fn cut_size(graph: &Graph, set: &[u32]) -> usize {
+    let marker = membership(graph.num_vertices(), set);
+    let mut cut = 0;
+    for &v in set {
+        for &w in graph.neighbors(v) {
+            if !marker[w as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Conductance of the cut `(set, V \ set)`: `cut / min(vol(set), vol(rest))`.
+///
+/// Returns `f64::INFINITY` when either side has zero volume (the cut is
+/// degenerate and should not be used).
+pub fn conductance(graph: &Graph, set: &[u32]) -> f64 {
+    let vol_s = volume(graph, set);
+    let vol_total = 2 * graph.num_edges();
+    let vol_rest = vol_total.saturating_sub(vol_s);
+    if vol_s == 0 || vol_rest == 0 {
+        return f64::INFINITY;
+    }
+    cut_size(graph, set) as f64 / vol_s.min(vol_rest) as f64
+}
+
+/// Estimates the spectral gap `1 - λ₂` of the lazy random walk on the
+/// subgraph induced by `vertices`, via power iteration with the stationary
+/// component projected out.
+///
+/// Returns 0.0 if the induced subgraph is disconnected or has fewer than two
+/// vertices with positive degree, since then the walk does not mix.
+pub fn spectral_gap(graph: &Graph, vertices: &[u32]) -> f64 {
+    match second_eigenpair(graph, vertices) {
+        Some((lambda, _)) => (1.0 - lambda).clamp(0.0, 1.0),
+        None => 0.0,
+    }
+}
+
+/// Estimates the second eigenvalue and the corresponding eigenvector of the
+/// lazy random walk on the subgraph induced by `vertices`.
+///
+/// The returned vector is aligned with `vertices` (entry `i` corresponds to
+/// `vertices[i]`). Returns `None` when the induced subgraph is disconnected,
+/// contains isolated vertices or has fewer than two vertices — in those cases
+/// the walk does not mix and no meaningful second eigenpair exists.
+///
+/// The eigenvector is the input to the sweep-cut refinement used by the
+/// expander decomposition: sorting vertices by their entry and scanning
+/// prefixes finds a cut of conductance close to the best achievable
+/// (Cheeger's inequality).
+pub fn second_eigenpair(graph: &Graph, vertices: &[u32]) -> Option<(f64, Vec<f64>)> {
+    let sub = graph.induced_keep_ids(vertices);
+    let active: Vec<u32> = vertices.iter().copied().filter(|&v| sub.degree(v) > 0).collect();
+    if active.len() < 2 {
+        return None;
+    }
+    // The walk must cover all of `vertices`: isolated vertices or
+    // disconnection mean no mixing.
+    if active.len() != vertices.len() || !is_connected(&sub, &active) {
+        return None;
+    }
+
+    let index: std::collections::HashMap<u32, usize> =
+        active.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let k = active.len();
+    let degrees: Vec<f64> = active.iter().map(|&v| sub.degree(v) as f64).collect();
+    let total_degree: f64 = degrees.iter().sum();
+    // Stationary distribution of the lazy walk: π(v) ∝ deg(v).
+    let pi: Vec<f64> = degrees.iter().map(|d| d / total_degree).collect();
+
+    // Power iteration on P = 1/2 I + 1/2 D^{-1} A (row-stochastic), estimating
+    // the second eigenvalue by projecting out the stationary left-eigenvector.
+    // We work with the reversible walk, so we symmetrise using the π inner
+    // product: project x ← x − (Σ π_v x_v) · 1.
+    let mut x: Vec<f64> = (0..k).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    project_out_constant(&mut x, &pi);
+    normalise(&mut x);
+    let mut lambda = 0.0f64;
+    let iterations = 200.max(4 * (k as f64).ln() as usize);
+    for _ in 0..iterations {
+        let mut y = vec![0.0f64; k];
+        for (i, &v) in active.iter().enumerate() {
+            let mut acc = 0.5 * x[i];
+            let d = degrees[i];
+            for &w in sub.neighbors(v) {
+                let j = index[&w];
+                acc += 0.5 * x[j] / d;
+            }
+            y[i] = acc;
+        }
+        project_out_constant(&mut y, &pi);
+        let norm = l2(&y);
+        if norm < 1e-14 {
+            // x was (numerically) in the span of the stationary vector:
+            // the walk mixes essentially instantly.
+            return Some((0.0, x));
+        }
+        lambda = norm / l2(&x).max(1e-300);
+        for v in &mut y {
+            *v /= norm;
+        }
+        x = y;
+    }
+    Some((lambda.clamp(0.0, 1.0), x))
+}
+
+/// Estimated mixing time of the lazy random walk on the subgraph induced by
+/// `vertices`: `ln(n) / gap`, or `f64::INFINITY` if the gap is zero.
+pub fn mixing_time_estimate(graph: &Graph, vertices: &[u32]) -> f64 {
+    let gap = spectral_gap(graph, vertices);
+    if gap <= 0.0 {
+        return f64::INFINITY;
+    }
+    (vertices.len().max(2) as f64).ln() / gap
+}
+
+fn membership(n: usize, set: &[u32]) -> Vec<bool> {
+    let mut marker = vec![false; n];
+    for &v in set {
+        marker[v as usize] = true;
+    }
+    marker
+}
+
+fn is_connected(graph: &Graph, vertices: &[u32]) -> bool {
+    if vertices.is_empty() {
+        return true;
+    }
+    let allowed = membership(graph.num_vertices(), vertices);
+    let mut seen = vec![false; graph.num_vertices()];
+    let mut stack = vec![vertices[0]];
+    seen[vertices[0] as usize] = true;
+    let mut count = 0;
+    while let Some(v) = stack.pop() {
+        count += 1;
+        for &w in graph.neighbors(v) {
+            if allowed[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    count == vertices.len()
+}
+
+fn project_out_constant(x: &mut [f64], pi: &[f64]) {
+    let mean: f64 = x.iter().zip(pi).map(|(a, p)| a * p).sum();
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+fn normalise(x: &mut [f64]) {
+    let norm = l2(x);
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+fn l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn volume_and_cut() {
+        let g = gen::path_graph(4); // 0-1-2-3
+        assert_eq!(volume(&g, &[1, 2]), 4);
+        assert_eq!(cut_size(&g, &[1, 2]), 2);
+        assert_eq!(cut_size(&g, &[0, 1, 2, 3]), 0);
+        assert!((conductance(&g, &[1, 2]) - 2.0 / 2.0).abs() < 1e-12);
+        assert!(conductance(&g, &[]).is_infinite());
+    }
+
+    #[test]
+    fn complete_graph_mixes_fast() {
+        let g = gen::complete_graph(20);
+        let all: Vec<u32> = (0..20).collect();
+        let gap = spectral_gap(&g, &all);
+        assert!(gap > 0.3, "gap = {gap}");
+        let t = mixing_time_estimate(&g, &all);
+        assert!(t < 12.0, "mixing time {t}");
+    }
+
+    #[test]
+    fn path_mixes_slowly() {
+        let g = gen::path_graph(64);
+        let all: Vec<u32> = (0..64).collect();
+        let gap_path = spectral_gap(&g, &all);
+        let gap_complete = spectral_gap(&gen::complete_graph(64), &all);
+        assert!(gap_path < gap_complete / 10.0, "{gap_path} vs {gap_complete}");
+    }
+
+    #[test]
+    fn disconnected_sets_do_not_mix() {
+        let g = gen::path_graph(6);
+        // {0, 5} induces no edges.
+        assert_eq!(spectral_gap(&g, &[0, 5]), 0.0);
+        assert!(mixing_time_estimate(&g, &[0, 5]).is_infinite());
+        // Singleton and empty sets.
+        assert_eq!(spectral_gap(&g, &[2]), 0.0);
+        assert_eq!(spectral_gap(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn random_dense_graph_has_polylog_mixing() {
+        let g = gen::erdos_renyi(128, 0.3, 5);
+        let all: Vec<u32> = (0..128).collect();
+        let t = mixing_time_estimate(&g, &all);
+        let polylog = (128f64).ln().powi(2);
+        assert!(t < 3.0 * polylog, "mixing time {t} not polylog ({polylog})");
+    }
+}

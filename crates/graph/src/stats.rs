@@ -1,0 +1,177 @@
+//! Descriptive graph statistics: degree distributions, clustering
+//! coefficients and core decompositions.
+//!
+//! These are not used by the listing algorithms themselves but by the
+//! examples and the experiment harness to characterise workloads (the paper's
+//! complexity bounds are parameterised by quantities — arboricity, maximum
+//! degree, edge count — that these helpers expose at a glance).
+
+use crate::orientation::degeneracy_ordering;
+use crate::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes the degree statistics of a graph (all zeros for the empty graph).
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    let mut degrees: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        median: degrees[n / 2],
+    }
+}
+
+/// The degree histogram: entry `d` is the number of vertices of degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut histogram = vec![0usize; graph.max_degree() + 1];
+    for v in 0..graph.num_vertices() as u32 {
+        histogram[graph.degree(v)] += 1;
+    }
+    histogram
+}
+
+/// Number of triangles containing each vertex.
+pub fn triangles_per_vertex(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut counts = vec![0usize; n];
+    for u in 0..n as u32 {
+        let neighbors = graph.neighbors(u);
+        for (i, &v) in neighbors.iter().enumerate() {
+            if v < u {
+                continue;
+            }
+            for &w in &neighbors[i + 1..] {
+                if graph.has_edge(v, w) {
+                    counts[u as usize] += 1;
+                    counts[v as usize] += 1;
+                    counts[w as usize] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The local clustering coefficient of a vertex: the fraction of its
+/// neighbour pairs that are adjacent (0 for degree < 2).
+pub fn local_clustering(graph: &Graph, v: u32) -> f64 {
+    let d = graph.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let neighbors = graph.neighbors(v);
+    let mut closed = 0usize;
+    for (i, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[i + 1..] {
+            if graph.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// The average local clustering coefficient over all vertices of degree ≥ 2.
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let eligible: Vec<u32> = (0..graph.num_vertices() as u32)
+        .filter(|&v| graph.degree(v) >= 2)
+        .collect();
+    if eligible.is_empty() {
+        return 0.0;
+    }
+    eligible.iter().map(|&v| local_clustering(graph, v)).sum::<f64>() / eligible.len() as f64
+}
+
+/// The core number of every vertex: the largest `k` such that the vertex
+/// belongs to a subgraph of minimum degree `k`.
+pub fn core_numbers(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let ordering = degeneracy_ordering(graph);
+    // Peeling in degeneracy order: the core number of a vertex is the maximum
+    // over the peel degrees seen up to (and including) its removal.
+    let mut core = vec![0usize; n];
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut current = 0usize;
+    for &v in &ordering.order {
+        current = current.max(degree[v as usize]);
+        core[v as usize] = current;
+        removed[v as usize] = true;
+        for &w in graph.neighbors(v) {
+            if !removed[w as usize] {
+                degree[w as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn degree_stats_of_a_star() {
+        let g = gen::star_graph(11);
+        let stats = degree_stats(&g);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 10);
+        assert!((stats.mean - 20.0 / 11.0).abs() < 1e-12);
+        assert_eq!(stats.median, 1);
+        assert_eq!(degree_stats(&Graph::new(0)), DegreeStats::default());
+        let histogram = degree_histogram(&g);
+        assert_eq!(histogram[1], 10);
+        assert_eq!(histogram[10], 1);
+    }
+
+    #[test]
+    fn clustering_of_cliques_and_trees() {
+        let clique = gen::complete_graph(6);
+        assert!((average_clustering(&clique) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&clique, 0) - 1.0).abs() < 1e-12);
+        let tree = gen::star_graph(10);
+        assert_eq!(average_clustering(&tree), 0.0);
+        assert_eq!(local_clustering(&tree, 1), 0.0);
+    }
+
+    #[test]
+    fn triangle_counts_match_enumeration() {
+        let g = gen::erdos_renyi(60, 0.2, 5);
+        let per_vertex = triangles_per_vertex(&g);
+        let total: usize = per_vertex.iter().sum();
+        assert_eq!(total, 3 * crate::cliques::count_cliques(&g, 3));
+    }
+
+    #[test]
+    fn core_numbers_of_known_graphs() {
+        let clique = gen::complete_graph(5);
+        assert!(core_numbers(&clique).iter().all(|&c| c == 4));
+        let path = gen::path_graph(6);
+        assert!(core_numbers(&path).iter().all(|&c| c == 1));
+        let cycle = gen::cycle_graph(6);
+        assert!(core_numbers(&cycle).iter().all(|&c| c == 2));
+        // Core numbers are bounded by the degeneracy and reach it somewhere.
+        let g = gen::erdos_renyi(80, 0.15, 3);
+        let cores = core_numbers(&g);
+        let degeneracy = degeneracy_ordering(&g).degeneracy;
+        assert_eq!(cores.iter().copied().max().unwrap_or(0), degeneracy);
+    }
+}

@@ -1,0 +1,43 @@
+//! Sparsity-aware listing in the CONGESTED CLIQUE (Theorem 1.3).
+//!
+//! The round complexity of the paper's CONGESTED CLIQUE algorithm is
+//! `~Θ(1 + m / n^{1+2/p})`: constant for sparse inputs and growing linearly in
+//! the edge count beyond the threshold `m ≈ n^{1+2/p}`. This example sweeps
+//! the density of a `K_4`-free background and prints measured rounds next to
+//! the predicted value.
+//!
+//! ```text
+//! cargo run --release --example congested_clique_sparse
+//! ```
+
+use distributed_clique_listing::cliquelist::{congested_clique_list, verify_against_ground_truth};
+use distributed_clique_listing::graphcore::gen;
+
+fn main() {
+    let n = 400;
+    let p = 4;
+    println!("CONGESTED CLIQUE K{p} listing on {n} nodes (tripartite backgrounds, density sweep)");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>22}  {:>10}  {:>10}",
+        "density", "m", "rounds", "predicted 1+m/n^{1+2/p}", "max send", "max recv"
+    );
+    for density in [0.02, 0.1, 0.25, 0.5, 0.8] {
+        let graph = gen::multipartite(n, 3, density, 11);
+        let report = congested_clique_list(&graph, p, 3);
+        verify_against_ground_truth(&graph, p, &report.result).expect("listing is exact");
+        println!(
+            "{:>8.2}  {:>8}  {:>8}  {:>22.2}  {:>10}  {:>10}",
+            density,
+            graph.num_edges(),
+            report.result.rounds.total(),
+            report.predicted_rounds,
+            report.max_send,
+            report.max_recv
+        );
+    }
+    println!();
+    println!(
+        "below m ≈ n^{{1+2/p}} = {:.0} edges the algorithm sits in its constant regime; beyond it the rounds grow linearly in m, as Theorem 1.3 predicts",
+        (n as f64).powf(1.0 + 2.0 / p as f64)
+    );
+}

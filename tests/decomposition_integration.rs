@@ -1,0 +1,95 @@
+//! Integration tests for the expander-decomposition substrate: the guarantees
+//! of Definition 2.2 must hold on every workload family the experiments use.
+
+use distributed_clique_listing::expander::{decompose, ClusterIds, ClusterRouter, DecompositionConfig};
+use distributed_clique_listing::congest::{ChargePolicy, CostLedger};
+use distributed_clique_listing::graphcore::{gen, orientation, Graph};
+
+fn families() -> Vec<(String, Graph)> {
+    vec![
+        ("er_sparse".into(), gen::erdos_renyi(250, 0.03, 1)),
+        ("er_dense".into(), gen::erdos_renyi(250, 0.3, 1)),
+        ("tripartite".into(), gen::multipartite(200, 3, 0.7, 1)),
+        ("barabasi_albert".into(), gen::barabasi_albert(250, 5, 1)),
+        ("rmat".into(), gen::rmat(8, 8, (0.57, 0.19, 0.19, 0.05), 1)),
+        ("star".into(), gen::star_graph(200)),
+        ("complete".into(), gen::complete_graph(60)),
+    ]
+}
+
+#[test]
+fn definition_2_2_holds_on_every_family() {
+    let config = DecompositionConfig::default();
+    for (label, graph) in families() {
+        for &delta in &[0.4, 0.55, 0.7] {
+            let d = decompose(&graph, delta, &config, 3);
+            d.verify(&graph)
+                .unwrap_or_else(|v| panic!("{label} (δ = {delta}): {:?}", v));
+            assert!(
+                d.er.len() * 6 <= graph.num_edges().max(1),
+                "{label}: |E_r| too large"
+            );
+        }
+    }
+}
+
+#[test]
+fn es_arboricity_bound_is_respected() {
+    // The E_s part must have arboricity at most n^δ; its degeneracy (an upper
+    // bound on arboricity up to a factor 2) must respect the orientation
+    // bound that Definition 2.2 requires.
+    let graph = gen::erdos_renyi(300, 0.2, 9);
+    let delta = 0.5;
+    let d = decompose(&graph, delta, &DecompositionConfig::default(), 1);
+    let es_graph = Graph::from_edge_set(300, &d.es).unwrap();
+    let limit = (300f64).powf(delta).ceil() as usize;
+    assert!(orientation::arboricity_upper_bound(&es_graph) <= 2 * limit);
+    assert!(d.es_orientation.max_out_degree() <= limit);
+}
+
+#[test]
+fn cluster_ids_and_router_work_on_real_clusters() {
+    let graph = gen::erdos_renyi(200, 0.35, 5);
+    let d = decompose(&graph, 0.5, &DecompositionConfig::default(), 1);
+    assert!(!d.clusters.is_empty(), "dense ER graph must produce clusters");
+    let em_graph = d.em_graph(200);
+    for cluster in &d.clusters {
+        let ids = ClusterIds::assign(cluster);
+        assert_eq!(ids.len(), cluster.len());
+        let router = ClusterRouter::new(cluster, &em_graph, 200, ChargePolicy::bare());
+        assert!(router.bandwidth() as usize >= d.degree_threshold);
+        // Route a token from every node to the rank-0 node and make sure the
+        // loads and charges are consistent.
+        let target = ids.vertex(0);
+        let messages: Vec<(u32, u32, u32)> =
+            cluster.vertices.iter().map(|&v| (v, target, v)).collect();
+        let mut ledger = CostLedger::new();
+        let (delivered, outcome) = router.route(messages, 1, &mut ledger);
+        assert_eq!(outcome.messages as usize, cluster.len());
+        assert_eq!(outcome.max_recv as usize, cluster.len());
+        assert_eq!(delivered[&target].len(), cluster.len());
+        assert_eq!(ledger.total(), outcome.rounds);
+    }
+}
+
+#[test]
+fn decomposition_is_deterministic_for_a_fixed_seed() {
+    let graph = gen::erdos_renyi(150, 0.2, 11);
+    let config = DecompositionConfig::default();
+    let a = decompose(&graph, 0.5, &config, 7);
+    let b = decompose(&graph, 0.5, &config, 7);
+    assert_eq!(a.em, b.em);
+    assert_eq!(a.es, b.es);
+    assert_eq!(a.er, b.er);
+    assert_eq!(a.clusters.len(), b.clusters.len());
+}
+
+#[test]
+fn charged_rounds_decrease_with_delta() {
+    let graph = gen::erdos_renyi(150, 0.2, 11);
+    let config = DecompositionConfig::default();
+    let policy = ChargePolicy::bare();
+    let shallow = decompose(&graph, 0.3, &config, 1).charged_rounds(10_000, &policy);
+    let deep = decompose(&graph, 0.8, &config, 1).charged_rounds(10_000, &policy);
+    assert!(shallow > deep, "Theorem 2.3 cost must fall as δ grows");
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration tests: the full CONGEST pipeline (expander
+//! decomposition → ARB-LIST → LIST → driver) and the CONGESTED CLIQUE
+//! algorithm, across graph families, clique sizes and seeds, verified against
+//! the exact sequential enumeration.
+
+use distributed_clique_listing::cliquelist::baselines::{
+    eden_style_k4, naive_broadcast_listing, triangle_listing,
+};
+use distributed_clique_listing::cliquelist::{
+    congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth, ExchangeMode,
+    ListingConfig, Variant,
+};
+use distributed_clique_listing::graphcore::{gen, Graph};
+
+fn check(graph: &Graph, p: usize, config: &ListingConfig) {
+    let result = list_kp(graph, config);
+    verify_against_ground_truth(graph, p, &result)
+        .unwrap_or_else(|e| panic!("p = {p}, n = {}: {e}", graph.num_vertices()));
+}
+
+#[test]
+fn general_algorithm_on_erdos_renyi_for_p_4_to_6() {
+    for seed in [1, 2, 3] {
+        let graph = gen::erdos_renyi(80, 0.35, seed);
+        for p in [4, 5, 6] {
+            check(&graph, p, &ListingConfig::for_p(p).with_seed(seed));
+        }
+    }
+}
+
+#[test]
+fn general_algorithm_on_dense_tripartite_with_planted_cliques() {
+    for seed in [5, 9] {
+        let (graph, planted) = gen::clique_listing_workload(120, 4, 0.7, 3, seed);
+        let result = list_kp(&graph, &ListingConfig::for_p(4).with_seed(seed));
+        verify_against_ground_truth(&graph, 4, &result).expect("exact listing");
+        for c in &planted {
+            assert!(result.cliques.contains(&c.vertices));
+        }
+    }
+}
+
+#[test]
+fn experiment_configuration_is_also_exact() {
+    // The experiment configuration (constant slack, bare charge policy)
+    // changes only the round accounting, never the output.
+    let (graph, _) = gen::clique_listing_workload(130, 5, 0.7, 3, 11);
+    let config = ListingConfig::for_p(5).for_experiments();
+    let result = list_kp(&graph, &config);
+    verify_against_ground_truth(&graph, 5, &result).expect("exact listing");
+    assert!(result.diagnostics.list_iterations >= 1, "pipeline must be active");
+    assert!(result.diagnostics.clusters >= 1);
+}
+
+#[test]
+fn fast_k4_on_multiple_families() {
+    let graphs: Vec<Graph> = vec![
+        gen::erdos_renyi(90, 0.3, 7),
+        gen::barabasi_albert(150, 6, 7),
+        gen::planted_cliques(100, 0.05, 4, 4, 7).0,
+        gen::complete_graph(20),
+    ];
+    for graph in &graphs {
+        let result = list_kp(graph, &ListingConfig::fast_k4());
+        verify_against_ground_truth(graph, 4, &result).expect("fast K4 exact");
+    }
+}
+
+#[test]
+fn skewed_degree_graphs_for_p_5() {
+    let graph = gen::barabasi_albert(200, 8, 3);
+    check(&graph, 5, &ListingConfig::for_p(5));
+    let rmat = gen::rmat(7, 10, (0.6, 0.18, 0.18, 0.04), 3);
+    check(&rmat, 5, &ListingConfig::for_p(5));
+}
+
+#[test]
+fn congested_clique_matches_ground_truth_across_densities() {
+    for density in [0.05, 0.3, 0.7] {
+        let graph = gen::multipartite(150, 3, density, 13);
+        for p in [3, 4] {
+            let report = congested_clique_list(&graph, p, 5);
+            verify_against_ground_truth(&graph, p, &report.result).expect("CC listing exact");
+        }
+    }
+}
+
+#[test]
+fn all_baselines_agree_with_ground_truth() {
+    let graph = gen::erdos_renyi(70, 0.35, 17);
+    let naive = naive_broadcast_listing(&graph, &ListingConfig::for_p(4));
+    verify_against_ground_truth(&graph, 4, &naive).expect("naive exact");
+    let eden = eden_style_k4(&graph, 3);
+    verify_against_ground_truth(&graph, 4, &eden).expect("eden-style exact");
+    let triangles = triangle_listing(&graph, 3);
+    verify_against_ground_truth(&graph, 3, &triangles).expect("triangles exact");
+}
+
+#[test]
+fn exchange_modes_and_variants_produce_identical_outputs() {
+    let (graph, _) = gen::clique_listing_workload(110, 4, 0.6, 3, 23);
+    let cfg = ListingConfig::for_p(4).for_experiments();
+    let sparse = list_kp_with_mode(&graph, &cfg, ExchangeMode::SparsityAware);
+    let dense = list_kp_with_mode(&graph, &cfg, ExchangeMode::DenseAssumption);
+    let fast = list_kp(&graph, &ListingConfig { variant: Variant::FastK4, ..cfg });
+    assert_eq!(sparse.cliques, dense.cliques);
+    assert_eq!(sparse.cliques, fast.cliques);
+    verify_against_ground_truth(&graph, 4, &sparse).expect("exact");
+}
+
+#[test]
+fn degenerate_inputs_are_handled() {
+    // No vertices, no edges, fewer vertices than p, p-free graphs.
+    assert!(list_kp(&Graph::new(0), &ListingConfig::for_p(4)).is_empty());
+    assert!(list_kp(&Graph::new(50), &ListingConfig::for_p(4)).is_empty());
+    assert!(list_kp(&gen::complete_graph(3), &ListingConfig::for_p(4)).is_empty());
+    let bipartite = gen::complete_bipartite(25, 25);
+    let result = list_kp(&bipartite, &ListingConfig::for_p(4));
+    assert!(result.is_empty());
+    verify_against_ground_truth(&bipartite, 4, &result).expect("empty output is exact");
+}
+
+#[test]
+fn rounds_are_reported_for_non_trivial_runs() {
+    let (graph, _) = gen::clique_listing_workload(100, 4, 0.7, 2, 31);
+    let result = list_kp(&graph, &ListingConfig::for_p(4).for_experiments());
+    assert!(result.rounds.total() > 0);
+    // Every phase that reports rounds must be one of the documented phases.
+    use distributed_clique_listing::cliquelist::result::phase;
+    let known = [
+        phase::DECOMPOSITION,
+        phase::MEMBERSHIP,
+        phase::HEAVY_UPLOAD,
+        phase::LIGHT_PROBES,
+        phase::ID_ASSIGNMENT,
+        phase::RESHUFFLE,
+        phase::PARTITION_BROADCAST,
+        phase::PART_EXCHANGE,
+        phase::LIGHT_LISTING,
+        phase::FINAL_BROADCAST,
+    ];
+    for (name, rounds) in result.rounds.iter() {
+        assert!(known.contains(&name), "unknown phase {name}");
+        assert!(rounds > 0);
+    }
+}

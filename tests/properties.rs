@@ -1,0 +1,98 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * the distributed listing output always equals the exact enumeration;
+//! * orientations cover their graphs with out-degree bounded by the degeneracy;
+//! * the expander decomposition is an exact partition with `|E_r| ≤ |E|/6`;
+//! * radix part tuples cover every multiset of parts;
+//! * random vertex partitions preserve the edge count.
+
+use distributed_clique_listing::cliquelist::parts::TupleAssignment;
+use distributed_clique_listing::cliquelist::{
+    congested_clique_list, list_kp, verify_against_ground_truth, ListingConfig, Variant,
+};
+use distributed_clique_listing::expander::{decompose, DecompositionConfig};
+use distributed_clique_listing::graphcore::orientation::{degeneracy_ordering, Orientation};
+use distributed_clique_listing::graphcore::partition::VertexPartition;
+use distributed_clique_listing::graphcore::{cliques, gen, Graph};
+use proptest::prelude::*;
+
+/// Strategy: a random graph described by (n, edge probability numerator, seed).
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n, 1u32..70, 0u64..1_000).prop_map(|(n, prob, seed)| {
+        gen::erdos_renyi(n, f64::from(prob) / 100.0, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn congest_listing_is_always_exact(graph in graph_strategy(40), p in 3usize..6) {
+        let result = list_kp(&graph, &ListingConfig::for_p(p));
+        prop_assert!(verify_against_ground_truth(&graph, p, &result).is_ok());
+    }
+
+    #[test]
+    fn fast_k4_listing_is_always_exact(graph in graph_strategy(40)) {
+        let result = list_kp(&graph, &ListingConfig { variant: Variant::FastK4, ..ListingConfig::for_p(4) });
+        prop_assert!(verify_against_ground_truth(&graph, 4, &result).is_ok());
+    }
+
+    #[test]
+    fn congested_clique_listing_is_always_exact(graph in graph_strategy(40), p in 3usize..6) {
+        if graph.num_vertices() >= 2 {
+            let report = congested_clique_list(&graph, p, 1);
+            prop_assert!(verify_against_ground_truth(&graph, p, &report.result).is_ok());
+        }
+    }
+
+    #[test]
+    fn degeneracy_orientation_covers_with_bounded_out_degree(graph in graph_strategy(60)) {
+        let ordering = degeneracy_ordering(&graph);
+        let orientation = Orientation::from_degeneracy(&graph);
+        prop_assert!(orientation.covers_exactly(&graph));
+        prop_assert!(orientation.max_out_degree() <= ordering.degeneracy);
+        // Degeneracy is at most the maximum degree.
+        prop_assert!(ordering.degeneracy <= graph.max_degree());
+    }
+
+    #[test]
+    fn decomposition_is_an_exact_partition(graph in graph_strategy(60), delta_pct in 30u32..80) {
+        let delta = f64::from(delta_pct) / 100.0;
+        let d = decompose(&graph, delta, &DecompositionConfig::default(), 1);
+        prop_assert!(d.verify(&graph).is_ok());
+        prop_assert!(d.er.len() * 6 <= graph.num_edges().max(1));
+        prop_assert_eq!(d.em.len() + d.es.len() + d.er.len(), graph.num_edges());
+    }
+
+    #[test]
+    fn listed_cliques_are_cliques(graph in graph_strategy(35)) {
+        let result = list_kp(&graph, &ListingConfig::for_p(4));
+        for clique in &result.cliques {
+            prop_assert_eq!(clique.len(), 4);
+            prop_assert!(cliques::is_clique(&graph, clique));
+        }
+    }
+
+    #[test]
+    fn tuple_assignment_covers_every_pair(k in 1usize..60, p in 3usize..7) {
+        let assignment = TupleAssignment::new(k, p);
+        prop_assert!(assignment.num_tuples >= k as u64);
+        // Every unordered pair of parts is contained in at least one tuple,
+        // so every edge reaches at least one listing node.
+        for a in 0..assignment.num_parts {
+            for b in a..assignment.num_parts {
+                prop_assert!(assignment.tuples_containing(a, b) >= 1);
+                prop_assert!(assignment.owners_needing(a, b) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_partitions_preserve_edge_counts(graph in graph_strategy(60), parts in 2u32..8, seed in 0u64..100) {
+        let partition = VertexPartition::random(graph.num_vertices(), parts, seed);
+        let counts = partition.pairwise_edge_counts(&graph);
+        let total: usize = counts.iter().flat_map(|row| row.iter()).sum();
+        prop_assert_eq!(total, graph.num_edges());
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the CONGEST / CONGESTED CLIQUE simulator: real
+//! message-level executions whose round counts must match the analytic
+//! accounting used by the listing pipeline.
+
+use distributed_clique_listing::cliquelist::baselines::{naive_broadcast_rounds, NaiveBroadcastProgram};
+use distributed_clique_listing::congest::{
+    CongestedClique, Context, Network, NetworkConfig, NodeId, NodeProgram, Status, Topology,
+};
+use distributed_clique_listing::graphcore::{cliques, gen};
+use std::collections::HashSet;
+
+/// A program in which every node floods its identifier; at quiescence every
+/// node in a connected component knows the component's minimum identifier.
+struct LeaderElect {
+    best: u32,
+    announced: Option<u32>,
+}
+
+impl NodeProgram for LeaderElect {
+    type Message = u32;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        self.best = ctx.id().index() as u32;
+        ctx.broadcast(self.best);
+        self.announced = Some(self.best);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u32>, incoming: &[(NodeId, u32)]) -> Status {
+        let mut improved = false;
+        for &(_, candidate) in incoming {
+            if candidate < self.best {
+                self.best = candidate;
+                improved = true;
+            }
+        }
+        if improved && self.announced != Some(self.best) {
+            ctx.broadcast(self.best);
+            self.announced = Some(self.best);
+            Status::Running
+        } else {
+            Status::Done
+        }
+    }
+}
+
+#[test]
+fn leader_election_converges_in_diameter_rounds() {
+    let n = 64;
+    let topo = Topology::path(n);
+    let mut net = Network::new(topo, NetworkConfig::default(), |_| LeaderElect {
+        best: u32::MAX,
+        announced: None,
+    });
+    let report = net.run(10 * n as u64);
+    assert!(report.terminated);
+    assert!(net.programs().all(|(_, p)| p.best == 0));
+    // Information travels one hop per round on a path.
+    assert!(report.simulated_rounds >= (n - 1) as u64);
+    assert!(report.simulated_rounds <= (n as u64) + 5);
+}
+
+#[test]
+fn naive_listing_on_the_simulator_matches_the_analytic_round_count() {
+    let graph = gen::erdos_renyi(30, 0.3, 9);
+    let edges: Vec<(usize, usize)> = graph.edges().map(|(u, v)| (u as usize, v as usize)).collect();
+    let topo = Topology::from_edges(graph.num_vertices(), &edges);
+    let mut net = Network::new(topo, NetworkConfig::default(), |_| NaiveBroadcastProgram::new(4));
+    let report = net.run(100_000);
+    assert!(report.terminated);
+    let delta = naive_broadcast_rounds(&graph);
+    assert!(
+        report.simulated_rounds >= delta && report.simulated_rounds <= delta + 3,
+        "simulated {} vs analytic {}",
+        report.simulated_rounds,
+        delta
+    );
+    // The union of node outputs equals the ground truth.
+    let mut union: HashSet<Vec<u32>> = HashSet::new();
+    for (_, p) in net.programs() {
+        union.extend(p.listed.iter().cloned());
+    }
+    let truth: HashSet<Vec<u32>> = cliques::list_cliques(&graph, 4).into_iter().collect();
+    assert_eq!(union, truth);
+}
+
+#[test]
+fn congested_clique_all_to_all_costs_one_round_per_word() {
+    /// Every node sends `k` words to every other node.
+    struct AllToAll {
+        k: u64,
+        received: u64,
+    }
+    impl NodeProgram for AllToAll {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            for i in 0..self.k {
+                ctx.broadcast(i);
+            }
+        }
+        fn on_round(&mut self, _ctx: &mut Context<'_, u64>, incoming: &[(NodeId, u64)]) -> Status {
+            self.received += incoming.len() as u64;
+            Status::Done
+        }
+    }
+
+    let n = 16;
+    let k = 5;
+    let cc = CongestedClique::new(n);
+    let mut net = cc.network(NetworkConfig::default(), |_| AllToAll { k, received: 0 });
+    let report = net.run(1000);
+    assert!(report.terminated);
+    // k words per ordered pair, bandwidth one word per pair per round.
+    assert!(report.simulated_rounds >= k);
+    assert!(report.simulated_rounds <= k + 2);
+    assert!(net.programs().all(|(_, p)| p.received == k * (n as u64 - 1)));
+    // The analytic helper agrees.
+    assert_eq!(cc.broadcast_rounds(k), k);
+}
+
+#[test]
+fn bandwidth_scaling_shortens_executions_proportionally() {
+    /// Every node submits its entire neighbourhood to every neighbour in the
+    /// first round and lets the transport pace the delivery — so the round
+    /// count is governed purely by the per-edge bandwidth.
+    struct BulkUpload;
+    impl NodeProgram for BulkUpload {
+        type Message = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            let ids: Vec<u32> = ctx.neighbors().iter().map(|v| v.index() as u32).collect();
+            for &w in &ids {
+                ctx.broadcast(w);
+            }
+        }
+        fn on_round(&mut self, _ctx: &mut Context<'_, u32>, _incoming: &[(NodeId, u32)]) -> Status {
+            Status::Done
+        }
+    }
+
+    let graph = gen::erdos_renyi(24, 0.4, 4);
+    let edges: Vec<(usize, usize)> = graph.edges().map(|(u, v)| (u as usize, v as usize)).collect();
+    let run = |bandwidth: u32| {
+        let topo = Topology::from_edges(graph.num_vertices(), &edges);
+        let mut net = Network::new(
+            topo,
+            NetworkConfig::default().with_bandwidth(bandwidth),
+            |_| BulkUpload,
+        );
+        net.run(100_000).simulated_rounds
+    };
+    let slow = run(1);
+    let fast = run(4);
+    assert!(slow >= graph.max_degree() as u64);
+    assert!(
+        fast <= slow / 2,
+        "quadrupling the bandwidth should at least halve the rounds ({slow} -> {fast})"
+    );
+}
