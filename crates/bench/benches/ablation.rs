@@ -12,14 +12,17 @@ fn bench_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     let config = ListingConfig::for_p(4).for_experiments();
-    for &n in &[120usize] {
+    {
+        let &n = &120usize;
         let workload = listing_workload(n, 4, 41);
         group.bench_with_input(BenchmarkId::new("sparsity_aware", n), &workload, |b, w| {
-            b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::SparsityAware))
+            b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::SparsityAware));
         });
-        group.bench_with_input(BenchmarkId::new("dense_assumption", n), &workload, |b, w| {
-            b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::DenseAssumption))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dense_assumption", n),
+            &workload,
+            |b, w| b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::DenseAssumption)),
+        );
     }
     group.finish();
 }

@@ -20,16 +20,16 @@ fn bench_baselines(c: &mut Criterion) {
         ..general
     };
     group.bench_with_input(BenchmarkId::new("naive_broadcast", n), &workload, |b, w| {
-        b.iter(|| naive_broadcast_listing(&w.graph, &naive_config))
+        b.iter(|| naive_broadcast_listing(&w.graph, &naive_config));
     });
     group.bench_with_input(BenchmarkId::new("eden_style", n), &workload, |b, w| {
-        b.iter(|| eden_style_k4(&w.graph, 1))
+        b.iter(|| eden_style_k4(&w.graph, 1));
     });
     group.bench_with_input(BenchmarkId::new("general", n), &workload, |b, w| {
-        b.iter(|| list_kp(&w.graph, &general))
+        b.iter(|| list_kp(&w.graph, &general));
     });
     group.bench_with_input(BenchmarkId::new("fast_k4", n), &workload, |b, w| {
-        b.iter(|| list_kp(&w.graph, &fast))
+        b.iter(|| list_kp(&w.graph, &fast));
     });
     group.finish();
 }

@@ -14,11 +14,9 @@ fn bench_congested_clique(c: &mut Criterion) {
     for &m in &[3_000usize, 15_000] {
         let graph = gen::erdos_renyi_with_edges(n, m, 5);
         for &p in &[3usize, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("p{p}"), m),
-                &graph,
-                |b, graph| b.iter(|| congested_clique_list(graph, p, 1)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("p{p}"), m), &graph, |b, graph| {
+                b.iter(|| congested_clique_list(graph, p, 1));
+            });
         }
     }
     group.finish();

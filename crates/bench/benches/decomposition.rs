@@ -19,7 +19,8 @@ fn bench_decomposition(c: &mut Criterion) {
         ("barabasi_albert", gen::barabasi_albert(300, 6, 3)),
     ];
     for (label, graph) in &inputs {
-        for &delta in &[0.5f64] {
+        {
+            let &delta = &0.5f64;
             group.bench_with_input(
                 BenchmarkId::new(*label, format!("delta{delta}")),
                 graph,

@@ -10,7 +10,8 @@ fn bench_k4_variants(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for &n in &[120usize] {
+    {
+        let &n = &120usize;
         let workload = listing_workload(n, 4, 13);
         let general = ListingConfig::for_p(4).for_experiments();
         let fast = ListingConfig {
@@ -18,10 +19,10 @@ fn bench_k4_variants(c: &mut Criterion) {
             ..general
         };
         group.bench_with_input(BenchmarkId::new("general", n), &workload, |b, w| {
-            b.iter(|| list_kp(&w.graph, &general))
+            b.iter(|| list_kp(&w.graph, &general));
         });
         group.bench_with_input(BenchmarkId::new("fast_k4", n), &workload, |b, w| {
-            b.iter(|| list_kp(&w.graph, &fast))
+            b.iter(|| list_kp(&w.graph, &fast));
         });
     }
     group.finish();

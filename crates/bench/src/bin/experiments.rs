@@ -10,14 +10,16 @@
 //! `DESIGN.md` §4; the output of `all` is what `EXPERIMENTS.md` records.
 
 use bench::{core_periphery_workload, fit_exponent, listing_workload, two_communities, Table};
-use cliquelist::baselines::{eden_style_k4, naive_broadcast_listing};
+use cliquelist::baselines::{eden_style_k4, naive_broadcast_listing, simulate_naive_broadcast};
+use cliquelist::result::phase;
 use cliquelist::{
     congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth, ExchangeMode,
     ListingConfig, Variant,
 };
-use cliquelist::result::phase;
 use expander::{decompose, DecompositionConfig};
-use graphcore::partition::{edges_within, lemma_2_7_bound, lemma_2_7_preconditions, sample_vertices};
+use graphcore::partition::{
+    edges_within, lemma_2_7_bound, lemma_2_7_preconditions, sample_vertices,
+};
 use graphcore::{gen, orientation};
 
 fn main() {
@@ -53,6 +55,9 @@ fn main() {
     if all || which == "e10" {
         e10_lower_bound_ratio();
     }
+    if all || which == "e11" {
+        e11_simulated_broadcast();
+    }
 }
 
 /// The n-values of the CONGEST sweeps (dense Turán-style workloads).
@@ -74,7 +79,17 @@ fn e1_rounds_vs_n() {
         "Theorem 1.1 — K_p listing in ~O(n^{3/4} + n^{p/(p+2)}) CONGEST rounds",
     );
     let mut table = Table::new(&[
-        "p", "n", "m", "degeneracy", "rounds", "decomp", "heavy", "probes", "exchange", "final", "rounds/n",
+        "p",
+        "n",
+        "m",
+        "degeneracy",
+        "rounds",
+        "decomp",
+        "heavy",
+        "probes",
+        "exchange",
+        "final",
+        "rounds/n",
     ]);
     for &p in &[4usize, 5, 6] {
         let mut points = Vec::new();
@@ -114,7 +129,10 @@ fn e1_rounds_vs_n() {
 
 /// E2 — Theorem 1.2: the specialised K4 algorithm beats the general one.
 fn e2_fast_k4() {
-    header("E2", "Theorem 1.2 — K_4 listing in ~O(n^{2/3}) rounds (vs the general algorithm)");
+    header(
+        "E2",
+        "Theorem 1.2 — K_4 listing in ~O(n^{2/3}) rounds (vs the general algorithm)",
+    );
     let mut table = Table::new(&["n", "m", "general rounds", "fast-K4 rounds", "speedup"]);
     let mut general_points = Vec::new();
     let mut fast_points = Vec::new();
@@ -137,7 +155,10 @@ fn e2_fast_k4() {
             w.graph.num_edges().to_string(),
             general.rounds.total().to_string(),
             fast.rounds.total().to_string(),
-            format!("{:.2}x", general.rounds.total() as f64 / fast.rounds.total().max(1) as f64),
+            format!(
+                "{:.2}x",
+                general.rounds.total() as f64 / fast.rounds.total().max(1) as f64
+            ),
         ]);
     }
     println!("{table}");
@@ -151,9 +172,19 @@ fn e2_fast_k4() {
 
 /// E3 — Theorem 1.3: CONGESTED CLIQUE rounds ~ Θ(1 + m / n^{1+2/p}).
 fn e3_congested_clique() {
-    header("E3", "Theorem 1.3 — sparsity-aware CONGESTED CLIQUE listing in ~Θ(1 + m/n^{1+2/p}) rounds");
+    header(
+        "E3",
+        "Theorem 1.3 — sparsity-aware CONGESTED CLIQUE listing in ~Θ(1 + m/n^{1+2/p}) rounds",
+    );
     let n = 400;
-    let mut table = Table::new(&["p", "m", "rounds", "predicted 1+m/n^{1+2/p}", "max send", "max recv"]);
+    let mut table = Table::new(&[
+        "p",
+        "m",
+        "rounds",
+        "predicted 1+m/n^{1+2/p}",
+        "max send",
+        "max recv",
+    ]);
     // Density sweeps on K_p-free backgrounds (bipartite for triangles,
     // tripartite for K4/K5) keep the ground-truth enumeration cheap while the
     // edge volume — the quantity Theorem 1.3 is about — varies by 20x.
@@ -188,15 +219,31 @@ fn e3_congested_clique() {
 fn e4_decomposition_quality() {
     header("E4", "Definition 2.2 — expander decomposition guarantees (|E_r| ≤ |E|/6, degrees, mixing, arboricity)");
     let mut table = Table::new(&[
-        "graph", "delta", "|E|", "|E_m|", "|E_s|", "|E_r|", "E_r frac", "clusters", "min deg (req)", "max mixing (limit)", "valid",
+        "graph",
+        "delta",
+        "|E|",
+        "|E_m|",
+        "|E_s|",
+        "|E_r|",
+        "E_r frac",
+        "clusters",
+        "min deg (req)",
+        "max mixing (limit)",
+        "valid",
     ]);
     let workloads: Vec<(String, graphcore::Graph)> = vec![
         ("er(300,0.15)".into(), gen::erdos_renyi(300, 0.15, 3)),
         ("er(300,0.35)".into(), gen::erdos_renyi(300, 0.35, 3)),
         ("ba(350,6)".into(), gen::barabasi_albert(350, 6, 3)),
-        ("rmat(9,8)".into(), gen::rmat(9, 8, (0.57, 0.19, 0.19, 0.05), 3)),
+        (
+            "rmat(9,8)".into(),
+            gen::rmat(9, 8, (0.57, 0.19, 0.19, 0.05), 3),
+        ),
         ("turan(300,3,0.8)".into(), gen::multipartite(300, 3, 0.8, 3)),
-        ("2-communities(2x120)".into(), two_communities(120, 8, 0.35, 3)),
+        (
+            "2-communities(2x120)".into(),
+            two_communities(120, 8, 0.35, 3),
+        ),
     ];
     let config = DecompositionConfig::default();
     for (label, graph) in &workloads {
@@ -225,20 +272,35 @@ fn e4_decomposition_quality() {
                 format!("{:.3}", d.er.len() as f64 / graph.num_edges().max(1) as f64),
                 d.clusters.len().to_string(),
                 format!("{} ({})", min_deg, d.degree_threshold),
-                format!("{:.1} ({:.1})", max_mixing, d.config.mixing_limit(graph.num_vertices())),
+                format!(
+                    "{:.1} ({:.1})",
+                    max_mixing,
+                    d.config.mixing_limit(graph.num_vertices())
+                ),
                 valid.to_string(),
             ]);
         }
     }
     println!("{table}");
-    println!("(paper requires E_r fraction ≤ 1/6 ≈ 0.167, cluster min degree ≥ Ω(n^δ), polylog mixing)");
+    println!(
+        "(paper requires E_r fraction ≤ 1/6 ≈ 0.167, cluster min degree ≥ Ω(n^δ), polylog mixing)"
+    );
 }
 
 /// E5 — Section 2.4.1: bad-edge fraction and the Remark 2.10 load bound.
 fn e5_bad_edges_and_loads() {
-    header("E5", "Section 2.4.1 — bad-edge fraction ≤ 1/25 of cluster edges; Remark 2.10 per-node load");
+    header(
+        "E5",
+        "Section 2.4.1 — bad-edge fraction ≤ 1/25 of cluster edges; Remark 2.10 per-node load",
+    );
     let mut table = Table::new(&[
-        "n", "bad factor", "bad edges", "cluster edges", "fraction (limit 0.04)", "max learned words", "n^{3/4}·A·w",
+        "n",
+        "bad factor",
+        "bad edges",
+        "cluster edges",
+        "fraction (limit 0.04)",
+        "max learned words",
+        "n^{3/4}·A·w",
     ]);
     for &n in &[140usize, 200, 260] {
         for &(label, factor) in &[("paper (100)", 100.0f64), ("stress (0)", 0.0)] {
@@ -254,7 +316,10 @@ fn e5_bad_edges_and_loads() {
             let result = list_kp(&w.graph, &config);
             verify_against_ground_truth(&w.graph, 4, &result).expect("E5 output must be exact");
             for c in &w.planted {
-                assert!(result.cliques.contains(&c.vertices), "planted straddling K4 missing");
+                assert!(
+                    result.cliques.contains(&c.vertices),
+                    "planted straddling K4 missing"
+                );
             }
             let bound = (n as f64).powf(0.75) * a as f64 * config.words_per_edge as f64;
             table.row(&[
@@ -264,7 +329,7 @@ fn e5_bad_edges_and_loads() {
                 result.diagnostics.cluster_edges.to_string(),
                 format!("{:.4}", result.diagnostics.bad_edge_fraction()),
                 result.diagnostics.max_learned_words.to_string(),
-                format!("{:.0}", bound),
+                format!("{bound:.0}"),
             ]);
         }
     }
@@ -275,8 +340,18 @@ fn e5_bad_edges_and_loads() {
 /// E6 — who wins: the paper's algorithms vs the naive broadcast and the
 /// Eden-et-al-style baseline.
 fn e6_baselines() {
-    header("E6", "Comparison — paper's K4 algorithms vs naive broadcast and Eden-style baseline");
-    let mut table = Table::new(&["n", "m", "naive Θ(Δ)", "eden-style", "general K4", "fast K4"]);
+    header(
+        "E6",
+        "Comparison — paper's K4 algorithms vs naive broadcast and Eden-style baseline",
+    );
+    let mut table = Table::new(&[
+        "n",
+        "m",
+        "naive Θ(Δ)",
+        "eden-style",
+        "general K4",
+        "fast K4",
+    ]);
     let mut series: Vec<(&str, Vec<(f64, f64)>)> = vec![
         ("naive", Vec::new()),
         ("eden-style", Vec::new()),
@@ -325,11 +400,20 @@ constants, so the comparison is between the fitted growth exponents)"
 
 /// E7 — Lemma 2.7: random vertex samples do not concentrate edges.
 fn e7_lemma_2_7() {
-    header("E7", "Lemma 2.7 — a q-sample of an m-edge graph induces ≤ 6q²m edges w.h.p.");
+    header(
+        "E7",
+        "Lemma 2.7 — a q-sample of an m-edge graph induces ≤ 6q²m edges w.h.p.",
+    );
     let n = 500;
     let g = gen::erdos_renyi(n, 0.8, 2);
     let m = g.num_edges();
-    let mut table = Table::new(&["q", "preconditions", "max sampled edges (20 seeds)", "bound 6q²m", "violations"]);
+    let mut table = Table::new(&[
+        "q",
+        "preconditions",
+        "max sampled edges (20 seeds)",
+        "bound 6q²m",
+        "violations",
+    ]);
     for &q in &[0.5f64, 0.7, 0.9] {
         let pre = lemma_2_7_preconditions(n, m, g.max_degree(), q);
         let mut max_edges = 0usize;
@@ -355,13 +439,30 @@ fn e7_lemma_2_7() {
 
 /// E8 — end-to-end correctness matrix.
 fn e8_correctness() {
-    header("E8", "Correctness — union of node outputs equals the exact K_p list (all algorithms)");
-    let mut table = Table::new(&["workload", "p", "cliques", "CONGEST general", "fast K4", "congested clique", "naive"]);
+    header(
+        "E8",
+        "Correctness — union of node outputs equals the exact K_p list (all algorithms)",
+    );
+    let mut table = Table::new(&[
+        "workload",
+        "p",
+        "cliques",
+        "CONGEST general",
+        "fast K4",
+        "congested clique",
+        "naive",
+    ]);
     let cases: Vec<(String, graphcore::Graph)> = vec![
         ("er(90,0.35)".into(), gen::erdos_renyi(90, 0.35, 1)),
-        ("turan+planted(120,4)".into(), listing_workload(120, 4, 3).graph),
+        (
+            "turan+planted(120,4)".into(),
+            listing_workload(120, 4, 3).graph,
+        ),
         ("ba(150,8)".into(), gen::barabasi_albert(150, 8, 2)),
-        ("planted er(100)".into(), gen::planted_cliques(100, 0.05, 3, 6, 4).0),
+        (
+            "planted er(100)".into(),
+            gen::planted_cliques(100, 0.05, 3, 6, 4).0,
+        ),
         ("complete(15)".into(), gen::complete_graph(15)),
         ("bipartite(30,30)".into(), gen::complete_bipartite(30, 30)),
     ];
@@ -370,21 +471,33 @@ fn e8_correctness() {
             let truth = graphcore::cliques::count_cliques(graph, p);
             let general = list_kp(graph, &experiment_config(p));
             let fast = if p == 4 {
-                Some(list_kp(graph, &ListingConfig { variant: Variant::FastK4, ..experiment_config(4) }))
+                Some(list_kp(
+                    graph,
+                    &ListingConfig {
+                        variant: Variant::FastK4,
+                        ..experiment_config(4)
+                    },
+                ))
             } else {
                 None
             };
             let cc = congested_clique_list(graph, p, 1);
             let naive = naive_broadcast_listing(graph, &ListingConfig::for_p(p));
             let ok = |r: &cliquelist::ListingResult| {
-                if verify_against_ground_truth(graph, p, r).is_ok() { "ok" } else { "FAIL" }
+                if verify_against_ground_truth(graph, p, r).is_ok() {
+                    "ok"
+                } else {
+                    "FAIL"
+                }
             };
             table.row(&[
                 label.clone(),
                 p.to_string(),
                 truth.to_string(),
                 ok(&general).to_string(),
-                fast.as_ref().map(|r| ok(r).to_string()).unwrap_or_else(|| "-".into()),
+                fast.as_ref()
+                    .map(|r| ok(r).to_string())
+                    .unwrap_or_else(|| "-".into()),
                 ok(&cc.result).to_string(),
                 ok(&naive).to_string(),
             ]);
@@ -395,8 +508,16 @@ fn e8_correctness() {
 
 /// E9 — ablations: sparsity-aware vs dense exchange, bad-edge deferral.
 fn e9_ablation() {
-    header("E9", "Ablation — sparsity-aware in-cluster listing vs generic (dense) listing");
-    let mut table = Table::new(&["n", "sparsity-aware rounds", "dense-assumption rounds", "overhead"]);
+    header(
+        "E9",
+        "Ablation — sparsity-aware in-cluster listing vs generic (dense) listing",
+    );
+    let mut table = Table::new(&[
+        "n",
+        "sparsity-aware rounds",
+        "dense-assumption rounds",
+        "overhead",
+    ]);
     for &n in SWEEP_N {
         let w = listing_workload(n, 4, 41 + n as u64);
         let config = experiment_config(4);
@@ -408,16 +529,60 @@ fn e9_ablation() {
             n.to_string(),
             sparse.rounds.total().to_string(),
             dense.rounds.total().to_string(),
-            format!("{:.2}x", dense.rounds.total() as f64 / sparse.rounds.total().max(1) as f64),
+            format!(
+                "{:.2}x",
+                dense.rounds.total() as f64 / sparse.rounds.total().max(1) as f64
+            ),
         ]);
     }
     println!("{table}");
     println!("(the sparsity-aware exchange is the paper's novelty for Challenge 2: the dense variant pays for edges that are not there)");
 }
 
+/// E11 — message-level validation: the synchronous simulation of the naive
+/// broadcast reproduces the analytic `Θ(Δ)` round count and the exact listing.
+/// Built with `--features parallel`, the simulation steps nodes on all cores
+/// (`cargo run --release -p bench --features parallel --bin experiments -- e11`).
+fn e11_simulated_broadcast() {
+    let executor = if cfg!(feature = "parallel") {
+        "parallel"
+    } else {
+        "sequential"
+    };
+    header(
+        "E11",
+        "Message-level simulation — naive broadcast on the CONGEST simulator",
+    );
+    println!("(executor: {executor})");
+    let mut table = Table::new(&["n", "m", "Δ", "simulated rounds", "words sent", "listing"]);
+    for &n in &[100usize, 200, 300] {
+        let g = gen::erdos_renyi(n, 0.08, 19 + n as u64);
+        let (report, result) = simulate_naive_broadcast(&g, 3, 100_000);
+        assert!(report.terminated, "simulation must terminate");
+        let status = if verify_against_ground_truth(&g, 3, &result).is_ok() {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        table.row(&[
+            n.to_string(),
+            g.num_edges().to_string(),
+            g.max_degree().to_string(),
+            report.simulated_rounds.to_string(),
+            report.metrics.words_sent.to_string(),
+            status.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(the simulated round count is Δ plus O(1) start-up slack, matching naive_broadcast_rounds)");
+}
+
 /// E10 — measured rounds against the Ω̃(n^{(p-2)/p}) lower bound of Fischer et al.
 fn e10_lower_bound_ratio() {
-    header("E10", "Context — measured rounds vs the Fischer et al. lower bound Ω̃(n^{(p-2)/p})");
+    header(
+        "E10",
+        "Context — measured rounds vs the Fischer et al. lower bound Ω̃(n^{(p-2)/p})",
+    );
     let mut table = Table::new(&["p", "n", "rounds", "n^{(p-2)/p}", "ratio"]);
     for &p in &[4usize, 5, 6] {
         for &n in SWEEP_N {

@@ -41,7 +41,11 @@ pub fn fit_exponent(points: &[(f64, f64)]) -> Option<FitResult> {
         .iter()
         .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
         .sum();
-    let r_squared = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(FitResult {
         exponent,
         constant: intercept.exp(),
@@ -55,7 +59,9 @@ mod tests {
 
     #[test]
     fn recovers_a_clean_power_law() {
-        let points: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * (i as f64).powf(0.75))).collect();
+        let points: Vec<(f64, f64)> = (1..=10)
+            .map(|i| (i as f64, 3.0 * (i as f64).powf(0.75)))
+            .collect();
         let fit = fit_exponent(&points).unwrap();
         assert!((fit.exponent - 0.75).abs() < 1e-9);
         assert!((fit.constant - 3.0).abs() < 1e-6);

@@ -11,7 +11,10 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -25,7 +28,12 @@ impl Table {
 
     /// Appends a row of displayable values.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
-        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        self.row(
+            &cells
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>(),
+        );
     }
 
     /// Number of data rows.

@@ -187,10 +187,7 @@ mod tests {
     fn two_communities_are_dense_blocks_with_few_bridges() {
         let g = two_communities(80, 6, 0.4, 5);
         assert_eq!(g.num_vertices(), 160);
-        let cross = g
-            .edges()
-            .filter(|&(u, v)| (u < 80) != (v < 80))
-            .count();
+        let cross = g.edges().filter(|&(u, v)| (u < 80) != (v < 80)).count();
         assert!(cross <= 6);
         assert!(g.num_edges() > 2000);
     }
@@ -203,6 +200,9 @@ mod tests {
         let w = listing_workload(150, 6, 9);
         let count = graphcore::cliques::count_cliques(&w.graph, 6);
         assert!(count >= w.planted.len());
-        assert!(count < 20_000, "too many K6s for a cheap ground truth: {count}");
+        assert!(
+            count < 20_000,
+            "too many K6s for a cheap ground truth: {count}"
+        );
     }
 }

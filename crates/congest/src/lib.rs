@@ -30,6 +30,13 @@
 //! per-node load. Simulated rounds and charged rounds are reported separately
 //! and summed into [`RoundReport::total_rounds`].
 //!
+//! # Parallel execution
+//!
+//! With the opt-in `parallel` feature, `Network::run_parallel` steps node
+//! programs on all cores while remaining observationally identical to the
+//! sequential executor (same traces, round counts and outputs); see the
+//! documentation on the parallel `impl` block in [`network`].
+//!
 //! # Example
 //!
 //! ```
@@ -81,7 +88,7 @@ pub use network::{Network, NetworkConfig};
 pub use node::{Context, NodeId, NodeProgram, Status};
 pub use rng::DeterministicRng;
 pub use topology::Topology;
-pub use trace::{TraceEvent, TraceSink};
+pub use trace::{MemorySink, NullSink, TraceEvent, TraceSink};
 
 /// Number of bits assumed to fit into a single CONGEST message word.
 ///
@@ -96,6 +103,7 @@ mod tests {
 
     #[test]
     fn word_bits_is_sane() {
-        assert!(WORD_BITS >= 32);
+        // Compile-time check: a word must hold at least one 32-bit identifier.
+        const { assert!(WORD_BITS >= 32) }
     }
 }

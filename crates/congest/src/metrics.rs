@@ -12,7 +12,7 @@ pub struct LinkStats {
 }
 
 /// Counters accumulated by the simulator during an execution.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Messages handed to the transport by node programs.
     pub messages_sent: u64,
@@ -34,14 +34,18 @@ impl Metrics {
         self.messages_sent += other.messages_sent;
         self.words_sent += other.words_sent;
         self.messages_delivered += other.messages_delivered;
-        self.max_node_send_per_round = self.max_node_send_per_round.max(other.max_node_send_per_round);
-        self.max_node_recv_per_round = self.max_node_recv_per_round.max(other.max_node_recv_per_round);
+        self.max_node_send_per_round = self
+            .max_node_send_per_round
+            .max(other.max_node_send_per_round);
+        self.max_node_recv_per_round = self
+            .max_node_recv_per_round
+            .max(other.max_node_recv_per_round);
         self.max_link_queue = self.max_link_queue.max(other.max_link_queue);
     }
 }
 
 /// Final report of an execution: simulated rounds, charged rounds and traffic.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Rounds actually executed by the synchronous scheduler.
     pub simulated_rounds: u64,

@@ -6,8 +6,19 @@ use crate::node::{Context, NodeId, NodeProgram, Status};
 use crate::rng::DeterministicRng;
 use crate::topology::Topology;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+/// Messages addressed to (or received from) specific nodes.
+type Mailbox<M> = Vec<(NodeId, M)>;
+
+/// Per-link FIFO queues of `(message, width-in-words)` pairs, keyed by the
+/// directed link `(src, dst)`.
+type LinkQueues<M> = BTreeMap<(u32, u32), VecDeque<(M, u32)>>;
+
+/// Outcome of stepping one node: `(node index, new status, produced outbox)`.
+#[cfg(feature = "parallel")]
+type NodeOutcome<M> = (usize, Status, Mailbox<M>);
 
 /// Configuration of a simulated network.
 #[derive(Clone, Copy, Debug)]
@@ -55,8 +66,10 @@ pub struct Network<P: NodeProgram> {
     programs: Vec<P>,
     rngs: Vec<DeterministicRng>,
     statuses: Vec<Status>,
-    /// FIFO queue of pending words per directed link.
-    queues: HashMap<(u32, u32), VecDeque<(P::Message, u32)>>,
+    /// FIFO queue of pending words per directed link. Ordered so that message
+    /// delivery (and therefore inbox ordering) is deterministic across runs
+    /// and identical between the sequential and parallel executors.
+    queues: LinkQueues<P::Message>,
     ledger: CostLedger,
     metrics: Metrics,
     round: u64,
@@ -66,7 +79,11 @@ pub struct Network<P: NodeProgram> {
 impl<P: NodeProgram> Network<P> {
     /// Creates a network over `topology`, instantiating one program per node
     /// through `factory`.
-    pub fn new(topology: Topology, config: NetworkConfig, factory: impl FnMut(NodeId) -> P) -> Self {
+    pub fn new(
+        topology: Topology,
+        config: NetworkConfig,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
         let n = topology.num_nodes();
         let mut factory = factory;
         let programs: Vec<P> = (0..n).map(|i| factory(NodeId::new(i))).collect();
@@ -79,7 +96,7 @@ impl<P: NodeProgram> Network<P> {
             programs,
             rngs,
             statuses: vec![Status::Running; n],
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             ledger: CostLedger::new(),
             metrics: Metrics::default(),
             round: 0,
@@ -164,9 +181,8 @@ impl<P: NodeProgram> Network<P> {
         if self.round > 0 {
             return;
         }
-        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
         for i in 0..self.programs.len() {
-            outbox.clear();
+            let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
             let mut ctx = Context {
                 id: NodeId::new(i),
                 round: 0,
@@ -175,28 +191,55 @@ impl<P: NodeProgram> Network<P> {
                 outbox: &mut outbox,
             };
             self.programs[i].on_start(&mut ctx);
-            let drained: Vec<(NodeId, P::Message)> = outbox.drain(..).collect();
-            self.enqueue_from(NodeId::new(i), drained);
+            self.enqueue_from(NodeId::new(i), outbox);
         }
     }
 
     /// Whether every node is done and all link queues are empty.
     pub fn is_quiescent(&self) -> bool {
-        self.statuses.iter().all(|&s| s == Status::Done) && self.queues.values().all(VecDeque::is_empty)
+        self.statuses.iter().all(|&s| s == Status::Done)
+            && self.queues.values().all(VecDeque::is_empty)
     }
 
     /// Executes one synchronous round: delivers up to the per-link bandwidth
     /// from each queue, then invokes `on_round` on every node.
     pub fn step(&mut self) {
         self.round += 1;
+        let (inboxes, words_delivered) = self.deliver();
+
+        // Phase 2: local computation and message submission.
+        for (i, inbox) in inboxes.iter().enumerate() {
+            if self.statuses[i] == Status::Done && inbox.is_empty() {
+                continue;
+            }
+            let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+            let mut ctx = Context {
+                id: NodeId::new(i),
+                round: self.round,
+                topology: &self.topology,
+                rng: &mut self.rngs[i],
+                outbox: &mut outbox,
+            };
+            let status = self.programs[i].on_round(&mut ctx, inbox);
+            self.integrate_node_round(i, status, outbox);
+        }
+
+        self.sink.record(TraceEvent::RoundCompleted {
+            round: self.round,
+            words_delivered,
+        });
+    }
+
+    /// Phase 1 of a round: delivers up to the per-link bandwidth from each
+    /// queue. Returns the per-node inboxes (each ordered by `(src, dst)` link
+    /// identifier, deterministically) and the number of words delivered.
+    fn deliver(&mut self) -> (Vec<Mailbox<P::Message>>, u64) {
         let n = self.programs.len();
         let bandwidth = self.config.bandwidth_words as u64;
-
-        // Phase 1: delivery respecting per-link bandwidth.
-        let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n];
+        let mut inboxes: Vec<Mailbox<P::Message>> = vec![Vec::new(); n];
         let mut recv_words: Vec<u64> = vec![0; n];
         let mut words_delivered = 0u64;
-        for (&(src, dst), queue) in self.queues.iter_mut() {
+        for (&(src, dst), queue) in &mut self.queues {
             let mut budget = bandwidth;
             while budget > 0 {
                 match queue.front() {
@@ -229,38 +272,27 @@ impl<P: NodeProgram> Network<P> {
         for &w in &recv_words {
             self.metrics.max_node_recv_per_round = self.metrics.max_node_recv_per_round.max(w);
         }
+        (inboxes, words_delivered)
+    }
 
-        // Phase 2: local computation and message submission.
-        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
-        for i in 0..n {
-            let had_input = !inboxes[i].is_empty();
-            if self.statuses[i] == Status::Done && !had_input {
-                continue;
-            }
-            outbox.clear();
-            let mut ctx = Context {
-                id: NodeId::new(i),
+    /// Applies the outcome of one node's `on_round` call: records the
+    /// done-transition trace event, stores the new status and enqueues the
+    /// produced messages. Both executors call this in ascending node order,
+    /// which keeps traces and metrics identical between them.
+    fn integrate_node_round(
+        &mut self,
+        i: usize,
+        status: Status,
+        outbox: Vec<(NodeId, P::Message)>,
+    ) {
+        if status == Status::Done && self.statuses[i] == Status::Running {
+            self.sink.record(TraceEvent::NodeDone {
+                node: NodeId::new(i),
                 round: self.round,
-                topology: &self.topology,
-                rng: &mut self.rngs[i],
-                outbox: &mut outbox,
-            };
-            let status = self.programs[i].on_round(&mut ctx, &inboxes[i]);
-            if status == Status::Done && self.statuses[i] == Status::Running {
-                self.sink.record(TraceEvent::NodeDone {
-                    node: NodeId::new(i),
-                    round: self.round,
-                });
-            }
-            self.statuses[i] = status;
-            let drained: Vec<(NodeId, P::Message)> = outbox.drain(..).collect();
-            self.enqueue_from(NodeId::new(i), drained);
+            });
         }
-
-        self.sink.record(TraceEvent::RoundCompleted {
-            round: self.round,
-            words_delivered,
-        });
+        self.statuses[i] = status;
+        self.enqueue_from(NodeId::new(i), outbox);
     }
 
     fn enqueue_from(&mut self, src: NodeId, messages: Vec<(NodeId, P::Message)>) {
@@ -286,6 +318,171 @@ impl<P: NodeProgram> Network<P> {
             terminated,
         }
     }
+}
+
+/// The deterministic multi-threaded round executor (feature `parallel`).
+///
+/// Node programs are stepped concurrently on `threads` OS threads (the crate
+/// has no external dependencies, so the fan-out uses [`std::thread::scope`]
+/// rather than rayon). Determinism is preserved by construction:
+///
+/// * each node already owns an independent [`DeterministicRng`] stream, so the
+///   interleaving of node computations cannot perturb randomness;
+/// * message delivery happens before any node computes, and submitted messages
+///   only become visible in the next round, so intra-round compute order is
+///   semantically irrelevant;
+/// * per-node outboxes are collected and merged **in ascending `NodeId`
+///   order**, so link queues, metrics and trace events are byte-identical to
+///   the sequential executor's.
+///
+/// The regression test `tests/parallel_determinism.rs` asserts that
+/// [`Network::run`] and [`Network::run_parallel`] produce identical traces,
+/// round counts and listings.
+#[cfg(feature = "parallel")]
+impl<P> Network<P>
+where
+    P: NodeProgram + Send,
+    P::Message: Send + Sync,
+{
+    /// Like [`Network::run`], but steps node programs on all available cores.
+    pub fn run_parallel(&mut self, max_rounds: u64) -> RoundReport {
+        self.run_parallel_with_threads(default_threads(), max_rounds)
+    }
+
+    /// Like [`Network::run_parallel`] with an explicit thread count.
+    ///
+    /// The thread count influences wall-clock time only, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel_with_threads(&mut self, threads: usize, max_rounds: u64) -> RoundReport {
+        assert!(threads > 0, "need at least one executor thread");
+        self.start_parallel(threads);
+        while self.round < max_rounds {
+            if self.is_quiescent() {
+                return self.report(true);
+            }
+            self.step_parallel(threads);
+        }
+        let quiescent = self.is_quiescent();
+        self.report(quiescent)
+    }
+
+    /// Parallel counterpart of [`Network::start`].
+    pub fn start_parallel(&mut self, threads: usize) {
+        if self.round > 0 {
+            return;
+        }
+        let n = self.programs.len();
+        let inboxes: Vec<Mailbox<P::Message>> = vec![Vec::new(); n];
+        let outputs = Self::compute_round(
+            &mut self.programs,
+            &mut self.rngs,
+            &self.statuses,
+            &inboxes,
+            &self.topology,
+            0,
+            threads,
+            true,
+        );
+        for (i, _, outbox) in outputs {
+            self.enqueue_from(NodeId::new(i), outbox);
+        }
+    }
+
+    /// Parallel counterpart of [`Network::step`].
+    pub fn step_parallel(&mut self, threads: usize) {
+        self.round += 1;
+        let (inboxes, words_delivered) = self.deliver();
+        let outputs = Self::compute_round(
+            &mut self.programs,
+            &mut self.rngs,
+            &self.statuses,
+            &inboxes,
+            &self.topology,
+            self.round,
+            threads,
+            false,
+        );
+        for (i, status, outbox) in outputs {
+            self.integrate_node_round(i, status, outbox);
+        }
+        self.sink.record(TraceEvent::RoundCompleted {
+            round: self.round,
+            words_delivered,
+        });
+    }
+
+    /// Steps every active node on a pool of scoped threads, each thread owning
+    /// a contiguous chunk of nodes. Returns `(node, status, outbox)` triples
+    /// in ascending node order.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_round<'a>(
+        programs: &'a mut [P],
+        rngs: &'a mut [DeterministicRng],
+        statuses: &'a [Status],
+        inboxes: &'a [Mailbox<P::Message>],
+        topology: &'a Topology,
+        round: u64,
+        threads: usize,
+        starting: bool,
+    ) -> Vec<NodeOutcome<P::Message>> {
+        let n = programs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = n.div_ceil(threads.min(n));
+        let chunk_outputs: Vec<Vec<NodeOutcome<P::Message>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let programs = programs.chunks_mut(chunk);
+            let rngs = rngs.chunks_mut(chunk);
+            let statuses = statuses.chunks(chunk);
+            let inboxes = inboxes.chunks(chunk);
+            for (ci, (((programs, rngs), statuses), inboxes)) in
+                programs.zip(rngs).zip(statuses).zip(inboxes).enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    let base = ci * chunk;
+                    let mut out = Vec::with_capacity(programs.len());
+                    for (j, program) in programs.iter_mut().enumerate() {
+                        let inbox = &inboxes[j];
+                        if !starting && statuses[j] == Status::Done && inbox.is_empty() {
+                            continue;
+                        }
+                        let mut outbox = Vec::new();
+                        let mut ctx = Context {
+                            id: NodeId::new(base + j),
+                            round,
+                            topology,
+                            rng: &mut rngs[j],
+                            outbox: &mut outbox,
+                        };
+                        let status = if starting {
+                            program.on_start(&mut ctx);
+                            statuses[j]
+                        } else {
+                            program.on_round(&mut ctx, inbox)
+                        };
+                        out.push((base + j, status, outbox));
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node program panicked"))
+                .collect()
+        });
+        chunk_outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Number of worker threads [`Network::run_parallel`] uses: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+#[cfg(feature = "parallel")]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 #[cfg(test)]
@@ -360,7 +557,12 @@ mod tests {
         let report = net.run(1000);
         assert!(report.terminated);
         assert_eq!(net.program(NodeId::new(1)).received, k);
-        assert!(report.simulated_rounds >= k, "rounds {} < k {}", report.simulated_rounds, k);
+        assert!(
+            report.simulated_rounds >= k,
+            "rounds {} < k {}",
+            report.simulated_rounds,
+            k
+        );
         assert_eq!(report.metrics.messages_sent, k);
     }
 
@@ -378,7 +580,10 @@ mod tests {
     #[test]
     fn round_limit_reports_non_termination() {
         let topo = Topology::from_edges(2, &[(0, 1)]);
-        let mut net = Network::new(topo, NetworkConfig::default(), |_| Burst { k: 100, received: 0 });
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| Burst {
+            k: 100,
+            received: 0,
+        });
         let report = net.run(3);
         assert!(!report.terminated);
         assert_eq!(report.simulated_rounds, 3);

@@ -51,6 +51,22 @@ impl Topology {
         }
     }
 
+    /// Builds a topology from an iterator of undirected `u32` edge endpoints,
+    /// the representation the graph substrate hands out.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edge_list(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| (u as usize, v as usize))
+            .collect();
+        Topology::from_edges(n, &edges)
+    }
+
     /// Builds the complete topology on `n` nodes (CONGESTED CLIQUE).
     pub fn complete(n: usize) -> Self {
         let mut adjacency = Vec::with_capacity(n);

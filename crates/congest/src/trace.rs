@@ -5,8 +5,7 @@
 //! budgets.
 
 use crate::node::NodeId;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An event emitted by the simulator or by an algorithm phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,12 +62,12 @@ impl MemorySink {
 
     /// Returns a snapshot of the recorded events.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        self.events.lock().expect("trace sink poisoned").clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("trace sink poisoned").len()
     }
 
     /// Whether no events were recorded.
@@ -79,7 +78,7 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn record(&self, event: TraceEvent) {
-        self.events.lock().push(event);
+        self.events.lock().expect("trace sink poisoned").push(event);
     }
 }
 

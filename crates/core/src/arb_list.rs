@@ -47,6 +47,9 @@ pub struct ArbListOutcome {
 /// * `er`: the current `E_r` (the edges the decomposition is applied to);
 /// * `arboricity_bound`: the bound `n^d` on the out-degree of `orientation`;
 /// * `delta`: the decomposition parameter δ with `n^δ ≈ n^d / (2 log n)`.
+// The argument list mirrors the parameter list of Theorem 2.9's ARB-LIST;
+// collapsing it into a struct would obscure the correspondence to the paper.
+#[allow(clippy::too_many_arguments)]
 pub fn arb_list(
     graph: &Graph,
     orientation: &Orientation,
@@ -156,7 +159,9 @@ pub fn arb_list(
 
     outcome.rounds.add(phase::HEAVY_UPLOAD, max_heavy);
     outcome.rounds.add(phase::LIGHT_PROBES, max_probe);
-    outcome.rounds.add(phase::LIGHT_LISTING, sequential_light_listing);
+    outcome
+        .rounds
+        .add(phase::LIGHT_LISTING, sequential_light_listing);
     // The in-cluster phases run in parallel across clusters: charge the
     // per-phase maximum.
     for phase_name in [
@@ -180,7 +185,11 @@ pub fn arb_list(
 /// neighbours about each of its cluster neighbours and lists the `K_4`
 /// instances it sees. Returns the rounds used (for this cluster) and the
 /// cliques found.
-fn light_node_listing(graph: &Graph, cluster: &Cluster, heavy_threshold: f64) -> (u64, HashSet<Clique>) {
+fn light_node_listing(
+    graph: &Graph,
+    cluster: &Cluster,
+    heavy_threshold: f64,
+) -> (u64, HashSet<Clique>) {
     let mut cliques = HashSet::new();
     let mut max_rounds = 0u64;
     // Identify the C-light outside neighbours and their cluster neighbours.

@@ -33,7 +33,14 @@ pub fn eden_style_k4(graph: &Graph, seed: u64) -> ListingResult {
     let a = orientation.max_out_degree().max(1);
 
     // A single decomposition-and-list pass with the generic (dense) exchange.
-    let step = list_once(graph, &orientation, a, ExchangeMode::DenseAssumption, &config, seed);
+    let step = list_once(
+        graph,
+        &orientation,
+        a,
+        ExchangeMode::DenseAssumption,
+        &config,
+        seed,
+    );
     result.cliques.extend(step.listed);
     result.rounds.absorb(&step.rounds);
     result.diagnostics.absorb(&step.diagnostics);

@@ -17,5 +17,8 @@ pub mod naive;
 pub mod triangle;
 
 pub use eden_k4::eden_style_k4;
-pub use naive::{naive_broadcast_listing, naive_broadcast_rounds, NaiveBroadcastProgram};
+pub use naive::{
+    naive_broadcast_listing, naive_broadcast_rounds, simulate_naive_broadcast,
+    NaiveBroadcastProgram,
+};
 pub use triangle::triangle_listing;

@@ -3,7 +3,9 @@
 
 use crate::config::ListingConfig;
 use crate::result::{phase, ListingResult};
-use congest::{Context, NodeId, NodeProgram, Status};
+use congest::{
+    Context, Network, NetworkConfig, NodeId, NodeProgram, RoundReport, Status, Topology,
+};
 use graphcore::{cliques, Graph};
 use std::collections::HashSet;
 
@@ -29,6 +31,42 @@ pub fn naive_broadcast_listing(graph: &Graph, config: &ListingConfig) -> Listing
         result.cliques.insert(c);
     }
     result
+}
+
+/// Runs the message-level naive broadcast ([`NaiveBroadcastProgram`]) on the
+/// CONGEST topology of `graph` and returns the simulator report together with
+/// the union of the node outputs.
+///
+/// This is the simulated counterpart of the analytic
+/// [`naive_broadcast_listing`]; the two must agree on the listing, and the
+/// simulated round count matches [`naive_broadcast_rounds`] up to `O(1)`
+/// start-up slack. With the `parallel` feature enabled, node programs are
+/// stepped on all cores (deterministically — see `congest`'s parallel
+/// executor), which is what makes large-`n` simulations tractable.
+pub fn simulate_naive_broadcast(
+    graph: &Graph,
+    p: usize,
+    max_rounds: u64,
+) -> (RoundReport, ListingResult) {
+    let topology = Topology::from_edge_list(graph.num_vertices(), graph.edges());
+    let mut net = Network::new(topology, NetworkConfig::default(), |_| {
+        NaiveBroadcastProgram::new(p)
+    });
+    #[cfg(feature = "parallel")]
+    let report = net.run_parallel(max_rounds);
+    #[cfg(not(feature = "parallel"))]
+    let report = net.run(max_rounds);
+
+    let mut result = ListingResult::new();
+    result
+        .rounds
+        .add(phase::FINAL_BROADCAST, report.simulated_rounds);
+    for program in net.into_programs() {
+        for clique in program.listed {
+            result.cliques.insert(clique);
+        }
+    }
+    (report, result)
 }
 
 /// A message-level implementation of the naive baseline for the CONGEST
@@ -127,9 +165,10 @@ mod tests {
     #[test]
     fn simulated_baseline_matches_analytic_round_count() {
         let g = gen::erdos_renyi(24, 0.35, 5);
-        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u as usize, v as usize)).collect();
-        let topo = Topology::from_edges(g.num_vertices(), &edges);
-        let mut net = Network::new(topo, NetworkConfig::default(), |_| NaiveBroadcastProgram::new(3));
+        let topo = Topology::from_edge_list(g.num_vertices(), g.edges());
+        let mut net = Network::new(topo, NetworkConfig::default(), |_| {
+            NaiveBroadcastProgram::new(3)
+        });
         let report = net.run(10_000);
         assert!(report.terminated);
         // The simulated execution needs Δ broadcast rounds plus O(1) slack for
@@ -147,6 +186,17 @@ mod tests {
         }
         let truth: HashSet<Vec<u32>> = cliques::list_cliques(&g, 3).into_iter().collect();
         assert_eq!(union, truth);
+    }
+
+    #[test]
+    fn simulate_helper_agrees_with_analytic() {
+        let g = gen::erdos_renyi(30, 0.3, 8);
+        let cfg = ListingConfig::for_p(4);
+        let (report, result) = simulate_naive_broadcast(&g, 4, 10_000);
+        assert!(report.terminated);
+        let analytic = naive_broadcast_listing(&g, &cfg);
+        assert_eq!(result.cliques, analytic.cliques);
+        assert!(report.simulated_rounds >= naive_broadcast_rounds(&g));
     }
 
     #[test]

@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let cfg = ListingConfig::for_p(5).with_seed(7).with_charge_policy(ChargePolicy::bare());
+        let cfg = ListingConfig::for_p(5)
+            .with_seed(7)
+            .with_charge_policy(ChargePolicy::bare());
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.charge_policy.polylog_exponent, 0);
     }

@@ -62,7 +62,8 @@ pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCli
 
     // Edge exchange loads.
     let words = 2u64; // an edge is two vertex identifiers
-    let mut pair_counts: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+    let mut pair_counts: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
     let mut send_load = vec![0u64; n];
     for (u, v) in graph.edges() {
         let (a, b) = (partition.part_of(u), partition.part_of(v));
@@ -90,10 +91,10 @@ pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCli
     }
     report.max_send = send_load.iter().copied().max().unwrap_or(0);
     report.max_recv = max_recv;
-    report
-        .result
-        .rounds
-        .add(phase::PART_EXCHANGE, clique.routing_rounds(report.max_send, report.max_recv));
+    report.result.rounds.add(
+        phase::PART_EXCHANGE,
+        clique.routing_rounds(report.max_send, report.max_recv),
+    );
 
     // Every tuple is owned by some node, so every K_p (whose vertices fall in
     // some multiset of parts) is listed by the owner of the corresponding

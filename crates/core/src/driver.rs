@@ -76,8 +76,7 @@ pub fn list_kp_with_mode(
     // Final phase: every node broadcasts its remaining outgoing edges to all
     // of its neighbours. Each edge {v, w} then carries out-deg(v) + out-deg(w)
     // edge descriptions, so the phase costs (max out-degree) edge-messages.
-    let final_rounds =
-        (orientation.max_out_degree() as u64).max(1) * config.words_per_edge;
+    let final_rounds = (orientation.max_out_degree() as u64).max(1) * config.words_per_edge;
     if current.num_edges() > 0 {
         result.rounds.add(phase::FINAL_BROADCAST, final_rounds);
         // Every member of a surviving clique sees all of the clique's edges
@@ -165,10 +164,13 @@ mod tests {
     fn both_variants_agree_on_the_output_set() {
         let g = gen::erdos_renyi(80, 0.3, 31);
         let general = list_kp(&g, &ListingConfig::for_p(4));
-        let fast = list_kp(&g, &ListingConfig {
-            variant: Variant::FastK4,
-            ..ListingConfig::for_p(4)
-        });
+        let fast = list_kp(
+            &g,
+            &ListingConfig {
+                variant: Variant::FastK4,
+                ..ListingConfig::for_p(4)
+            },
+        );
         assert_eq!(general.cliques, fast.cliques);
     }
 

@@ -133,7 +133,14 @@ mod tests {
         let orientation = Orientation::from_degeneracy(graph);
         let a = orientation.max_out_degree().max(1);
         let config = ListingConfig::for_p(p);
-        list_once(graph, &orientation, a, ExchangeMode::SparsityAware, &config, 5)
+        list_once(
+            graph,
+            &orientation,
+            a,
+            ExchangeMode::SparsityAware,
+            &config,
+            5,
+        )
     }
 
     #[test]
@@ -176,7 +183,10 @@ mod tests {
         let g = gen::erdos_renyi(100, 0.3, 9);
         let out = run_list(&g, 4);
         for clique in &out.listed {
-            assert!(graphcore::cliques::is_clique(&g, clique), "{clique:?} is not a clique");
+            assert!(
+                graphcore::cliques::is_clique(&g, clique),
+                "{clique:?} is not a clique"
+            );
         }
     }
 

@@ -128,9 +128,10 @@ pub fn cluster_listing(
     let max_send = send_load.values().copied().max().unwrap_or(0);
     let max_recv = recv_load.values().copied().max().unwrap_or(0);
     outcome.reshuffle_load = max_send.max(max_recv);
-    outcome
-        .rounds
-        .add(phase::RESHUFFLE, router.rounds_for_load(outcome.reshuffle_load));
+    outcome.rounds.add(
+        phase::RESHUFFLE,
+        router.rounds_for_load(outcome.reshuffle_load),
+    );
 
     // --- Step 3: random partition and its broadcast ------------------------
     let assignment = TupleAssignment::new(k, p);
@@ -192,15 +193,16 @@ pub fn cluster_listing(
             // Each responsible node nominally forwards its worst-case share of
             // a dense graph: (n/k)·n^d edges, each to p²·k^{1−2/p} owners.
             let share = (n as u64).div_ceil(k as u64) * input.arboricity_bound as u64;
-            let owners = ((p * p) as u64)
-                * ((k as f64).powf(1.0 - 2.0 / p as f64).ceil() as u64).max(1);
+            let owners =
+                ((p * p) as u64) * ((k as f64).powf(1.0 - 2.0 / p as f64).ceil() as u64).max(1);
             share * owners * words
         }
     };
     outcome.exchange_load = max_exchange_send.max(max_exchange_recv);
-    outcome
-        .rounds
-        .add(phase::PART_EXCHANGE, router.rounds_for_load(outcome.exchange_load));
+    outcome.rounds.add(
+        phase::PART_EXCHANGE,
+        router.rounds_for_load(outcome.exchange_load),
+    );
 
     // --- Step 5: local listing ---------------------------------------------
     // Every K_p whose edges are all known and which contains a goal edge is
@@ -230,7 +232,10 @@ mod tests {
     use super::*;
     use graphcore::{gen, Edge, Orientation};
 
-    fn inputs_for(graph: &Graph, cluster_size: usize) -> (Cluster, Graph, Vec<(u32, u32)>, EdgeSet) {
+    fn inputs_for(
+        graph: &Graph,
+        cluster_size: usize,
+    ) -> (Cluster, Graph, Vec<(u32, u32)>, EdgeSet) {
         let cluster = Cluster::new(0, (0..cluster_size as u32).collect());
         let em: EdgeSet = graph
             .edges()
@@ -269,9 +274,9 @@ mod tests {
         let expected: HashSet<Clique> = cliques::list_cliques(&g, 4)
             .into_iter()
             .filter(|c| {
-                c.iter().enumerate().any(|(i, &a)| {
-                    c[i + 1..].iter().any(|&b| em.contains_pair(a, b))
-                })
+                c.iter()
+                    .enumerate()
+                    .any(|(i, &a)| c[i + 1..].iter().any(|&b| em.contains_pair(a, b)))
             })
             .collect();
         let got: HashSet<Clique> = out.cliques.iter().cloned().collect();
@@ -296,7 +301,10 @@ mod tests {
         let cfg = ListingConfig::for_p(4);
         let sparse = cluster_listing(&input, &cfg, ExchangeMode::SparsityAware, 1);
         let dense = cluster_listing(&input, &cfg, ExchangeMode::DenseAssumption, 1);
-        assert!(dense.rounds.for_phase(phase::PART_EXCHANGE) >= sparse.rounds.for_phase(phase::PART_EXCHANGE));
+        assert!(
+            dense.rounds.for_phase(phase::PART_EXCHANGE)
+                >= sparse.rounds.for_phase(phase::PART_EXCHANGE)
+        );
         // Both list exactly the same cliques.
         assert_eq!(sparse.cliques, dense.cliques);
     }
@@ -344,6 +352,11 @@ mod tests {
             let out = cluster_listing(&input, &cfg, ExchangeMode::SparsityAware, 7);
             loads.push(out.exchange_load);
         }
-        assert!(loads[1] > loads[0], "dense load {} <= sparse load {}", loads[1], loads[0]);
+        assert!(
+            loads[1] > loads[0],
+            "dense load {} <= sparse load {}",
+            loads[1],
+            loads[0]
+        );
     }
 }

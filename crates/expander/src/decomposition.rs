@@ -103,16 +103,34 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::NotAPartition { expected, found } => {
-                write!(f, "edge parts do not partition the input ({found} != {expected})")
+                write!(
+                    f,
+                    "edge parts do not partition the input ({found} != {expected})"
+                )
             }
             Violation::ErTooLarge { er, limit } => write!(f, "|E_r| = {er} exceeds limit {limit}"),
-            Violation::LowClusterDegree { cluster, found, required } => {
+            Violation::LowClusterDegree {
+                cluster,
+                found,
+                required,
+            } => {
                 write!(f, "cluster {cluster} has min degree {found} < {required}")
             }
-            Violation::SlowMixing { cluster, mixing_time, limit } => {
-                write!(f, "cluster {cluster} mixing time {mixing_time:.1} exceeds {limit:.1}")
+            Violation::SlowMixing {
+                cluster,
+                mixing_time,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "cluster {cluster} mixing time {mixing_time:.1} exceeds {limit:.1}"
+                )
             }
-            Violation::EsOutDegreeTooHigh { vertex, out_degree, limit } => {
+            Violation::EsOutDegreeTooHigh {
+                vertex,
+                out_degree,
+                limit,
+            } => {
                 write!(f, "E_s out-degree of {vertex} is {out_degree} > {limit}")
             }
             Violation::EsOrientationMismatch => write!(f, "E_s orientation does not match E_s"),
@@ -263,7 +281,12 @@ impl Decomposition {
 /// cluster. Cut edges go to `E_r`; if the `E_r` budget (`|E|/6` by default)
 /// would be exceeded, the component is accepted as-is so the budget guarantee
 /// always holds.
-pub fn decompose(graph: &Graph, delta: f64, config: &DecompositionConfig, _seed: u64) -> Decomposition {
+pub fn decompose(
+    graph: &Graph,
+    delta: f64,
+    config: &DecompositionConfig,
+    _seed: u64,
+) -> Decomposition {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let threshold = config.degree_threshold(n, delta);
@@ -296,7 +319,14 @@ pub fn decompose(graph: &Graph, delta: f64, config: &DecompositionConfig, _seed:
         let sub = subgraph(&remaining, n, &component);
         let mixing = spectral::mixing_time_estimate(&sub, &component);
         if mixing.is_finite() && mixing <= mixing_limit {
-            accept_cluster(&component, &sub, &mut em, &mut clusters, &mut cluster_of, &mut remaining);
+            accept_cluster(
+                &component,
+                &sub,
+                &mut em,
+                &mut clusters,
+                &mut cluster_of,
+                &mut remaining,
+            );
             continue;
         }
 
@@ -317,7 +347,14 @@ pub fn decompose(graph: &Graph, delta: f64, config: &DecompositionConfig, _seed:
             // Accept the component as a (possibly slow-mixing) cluster; the
             // E_r budget takes precedence so the |E_r| <= |E|/6 guarantee
             // always holds.
-            accept_cluster(&component, &sub, &mut em, &mut clusters, &mut cluster_of, &mut remaining);
+            accept_cluster(
+                &component,
+                &sub,
+                &mut em,
+                &mut clusters,
+                &mut cluster_of,
+                &mut remaining,
+            );
             continue;
         }
 
@@ -458,7 +495,11 @@ fn accept_cluster(
 fn sweep_cut(sub: &Graph, component: &[u32]) -> Option<(Vec<u32>, f64)> {
     let (_, vector) = spectral::second_eigenpair(sub, component)?;
     let mut order: Vec<usize> = (0..component.len()).collect();
-    order.sort_by(|&a, &b| vector[a].partial_cmp(&vector[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        vector[a]
+            .partial_cmp(&vector[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let total_volume: usize = component.iter().map(|&v| sub.degree(v)).sum();
     let mut in_prefix: BTreeSet<u32> = BTreeSet::new();
@@ -480,7 +521,7 @@ fn sweep_cut(sub: &Graph, component: &[u32]) -> Option<(Vec<u32>, f64)> {
             continue;
         }
         let conductance = cut as f64 / denom as f64;
-        if best.map_or(true, |(_, c)| conductance < c) {
+        if best.is_none_or(|(_, c)| conductance < c) {
             best = Some((i, conductance));
         }
     }
@@ -573,7 +614,10 @@ mod tests {
         let d = decompose(&g, 0.5, &DecompositionConfig::default(), 1);
         let bare = ChargePolicy::bare();
         assert_eq!(d.charged_rounds(10_000, &bare), 100); // 10000^{0.5}
-        assert_eq!(Decomposition::primitive_kind(), PrimitiveKind::ExpanderDecomposition);
+        assert_eq!(
+            Decomposition::primitive_kind(),
+            PrimitiveKind::ExpanderDecomposition
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ mod tests {
     fn charged_rounds_are_polylog() {
         let policy = ChargePolicy::default();
         assert_eq!(ClusterIds::charged_rounds(1024, &policy), 10);
-        assert_eq!(ClusterIds::primitive_kind(), PrimitiveKind::ClusterIdAssignment);
+        assert_eq!(
+            ClusterIds::primitive_kind(),
+            PrimitiveKind::ClusterIdAssignment
+        );
     }
 
     #[test]

@@ -136,7 +136,8 @@ mod tests {
         let router = ClusterRouter::new(&cluster, &g, 10, ChargePolicy::bare());
         assert_eq!(router.bandwidth(), 9);
         let mut ledger = CostLedger::new();
-        let messages: Vec<(u32, u32, u64)> = (0..20).map(|i| (i % 10, (i + 1) % 10, i as u64)).collect();
+        let messages: Vec<(u32, u32, u64)> =
+            (0..20).map(|i| (i % 10, (i + 1) % 10, i as u64)).collect();
         let (delivered, outcome) = router.route(messages, 1, &mut ledger);
         assert_eq!(outcome.messages, 20);
         assert_eq!(outcome.max_send, 2);
@@ -159,7 +160,8 @@ mod tests {
         let router = ClusterRouter::new(&cluster, &g, 10, ChargePolicy::bare());
         let mut ledger = CostLedger::new();
         // Node 0 sends 90 messages: load 90, bandwidth 9 → 10 rounds.
-        let messages: Vec<(u32, u32, ())> = (0..90).map(|i| (0u32, 1 + (i % 9) as u32, ())).collect();
+        let messages: Vec<(u32, u32, ())> =
+            (0..90).map(|i| (0u32, 1 + (i % 9) as u32, ())).collect();
         let (_, outcome) = router.route(messages, 1, &mut ledger);
         assert_eq!(outcome.rounds, 10);
         assert_eq!(router.rounds_for_load(90), 10);

@@ -116,7 +116,7 @@ pub fn cliques_containing_edge(graph: &Graph, p: usize, a: u32, b: u32) -> Vec<C
     let mut out = Vec::new();
     let mut stack = vec![a.min(b), a.max(b)];
     extend_clique(graph, p, &common, &mut stack, &mut |c: &[u32]| {
-        out.push(c.to_vec())
+        out.push(c.to_vec());
     });
     out.sort_unstable();
     out.dedup();

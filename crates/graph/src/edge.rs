@@ -230,6 +230,9 @@ mod tests {
         assert!(!a.remove(Edge::new(1, 2)));
 
         let sorted = uni.to_sorted_vec();
-        assert_eq!(sorted, vec![Edge::new(1, 2), Edge::new(2, 3), Edge::new(4, 5)]);
+        assert_eq!(
+            sorted,
+            vec![Edge::new(1, 2), Edge::new(2, 3), Edge::new(4, 5)]
+        );
     }
 }

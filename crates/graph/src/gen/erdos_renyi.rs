@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `p` is not in `[0, 1]` or is NaN.
 pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     if n < 2 || p == 0.0 {
@@ -74,7 +77,8 @@ fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
     let idxf = idx as f64;
     let nf = n as f64;
     // Solve u such that u*n - u*(u+1)/2 <= idx < (u+1)*n - (u+1)*(u+2)/2.
-    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * idxf).sqrt()) / 2.0).floor() as u64;
+    let mut u =
+        ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * idxf).sqrt()) / 2.0).floor() as u64;
     // Guard against floating point edge cases.
     loop {
         let row_start = u * n - u * (u + 1) / 2;

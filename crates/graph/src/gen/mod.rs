@@ -15,7 +15,7 @@ mod preferential;
 mod regular;
 mod rmat;
 
-pub use classic::{complete_graph, complete_bipartite, cycle_graph, path_graph, star_graph};
+pub use classic::{complete_bipartite, complete_graph, cycle_graph, path_graph, star_graph};
 pub use erdos_renyi::{erdos_renyi, erdos_renyi_with_edges};
 pub use multipartite::{clique_listing_workload, multipartite};
 pub use planted::{planted_cliques, PlantedClique};

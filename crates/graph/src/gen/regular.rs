@@ -22,14 +22,16 @@ use rand::SeedableRng;
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree {d} must be smaller than n = {n}");
-    assert!((n * d) % 2 == 0, "n * d must be even");
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
     if d == 0 || n == 0 {
         return Graph::new(n);
     }
     for attempt in 0..32u64 {
         let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9E37)));
         // Stubs: d copies of each vertex.
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
@@ -49,7 +51,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     // Fallback: build greedily and drop conflicting pairs. Degrees may be off
     // by a small amount, which is acceptable for workload generation.
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(&mut rng);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut seen = std::collections::HashSet::new();

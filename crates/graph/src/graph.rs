@@ -26,7 +26,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
         }
@@ -146,7 +149,11 @@ impl Graph {
         if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
             return false;
         }
-        let (small, large) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (small, large) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[small as usize].binary_search(&large).is_ok()
     }
 

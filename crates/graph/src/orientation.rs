@@ -336,7 +336,7 @@ mod tests {
         let upper = arboricity_upper_bound(&g);
         assert!(lower <= upper);
         assert_eq!(lower, 4);
-        assert!(upper >= 4 && upper <= 7);
+        assert!((4..=7).contains(&upper));
 
         // A forest has arboricity 1.
         let tree = gen::star_graph(20);

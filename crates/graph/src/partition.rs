@@ -40,7 +40,10 @@ impl VertexPartition {
     ///
     /// Panics if an entry is `>= num_parts`.
     pub fn from_assignment(part: Vec<u32>, num_parts: u32) -> Self {
-        assert!(part.iter().all(|&p| p < num_parts), "part index out of range");
+        assert!(
+            part.iter().all(|&p| p < num_parts),
+            "part index out of range"
+        );
         VertexPartition { part, num_parts }
     }
 
@@ -120,7 +123,8 @@ pub fn lemma_2_7_preconditions(n: usize, m: usize, max_degree: usize, q: f64) ->
         return false;
     }
     let log_n = (n as f64).log2();
-    (max_degree as f64) <= (m as f64) * q / (20.0 * log_n) && q * q * (m as f64) >= 400.0 * log_n * log_n
+    (max_degree as f64) <= (m as f64) * q / (20.0 * log_n)
+        && q * q * (m as f64) >= 400.0 * log_n * log_n
 }
 
 /// Counts the edges of `graph` inside the subgraph induced by `sample`.
@@ -166,9 +170,9 @@ mod tests {
         let total: usize = counts.iter().flat_map(|r| r.iter()).sum();
         assert_eq!(total, g.num_edges());
         // Upper triangle only.
-        for i in 0..5 {
-            for j in 0..i {
-                assert_eq!(counts[i][j], 0);
+        for (i, row) in counts.iter().enumerate() {
+            for &below_diagonal in &row[..i] {
+                assert_eq!(below_diagonal, 0);
             }
         }
         assert!(p.max_pairwise_edges(&g) > 0);

@@ -68,7 +68,11 @@ pub fn spectral_gap(graph: &Graph, vertices: &[u32]) -> f64 {
 /// (Cheeger's inequality).
 pub fn second_eigenpair(graph: &Graph, vertices: &[u32]) -> Option<(f64, Vec<f64>)> {
     let sub = graph.induced_keep_ids(vertices);
-    let active: Vec<u32> = vertices.iter().copied().filter(|&v| sub.degree(v) > 0).collect();
+    let active: Vec<u32> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| sub.degree(v) > 0)
+        .collect();
     if active.len() < 2 {
         return None;
     }
@@ -90,7 +94,9 @@ pub fn second_eigenpair(graph: &Graph, vertices: &[u32]) -> Option<(f64, Vec<f64
     // the second eigenvalue by projecting out the stationary left-eigenvector.
     // We work with the reversible walk, so we symmetrise using the π inner
     // product: project x ← x − (Σ π_v x_v) · 1.
-    let mut x: Vec<f64> = (0..k).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    let mut x: Vec<f64> = (0..k)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
     project_out_constant(&mut x, &pi);
     normalise(&mut x);
     let mut lambda = 0.0f64;
@@ -212,7 +218,10 @@ mod tests {
         let all: Vec<u32> = (0..64).collect();
         let gap_path = spectral_gap(&g, &all);
         let gap_complete = spectral_gap(&gen::complete_graph(64), &all);
-        assert!(gap_path < gap_complete / 10.0, "{gap_path} vs {gap_complete}");
+        assert!(
+            gap_path < gap_complete / 10.0,
+            "{gap_path} vs {gap_complete}"
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn average_clustering(graph: &Graph) -> f64 {
     if eligible.is_empty() {
         return 0.0;
     }
-    eligible.iter().map(|&v| local_clustering(graph, v)).sum::<f64>() / eligible.len() as f64
+    eligible
+        .iter()
+        .map(|&v| local_clustering(graph, v))
+        .sum::<f64>()
+        / eligible.len() as f64
 }
 
 /// The core number of every vertex: the largest `k` such that the vertex

@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use distributed_clique_listing::cliquelist::{
-    list_kp, verify_against_ground_truth, ListingConfig,
-};
+use distributed_clique_listing::cliquelist::{list_kp, verify_against_ground_truth, ListingConfig};
 use distributed_clique_listing::graphcore::gen;
 
 fn main() {

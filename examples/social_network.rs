@@ -11,10 +11,10 @@
 //! cargo run --release --example social_network
 //! ```
 
-use distributed_clique_listing::cliquelist::baselines::{naive_broadcast_listing, triangle_listing};
-use distributed_clique_listing::cliquelist::{
-    list_kp, verify_against_ground_truth, ListingConfig,
+use distributed_clique_listing::cliquelist::baselines::{
+    naive_broadcast_listing, triangle_listing,
 };
+use distributed_clique_listing::cliquelist::{list_kp, verify_against_ground_truth, ListingConfig};
 use distributed_clique_listing::graphcore::gen;
 use std::collections::HashMap;
 
@@ -39,7 +39,11 @@ fn main() {
     // K4 via the fast algorithm of Theorem 1.2.
     let k4 = list_kp(&graph, &ListingConfig::fast_k4());
     verify_against_ground_truth(&graph, 4, &k4).expect("K4 listing is exact");
-    println!("K4s: {} listed in {} CONGEST rounds", k4.len(), k4.rounds.total());
+    println!(
+        "K4s: {} listed in {} CONGEST rounds",
+        k4.len(),
+        k4.rounds.total()
+    );
 
     // Compare with the naive Θ(Δ) baseline.
     let naive = naive_broadcast_listing(&graph, &ListingConfig::for_p(4));

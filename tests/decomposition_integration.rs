@@ -1,8 +1,10 @@
 //! Integration tests for the expander-decomposition substrate: the guarantees
 //! of Definition 2.2 must hold on every workload family the experiments use.
 
-use distributed_clique_listing::expander::{decompose, ClusterIds, ClusterRouter, DecompositionConfig};
 use distributed_clique_listing::congest::{ChargePolicy, CostLedger};
+use distributed_clique_listing::expander::{
+    decompose, ClusterIds, ClusterRouter, DecompositionConfig,
+};
 use distributed_clique_listing::graphcore::{gen, orientation, Graph};
 
 fn families() -> Vec<(String, Graph)> {
@@ -24,7 +26,7 @@ fn definition_2_2_holds_on_every_family() {
         for &delta in &[0.4, 0.55, 0.7] {
             let d = decompose(&graph, delta, &config, 3);
             d.verify(&graph)
-                .unwrap_or_else(|v| panic!("{label} (δ = {delta}): {:?}", v));
+                .unwrap_or_else(|v| panic!("{label} (δ = {delta}): {v:?}"));
             assert!(
                 d.er.len() * 6 <= graph.num_edges().max(1),
                 "{label}: |E_r| too large"
@@ -51,7 +53,10 @@ fn es_arboricity_bound_is_respected() {
 fn cluster_ids_and_router_work_on_real_clusters() {
     let graph = gen::erdos_renyi(200, 0.35, 5);
     let d = decompose(&graph, 0.5, &DecompositionConfig::default(), 1);
-    assert!(!d.clusters.is_empty(), "dense ER graph must produce clusters");
+    assert!(
+        !d.clusters.is_empty(),
+        "dense ER graph must produce clusters"
+    );
     let em_graph = d.em_graph(200);
     for cluster in &d.clusters {
         let ids = ClusterIds::assign(cluster);

@@ -48,7 +48,10 @@ fn experiment_configuration_is_also_exact() {
     let config = ListingConfig::for_p(5).for_experiments();
     let result = list_kp(&graph, &config);
     verify_against_ground_truth(&graph, 5, &result).expect("exact listing");
-    assert!(result.diagnostics.list_iterations >= 1, "pipeline must be active");
+    assert!(
+        result.diagnostics.list_iterations >= 1,
+        "pipeline must be active"
+    );
     assert!(result.diagnostics.clusters >= 1);
 }
 
@@ -102,7 +105,13 @@ fn exchange_modes_and_variants_produce_identical_outputs() {
     let cfg = ListingConfig::for_p(4).for_experiments();
     let sparse = list_kp_with_mode(&graph, &cfg, ExchangeMode::SparsityAware);
     let dense = list_kp_with_mode(&graph, &cfg, ExchangeMode::DenseAssumption);
-    let fast = list_kp(&graph, &ListingConfig { variant: Variant::FastK4, ..cfg });
+    let fast = list_kp(
+        &graph,
+        &ListingConfig {
+            variant: Variant::FastK4,
+            ..cfg
+        },
+    );
     assert_eq!(sparse.cliques, dense.cliques);
     assert_eq!(sparse.cliques, fast.cliques);
     verify_against_ground_truth(&graph, 4, &sparse).expect("exact");

@@ -1,0 +1,73 @@
+//! Workspace-level integration test: the full `K_p` listing pipeline on small
+//! planted workloads, cross-checked against `graphcore::cliques` exact
+//! enumeration.
+//!
+//! This test is feature-independent on purpose: CI runs it both with the
+//! default (sequential) configuration and with `--features parallel`, so the
+//! listing pipeline is exercised under both executors.
+
+use distributed_clique_listing::cliquelist::baselines::simulate_naive_broadcast;
+use distributed_clique_listing::cliquelist::{list_kp, ListingConfig, Variant};
+use distributed_clique_listing::graphcore::{canonical_clique, cliques, gen};
+use std::collections::HashSet;
+
+/// Lists `K_p` with the general algorithm on a planted workload and compares
+/// the output set against the exact sequential enumeration.
+fn check_planted(n: usize, p: usize, num_planted: usize, seed: u64) {
+    let (graph, planted) = gen::planted_cliques(n, 0.04, num_planted, p, seed);
+    let result = list_kp(&graph, &ListingConfig::for_p(p).with_seed(seed));
+
+    let listed: HashSet<Vec<u32>> = result.cliques.iter().cloned().collect();
+    let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, p).into_iter().collect();
+    assert_eq!(
+        listed, exact,
+        "n={n} p={p} seed={seed}: distributed listing != exact enumeration"
+    );
+    for c in &planted {
+        assert!(
+            listed.contains(&canonical_clique(&c.vertices)),
+            "n={n} p={p} seed={seed}: planted clique {:?} missing",
+            c.vertices
+        );
+    }
+    assert_eq!(result.len(), exact.len());
+}
+
+#[test]
+fn planted_k4_workloads_match_exact_enumeration() {
+    for seed in [5u64, 23] {
+        check_planted(110, 4, 4, seed);
+    }
+}
+
+#[test]
+fn planted_k5_workloads_match_exact_enumeration() {
+    for seed in [7u64, 31] {
+        check_planted(110, 5, 3, seed);
+    }
+}
+
+#[test]
+fn fast_k4_matches_exact_enumeration_on_planted_workload() {
+    let (graph, _) = gen::planted_cliques(100, 0.05, 4, 4, 13);
+    let config = ListingConfig {
+        variant: Variant::FastK4,
+        ..ListingConfig::for_p(4)
+    };
+    let result = list_kp(&graph, &config);
+    let listed: HashSet<Vec<u32>> = result.cliques.iter().cloned().collect();
+    let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, 4).into_iter().collect();
+    assert_eq!(listed, exact);
+}
+
+/// The message-level simulation path (which switches executor with the
+/// `parallel` feature) must agree with the exact enumeration too.
+#[test]
+fn simulated_broadcast_matches_exact_enumeration() {
+    let (graph, _) = gen::planted_cliques(60, 0.05, 3, 4, 41);
+    let (report, result) = simulate_naive_broadcast(&graph, 4, 100_000);
+    assert!(report.terminated);
+    let listed: HashSet<Vec<u32>> = result.cliques.iter().cloned().collect();
+    let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, 4).into_iter().collect();
+    assert_eq!(listed, exact);
+}

@@ -1,10 +1,15 @@
-//! Property-based tests (proptest) for the core invariants:
+//! Property-based tests for the core invariants:
 //!
 //! * the distributed listing output always equals the exact enumeration;
 //! * orientations cover their graphs with out-degree bounded by the degeneracy;
 //! * the expander decomposition is an exact partition with `|E_r| ≤ |E|/6`;
 //! * radix part tuples cover every multiset of parts;
 //! * random vertex partitions preserve the edge count.
+//!
+//! The cases are drawn from a deterministic in-tree generator (the build
+//! environment has no proptest), so failures reproduce exactly; each property
+//! is exercised on a fixed number of sampled inputs spanning the same ranges
+//! the original proptest strategies used.
 
 use distributed_clique_listing::cliquelist::parts::TupleAssignment;
 use distributed_clique_listing::cliquelist::{
@@ -14,85 +19,145 @@ use distributed_clique_listing::expander::{decompose, DecompositionConfig};
 use distributed_clique_listing::graphcore::orientation::{degeneracy_ordering, Orientation};
 use distributed_clique_listing::graphcore::partition::VertexPartition;
 use distributed_clique_listing::graphcore::{cliques, gen, Graph};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random graph described by (n, edge probability numerator, seed).
-fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
-    (4usize..max_n, 1u32..70, 0u64..1_000).prop_map(|(n, prob, seed)| {
-        gen::erdos_renyi(n, f64::from(prob) / 100.0, seed)
-    })
+/// Number of sampled cases per property (mirrors `ProptestConfig::with_cases`).
+const CASES: u64 = 24;
+
+/// Deterministically samples a random graph in the same distribution the
+/// original proptest strategy used: `4 ≤ n < max_n`, edge probability in
+/// `[0.01, 0.70)`, seed in `[0, 1000)`.
+fn sample_graph(rng: &mut SmallRng, max_n: usize) -> Graph {
+    let n = rng.gen_range(4..max_n);
+    let prob = f64::from(rng.gen_range(1u32..70)) / 100.0;
+    let seed = rng.gen_range(0u64..1_000);
+    gen::erdos_renyi(n, prob, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn congest_listing_is_always_exact(graph in graph_strategy(40), p in 3usize..6) {
+#[test]
+fn congest_listing_is_always_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0001);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 40);
+        let p = rng.gen_range(3usize..6);
         let result = list_kp(&graph, &ListingConfig::for_p(p));
-        prop_assert!(verify_against_ground_truth(&graph, p, &result).is_ok());
+        assert!(
+            verify_against_ground_truth(&graph, p, &result).is_ok(),
+            "case {case}: K_{p} listing diverged from ground truth"
+        );
     }
+}
 
-    #[test]
-    fn fast_k4_listing_is_always_exact(graph in graph_strategy(40)) {
-        let result = list_kp(&graph, &ListingConfig { variant: Variant::FastK4, ..ListingConfig::for_p(4) });
-        prop_assert!(verify_against_ground_truth(&graph, 4, &result).is_ok());
+#[test]
+fn fast_k4_listing_is_always_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0002);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 40);
+        let config = ListingConfig {
+            variant: Variant::FastK4,
+            ..ListingConfig::for_p(4)
+        };
+        let result = list_kp(&graph, &config);
+        assert!(
+            verify_against_ground_truth(&graph, 4, &result).is_ok(),
+            "case {case}: fast K_4 listing diverged from ground truth"
+        );
     }
+}
 
-    #[test]
-    fn congested_clique_listing_is_always_exact(graph in graph_strategy(40), p in 3usize..6) {
+#[test]
+fn congested_clique_listing_is_always_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0003);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 40);
+        let p = rng.gen_range(3usize..6);
         if graph.num_vertices() >= 2 {
             let report = congested_clique_list(&graph, p, 1);
-            prop_assert!(verify_against_ground_truth(&graph, p, &report.result).is_ok());
+            assert!(
+                verify_against_ground_truth(&graph, p, &report.result).is_ok(),
+                "case {case}: congested-clique K_{p} listing diverged from ground truth"
+            );
         }
     }
+}
 
-    #[test]
-    fn degeneracy_orientation_covers_with_bounded_out_degree(graph in graph_strategy(60)) {
+#[test]
+fn degeneracy_orientation_covers_with_bounded_out_degree() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0004);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 60);
         let ordering = degeneracy_ordering(&graph);
         let orientation = Orientation::from_degeneracy(&graph);
-        prop_assert!(orientation.covers_exactly(&graph));
-        prop_assert!(orientation.max_out_degree() <= ordering.degeneracy);
+        assert!(orientation.covers_exactly(&graph), "case {case}");
+        assert!(
+            orientation.max_out_degree() <= ordering.degeneracy,
+            "case {case}"
+        );
         // Degeneracy is at most the maximum degree.
-        prop_assert!(ordering.degeneracy <= graph.max_degree());
+        assert!(ordering.degeneracy <= graph.max_degree(), "case {case}");
     }
+}
 
-    #[test]
-    fn decomposition_is_an_exact_partition(graph in graph_strategy(60), delta_pct in 30u32..80) {
-        let delta = f64::from(delta_pct) / 100.0;
+#[test]
+fn decomposition_is_an_exact_partition() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0005);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 60);
+        let delta = f64::from(rng.gen_range(30u32..80)) / 100.0;
         let d = decompose(&graph, delta, &DecompositionConfig::default(), 1);
-        prop_assert!(d.verify(&graph).is_ok());
-        prop_assert!(d.er.len() * 6 <= graph.num_edges().max(1));
-        prop_assert_eq!(d.em.len() + d.es.len() + d.er.len(), graph.num_edges());
+        assert!(d.verify(&graph).is_ok(), "case {case}");
+        assert!(d.er.len() * 6 <= graph.num_edges().max(1), "case {case}");
+        assert_eq!(
+            d.em.len() + d.es.len() + d.er.len(),
+            graph.num_edges(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn listed_cliques_are_cliques(graph in graph_strategy(35)) {
+#[test]
+fn listed_cliques_are_cliques() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0006);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 35);
         let result = list_kp(&graph, &ListingConfig::for_p(4));
         for clique in &result.cliques {
-            prop_assert_eq!(clique.len(), 4);
-            prop_assert!(cliques::is_clique(&graph, clique));
+            assert_eq!(clique.len(), 4, "case {case}");
+            assert!(cliques::is_clique(&graph, clique), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn tuple_assignment_covers_every_pair(k in 1usize..60, p in 3usize..7) {
+#[test]
+fn tuple_assignment_covers_every_pair() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0007);
+    for case in 0..CASES {
+        let k = rng.gen_range(1usize..60);
+        let p = rng.gen_range(3usize..7);
         let assignment = TupleAssignment::new(k, p);
-        prop_assert!(assignment.num_tuples >= k as u64);
+        assert!(assignment.num_tuples >= k as u64, "case {case}");
         // Every unordered pair of parts is contained in at least one tuple,
         // so every edge reaches at least one listing node.
         for a in 0..assignment.num_parts {
             for b in a..assignment.num_parts {
-                prop_assert!(assignment.tuples_containing(a, b) >= 1);
-                prop_assert!(assignment.owners_needing(a, b) >= 1);
+                assert!(assignment.tuples_containing(a, b) >= 1, "case {case}");
+                assert!(assignment.owners_needing(a, b) >= 1, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn vertex_partitions_preserve_edge_counts(graph in graph_strategy(60), parts in 2u32..8, seed in 0u64..100) {
+#[test]
+fn vertex_partitions_preserve_edge_counts() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0008);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 60);
+        let parts = rng.gen_range(2u32..8);
+        let seed = rng.gen_range(0u64..100);
         let partition = VertexPartition::random(graph.num_vertices(), parts, seed);
         let counts = partition.pairwise_edge_counts(&graph);
         let total: usize = counts.iter().flat_map(|row| row.iter()).sum();
-        prop_assert_eq!(total, graph.num_edges());
+        assert_eq!(total, graph.num_edges(), "case {case}");
     }
 }

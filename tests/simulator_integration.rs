@@ -2,7 +2,9 @@
 //! message-level executions whose round counts must match the analytic
 //! accounting used by the listing pipeline.
 
-use distributed_clique_listing::cliquelist::baselines::{naive_broadcast_rounds, NaiveBroadcastProgram};
+use distributed_clique_listing::cliquelist::baselines::{
+    naive_broadcast_rounds, NaiveBroadcastProgram,
+};
 use distributed_clique_listing::congest::{
     CongestedClique, Context, Network, NetworkConfig, NodeId, NodeProgram, Status, Topology,
 };
@@ -62,9 +64,10 @@ fn leader_election_converges_in_diameter_rounds() {
 #[test]
 fn naive_listing_on_the_simulator_matches_the_analytic_round_count() {
     let graph = gen::erdos_renyi(30, 0.3, 9);
-    let edges: Vec<(usize, usize)> = graph.edges().map(|(u, v)| (u as usize, v as usize)).collect();
-    let topo = Topology::from_edges(graph.num_vertices(), &edges);
-    let mut net = Network::new(topo, NetworkConfig::default(), |_| NaiveBroadcastProgram::new(4));
+    let topo = Topology::from_edge_list(graph.num_vertices(), graph.edges());
+    let mut net = Network::new(topo, NetworkConfig::default(), |_| {
+        NaiveBroadcastProgram::new(4)
+    });
     let report = net.run(100_000);
     assert!(report.terminated);
     let delta = naive_broadcast_rounds(&graph);
@@ -112,7 +115,9 @@ fn congested_clique_all_to_all_costs_one_round_per_word() {
     // k words per ordered pair, bandwidth one word per pair per round.
     assert!(report.simulated_rounds >= k);
     assert!(report.simulated_rounds <= k + 2);
-    assert!(net.programs().all(|(_, p)| p.received == k * (n as u64 - 1)));
+    assert!(net
+        .programs()
+        .all(|(_, p)| p.received == k * (n as u64 - 1)));
     // The analytic helper agrees.
     assert_eq!(cc.broadcast_rounds(k), k);
 }
@@ -137,9 +142,8 @@ fn bandwidth_scaling_shortens_executions_proportionally() {
     }
 
     let graph = gen::erdos_renyi(24, 0.4, 4);
-    let edges: Vec<(usize, usize)> = graph.edges().map(|(u, v)| (u as usize, v as usize)).collect();
     let run = |bandwidth: u32| {
-        let topo = Topology::from_edges(graph.num_vertices(), &edges);
+        let topo = Topology::from_edge_list(graph.num_vertices(), graph.edges());
         let mut net = Network::new(
             topo,
             NetworkConfig::default().with_bandwidth(bandwidth),

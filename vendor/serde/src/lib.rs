@@ -1,0 +1,26 @@
+//! In-tree, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this placeholder: [`Serialize`] and [`Deserialize`] are marker traits and
+//! the derive macros (from the sibling `serde_derive` shim) emit empty
+//! implementations. This keeps the `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace compiling and records serialization
+//! intent, without providing an actual data format.
+//!
+//! When a real serialization backend becomes available, replacing the two
+//! `vendor/serde*` path dependencies with the crates.io releases restores
+//! full functionality without touching any annotated type.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose serialized form is derivable.
+///
+/// The in-tree stand-in carries no methods; see the crate-level docs.
+pub trait Serialize {}
+
+/// Marker for types whose deserialized form is derivable.
+///
+/// The in-tree stand-in carries no methods; see the crate-level docs.
+pub trait Deserialize<'de>: Sized {}

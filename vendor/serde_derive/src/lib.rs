@@ -1,0 +1,45 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the in-tree `serde`
+//! stand-in (see `vendor/serde`).
+//!
+//! Each derive parses just enough of the item — the `struct` / `enum` keyword
+//! followed by the type name — to emit an empty marker-trait implementation.
+//! Generic type parameters are intentionally unsupported: every annotated type
+//! in this workspace is concrete, and a compile error on the emitted `impl` is
+//! the desired failure mode if that ever changes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct` or `enum` the derive is attached to.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+                panic!("derive target has no name after `{word}`");
+            }
+        }
+    }
+    panic!("derive target is neither a struct nor an enum");
+}
+
+/// Derives the marker `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
