@@ -1,9 +1,9 @@
 //! Criterion bench for experiment E9: sparsity-aware vs generic (dense
 //! assumption) in-cluster listing — the ablation of the paper's Challenge 2
-//! machinery.
+//! machinery, selected through `EngineBuilder::exchange_mode`.
 
 use bench::listing_workload;
-use cliquelist::{list_kp_with_mode, ExchangeMode, ListingConfig};
+use cliquelist::{CountSink, Engine, ExchangeMode};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ablation(c: &mut Criterion) {
@@ -11,17 +11,38 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    let config = ListingConfig::for_p(4).for_experiments();
     {
         let &n = &120usize;
         let workload = listing_workload(n, 4, 41);
+        let sparse = Engine::builder()
+            .p(4)
+            .experiment_scale()
+            .exchange_mode(ExchangeMode::SparsityAware)
+            .build()
+            .expect("valid engine");
+        let dense = Engine::builder()
+            .p(4)
+            .experiment_scale()
+            .exchange_mode(ExchangeMode::DenseAssumption)
+            .build()
+            .expect("valid engine");
         group.bench_with_input(BenchmarkId::new("sparsity_aware", n), &workload, |b, w| {
-            b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::SparsityAware));
+            b.iter(|| {
+                let mut sink = CountSink::new();
+                sparse.run(&w.graph, &mut sink);
+                sink.count
+            });
         });
         group.bench_with_input(
             BenchmarkId::new("dense_assumption", n),
             &workload,
-            |b, w| b.iter(|| list_kp_with_mode(&w.graph, &config, ExchangeMode::DenseAssumption)),
+            |b, w| {
+                b.iter(|| {
+                    let mut sink = CountSink::new();
+                    dense.run(&w.graph, &mut sink);
+                    sink.count
+                });
+            },
         );
     }
     group.finish();

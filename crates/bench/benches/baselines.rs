@@ -1,9 +1,8 @@
 //! Criterion bench for experiment E6: the paper's `K_4` algorithms against the
-//! naive broadcast and the Eden-et-al-style baseline.
+//! naive broadcast and the Eden-et-al-style baseline, all through the Engine.
 
 use bench::listing_workload;
-use cliquelist::baselines::{eden_style_k4, naive_broadcast_listing};
-use cliquelist::{list_kp, ListingConfig, Variant};
+use cliquelist::{CountSink, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_baselines(c: &mut Criterion) {
@@ -13,24 +12,35 @@ fn bench_baselines(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let n = 120;
     let workload = listing_workload(n, 4, 29);
-    let naive_config = ListingConfig::for_p(4);
-    let general = ListingConfig::for_p(4).for_experiments();
-    let fast = ListingConfig {
-        variant: Variant::FastK4,
-        ..general
-    };
-    group.bench_with_input(BenchmarkId::new("naive_broadcast", n), &workload, |b, w| {
-        b.iter(|| naive_broadcast_listing(&w.graph, &naive_config));
-    });
-    group.bench_with_input(BenchmarkId::new("eden_style", n), &workload, |b, w| {
-        b.iter(|| eden_style_k4(&w.graph, 1));
-    });
-    group.bench_with_input(BenchmarkId::new("general", n), &workload, |b, w| {
-        b.iter(|| list_kp(&w.graph, &general));
-    });
-    group.bench_with_input(BenchmarkId::new("fast_k4", n), &workload, |b, w| {
-        b.iter(|| list_kp(&w.graph, &fast));
-    });
+    let engines = [
+        (
+            "naive_broadcast",
+            Engine::builder().p(4).algorithm("naive-broadcast").build(),
+        ),
+        (
+            "eden_style",
+            Engine::builder().p(4).algorithm("eden-k4").seed(1).build(),
+        ),
+        ("general", Engine::builder().p(4).experiment_scale().build()),
+        (
+            "fast_k4",
+            Engine::builder()
+                .p(4)
+                .algorithm("fast-k4")
+                .experiment_scale()
+                .build(),
+        ),
+    ];
+    for (label, engine) in engines {
+        let engine = engine.expect("valid engine");
+        group.bench_with_input(BenchmarkId::new(label, n), &workload, |b, w| {
+            b.iter(|| {
+                let mut sink = CountSink::new();
+                engine.run(&w.graph, &mut sink);
+                sink.count
+            });
+        });
+    }
     group.finish();
 }
 

@@ -1,7 +1,9 @@
 //! Criterion bench for experiment E3: sparsity-aware `K_p` listing in the
-//! CONGESTED CLIQUE model (Theorem 1.3) across edge densities.
+//! CONGESTED CLIQUE model (Theorem 1.3) across edge densities, through the
+//! Engine with a count-only sink (no per-clique allocation on the output
+//! path — the dense workloads here are exactly where that matters).
 
-use cliquelist::congested_clique_list;
+use cliquelist::{CountSink, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphcore::gen;
 
@@ -14,8 +16,18 @@ fn bench_congested_clique(c: &mut Criterion) {
     for &m in &[3_000usize, 15_000] {
         let graph = gen::erdos_renyi_with_edges(n, m, 5);
         for &p in &[3usize, 4] {
+            let engine = Engine::builder()
+                .p(p)
+                .algorithm("congested-clique")
+                .seed(1)
+                .build()
+                .expect("valid engine");
             group.bench_with_input(BenchmarkId::new(format!("p{p}"), m), &graph, |b, graph| {
-                b.iter(|| congested_clique_list(graph, p, 1));
+                b.iter(|| {
+                    let mut sink = CountSink::new();
+                    engine.run(graph, &mut sink);
+                    sink.count
+                });
             });
         }
     }

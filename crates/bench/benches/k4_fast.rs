@@ -1,8 +1,9 @@
 //! Criterion bench for experiment E2: the general algorithm (Theorem 1.1)
-//! against the specialised `K_4` algorithm (Theorem 1.2) on the same inputs.
+//! against the specialised `K_4` algorithm (Theorem 1.2) on the same inputs,
+//! through the Engine.
 
 use bench::listing_workload;
-use cliquelist::{list_kp, ListingConfig, Variant};
+use cliquelist::{CountSink, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_k4_variants(c: &mut Criterion) {
@@ -13,16 +14,30 @@ fn bench_k4_variants(c: &mut Criterion) {
     {
         let &n = &120usize;
         let workload = listing_workload(n, 4, 13);
-        let general = ListingConfig::for_p(4).for_experiments();
-        let fast = ListingConfig {
-            variant: Variant::FastK4,
-            ..general
-        };
+        let general = Engine::builder()
+            .p(4)
+            .experiment_scale()
+            .build()
+            .expect("valid engine");
+        let fast = Engine::builder()
+            .p(4)
+            .algorithm("fast-k4")
+            .experiment_scale()
+            .build()
+            .expect("valid engine");
         group.bench_with_input(BenchmarkId::new("general", n), &workload, |b, w| {
-            b.iter(|| list_kp(&w.graph, &general));
+            b.iter(|| {
+                let mut sink = CountSink::new();
+                general.run(&w.graph, &mut sink);
+                sink.count
+            });
         });
         group.bench_with_input(BenchmarkId::new("fast_k4", n), &workload, |b, w| {
-            b.iter(|| list_kp(&w.graph, &fast));
+            b.iter(|| {
+                let mut sink = CountSink::new();
+                fast.run(&w.graph, &mut sink);
+                sink.count
+            });
         });
     }
     group.finish();

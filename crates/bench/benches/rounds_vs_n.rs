@@ -6,7 +6,7 @@
 //! binary (`cargo run --release -p bench --bin experiments -- e1`).
 
 use bench::listing_workload;
-use cliquelist::{list_kp, ListingConfig};
+use cliquelist::{CountSink, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_rounds_vs_n(c: &mut Criterion) {
@@ -17,11 +17,21 @@ fn bench_rounds_vs_n(c: &mut Criterion) {
     for &p in &[4usize, 5] {
         for &n in &[80usize, 120] {
             let workload = listing_workload(n, p, 7);
-            let config = ListingConfig::for_p(p).for_experiments();
+            let engine = Engine::builder()
+                .p(p)
+                .experiment_scale()
+                .build()
+                .expect("valid engine");
             group.bench_with_input(
                 BenchmarkId::new(format!("p{p}"), n),
                 &workload,
-                |b, workload| b.iter(|| list_kp(&workload.graph, &config)),
+                |b, workload| {
+                    b.iter(|| {
+                        let mut sink = CountSink::new();
+                        engine.run(&workload.graph, &mut sink);
+                        sink.count
+                    });
+                },
             );
         }
     }

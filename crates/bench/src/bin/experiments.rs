@@ -3,19 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin experiments -- [e1|e2|...|e10|all]
+//! cargo run --release -p bench --bin experiments -- [e1|e2|...|e11|all] [--json]
 //! ```
 //!
 //! Each experiment id corresponds to a row of the per-experiment index in
 //! `DESIGN.md` §4; the output of `all` is what `EXPERIMENTS.md` records.
+//! With `--json`, the tables are suppressed and a single machine-readable
+//! JSON document is printed instead: one entry per experiment with the
+//! per-run [`RunReport`]s (serialised through `RunReport::to_json`) and the
+//! fitted exponents, so successive PRs can diff the bench trajectory.
+//!
+//! Every experiment runs exclusively through the [`Engine`] API; the
+//! exchange-mode ablation (E9) selects the dense mode through
+//! `EngineBuilder::exchange_mode` rather than a separate entry point.
 
 use bench::{core_periphery_workload, fit_exponent, listing_workload, two_communities, Table};
-use cliquelist::baselines::{eden_style_k4, naive_broadcast_listing, simulate_naive_broadcast};
+use cliquelist::baselines::simulate_naive_broadcast;
+use cliquelist::report::{json_f64, json_string};
 use cliquelist::result::phase;
-use cliquelist::{
-    congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth, ExchangeMode,
-    ListingConfig, Variant,
-};
+use cliquelist::{verify_against_ground_truth, verify_cliques, Engine, ExchangeMode, RunReport};
 use expander::{decompose, DecompositionConfig};
 use graphcore::partition::{
     edges_within, lemma_2_7_bound, lemma_2_7_preconditions, sample_vertices,
@@ -23,60 +29,124 @@ use graphcore::partition::{
 use graphcore::{gen, orientation};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     let all = which == "all";
-    if all || which == "e1" {
-        e1_rounds_vs_n();
-    }
-    if all || which == "e2" {
-        e2_fast_k4();
-    }
-    if all || which == "e3" {
-        e3_congested_clique();
-    }
-    if all || which == "e4" {
-        e4_decomposition_quality();
-    }
-    if all || which == "e5" {
-        e5_bad_edges_and_loads();
-    }
-    if all || which == "e6" {
-        e6_baselines();
-    }
-    if all || which == "e7" {
-        e7_lemma_2_7();
-    }
-    if all || which == "e8" {
-        e8_correctness();
-    }
-    if all || which == "e9" {
-        e9_ablation();
-    }
-    if all || which == "e10" {
-        e10_lower_bound_ratio();
-    }
-    if all || which == "e11" {
-        e11_simulated_broadcast();
+    let mut rendered: Vec<String> = Vec::new();
+    let mut run = |id: &str, f: &dyn Fn(bool) -> String| {
+        if all || which == id {
+            rendered.push(f(json));
+        }
+    };
+    run("e1", &e1_rounds_vs_n);
+    run("e2", &e2_fast_k4);
+    run("e3", &e3_congested_clique);
+    run("e4", &e4_decomposition_quality);
+    run("e5", &e5_bad_edges_and_loads);
+    run("e6", &e6_baselines);
+    run("e7", &e7_lemma_2_7);
+    run("e8", &e8_correctness);
+    run("e9", &e9_ablation);
+    run("e10", &e10_lower_bound_ratio);
+    run("e11", &e11_simulated_broadcast);
+    if json {
+        println!("{{\"experiments\":[{}]}}", rendered.join(","));
     }
 }
 
 /// The n-values of the CONGEST sweeps (dense Turán-style workloads).
 const SWEEP_N: &[usize] = &[120, 160, 220];
 
-fn experiment_config(p: usize) -> ListingConfig {
-    ListingConfig::for_p(p).for_experiments()
+/// A CONGEST engine tuned like the pre-Engine experiment configuration
+/// (constant arboricity slack, bare charge policy).
+fn experiment_engine(p: usize, algorithm: &str) -> Engine {
+    Engine::builder()
+        .p(p)
+        .algorithm(algorithm)
+        .experiment_scale()
+        .build()
+        .expect("experiment engine config is valid")
 }
 
-fn header(id: &str, claim: &str) {
-    println!();
-    println!("=== {id}: {claim} ===");
+/// Accumulates one experiment's machine-readable log while optionally
+/// printing the human-readable header.
+struct Log {
+    id: &'static str,
+    claim: &'static str,
+    text: bool,
+    runs: Vec<String>,
+    fits: Vec<String>,
+}
+
+impl Log {
+    fn new(id: &'static str, claim: &'static str, json: bool) -> Self {
+        if !json {
+            println!();
+            println!("=== {id}: {claim} ===");
+        }
+        Log {
+            id,
+            claim,
+            text: !json,
+            runs: Vec::new(),
+            fits: Vec::new(),
+        }
+    }
+
+    /// Records one run: `context` holds pre-rendered JSON values (numbers
+    /// raw, strings through [`json_string`]). A no-op in text mode, where
+    /// the rendered document is never printed.
+    fn run(&mut self, context: &[(&str, String)], report: Option<&RunReport>) {
+        if self.text {
+            return;
+        }
+        let mut entry = String::from("{");
+        for (key, value) in context {
+            entry.push_str(&format!("{}:{value},", json_string(key)));
+        }
+        match report {
+            Some(report) => entry.push_str(&format!("\"report\":{}", report.to_json())),
+            None => entry.push_str("\"report\":null"),
+        }
+        entry.push('}');
+        self.runs.push(entry);
+    }
+
+    fn fit(&mut self, series: &str, points: &[(f64, f64)]) -> Option<bench::FitResult> {
+        let fit = fit_exponent(points)?;
+        if !self.text {
+            self.fits.push(format!(
+                "{{\"series\":{},\"exponent\":{},\"r_squared\":{}}}",
+                json_string(series),
+                json_f64(fit.exponent),
+                json_f64(fit.r_squared)
+            ));
+        }
+        Some(fit)
+    }
+
+    fn render(self) -> String {
+        format!(
+            "{{\"id\":{},\"claim\":{},\"runs\":[{}],\"fits\":[{}]}}",
+            json_string(self.id),
+            json_string(self.claim),
+            self.runs.join(","),
+            self.fits.join(",")
+        )
+    }
 }
 
 /// E1 — Theorem 1.1: K_p listing rounds scale sub-linearly, ~ n^{p/(p+2)} + n^{3/4}.
-fn e1_rounds_vs_n() {
-    header(
-        "E1",
+fn e1_rounds_vs_n(json: bool) -> String {
+    let mut log = Log::new(
+        "e1",
         "Theorem 1.1 — K_p listing in ~O(n^{3/4} + n^{p/(p+2)}) CONGEST rounds",
+        json,
     );
     let mut table = Table::new(&[
         "p",
@@ -95,86 +165,108 @@ fn e1_rounds_vs_n() {
         let mut points = Vec::new();
         for &n in SWEEP_N {
             let w = listing_workload(n, p, 7 + n as u64);
-            let config = experiment_config(p);
-            let result = list_kp(&w.graph, &config);
-            verify_against_ground_truth(&w.graph, p, &result).expect("E1 output must be exact");
-            let rounds = result.rounds.total();
+            let engine = experiment_engine(p, "general");
+            let (report, cliques) = engine.collect(&w.graph);
+            verify_cliques(&w.graph, p, &cliques).expect("E1 output must be exact");
+            let rounds = report.total_rounds();
             points.push((n as f64, rounds as f64));
+            log.run(
+                &[
+                    ("n", n.to_string()),
+                    ("p", p.to_string()),
+                    ("m", w.graph.num_edges().to_string()),
+                ],
+                Some(&report),
+            );
             table.row(&[
                 p.to_string(),
                 n.to_string(),
                 w.graph.num_edges().to_string(),
                 orientation::arboricity_upper_bound(&w.graph).to_string(),
                 rounds.to_string(),
-                result.rounds.for_phase(phase::DECOMPOSITION).to_string(),
-                result.rounds.for_phase(phase::HEAVY_UPLOAD).to_string(),
-                result.rounds.for_phase(phase::LIGHT_PROBES).to_string(),
-                result.rounds.for_phase(phase::PART_EXCHANGE).to_string(),
-                result.rounds.for_phase(phase::FINAL_BROADCAST).to_string(),
+                report.rounds.for_phase(phase::DECOMPOSITION).to_string(),
+                report.rounds.for_phase(phase::HEAVY_UPLOAD).to_string(),
+                report.rounds.for_phase(phase::LIGHT_PROBES).to_string(),
+                report.rounds.for_phase(phase::PART_EXCHANGE).to_string(),
+                report.rounds.for_phase(phase::FINAL_BROADCAST).to_string(),
                 format!("{:.3}", rounds as f64 / n as f64),
             ]);
         }
-        if let Some(fit) = fit_exponent(&points) {
-            println!(
-                "p = {p}: fitted rounds ~ n^{:.2} (R² = {:.3}); paper predicts n^{:.2} (+ n^0.75 term), naive baseline is n^1",
-                fit.exponent,
-                fit.r_squared,
-                p as f64 / (p as f64 + 2.0)
-            );
+        if let Some(fit) = log.fit(&format!("p={p}"), &points) {
+            if log.text {
+                println!(
+                    "p = {p}: fitted rounds ~ n^{:.2} (R² = {:.3}); paper predicts n^{:.2} (+ n^0.75 term), naive baseline is n^1",
+                    fit.exponent,
+                    fit.r_squared,
+                    p as f64 / (p as f64 + 2.0)
+                );
+            }
         }
     }
-    println!("{table}");
-    println!("(dense tripartite workloads with planted cliques; decreasing rounds/n is the sub-linear Theorem 1.1 shape)");
+    if log.text {
+        println!("{table}");
+        println!("(dense tripartite workloads with planted cliques; decreasing rounds/n is the sub-linear Theorem 1.1 shape)");
+    }
+    log.render()
 }
 
 /// E2 — Theorem 1.2: the specialised K4 algorithm beats the general one.
-fn e2_fast_k4() {
-    header(
-        "E2",
+fn e2_fast_k4(json: bool) -> String {
+    let mut log = Log::new(
+        "e2",
         "Theorem 1.2 — K_4 listing in ~O(n^{2/3}) rounds (vs the general algorithm)",
+        json,
     );
     let mut table = Table::new(&["n", "m", "general rounds", "fast-K4 rounds", "speedup"]);
     let mut general_points = Vec::new();
     let mut fast_points = Vec::new();
     for &n in SWEEP_N {
         let w = listing_workload(n, 4, 13 + n as u64);
-        let general = list_kp(&w.graph, &experiment_config(4));
-        let fast = list_kp(
-            &w.graph,
-            &ListingConfig {
-                variant: Variant::FastK4,
-                ..experiment_config(4)
-            },
-        );
-        verify_against_ground_truth(&w.graph, 4, &general).expect("general output exact");
-        verify_against_ground_truth(&w.graph, 4, &fast).expect("fast-K4 output exact");
-        general_points.push((n as f64, general.rounds.total() as f64));
-        fast_points.push((n as f64, fast.rounds.total() as f64));
+        let (general, general_cliques) = experiment_engine(4, "general").collect(&w.graph);
+        let (fast, fast_cliques) = experiment_engine(4, "fast-k4").collect(&w.graph);
+        verify_cliques(&w.graph, 4, &general_cliques).expect("general output exact");
+        verify_cliques(&w.graph, 4, &fast_cliques).expect("fast-K4 output exact");
+        general_points.push((n as f64, general.total_rounds() as f64));
+        fast_points.push((n as f64, fast.total_rounds() as f64));
+        for report in [&general, &fast] {
+            log.run(
+                &[("n", n.to_string()), ("m", w.graph.num_edges().to_string())],
+                Some(report),
+            );
+        }
         table.row(&[
             n.to_string(),
             w.graph.num_edges().to_string(),
-            general.rounds.total().to_string(),
-            fast.rounds.total().to_string(),
+            general.total_rounds().to_string(),
+            fast.total_rounds().to_string(),
             format!(
                 "{:.2}x",
-                general.rounds.total() as f64 / fast.rounds.total().max(1) as f64
+                general.total_rounds() as f64 / fast.total_rounds().max(1) as f64
             ),
         ]);
     }
-    println!("{table}");
-    if let (Some(g), Some(f)) = (fit_exponent(&general_points), fit_exponent(&fast_points)) {
-        println!(
-            "fitted exponents: general n^{:.2} (paper: 3/4 term dominates), fast-K4 n^{:.2} (paper: 2/3)",
-            g.exponent, f.exponent
-        );
+    if log.text {
+        println!("{table}");
     }
+    let g = log.fit("general", &general_points);
+    let f = log.fit("fast-k4", &fast_points);
+    if log.text {
+        if let (Some(g), Some(f)) = (g, f) {
+            println!(
+                "fitted exponents: general n^{:.2} (paper: 3/4 term dominates), fast-K4 n^{:.2} (paper: 2/3)",
+                g.exponent, f.exponent
+            );
+        }
+    }
+    log.render()
 }
 
 /// E3 — Theorem 1.3: CONGESTED CLIQUE rounds ~ Θ(1 + m / n^{1+2/p}).
-fn e3_congested_clique() {
-    header(
-        "E3",
+fn e3_congested_clique(json: bool) -> String {
+    let mut log = Log::new(
+        "e3",
         "Theorem 1.3 — sparsity-aware CONGESTED CLIQUE listing in ~Θ(1 + m/n^{1+2/p}) rounds",
+        json,
     );
     let n = 400;
     let mut table = Table::new(&[
@@ -191,33 +283,57 @@ fn e3_congested_clique() {
     for &p in &[3usize, 4, 5] {
         let parts = if p == 3 { 2 } else { 3 };
         let mut points = Vec::new();
+        let engine = Engine::builder()
+            .p(p)
+            .algorithm("congested-clique")
+            .seed(3)
+            .build()
+            .expect("valid engine");
         for &density in &[0.05f64, 0.2, 0.4, 0.7, 0.95] {
             let g = gen::multipartite(n, parts, density, 5 + (density * 100.0) as u64);
-            let report = congested_clique_list(&g, p, 3);
-            verify_against_ground_truth(&g, p, &report.result).expect("E3 output must be exact");
-            points.push((g.num_edges() as f64, report.result.rounds.total() as f64));
+            let (report, cliques) = engine.collect(&g);
+            verify_cliques(&g, p, &cliques).expect("E3 output must be exact");
+            let stats = report.congested_clique.expect("CC stats present");
+            points.push((g.num_edges() as f64, report.total_rounds() as f64));
+            log.run(
+                &[
+                    ("n", n.to_string()),
+                    ("m", g.num_edges().to_string()),
+                    ("density", json_f64(density)),
+                ],
+                Some(&report),
+            );
             table.row(&[
                 p.to_string(),
                 g.num_edges().to_string(),
-                report.result.rounds.total().to_string(),
-                format!("{:.2}", report.predicted_rounds),
-                report.max_send.to_string(),
-                report.max_recv.to_string(),
+                report.total_rounds().to_string(),
+                format!("{:.2}", stats.predicted_rounds),
+                stats.max_send.to_string(),
+                stats.max_recv.to_string(),
             ]);
         }
-        if let Some(fit) = fit_exponent(&points) {
-            println!(
-                "p = {p}: fitted rounds ~ m^{:.2} (paper predicts linear in m once above the constant regime)",
-                fit.exponent
-            );
+        if let Some(fit) = log.fit(&format!("p={p}"), &points) {
+            if log.text {
+                println!(
+                    "p = {p}: fitted rounds ~ m^{:.2} (paper predicts linear in m once above the constant regime)",
+                    fit.exponent
+                );
+            }
         }
     }
-    println!("{table}");
+    if log.text {
+        println!("{table}");
+    }
+    log.render()
 }
 
 /// E4 — Definition 2.2 / Theorem 2.3: decomposition quality.
-fn e4_decomposition_quality() {
-    header("E4", "Definition 2.2 — expander decomposition guarantees (|E_r| ≤ |E|/6, degrees, mixing, arboricity)");
+fn e4_decomposition_quality(json: bool) -> String {
+    let mut log = Log::new(
+        "e4",
+        "Definition 2.2 — expander decomposition guarantees (|E_r| ≤ |E|/6, degrees, mixing, arboricity)",
+        json,
+    );
     let mut table = Table::new(&[
         "graph",
         "delta",
@@ -262,6 +378,19 @@ fn e4_decomposition_quality() {
                 .iter()
                 .map(|c| c.mixing_time(&em_graph))
                 .fold(0.0f64, f64::max);
+            log.run(
+                &[
+                    ("graph", json_string(label)),
+                    ("delta", json_f64(delta)),
+                    (
+                        "er_fraction",
+                        json_f64(d.er.len() as f64 / graph.num_edges().max(1) as f64),
+                    ),
+                    ("clusters", d.clusters.len().to_string()),
+                    ("valid", valid.to_string()),
+                ],
+                None,
+            );
             table.row(&[
                 label.clone(),
                 format!("{delta:.1}"),
@@ -281,17 +410,21 @@ fn e4_decomposition_quality() {
             ]);
         }
     }
-    println!("{table}");
-    println!(
-        "(paper requires E_r fraction ≤ 1/6 ≈ 0.167, cluster min degree ≥ Ω(n^δ), polylog mixing)"
-    );
+    if log.text {
+        println!("{table}");
+        println!(
+            "(paper requires E_r fraction ≤ 1/6 ≈ 0.167, cluster min degree ≥ Ω(n^δ), polylog mixing)"
+        );
+    }
+    log.render()
 }
 
 /// E5 — Section 2.4.1: bad-edge fraction and the Remark 2.10 load bound.
-fn e5_bad_edges_and_loads() {
-    header(
-        "E5",
+fn e5_bad_edges_and_loads(json: bool) -> String {
+    let mut log = Log::new(
+        "e5",
         "Section 2.4.1 — bad-edge fraction ≤ 1/25 of cluster edges; Remark 2.10 per-node load",
+        json,
     );
     let mut table = Table::new(&[
         "n",
@@ -309,40 +442,56 @@ fn e5_bad_edges_and_loads() {
             // the bad-node constant makes the deferral machinery fire.
             let w = core_periphery_workload(n, 11 + n as u64);
             let a = orientation::arboricity_upper_bound(&w.graph);
-            let config = ListingConfig {
-                bad_node_factor: factor,
-                ..experiment_config(4)
-            };
-            let result = list_kp(&w.graph, &config);
-            verify_against_ground_truth(&w.graph, 4, &result).expect("E5 output must be exact");
+            let engine = Engine::builder()
+                .p(4)
+                .algorithm("general")
+                .experiment_scale()
+                .bad_node_factor(factor)
+                .build()
+                .expect("valid engine");
+            let (report, cliques) = engine.collect(&w.graph);
+            verify_cliques(&w.graph, 4, &cliques).expect("E5 output must be exact");
             for c in &w.planted {
                 assert!(
-                    result.cliques.contains(&c.vertices),
+                    cliques.contains(&c.vertices),
                     "planted straddling K4 missing"
                 );
             }
-            let bound = (n as f64).powf(0.75) * a as f64 * config.words_per_edge as f64;
+            let words = engine.config().words_per_edge;
+            let bound = (n as f64).powf(0.75) * a as f64 * words as f64;
+            log.run(
+                &[
+                    ("n", n.to_string()),
+                    ("bad_node_factor", json_f64(factor)),
+                    ("load_bound", json_f64(bound)),
+                ],
+                Some(&report),
+            );
             table.row(&[
                 n.to_string(),
                 label.to_string(),
-                result.diagnostics.bad_edges.to_string(),
-                result.diagnostics.cluster_edges.to_string(),
-                format!("{:.4}", result.diagnostics.bad_edge_fraction()),
-                result.diagnostics.max_learned_words.to_string(),
+                report.diagnostics.bad_edges.to_string(),
+                report.diagnostics.cluster_edges.to_string(),
+                format!("{:.4}", report.diagnostics.bad_edge_fraction()),
+                report.diagnostics.max_learned_words.to_string(),
                 format!("{bound:.0}"),
             ]);
         }
     }
-    println!("{table}");
-    println!("(with the paper's constant the bad-edge fraction stays well below 1/25; the stress setting shows the deferral machinery at work while the output stays exact)");
+    if log.text {
+        println!("{table}");
+        println!("(with the paper's constant the bad-edge fraction stays well below 1/25; the stress setting shows the deferral machinery at work while the output stays exact)");
+    }
+    log.render()
 }
 
 /// E6 — who wins: the paper's algorithms vs the naive broadcast and the
 /// Eden-et-al-style baseline.
-fn e6_baselines() {
-    header(
-        "E6",
+fn e6_baselines(json: bool) -> String {
+    let mut log = Log::new(
+        "e6",
         "Comparison — paper's K4 algorithms vs naive broadcast and Eden-style baseline",
+        json,
     );
     let mut table = Table::new(&[
         "n",
@@ -353,56 +502,75 @@ fn e6_baselines() {
         "fast K4",
     ]);
     let mut series: Vec<(&str, Vec<(f64, f64)>)> = vec![
-        ("naive", Vec::new()),
-        ("eden-style", Vec::new()),
-        ("general K4", Vec::new()),
-        ("fast K4", Vec::new()),
+        ("naive-broadcast", Vec::new()),
+        ("eden-k4", Vec::new()),
+        ("general", Vec::new()),
+        ("fast-k4", Vec::new()),
     ];
+    let naive_engine = Engine::builder()
+        .p(4)
+        .algorithm("naive-broadcast")
+        .build()
+        .expect("valid engine");
+    let eden_engine = Engine::builder()
+        .p(4)
+        .algorithm("eden-k4")
+        .seed(1)
+        .build()
+        .expect("valid engine");
+    let general_engine = experiment_engine(4, "general");
+    let fast_engine = experiment_engine(4, "fast-k4");
     for &n in SWEEP_N {
         let w = listing_workload(n, 4, 29 + n as u64);
-        let naive = naive_broadcast_listing(&w.graph, &ListingConfig::for_p(4));
-        let eden = eden_style_k4(&w.graph, 1);
-        let general = list_kp(&w.graph, &experiment_config(4));
-        let fast = list_kp(
-            &w.graph,
-            &ListingConfig {
-                variant: Variant::FastK4,
-                ..experiment_config(4)
-            },
-        );
-        for r in [&naive, &eden, &general, &fast] {
-            verify_against_ground_truth(&w.graph, 4, r).expect("all baselines must be exact");
+        let engines = [&naive_engine, &eden_engine, &general_engine, &fast_engine];
+        let mut reports = Vec::new();
+        for engine in engines {
+            let (report, cliques) = engine.collect(&w.graph);
+            verify_cliques(&w.graph, 4, &cliques).expect("all baselines must be exact");
+            log.run(
+                &[("n", n.to_string()), ("m", w.graph.num_edges().to_string())],
+                Some(&report),
+            );
+            reports.push(report);
         }
-        for (series, result) in series.iter_mut().zip([&naive, &eden, &general, &fast]) {
-            series.1.push((n as f64, result.rounds.total() as f64));
+        for (series, report) in series.iter_mut().zip(&reports) {
+            series.1.push((n as f64, report.total_rounds() as f64));
         }
         table.row(&[
             n.to_string(),
             w.graph.num_edges().to_string(),
-            naive.rounds.total().to_string(),
-            eden.rounds.total().to_string(),
-            general.rounds.total().to_string(),
-            fast.rounds.total().to_string(),
+            reports[0].total_rounds().to_string(),
+            reports[1].total_rounds().to_string(),
+            reports[2].total_rounds().to_string(),
+            reports[3].total_rounds().to_string(),
         ]);
     }
-    println!("{table}");
+    if log.text {
+        println!("{table}");
+    }
     for (label, points) in &series {
-        if let Some(fit) = fit_exponent(points) {
-            println!("{label}: rounds ~ n^{:.2}", fit.exponent);
+        if let Some(fit) = log.fit(label, points) {
+            if log.text {
+                println!("{label}: rounds ~ n^{:.2}", fit.exponent);
+            }
         }
     }
-    println!(
-        "(paper exponents: naive Θ(n) = n^1.0, Eden et al. n^0.83, Theorem 1.1 n^0.75, Theorem 1.2 n^0.67; \
+    if log.text {
+        println!(
+            "(paper exponents: naive Θ(n) = n^1.0, Eden et al. n^0.83, Theorem 1.1 n^0.75, Theorem 1.2 n^0.67; \
 the asymptotic crossover in absolute rounds lies far beyond simulation scale because of the p² and polylog \
 constants, so the comparison is between the fitted growth exponents)"
-    );
+        );
+    }
+    log.render()
 }
 
 /// E7 — Lemma 2.7: random vertex samples do not concentrate edges.
-fn e7_lemma_2_7() {
-    header(
-        "E7",
+fn e7_lemma_2_7(json: bool) -> String {
+    let mut log = Log::new(
+        "e7",
         "Lemma 2.7 — a q-sample of an m-edge graph induces ≤ 6q²m edges w.h.p.",
+        json,
     );
     let n = 500;
     let g = gen::erdos_renyi(n, 0.8, 2);
@@ -426,6 +594,15 @@ fn e7_lemma_2_7() {
                 violations += 1;
             }
         }
+        log.run(
+            &[
+                ("q", json_f64(q)),
+                ("max_sampled_edges", max_edges.to_string()),
+                ("bound", json_f64(lemma_2_7_bound(m, q))),
+                ("violations", violations.to_string()),
+            ],
+            None,
+        );
         table.row(&[
             format!("{q:.1}"),
             pre.to_string(),
@@ -434,14 +611,18 @@ fn e7_lemma_2_7() {
             violations.to_string(),
         ]);
     }
-    println!("{table}");
+    if log.text {
+        println!("{table}");
+    }
+    log.render()
 }
 
 /// E8 — end-to-end correctness matrix.
-fn e8_correctness() {
-    header(
-        "E8",
+fn e8_correctness(json: bool) -> String {
+    let mut log = Log::new(
+        "e8",
         "Correctness — union of node outputs equals the exact K_p list (all algorithms)",
+        json,
     );
     let mut table = Table::new(&[
         "workload",
@@ -469,48 +650,66 @@ fn e8_correctness() {
     for (label, graph) in &cases {
         for &p in &[4usize, 5] {
             let truth = graphcore::cliques::count_cliques(graph, p);
-            let general = list_kp(graph, &experiment_config(p));
-            let fast = if p == 4 {
-                Some(list_kp(
-                    graph,
-                    &ListingConfig {
-                        variant: Variant::FastK4,
-                        ..experiment_config(4)
-                    },
-                ))
-            } else {
-                None
-            };
-            let cc = congested_clique_list(graph, p, 1);
-            let naive = naive_broadcast_listing(graph, &ListingConfig::for_p(p));
-            let ok = |r: &cliquelist::ListingResult| {
-                if verify_against_ground_truth(graph, p, r).is_ok() {
+            let mut statuses: Vec<String> = Vec::new();
+            let mut algorithms: Vec<&str> =
+                vec!["general", "fast-k4", "congested-clique", "naive-broadcast"];
+            if p != 4 {
+                algorithms.retain(|&a| a != "fast-k4");
+            }
+            let mut fast_status = "-".to_string();
+            for name in algorithms {
+                let engine = Engine::builder()
+                    .p(p)
+                    .algorithm(name)
+                    .experiment_scale()
+                    .seed(1)
+                    .build()
+                    .expect("valid engine");
+                let (report, cliques) = engine.collect(graph);
+                let ok = if verify_cliques(graph, p, &cliques).is_ok() && cliques.len() == truth {
                     "ok"
                 } else {
                     "FAIL"
+                };
+                log.run(
+                    &[
+                        ("workload", json_string(label)),
+                        ("p", p.to_string()),
+                        ("ground_truth", truth.to_string()),
+                        ("exact", (ok == "ok").to_string()),
+                    ],
+                    Some(&report),
+                );
+                if name == "fast-k4" {
+                    fast_status = ok.to_string();
+                } else {
+                    statuses.push(ok.to_string());
                 }
-            };
+            }
             table.row(&[
                 label.clone(),
                 p.to_string(),
                 truth.to_string(),
-                ok(&general).to_string(),
-                fast.as_ref()
-                    .map(|r| ok(r).to_string())
-                    .unwrap_or_else(|| "-".into()),
-                ok(&cc.result).to_string(),
-                ok(&naive).to_string(),
+                statuses[0].clone(),
+                fast_status,
+                statuses[1].clone(),
+                statuses[2].clone(),
             ]);
         }
     }
-    println!("{table}");
+    if log.text {
+        println!("{table}");
+    }
+    log.render()
 }
 
-/// E9 — ablations: sparsity-aware vs dense exchange, bad-edge deferral.
-fn e9_ablation() {
-    header(
-        "E9",
+/// E9 — ablations: sparsity-aware vs dense exchange, selected through the
+/// engine builder.
+fn e9_ablation(json: bool) -> String {
+    let mut log = Log::new(
+        "e9",
         "Ablation — sparsity-aware in-cluster listing vs generic (dense) listing",
+        json,
     );
     let mut table = Table::new(&[
         "n",
@@ -518,52 +717,116 @@ fn e9_ablation() {
         "dense-assumption rounds",
         "overhead",
     ]);
+    let sparse_engine = experiment_engine(4, "general");
+    let dense_engine = Engine::builder()
+        .p(4)
+        .algorithm("general")
+        .experiment_scale()
+        .exchange_mode(ExchangeMode::DenseAssumption)
+        .build()
+        .expect("valid engine");
     for &n in SWEEP_N {
         let w = listing_workload(n, 4, 41 + n as u64);
-        let config = experiment_config(4);
-        let sparse = list_kp_with_mode(&w.graph, &config, ExchangeMode::SparsityAware);
-        let dense = list_kp_with_mode(&w.graph, &config, ExchangeMode::DenseAssumption);
-        verify_against_ground_truth(&w.graph, 4, &sparse).expect("sparse output exact");
-        verify_against_ground_truth(&w.graph, 4, &dense).expect("dense output exact");
+        let (sparse, sparse_cliques) = sparse_engine.collect(&w.graph);
+        let (dense, dense_cliques) = dense_engine.collect(&w.graph);
+        verify_cliques(&w.graph, 4, &sparse_cliques).expect("sparse output exact");
+        verify_cliques(&w.graph, 4, &dense_cliques).expect("dense output exact");
+        for (mode, report) in [("sparsity-aware", &sparse), ("dense-assumption", &dense)] {
+            log.run(
+                &[("n", n.to_string()), ("exchange_mode", json_string(mode))],
+                Some(report),
+            );
+        }
         table.row(&[
             n.to_string(),
-            sparse.rounds.total().to_string(),
-            dense.rounds.total().to_string(),
+            sparse.total_rounds().to_string(),
+            dense.total_rounds().to_string(),
             format!(
                 "{:.2}x",
-                dense.rounds.total() as f64 / sparse.rounds.total().max(1) as f64
+                dense.total_rounds() as f64 / sparse.total_rounds().max(1) as f64
             ),
         ]);
     }
-    println!("{table}");
-    println!("(the sparsity-aware exchange is the paper's novelty for Challenge 2: the dense variant pays for edges that are not there)");
+    if log.text {
+        println!("{table}");
+        println!("(the sparsity-aware exchange is the paper's novelty for Challenge 2: the dense variant pays for edges that are not there)");
+    }
+    log.render()
+}
+
+/// E10 — measured rounds against the Ω̃(n^{(p-2)/p}) lower bound of Fischer et al.
+fn e10_lower_bound_ratio(json: bool) -> String {
+    let mut log = Log::new(
+        "e10",
+        "Context — measured rounds vs the Fischer et al. lower bound Ω̃(n^{(p-2)/p})",
+        json,
+    );
+    let mut table = Table::new(&["p", "n", "rounds", "n^{(p-2)/p}", "ratio"]);
+    for &p in &[4usize, 5, 6] {
+        for &n in SWEEP_N {
+            let w = listing_workload(n, p, 53 + n as u64);
+            let (report, _) = experiment_engine(p, "general").count(&w.graph);
+            let lower = (n as f64).powf((p as f64 - 2.0) / p as f64);
+            log.run(
+                &[
+                    ("n", n.to_string()),
+                    ("p", p.to_string()),
+                    ("lower_bound", json_f64(lower)),
+                ],
+                Some(&report),
+            );
+            table.row(&[
+                p.to_string(),
+                n.to_string(),
+                report.total_rounds().to_string(),
+                format!("{lower:.0}"),
+                format!("{:.2}", report.total_rounds() as f64 / lower),
+            ]);
+        }
+    }
+    if log.text {
+        println!("{table}");
+        println!("(the ratio growing like n^{{2/(p+2)}} reflects the gap between Theorem 1.1 and the known lower bound, as discussed in the paper's Section 5)");
+    }
+    log.render()
 }
 
 /// E11 — message-level validation: the synchronous simulation of the naive
 /// broadcast reproduces the analytic `Θ(Δ)` round count and the exact listing.
 /// Built with `--features parallel`, the simulation steps nodes on all cores
 /// (`cargo run --release -p bench --features parallel --bin experiments -- e11`).
-fn e11_simulated_broadcast() {
+fn e11_simulated_broadcast(json: bool) -> String {
     let executor = if cfg!(feature = "parallel") {
         "parallel"
     } else {
         "sequential"
     };
-    header(
-        "E11",
+    let mut log = Log::new(
+        "e11",
         "Message-level simulation — naive broadcast on the CONGEST simulator",
+        json,
     );
-    println!("(executor: {executor})");
+    if log.text {
+        println!("(executor: {executor})");
+    }
     let mut table = Table::new(&["n", "m", "Δ", "simulated rounds", "words sent", "listing"]);
     for &n in &[100usize, 200, 300] {
         let g = gen::erdos_renyi(n, 0.08, 19 + n as u64);
         let (report, result) = simulate_naive_broadcast(&g, 3, 100_000);
         assert!(report.terminated, "simulation must terminate");
-        let status = if verify_against_ground_truth(&g, 3, &result).is_ok() {
-            "ok"
-        } else {
-            "FAIL"
-        };
+        let exact = verify_against_ground_truth(&g, 3, &result).is_ok();
+        let status = if exact { "ok" } else { "FAIL" };
+        log.run(
+            &[
+                ("n", n.to_string()),
+                ("m", g.num_edges().to_string()),
+                ("executor", json_string(executor)),
+                ("simulated_rounds", report.simulated_rounds.to_string()),
+                ("words_sent", report.metrics.words_sent.to_string()),
+                ("exact", exact.to_string()),
+            ],
+            None,
+        );
         table.row(&[
             n.to_string(),
             g.num_edges().to_string(),
@@ -573,31 +836,9 @@ fn e11_simulated_broadcast() {
             status.to_string(),
         ]);
     }
-    println!("{table}");
-    println!("(the simulated round count is Δ plus O(1) start-up slack, matching naive_broadcast_rounds)");
-}
-
-/// E10 — measured rounds against the Ω̃(n^{(p-2)/p}) lower bound of Fischer et al.
-fn e10_lower_bound_ratio() {
-    header(
-        "E10",
-        "Context — measured rounds vs the Fischer et al. lower bound Ω̃(n^{(p-2)/p})",
-    );
-    let mut table = Table::new(&["p", "n", "rounds", "n^{(p-2)/p}", "ratio"]);
-    for &p in &[4usize, 5, 6] {
-        for &n in SWEEP_N {
-            let w = listing_workload(n, p, 53 + n as u64);
-            let result = list_kp(&w.graph, &experiment_config(p));
-            let lower = (n as f64).powf((p as f64 - 2.0) / p as f64);
-            table.row(&[
-                p.to_string(),
-                n.to_string(),
-                result.rounds.total().to_string(),
-                format!("{lower:.0}"),
-                format!("{:.2}", result.rounds.total() as f64 / lower),
-            ]);
-        }
+    if log.text {
+        println!("{table}");
+        println!("(the simulated round count is Δ plus O(1) start-up slack, matching naive_broadcast_rounds)");
     }
-    println!("{table}");
-    println!("(the ratio growing like n^{{2/(p+2)}} reflects the gap between Theorem 1.1 and the known lower bound, as discussed in the paper's Section 5)");
+    log.render()
 }

@@ -12,20 +12,32 @@
 //!   merged into `E_s`;
 //! * `Ê_r`  — the remaining edges (`E'_r` plus the bad-bad edges), at most a
 //!   quarter of the incoming `E_r`.
+//!
+//! The listed instances are streamed into the caller's [`CliqueSink`]. For
+//! the general algorithm, one invocation emits each clique at most once (a
+//! per-invocation [`Dedup`] layer absorbs the cross-cluster overlap), and
+//! cliques listed by *different* invocations are structurally distinct
+//! because every listed clique contains a goal edge and goal edges are
+//! removed from the graph. For the fast-`K_4` variant the emission can
+//! contain duplicates (the light-node listing overlaps the in-cluster
+//! listing and later invocations): its callers wrap the **whole run** in a
+//! single `Dedup` — see `driver::run_congest` — which is both necessary for
+//! cross-invocation duplicates and sufficient for the in-invocation ones, so
+//! this function adds no second layer.
 
 use crate::cluster_knowledge::gather_cluster_knowledge;
 use crate::config::{ListingConfig, Variant};
 use crate::result::{phase, Diagnostics, Rounds};
-use crate::sparse_listing::{cluster_listing, ExchangeMode, SparseListingInput};
+use crate::sink::{CliqueSink, Dedup};
+use crate::sparse_listing::{cluster_listing, SparseListingInput};
 use expander::{decompose, Cluster};
-use graphcore::{Clique, EdgeSet, Graph, Orientation};
-use std::collections::HashSet;
+use graphcore::{EdgeSet, Graph, Orientation};
+use std::collections::BTreeMap;
 
-/// Result of one ARB-LIST invocation.
+/// Result of one ARB-LIST invocation (the listed cliques are streamed to the
+/// sink, not returned).
 #[derive(Clone, Debug, Default)]
 pub struct ArbListOutcome {
-    /// All `K_p` instances listed during this invocation.
-    pub listed: HashSet<Clique>,
     /// The goal edges `Ê_m` (removed from the graph by the caller).
     pub goal_edges: EdgeSet,
     /// New `E_s` edges produced by the decomposition's peeling.
@@ -40,7 +52,7 @@ pub struct ArbListOutcome {
     pub diagnostics: Diagnostics,
 }
 
-/// Runs one invocation of ARB-LIST.
+/// Runs one invocation of ARB-LIST, emitting every listed `K_p` into `sink`.
 ///
 /// * `graph`, `orientation`: the current graph `(V, E_s ∪ E_r)` and an
 ///   orientation of out-degree at most `arboricity_bound`;
@@ -56,14 +68,29 @@ pub fn arb_list(
     er: &EdgeSet,
     arboricity_bound: usize,
     delta: f64,
-    exchange_mode: ExchangeMode,
     config: &ListingConfig,
     seed: u64,
+    sink: &mut dyn CliqueSink,
 ) -> ArbListOutcome {
     let n = graph.num_vertices();
     let mut outcome = ArbListOutcome {
         es_out: vec![Vec::new(); n],
         ..Default::default()
+    };
+    // A clique can contain goal edges of several clusters, and the fast-K4
+    // light listing overlaps the in-cluster listing. For the general
+    // algorithm a per-invocation Dedup absorbs that overlap (and suffices,
+    // because emissions of different invocations are structurally disjoint);
+    // for the fast-K4 variant the caller already wraps the whole run in a
+    // Dedup — see `driver::run_congest` — so a second layer here would only
+    // double the memory.
+    let mut dedup;
+    let mut sink: &mut dyn CliqueSink = match config.variant {
+        Variant::General => {
+            dedup = Dedup::new(sink);
+            &mut dedup
+        }
+        Variant::FastK4 => sink,
     };
 
     // --- Expander decomposition on E_r (Theorem 2.3) -----------------------
@@ -144,16 +171,14 @@ pub fn arb_list(
             n,
             arboricity_bound,
         };
-        let listing = cluster_listing(&input, config, exchange_mode, seed ^ cluster.id as u64);
-        outcome.listed.extend(listing.cliques.iter().cloned());
+        let listing = cluster_listing(&input, config, seed ^ cluster.id as u64, &mut sink);
         per_cluster_rounds.push(listing.rounds);
 
         // Fast K4 variant: C-light nodes list the instances whose outside edge
         // touches a light node, sequentially over the clusters (Section 3).
         if config.variant == Variant::FastK4 {
-            let (light_rounds, light_cliques) = light_node_listing(graph, cluster, heavy_threshold);
+            let light_rounds = light_node_listing(graph, cluster, heavy_threshold, &mut sink);
             sequential_light_listing += light_rounds;
-            outcome.listed.extend(light_cliques);
         }
     }
 
@@ -183,17 +208,20 @@ pub fn arb_list(
 
 /// The light-node listing of Section 3: every `C`-light node asks all its
 /// neighbours about each of its cluster neighbours and lists the `K_4`
-/// instances it sees. Returns the rounds used (for this cluster) and the
-/// cliques found.
+/// instances it sees, emitting them into `sink`. Returns the rounds used
+/// (for this cluster).
+///
+/// Outside nodes are visited in ascending identifier order so the emission
+/// order is deterministic.
 fn light_node_listing(
     graph: &Graph,
     cluster: &Cluster,
     heavy_threshold: f64,
-) -> (u64, HashSet<Clique>) {
-    let mut cliques = HashSet::new();
+    sink: &mut dyn CliqueSink,
+) -> u64 {
     let mut max_rounds = 0u64;
     // Identify the C-light outside neighbours and their cluster neighbours.
-    let mut outside: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    let mut outside: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
     for &u in &cluster.vertices {
         for &v in graph.neighbors(u) {
             if !cluster.contains(v) {
@@ -220,21 +248,23 @@ fn light_node_listing(
                         continue;
                     }
                     if graph.has_edge(u, y) && graph.has_edge(w, y) {
-                        cliques.insert(graphcore::canonical_clique(&[v, u, w, y]));
+                        sink.accept(&graphcore::canonical_clique(&[v, u, w, y]));
                     }
                 }
             }
         }
     }
-    (max_rounds, cliques)
+    max_rounds
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphcore::gen;
+    use crate::sink::CollectSink;
+    use graphcore::{gen, Clique};
+    use std::collections::HashSet;
 
-    fn run_arb(graph: &Graph, p: usize, variant: Variant) -> ArbListOutcome {
+    fn run_arb(graph: &Graph, p: usize, variant: Variant) -> (ArbListOutcome, HashSet<Clique>) {
         let orientation = Orientation::from_degeneracy(graph);
         let a = orientation.max_out_degree().max(1);
         let er = graph.edge_set();
@@ -247,22 +277,24 @@ mod tests {
             variant,
             ..ListingConfig::for_p(p)
         };
-        arb_list(
+        let mut sink = CollectSink::new();
+        let outcome = arb_list(
             graph,
             &orientation,
             &er,
             a,
             delta.clamp(0.05, 0.95),
-            ExchangeMode::SparsityAware,
             &config,
             7,
-        )
+            &mut sink,
+        );
+        (outcome, sink.into_cliques())
     }
 
     #[test]
     fn er_shrinks_and_partition_is_consistent() {
         let g = gen::erdos_renyi(150, 0.3, 3);
-        let out = run_arb(&g, 4, Variant::General);
+        let (out, _) = run_arb(&g, 4, Variant::General);
         let total = out.goal_edges.len() + out.es_added.len() + out.er_new.len();
         assert_eq!(total, g.num_edges(), "ARB-LIST must partition the edges");
         assert!(out.goal_edges.is_disjoint(&out.es_added));
@@ -279,7 +311,7 @@ mod tests {
     #[test]
     fn lists_every_clique_with_a_goal_edge() {
         let g = gen::erdos_renyi(100, 0.3, 11);
-        let out = run_arb(&g, 4, Variant::General);
+        let (out, listed) = run_arb(&g, 4, Variant::General);
         let all = graphcore::cliques::list_cliques(&g, 4);
         for clique in &all {
             let has_goal = clique.iter().enumerate().any(|(i, &a)| {
@@ -289,13 +321,13 @@ mod tests {
             });
             if has_goal {
                 assert!(
-                    out.listed.contains(clique),
+                    listed.contains(clique),
                     "K4 {clique:?} with a goal edge was not listed"
                 );
             }
         }
         // Everything listed must be a real clique.
-        for clique in &out.listed {
+        for clique in &listed {
             assert!(graphcore::cliques::is_clique(&g, clique));
             assert_eq!(clique.len(), 4);
         }
@@ -304,7 +336,7 @@ mod tests {
     #[test]
     fn fast_k4_variant_also_covers_goal_edges() {
         let g = gen::erdos_renyi(100, 0.3, 13);
-        let out = run_arb(&g, 4, Variant::FastK4);
+        let (out, listed) = run_arb(&g, 4, Variant::FastK4);
         let all = graphcore::cliques::list_cliques(&g, 4);
         for clique in &all {
             let has_goal = clique.iter().enumerate().any(|(i, &a)| {
@@ -314,7 +346,7 @@ mod tests {
             });
             if has_goal {
                 assert!(
-                    out.listed.contains(clique),
+                    listed.contains(clique),
                     "K4 {clique:?} with a goal edge was not listed by the fast variant"
                 );
             }
@@ -324,7 +356,7 @@ mod tests {
     #[test]
     fn k5_instances_with_goal_edges_are_listed() {
         let (g, _) = gen::planted_cliques(120, 0.2, 3, 5, 5);
-        let out = run_arb(&g, 5, Variant::General);
+        let (out, listed) = run_arb(&g, 5, Variant::General);
         let all = graphcore::cliques::list_cliques(&g, 5);
         assert!(!all.is_empty());
         for clique in &all {
@@ -334,7 +366,7 @@ mod tests {
                     .any(|&b| out.goal_edges.contains_pair(a, b))
             });
             if has_goal {
-                assert!(out.listed.contains(clique), "K5 {clique:?} missing");
+                assert!(listed.contains(clique), "K5 {clique:?} missing");
             }
         }
     }
@@ -342,22 +374,62 @@ mod tests {
     #[test]
     fn sparse_graph_produces_no_clusters_and_no_goal_edges() {
         let g = gen::path_graph(100);
-        let out = run_arb(&g, 4, Variant::General);
+        let (out, listed) = run_arb(&g, 4, Variant::General);
         assert!(out.goal_edges.is_empty());
         assert_eq!(out.es_added.len(), g.num_edges());
-        assert!(out.listed.is_empty());
+        assert!(listed.is_empty());
         assert_eq!(out.diagnostics.clusters, 0);
     }
 
     #[test]
     fn rounds_are_recorded_per_phase() {
         let g = gen::erdos_renyi(120, 0.35, 17);
-        let out = run_arb(&g, 4, Variant::General);
+        let (out, _) = run_arb(&g, 4, Variant::General);
         assert!(out.rounds.for_phase(phase::DECOMPOSITION) > 0);
         if out.diagnostics.clusters > 0 {
             assert!(out.rounds.for_phase(phase::MEMBERSHIP) > 0);
             assert!(out.rounds.for_phase(phase::PART_EXCHANGE) > 0);
         }
         assert_eq!(out.rounds.total(), out.rounds.iter().map(|(_, r)| r).sum());
+    }
+
+    #[test]
+    fn general_invocations_emit_each_clique_exactly_once() {
+        // For the general algorithm, raw CountSink totals must match the
+        // distinct set even though the cross-cluster path can find a clique
+        // twice — the per-invocation Dedup absorbs the overlap. The fast-K4
+        // variant deliberately has no inner layer (its drivers dedup the
+        // whole run), so its raw count may only overshoot, never undershoot.
+        let g = gen::erdos_renyi(100, 0.35, 19);
+        let orientation = Orientation::from_degeneracy(&g);
+        let a = orientation.max_out_degree().max(1);
+        let er = g.edge_set();
+        let n = g.num_vertices() as f64;
+        let delta =
+            (((a as f64 / (2.0 * n.log2())).max(n.powf(0.5))).ln() / n.ln()).clamp(0.05, 0.95);
+
+        let config = ListingConfig::for_p(4);
+        let mut count = crate::sink::CountSink::new();
+        arb_list(&g, &orientation, &er, a, delta, &config, 7, &mut count);
+        let (_, listed) = run_arb(&g, 4, Variant::General);
+        assert_eq!(count.count as usize, listed.len());
+
+        let fast_config = ListingConfig {
+            variant: Variant::FastK4,
+            ..config
+        };
+        let mut fast_count = crate::sink::CountSink::new();
+        arb_list(
+            &g,
+            &orientation,
+            &er,
+            a,
+            delta,
+            &fast_config,
+            7,
+            &mut fast_count,
+        );
+        let (_, fast_listed) = run_arb(&g, 4, Variant::FastK4);
+        assert!(fast_count.count as usize >= fast_listed.len());
     }
 }

@@ -12,83 +12,138 @@
 //! qualitative behaviour the comparison experiment needs: correct output and
 //! a round complexity that sits between the naive baseline and the paper's
 //! algorithm on dense inputs.
+//!
+//! The baseline is reached through the [`Engine`](crate::Engine) (algorithm
+//! `eden-k4`), whose [`prepare`](crate::ListingAlgorithm::prepare) pass pins
+//! the dense exchange and the single-pass iteration cap.
 
-use crate::config::ListingConfig;
+use crate::config::{ExchangeMode, ListingConfig, Variant};
 use crate::list::list_once;
-use crate::result::{phase, ListingResult};
-use crate::sparse_listing::ExchangeMode;
+use crate::result::{phase, Diagnostics, ListingResult, Rounds};
+use crate::sink::{CliqueSink, CollectSink, Dedup};
 use graphcore::{cliques, Graph, Orientation};
 
-/// Runs the simplified Eden-et-al-style `K_4` baseline.
-pub fn eden_style_k4(graph: &Graph, seed: u64) -> ListingResult {
-    let mut config = ListingConfig::fast_k4().with_seed(seed);
-    config.max_arb_iterations = 4;
-    let mut result = ListingResult::new();
+/// Runs the Eden-style baseline, emitting every listed `K_4` into `sink`
+/// exactly once (the light-node listing and the final broadcast can overlap,
+/// so the whole run is deduplicated), and returns the measured rounds and
+/// diagnostics.
+pub(crate) fn run_streaming(
+    graph: &Graph,
+    config: &ListingConfig,
+    sink: &mut dyn CliqueSink,
+) -> (Rounds, Diagnostics) {
+    let mut rounds = Rounds::new();
+    let mut diagnostics = Diagnostics::default();
     let n = graph.num_vertices();
     if n < 4 || graph.num_edges() == 0 {
-        return result;
+        return (rounds, diagnostics);
     }
+    let mut sink = Dedup::new(sink);
 
     let orientation = Orientation::from_degeneracy(graph);
     let a = orientation.max_out_degree().max(1);
 
     // A single decomposition-and-list pass with the generic (dense) exchange.
-    let step = list_once(
-        graph,
-        &orientation,
-        a,
-        ExchangeMode::DenseAssumption,
-        &config,
-        seed,
-    );
-    result.cliques.extend(step.listed);
-    result.rounds.absorb(&step.rounds);
-    result.diagnostics.absorb(&step.diagnostics);
+    let step = list_once(graph, &orientation, a, config, config.seed, &mut sink);
+    rounds.absorb(&step.rounds);
+    diagnostics.absorb(&step.diagnostics);
 
     // No further iterations: finish with the naive broadcast on the remaining
     // graph.
     let remaining = step.remaining;
     if remaining.num_edges() > 0 {
-        result.rounds.add(
+        rounds.add(
             phase::FINAL_BROADCAST,
             (remaining.max_degree() as u64).max(1),
         );
-        for clique in cliques::list_cliques(&remaining, 4) {
-            result.cliques.insert(clique);
+        if !sink.is_saturated() {
+            cliques::for_each_clique_while(&remaining, 4, |c| {
+                sink.accept(c);
+                !sink.is_saturated()
+            });
         }
     }
-    result
+    (rounds, diagnostics)
+}
+
+/// Runs the simplified Eden-et-al-style `K_4` baseline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cliquelist::Engine with algorithm \"eden-k4\" instead"
+)]
+pub fn eden_style_k4(graph: &Graph, seed: u64) -> ListingResult {
+    let mut config = ListingConfig::fast_k4().with_seed(seed);
+    config.max_arb_iterations = 4;
+    config.exchange_mode = ExchangeMode::DenseAssumption;
+    debug_assert_eq!(config.variant, Variant::FastK4);
+    let mut sink = CollectSink::new();
+    let (rounds, diagnostics) = run_streaming(graph, &config, &mut sink);
+    ListingResult {
+        cliques: sink.into_cliques(),
+        rounds,
+        diagnostics,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::verify_against_ground_truth;
+    use crate::engine::Engine;
+    use crate::verify::verify_cliques;
     use graphcore::gen;
+
+    fn eden(seed: u64) -> Engine {
+        Engine::builder()
+            .p(4)
+            .algorithm("eden-k4")
+            .seed(seed)
+            .build()
+            .expect("valid engine")
+    }
 
     #[test]
     fn output_is_complete() {
         let g = gen::erdos_renyi(80, 0.3, 3);
-        let result = eden_style_k4(&g, 1);
-        verify_against_ground_truth(&g, 4, &result).expect("complete K4 listing");
+        let (_, listed) = eden(1).collect(&g);
+        verify_cliques(&g, 4, &listed).expect("complete K4 listing");
     }
 
     #[test]
     fn costs_at_least_as_much_as_the_papers_algorithm_on_dense_inputs() {
         let g = gen::erdos_renyi(150, 0.5, 7);
-        let ours = crate::driver::list_kp(&g, &ListingConfig::fast_k4());
-        let eden = eden_style_k4(&g, 7);
+        let fast = Engine::builder().p(4).algorithm("fast-k4").build().unwrap();
+        let (ours, _) = fast.collect(&g);
+        let (eden_report, _) = eden(7).collect(&g);
         assert!(
-            eden.rounds.total() >= ours.rounds.total(),
+            eden_report.total_rounds() >= ours.total_rounds(),
             "eden-style {} < ours {}",
-            eden.rounds.total(),
-            ours.rounds.total()
+            eden_report.total_rounds(),
+            ours.total_rounds()
         );
     }
 
     #[test]
+    fn emission_is_exactly_once() {
+        let g = gen::erdos_renyi(90, 0.35, 11);
+        let (report, listed) = eden(11).collect(&g);
+        let (_, count) = eden(11).count(&g);
+        assert_eq!(count as usize, listed.len());
+        assert_eq!(report.sink.emitted, count);
+    }
+
+    #[test]
     fn trivial_inputs() {
-        assert!(eden_style_k4(&Graph::new(3), 0).is_empty());
-        assert!(eden_style_k4(&gen::path_graph(10), 0).cliques.is_empty());
+        assert_eq!(eden(0).count(&Graph::new(3)).1, 0);
+        assert_eq!(eden(0).count(&gen::path_graph(10)).1, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_the_engine() {
+        let g = gen::erdos_renyi(70, 0.3, 5);
+        let legacy = eden_style_k4(&g, 5);
+        let (report, cliques) = eden(5).collect(&g);
+        assert_eq!(legacy.cliques, cliques);
+        assert_eq!(legacy.rounds.total(), report.total_rounds());
     }
 }

@@ -4,21 +4,29 @@
 //!   whole neighbourhood to every neighbour, costing `Θ(Δ)` rounds. This is
 //!   the baseline every sub-linear algorithm must beat, and it is also the
 //!   final step of the paper's driver once the arboricity is small.
+//!   Registered with the [`Engine`](crate::Engine) as `naive-broadcast`.
 //! * [`eden_k4`]: a simplified stand-in for the `K_4` algorithm of Eden,
 //!   Fiat, Fischer, Kuhn and Oshman (DISC 2019), which runs in
 //!   `O(n^{5/6+o(1)})` rounds: a single decomposition pass (no arboricity
 //!   iteration) with a generic, non-sparsity-aware in-cluster listing.
+//!   Registered as `eden-k4`.
 //! * [`triangle`]: triangle listing through the same machinery (`p = 3`),
 //!   the regime solved by Chang et al. and Chang–Saranurak, used as a
-//!   reference point in the experiments.
+//!   reference point in the experiments. Reached through the engine with
+//!   `p(3)` and the `general` algorithm.
+//!
+//! The free functions in these modules are deprecated wrappers; the engine
+//! registry ([`cliquelist::algorithms`](crate::algorithms)) is the supported
+//! way to enumerate and run the baselines.
 
 pub mod eden_k4;
 pub mod naive;
 pub mod triangle;
 
+#[allow(deprecated)]
 pub use eden_k4::eden_style_k4;
-pub use naive::{
-    naive_broadcast_listing, naive_broadcast_rounds, simulate_naive_broadcast,
-    NaiveBroadcastProgram,
-};
+#[allow(deprecated)]
+pub use naive::naive_broadcast_listing;
+pub use naive::{naive_broadcast_rounds, simulate_naive_broadcast, NaiveBroadcastProgram};
+#[allow(deprecated)]
 pub use triangle::triangle_listing;

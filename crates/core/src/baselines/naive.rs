@@ -1,8 +1,14 @@
 //! The trivial broadcast baseline: every node sends its full neighbourhood to
 //! every neighbour and lists the cliques it sees. `Θ(Δ)` rounds in CONGEST.
+//!
+//! The analytic baseline is reached through the [`Engine`](crate::Engine)
+//! (algorithm `naive-broadcast`); [`simulate_naive_broadcast`] additionally
+//! runs the same protocol message-by-message on the `congest` simulator and
+//! is the validation path for the analytic round count.
 
 use crate::config::ListingConfig;
-use crate::result::{phase, ListingResult};
+use crate::result::{phase, ListingResult, Rounds};
+use crate::sink::{CliqueSink, CollectSink};
 use congest::{
     Context, Network, NetworkConfig, NodeId, NodeProgram, RoundReport, Status, Topology,
 };
@@ -16,33 +22,54 @@ pub fn naive_broadcast_rounds(graph: &Graph) -> u64 {
     graph.max_degree() as u64
 }
 
-/// Runs the naive baseline analytically: charges `Δ` rounds and returns the
-/// full listing (every clique is seen by each of its members, since a member
-/// learns all edges among its neighbours).
-pub fn naive_broadcast_listing(graph: &Graph, config: &ListingConfig) -> ListingResult {
-    let mut result = ListingResult::new();
+/// Runs the naive baseline analytically: charges `Δ` rounds and emits the
+/// full listing into `sink` (every clique is seen by each of its members,
+/// since a member learns all edges among its neighbours).
+pub(crate) fn run_streaming(
+    graph: &Graph,
+    config: &ListingConfig,
+    sink: &mut dyn CliqueSink,
+) -> Rounds {
+    let mut rounds = Rounds::new();
     if graph.num_edges() == 0 {
-        return result;
+        return rounds;
     }
-    result
-        .rounds
-        .add(phase::FINAL_BROADCAST, naive_broadcast_rounds(graph));
-    for c in cliques::list_cliques(graph, config.p) {
-        result.cliques.insert(c);
+    rounds.add(phase::FINAL_BROADCAST, naive_broadcast_rounds(graph));
+    if !sink.is_saturated() {
+        cliques::for_each_clique_while(graph, config.p, |c| {
+            sink.accept(c);
+            !sink.is_saturated()
+        });
     }
-    result
+    rounds
+}
+
+/// Runs the naive baseline analytically: charges `Δ` rounds and returns the
+/// full listing.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cliquelist::Engine with algorithm \"naive-broadcast\" instead"
+)]
+pub fn naive_broadcast_listing(graph: &Graph, config: &ListingConfig) -> ListingResult {
+    let mut sink = CollectSink::new();
+    let rounds = run_streaming(graph, config, &mut sink);
+    ListingResult {
+        cliques: sink.into_cliques(),
+        rounds,
+        diagnostics: Default::default(),
+    }
 }
 
 /// Runs the message-level naive broadcast ([`NaiveBroadcastProgram`]) on the
 /// CONGEST topology of `graph` and returns the simulator report together with
 /// the union of the node outputs.
 ///
-/// This is the simulated counterpart of the analytic
-/// [`naive_broadcast_listing`]; the two must agree on the listing, and the
-/// simulated round count matches [`naive_broadcast_rounds`] up to `O(1)`
-/// start-up slack. With the `parallel` feature enabled, node programs are
-/// stepped on all cores (deterministically — see `congest`'s parallel
-/// executor), which is what makes large-`n` simulations tractable.
+/// This is the simulated counterpart of the analytic `naive-broadcast`
+/// engine algorithm; the two must agree on the listing, and the simulated
+/// round count matches [`naive_broadcast_rounds`] up to `O(1)` start-up
+/// slack. With the `parallel` feature enabled, node programs are stepped on
+/// all cores (deterministically — see `congest`'s parallel executor), which
+/// is what makes large-`n` simulations tractable.
 pub fn simulate_naive_broadcast(
     graph: &Graph,
     p: usize,
@@ -149,17 +176,25 @@ impl NodeProgram for NaiveBroadcastProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::verify_against_ground_truth;
+    use crate::engine::Engine;
+    use crate::verify::verify_cliques;
     use congest::{Network, NetworkConfig, Topology};
     use graphcore::gen;
+
+    fn naive_engine(p: usize) -> Engine {
+        Engine::builder()
+            .p(p)
+            .algorithm("naive-broadcast")
+            .build()
+            .expect("valid engine")
+    }
 
     #[test]
     fn analytic_baseline_lists_everything() {
         let g = gen::erdos_renyi(60, 0.3, 3);
-        let cfg = ListingConfig::for_p(4);
-        let result = naive_broadcast_listing(&g, &cfg);
-        verify_against_ground_truth(&g, 4, &result).expect("complete listing");
-        assert_eq!(result.rounds.total(), g.max_degree() as u64);
+        let (report, cliques) = naive_engine(4).collect(&g);
+        verify_cliques(&g, 4, &cliques).expect("complete listing");
+        assert_eq!(report.total_rounds(), g.max_degree() as u64);
     }
 
     #[test]
@@ -191,19 +226,27 @@ mod tests {
     #[test]
     fn simulate_helper_agrees_with_analytic() {
         let g = gen::erdos_renyi(30, 0.3, 8);
-        let cfg = ListingConfig::for_p(4);
         let (report, result) = simulate_naive_broadcast(&g, 4, 10_000);
         assert!(report.terminated);
-        let analytic = naive_broadcast_listing(&g, &cfg);
-        assert_eq!(result.cliques, analytic.cliques);
+        let (_, analytic) = naive_engine(4).collect(&g);
+        assert_eq!(result.cliques, analytic);
         assert!(report.simulated_rounds >= naive_broadcast_rounds(&g));
     }
 
     #[test]
     fn empty_graph_costs_nothing() {
-        let cfg = ListingConfig::for_p(4);
-        let result = naive_broadcast_listing(&Graph::new(10), &cfg);
-        assert!(result.is_empty());
-        assert_eq!(result.rounds.total(), 0);
+        let (report, count) = naive_engine(4).count(&Graph::new(10));
+        assert_eq!(count, 0);
+        assert_eq!(report.total_rounds(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_the_engine() {
+        let g = gen::erdos_renyi(40, 0.3, 13);
+        let legacy = naive_broadcast_listing(&g, &ListingConfig::for_p(4));
+        let (report, cliques) = naive_engine(4).collect(&g);
+        assert_eq!(legacy.cliques, cliques);
+        assert_eq!(legacy.rounds.total(), report.total_rounds());
     }
 }

@@ -2,37 +2,60 @@
 //!
 //! Triangle listing in CONGEST is the regime of Chang–Pettie–Zhang and
 //! Chang–Saranurak (`~O(n^{1/3})` rounds, tight). The paper's machinery also
-//! applies to `p = 3`; this wrapper exists so the experiments can report the
-//! `p = 3` point of the `n^{p/(p+2)}` curve next to the `p ≥ 4` points.
+//! applies to `p = 3`; the experiments reach this point of the `n^{p/(p+2)}`
+//! curve through an [`Engine`](crate::Engine) built with `p(3)` and the
+//! `general` algorithm — this wrapper remains for source compatibility.
 
 use crate::config::ListingConfig;
-use crate::driver::list_kp;
 use crate::result::ListingResult;
 use graphcore::Graph;
 
 /// Lists all triangles of `graph` with the paper's pipeline configured for
 /// `p = 3`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cliquelist::Engine with p(3) and algorithm \"general\" instead"
+)]
 pub fn triangle_listing(graph: &Graph, seed: u64) -> ListingResult {
-    list_kp(graph, &ListingConfig::for_p(3).with_seed(seed))
+    #[allow(deprecated)]
+    crate::driver::list_kp(graph, &ListingConfig::for_p(3).with_seed(seed))
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::verify::verify_against_ground_truth;
+    use crate::engine::Engine;
+    use crate::verify::verify_cliques;
     use graphcore::gen;
+
+    fn triangles(seed: u64) -> Engine {
+        Engine::builder()
+            .p(3)
+            .algorithm("general")
+            .seed(seed)
+            .build()
+            .expect("valid engine")
+    }
 
     #[test]
     fn triangles_are_fully_listed() {
         let g = gen::erdos_renyi(90, 0.3, 5);
-        let result = triangle_listing(&g, 1);
-        verify_against_ground_truth(&g, 3, &result).expect("complete triangle listing");
+        let (_, listed) = triangles(1).collect(&g);
+        verify_cliques(&g, 3, &listed).expect("complete triangle listing");
     }
 
     #[test]
     fn triangle_free_graphs() {
         let g = gen::complete_bipartite(15, 15);
-        let result = triangle_listing(&g, 1);
-        assert!(result.is_empty());
+        let (_, count) = triangles(1).count(&g);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_the_engine() {
+        let g = gen::erdos_renyi(50, 0.3, 9);
+        let legacy = super::triangle_listing(&g, 9);
+        let (_, cliques) = triangles(9).collect(&g);
+        assert_eq!(legacy.cliques, cliques);
     }
 }

@@ -1,5 +1,6 @@
 //! Configuration of the distributed listing algorithms.
 
+use crate::error::ConfigError;
 use congest::ChargePolicy;
 use expander::DecompositionConfig;
 use serde::{Deserialize, Serialize};
@@ -15,13 +16,32 @@ pub enum Variant {
     FastK4,
 }
 
+/// How the in-cluster part-exchange load is accounted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangeMode {
+    /// Loads follow the actual number of known edges between parts
+    /// (the paper's sparsity-aware algorithm).
+    SparsityAware,
+    /// Loads assume every pair of parts is fully connected
+    /// (`(n/P)²` edges per pair) — the generic, non-sparsity-aware listing
+    /// used as an ablation and by the Eden-et-al-style baseline.
+    DenseAssumption,
+}
+
 /// Configuration of the `K_p` listing pipeline.
+///
+/// Prefer constructing configurations through
+/// [`Engine::builder`](crate::Engine::builder), which validates every field
+/// and returns a typed [`ConfigError`] instead of panicking.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ListingConfig {
     /// Clique size `p ≥ 3`.
     pub p: usize,
     /// Algorithm variant.
     pub variant: Variant,
+    /// How the in-cluster exchange load is accounted. The dense mode is the
+    /// ablation of the paper's sparsity-awareness (experiment E9).
+    pub exchange_mode: ExchangeMode,
     /// How rounds are charged for black-box primitives.
     pub charge_policy: ChargePolicy,
     /// Expander decomposition parameters.
@@ -61,12 +81,16 @@ pub struct ListingConfig {
 
 impl ListingConfig {
     /// A configuration for listing `K_p` with the general algorithm and
-    /// default parameters.
-    pub fn for_p(p: usize) -> Self {
-        assert!(p >= 3, "clique size must be at least 3");
-        ListingConfig {
+    /// default parameters, or a [`ConfigError`] when `p < 3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CliqueSizeTooSmall`] when `p < 3`.
+    pub fn try_for_p(p: usize) -> Result<Self, ConfigError> {
+        let config = ListingConfig {
             p,
             variant: Variant::General,
+            exchange_mode: ExchangeMode::SparsityAware,
             charge_policy: ChargePolicy::default(),
             decomposition: DecompositionConfig::default(),
             heavy_exponent: 0.25,
@@ -77,7 +101,20 @@ impl ListingConfig {
             seed: 0xC11,
             arboricity_slack: None,
             termination_exponent_override: None,
-        }
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// A configuration for listing `K_p` with the general algorithm and
+    /// default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 3`; use [`ListingConfig::try_for_p`] (or the
+    /// [`Engine`](crate::Engine) builder) for fallible construction.
+    pub fn for_p(p: usize) -> Self {
+        ListingConfig::try_for_p(p).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The fast `K_4` configuration (Theorem 1.2).
@@ -86,6 +123,61 @@ impl ListingConfig {
             variant: Variant::FastK4,
             ..ListingConfig::for_p(4)
         }
+    }
+
+    /// Checks every field against its precondition; the builder calls this so
+    /// invalid configurations surface as typed errors instead of panics or
+    /// silently-skipped pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] of the first violated precondition.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.p < 3 {
+            return Err(ConfigError::CliqueSizeTooSmall { p: self.p });
+        }
+        if self.max_arb_iterations == 0 {
+            return Err(ConfigError::ZeroIterationCap {
+                field: "max_arb_iterations",
+            });
+        }
+        if self.max_list_iterations == 0 {
+            return Err(ConfigError::ZeroIterationCap {
+                field: "max_list_iterations",
+            });
+        }
+        if self.words_per_edge == 0 {
+            return Err(ConfigError::ZeroWordsPerEdge);
+        }
+        if !(self.heavy_exponent > 0.0 && self.heavy_exponent < 1.0) {
+            return Err(ConfigError::BadExponent {
+                field: "heavy_exponent",
+                value: self.heavy_exponent,
+            });
+        }
+        if let Some(e) = self.termination_exponent_override {
+            if !(e > 0.0 && e <= 1.0) {
+                return Err(ConfigError::BadExponent {
+                    field: "termination_exponent_override",
+                    value: e,
+                });
+            }
+        }
+        if let Some(s) = self.arboricity_slack {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(ConfigError::BadFactor {
+                    field: "arboricity_slack",
+                    value: s,
+                });
+            }
+        }
+        if !(self.bad_node_factor.is_finite() && self.bad_node_factor >= 0.0) {
+            return Err(ConfigError::BadFactor {
+                field: "bad_node_factor",
+                value: self.bad_node_factor,
+            });
+        }
+        Ok(())
     }
 
     /// Returns a copy with a different seed.
@@ -97,6 +189,12 @@ impl ListingConfig {
     /// Returns a copy with a different charge policy.
     pub fn with_charge_policy(mut self, policy: ChargePolicy) -> Self {
         self.charge_policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different in-cluster exchange mode.
+    pub fn with_exchange_mode(mut self, mode: ExchangeMode) -> Self {
+        self.exchange_mode = mode;
         self
     }
 
@@ -188,9 +286,11 @@ mod tests {
     fn builder_helpers() {
         let cfg = ListingConfig::for_p(5)
             .with_seed(7)
-            .with_charge_policy(ChargePolicy::bare());
+            .with_charge_policy(ChargePolicy::bare())
+            .with_exchange_mode(ExchangeMode::DenseAssumption);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.charge_policy.polylog_exponent, 0);
+        assert_eq!(cfg.exchange_mode, ExchangeMode::DenseAssumption);
     }
 
     #[test]
@@ -211,5 +311,96 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn tiny_p_rejected() {
         ListingConfig::for_p(2);
+    }
+
+    #[test]
+    fn try_for_p_rejects_without_panicking() {
+        assert!(matches!(
+            ListingConfig::try_for_p(2),
+            Err(ConfigError::CliqueSizeTooSmall { p: 2 })
+        ));
+        assert!(ListingConfig::try_for_p(3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let good = ListingConfig::for_p(4);
+        assert!(good.validate().is_ok());
+
+        let zero_arb = ListingConfig {
+            max_arb_iterations: 0,
+            ..good
+        };
+        assert!(matches!(
+            zero_arb.validate(),
+            Err(ConfigError::ZeroIterationCap {
+                field: "max_arb_iterations"
+            })
+        ));
+
+        let zero_list = ListingConfig {
+            max_list_iterations: 0,
+            ..good
+        };
+        assert!(matches!(
+            zero_list.validate(),
+            Err(ConfigError::ZeroIterationCap {
+                field: "max_list_iterations"
+            })
+        ));
+
+        let zero_words = ListingConfig {
+            words_per_edge: 0,
+            ..good
+        };
+        assert_eq!(zero_words.validate(), Err(ConfigError::ZeroWordsPerEdge));
+
+        for heavy in [0.0, 1.0, -0.5, f64::NAN] {
+            let cfg = ListingConfig {
+                heavy_exponent: heavy,
+                ..good
+            };
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::BadExponent { field, .. })
+                    if field == "heavy_exponent"),
+                "heavy_exponent = {heavy} must be rejected"
+            );
+        }
+
+        let bad_term = ListingConfig {
+            termination_exponent_override: Some(1.5),
+            ..good
+        };
+        assert!(matches!(
+            bad_term.validate(),
+            Err(ConfigError::BadExponent {
+                field: "termination_exponent_override",
+                ..
+            })
+        ));
+
+        for slack in [0.0, -1.0, f64::INFINITY] {
+            let cfg = ListingConfig {
+                arboricity_slack: Some(slack),
+                ..good
+            };
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::BadFactor { field, .. })
+                    if field == "arboricity_slack"),
+                "arboricity_slack = {slack} must be rejected"
+            );
+        }
+
+        let bad_factor = ListingConfig {
+            bad_node_factor: f64::NAN,
+            ..good
+        };
+        assert!(matches!(
+            bad_factor.validate(),
+            Err(ConfigError::BadFactor {
+                field: "bad_node_factor",
+                ..
+            })
+        ));
     }
 }

@@ -8,14 +8,25 @@
 //! is `~Θ(1 + m / n^{1+2/p})`: every node sends and receives
 //! `O(p² m / n^{2/p})` messages and the clique moves `n − 1` messages per node
 //! per round (Lenzen routing).
+//!
+//! The algorithm is normally reached through the [`Engine`](crate::Engine)
+//! (algorithm `congested-clique`), which streams the listed cliques into a
+//! [`CliqueSink`] and reports the send/receive loads in
+//! [`RunReport::congested_clique`](crate::RunReport::congested_clique); the
+//! free function [`congested_clique_list`] remains as a deprecated wrapper.
 
+use crate::config::ListingConfig;
 use crate::parts::TupleAssignment;
-use crate::result::{phase, ListingResult};
+use crate::report::CongestedCliqueStats;
+use crate::result::{phase, ListingResult, Rounds};
+use crate::sink::{CliqueSink, CollectSink};
 use congest::CongestedClique;
 use graphcore::partition::VertexPartition;
 use graphcore::{cliques, Graph, Orientation};
 
-/// Result details specific to the CONGESTED CLIQUE execution.
+/// Result details specific to the legacy CONGESTED CLIQUE entry point; the
+/// Engine API reports the same data as
+/// [`RunReport::congested_clique`](crate::RunReport::congested_clique).
 #[derive(Clone, Debug, Default)]
 pub struct CongestedCliqueReport {
     /// The listing result (cliques + rounds).
@@ -29,26 +40,35 @@ pub struct CongestedCliqueReport {
     pub predicted_rounds: f64,
 }
 
-/// Lists every `K_p` of `graph` in the CONGESTED CLIQUE model and reports the
-/// measured number of rounds.
+/// Runs the CONGESTED CLIQUE algorithm, emitting every `K_p` of `graph` into
+/// `sink` exactly once, and returns the measured rounds plus the load
+/// statistics.
 ///
-/// # Panics
-///
-/// Panics if `p < 3` or the graph has fewer than 2 vertices.
-pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCliqueReport {
-    assert!(p >= 3, "clique size must be at least 3");
+/// The caller is responsible for validating `config` (`p ≥ 3`); the
+/// [`Engine`](crate::Engine) builder does this. Graphs with fewer than two
+/// vertices have no edges and cost nothing.
+pub(crate) fn run_streaming(
+    graph: &Graph,
+    config: &ListingConfig,
+    sink: &mut dyn CliqueSink,
+) -> (Rounds, CongestedCliqueStats) {
     let n = graph.num_vertices();
-    assert!(n >= 2, "the congested clique needs at least two nodes");
+    let p = config.p;
     let m = graph.num_edges();
-    let clique = CongestedClique::new(n);
-    let mut report = CongestedCliqueReport {
-        predicted_rounds: 1.0 + m as f64 / (n as f64).powf(1.0 + 2.0 / p as f64),
+    let mut rounds = Rounds::new();
+    let mut stats = CongestedCliqueStats {
+        predicted_rounds: if n >= 2 {
+            1.0 + m as f64 / (n as f64).powf(1.0 + 2.0 / p as f64)
+        } else {
+            0.0
+        },
         ..Default::default()
     };
 
-    if m == 0 {
-        return report;
+    if m == 0 || n < 2 {
+        return (rounds, stats);
     }
+    let clique = CongestedClique::new(n);
 
     // Orientation with out-degree O(arboricity): each node is responsible for
     // its outgoing edges.
@@ -57,11 +77,11 @@ pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCli
     // Partition into ~n^{1/p} parts; announcing one part per owned vertex is a
     // single round (every node broadcasts its own part).
     let assignment = TupleAssignment::new(n, p);
-    let partition = VertexPartition::random(n, assignment.num_parts, seed);
-    report.result.rounds.add(phase::PARTITION_BROADCAST, 1);
+    let partition = VertexPartition::random(n, assignment.num_parts, config.seed);
+    rounds.add(phase::PARTITION_BROADCAST, 1);
 
     // Edge exchange loads.
-    let words = 2u64; // an edge is two vertex identifiers
+    let words = config.words_per_edge;
     let mut pair_counts: std::collections::HashMap<(u32, u32), u64> =
         std::collections::HashMap::new();
     let mut send_load = vec![0u64; n];
@@ -89,45 +109,96 @@ pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCli
         }
         max_recv = max_recv.max(load);
     }
-    report.max_send = send_load.iter().copied().max().unwrap_or(0);
-    report.max_recv = max_recv;
-    report.result.rounds.add(
+    stats.max_send = send_load.iter().copied().max().unwrap_or(0);
+    stats.max_recv = max_recv;
+    rounds.add(
         phase::PART_EXCHANGE,
-        clique.routing_rounds(report.max_send, report.max_recv),
+        clique.routing_rounds(stats.max_send, stats.max_recv),
     );
 
     // Every tuple is owned by some node, so every K_p (whose vertices fall in
     // some multiset of parts) is listed by the owner of the corresponding
-    // tuple: the union of the node outputs is the full list.
-    for c in cliques::list_cliques(graph, p) {
-        report.result.cliques.insert(c);
+    // tuple: the union of the node outputs is the full list, and the exact
+    // enumeration emits each instance once, in deterministic order. A
+    // saturated sink aborts the enumeration (not the charged rounds).
+    if !sink.is_saturated() {
+        cliques::for_each_clique_while(graph, p, |c| {
+            sink.accept(c);
+            !sink.is_saturated()
+        });
     }
-    report
+    (rounds, stats)
+}
+
+/// Lists every `K_p` of `graph` in the CONGESTED CLIQUE model and reports the
+/// measured number of rounds.
+///
+/// # Panics
+///
+/// Panics if `p < 3` or the graph has fewer than 2 vertices.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cliquelist::Engine with algorithm \"congested-clique\" instead"
+)]
+pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCliqueReport {
+    assert!(p >= 3, "clique size must be at least 3");
+    assert!(
+        graph.num_vertices() >= 2,
+        "the congested clique needs at least two nodes"
+    );
+    let config = ListingConfig::for_p(p).with_seed(seed);
+    let mut sink = CollectSink::new();
+    let (rounds, stats) = run_streaming(graph, &config, &mut sink);
+    CongestedCliqueReport {
+        result: ListingResult {
+            cliques: sink.into_cliques(),
+            rounds,
+            diagnostics: Default::default(),
+        },
+        max_send: stats.max_send,
+        max_recv: stats.max_recv,
+        predicted_rounds: stats.predicted_rounds,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::verify_against_ground_truth;
+    use crate::engine::Engine;
+    use crate::report::RunReport;
+    use crate::verify::verify_cliques;
     use graphcore::gen;
+    use std::collections::HashSet;
+
+    fn run(graph: &Graph, p: usize, seed: u64) -> (RunReport, HashSet<graphcore::Clique>) {
+        Engine::builder()
+            .p(p)
+            .algorithm("congested-clique")
+            .seed(seed)
+            .build()
+            .expect("valid engine")
+            .collect(graph)
+    }
 
     #[test]
     fn lists_everything() {
         let g = gen::erdos_renyi(80, 0.2, 3);
         for p in [3, 4, 5] {
-            let report = congested_clique_list(&g, p, 1);
-            verify_against_ground_truth(&g, p, &report.result).expect("complete listing");
+            let (_, cliques) = run(&g, p, 1);
+            verify_cliques(&g, p, &cliques).expect("complete listing");
         }
     }
 
     #[test]
     fn rounds_grow_with_density() {
         let n = 200;
-        let sparse = congested_clique_list(&gen::erdos_renyi(n, 0.02, 7), 4, 1);
-        let dense = congested_clique_list(&gen::erdos_renyi(n, 0.4, 7), 4, 1);
-        assert!(dense.result.rounds.total() >= sparse.result.rounds.total());
-        assert!(dense.max_recv > sparse.max_recv);
-        assert!(dense.predicted_rounds > sparse.predicted_rounds);
+        let (sparse, _) = run(&gen::erdos_renyi(n, 0.02, 7), 4, 1);
+        let (dense, _) = run(&gen::erdos_renyi(n, 0.4, 7), 4, 1);
+        assert!(dense.total_rounds() >= sparse.total_rounds());
+        let sparse_stats = sparse.congested_clique.unwrap();
+        let dense_stats = dense.congested_clique.unwrap();
+        assert!(dense_stats.max_recv > sparse_stats.max_recv);
+        assert!(dense_stats.predicted_rounds > sparse_stats.predicted_rounds);
     }
 
     #[test]
@@ -135,25 +206,43 @@ mod tests {
         // m = O(n): Theorem 1.3 predicts O~(1) rounds, i.e. the round count
         // must not grow when n doubles at constant average degree (the p²
         // polylog factors hidden by O~ keep the absolute value above 1).
-        let small = congested_clique_list(&gen::random_regular(200, 4, 5), 4, 2);
-        let large = congested_clique_list(&gen::random_regular(400, 4, 5), 4, 2);
+        let (small, _) = run(&gen::random_regular(200, 4, 5), 4, 2);
+        let (large, _) = run(&gen::random_regular(400, 4, 5), 4, 2);
         assert!(
-            large.result.rounds.total() <= small.result.rounds.total() + 2,
+            large.total_rounds() <= small.total_rounds() + 2,
             "rounds grew from {} to {}",
-            small.result.rounds.total(),
-            large.result.rounds.total()
+            small.total_rounds(),
+            large.total_rounds()
         );
-        assert!(large.predicted_rounds < 2.0);
+        assert!(large.congested_clique.unwrap().predicted_rounds < 2.0);
     }
 
     #[test]
     fn empty_graph_is_free() {
-        let report = congested_clique_list(&Graph::new(10), 4, 0);
-        assert!(report.result.is_empty());
-        assert_eq!(report.result.rounds.total(), 0);
+        let (report, cliques) = run(&Graph::new(10), 4, 0);
+        assert!(cliques.is_empty());
+        assert_eq!(report.total_rounds(), 0);
+        // Degenerate clique sizes are handled without panicking.
+        let (report, cliques) = run(&Graph::new(1), 4, 0);
+        assert!(cliques.is_empty());
+        assert_eq!(report.total_rounds(), 0);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_the_engine() {
+        let g = gen::erdos_renyi(60, 0.25, 9);
+        let legacy = congested_clique_list(&g, 4, 3);
+        let (report, cliques) = run(&g, 4, 3);
+        assert_eq!(legacy.result.cliques, cliques);
+        assert_eq!(legacy.result.rounds.total(), report.total_rounds());
+        let stats = report.congested_clique.unwrap();
+        assert_eq!(legacy.max_send, stats.max_send);
+        assert_eq!(legacy.max_recv, stats.max_recv);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "at least 3")]
     fn small_p_rejected() {
         congested_clique_list(&gen::complete_graph(5), 2, 0);

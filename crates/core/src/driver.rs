@@ -6,36 +6,58 @@
 //! algorithm, `n^{2/3}` for the fast `K_4` variant), every node broadcasts its
 //! remaining outgoing edges to its neighbours and the remaining instances are
 //! listed locally.
+//!
+//! The driver is normally reached through the [`Engine`](crate::Engine)
+//! (algorithms `general` and `fast-k4`), which streams the listed cliques
+//! into a [`CliqueSink`]; the free functions [`list_kp`]
+//! and [`list_kp_with_mode`] remain as deprecated wrappers that collect into
+//! the legacy [`ListingResult`].
 
-use crate::config::ListingConfig;
+use crate::config::{ExchangeMode, ListingConfig, Variant};
 use crate::list::list_once;
-use crate::result::{phase, ListingResult};
-use crate::sparse_listing::ExchangeMode;
+use crate::result::{phase, Diagnostics, ListingResult, Rounds};
+use crate::sink::{CliqueSink, CollectSink, Dedup};
 use graphcore::{cliques, Graph, Orientation};
 
-/// Lists every `K_p` instance of `graph` with the configured algorithm and
-/// returns the union of the node outputs together with the measured round
-/// complexity.
+/// Runs the CONGEST driver (general or fast-`K_4`, per `config.variant`),
+/// emitting every listed clique into `sink` exactly once, and returns the
+/// measured rounds and diagnostics.
 ///
-/// # Panics
-///
-/// Panics if `config.p < 3`.
-pub fn list_kp(graph: &Graph, config: &ListingConfig) -> ListingResult {
-    list_kp_with_mode(graph, config, ExchangeMode::SparsityAware)
-}
-
-/// Same as [`list_kp`] but with an explicit in-cluster exchange mode; the
-/// dense mode is used by the ablation experiment and baselines.
-pub fn list_kp_with_mode(
+/// The caller is responsible for validating `config`
+/// ([`ListingConfig::validate`]); the [`Engine`](crate::Engine) builder does
+/// this. Degenerate graphs (fewer than `p` vertices, no edges) cost nothing.
+pub(crate) fn run_congest(
     graph: &Graph,
     config: &ListingConfig,
-    exchange_mode: ExchangeMode,
-) -> ListingResult {
-    assert!(config.p >= 3, "clique size must be at least 3");
+    sink: &mut dyn CliqueSink,
+) -> (Rounds, Diagnostics) {
+    match config.variant {
+        // The fast-K4 light-node listing can emit cliques that do not contain
+        // a goal edge and therefore survive into later iterations or the
+        // final broadcast: dedup across the whole run to keep the engine's
+        // exactly-once contract.
+        Variant::FastK4 => {
+            let mut dedup = Dedup::new(sink);
+            run_congest_inner(graph, config, &mut dedup)
+        }
+        // The general algorithm only ever lists cliques containing a goal
+        // edge of the current iteration, and goal edges are removed before
+        // the next one: the per-ARB-LIST dedup already guarantees
+        // exactly-once.
+        Variant::General => run_congest_inner(graph, config, sink),
+    }
+}
+
+fn run_congest_inner(
+    graph: &Graph,
+    config: &ListingConfig,
+    mut sink: impl CliqueSink,
+) -> (Rounds, Diagnostics) {
     let n = graph.num_vertices();
-    let mut result = ListingResult::new();
+    let mut rounds = Rounds::new();
+    let mut diagnostics = Diagnostics::default();
     if n < config.p || graph.num_edges() == 0 {
-        return result;
+        return (rounds, diagnostics);
     }
 
     let mut current = graph.clone();
@@ -54,14 +76,13 @@ pub fn list_kp_with_mode(
             &current,
             &orientation,
             a,
-            exchange_mode,
             config,
             config.seed.wrapping_add(iteration as u64 * 7919),
+            &mut sink,
         );
-        result.cliques.extend(step.listed);
-        result.rounds.absorb(&step.rounds);
-        result.diagnostics.absorb(&step.diagnostics);
-        result.diagnostics.list_iterations += 1;
+        rounds.absorb(&step.rounds);
+        diagnostics.absorb(&step.diagnostics);
+        diagnostics.list_iterations += 1;
 
         let new_a = step.remaining_orientation.max_out_degree().max(1);
         current = step.remaining;
@@ -78,32 +99,94 @@ pub fn list_kp_with_mode(
     // edge descriptions, so the phase costs (max out-degree) edge-messages.
     let final_rounds = (orientation.max_out_degree() as u64).max(1) * config.words_per_edge;
     if current.num_edges() > 0 {
-        result.rounds.add(phase::FINAL_BROADCAST, final_rounds);
+        rounds.add(phase::FINAL_BROADCAST, final_rounds);
         // Every member of a surviving clique sees all of the clique's edges
         // (its own incident ones plus the broadcast out-edges of the other
         // members), so the union of the node outputs is exactly the set of
-        // K_p instances of the surviving graph.
-        for clique in cliques::list_cliques(&current, config.p) {
-            result.cliques.insert(clique);
+        // K_p instances of the surviving graph. These cliques are disjoint
+        // from the streamed ones for the general algorithm (each of those
+        // lost a goal edge); the fast-K4 wrapper dedups.
+        if !sink.is_saturated() {
+            cliques::for_each_clique_while(&current, config.p, |clique| {
+                sink.accept(clique);
+                !sink.is_saturated()
+            });
         }
     }
-    result
+    (rounds, diagnostics)
+}
+
+/// Lists every `K_p` instance of `graph` with the configured algorithm and
+/// returns the union of the node outputs together with the measured round
+/// complexity.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (e.g. `config.p < 3`); the
+/// [`Engine`](crate::Engine) builder is the non-panicking replacement.
+#[deprecated(
+    since = "0.2.0",
+    note = "use cliquelist::Engine with a CliqueSink instead"
+)]
+pub fn list_kp(graph: &Graph, config: &ListingConfig) -> ListingResult {
+    run_legacy(graph, config, config.exchange_mode)
+}
+
+/// Same as [`list_kp`] but with an explicit in-cluster exchange mode; the
+/// dense mode is used by the ablation experiment and baselines.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (e.g. `config.p < 3`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use cliquelist::Engine with EngineBuilder::exchange_mode instead"
+)]
+pub fn list_kp_with_mode(
+    graph: &Graph,
+    config: &ListingConfig,
+    exchange_mode: ExchangeMode,
+) -> ListingResult {
+    run_legacy(graph, config, exchange_mode)
+}
+
+fn run_legacy(graph: &Graph, config: &ListingConfig, exchange_mode: ExchangeMode) -> ListingResult {
+    let config = config.with_exchange_mode(exchange_mode);
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid listing config: {e}"));
+    let mut sink = CollectSink::new();
+    let (rounds, diagnostics) = run_congest(graph, &config, &mut sink);
+    ListingResult {
+        cliques: sink.into_cliques(),
+        rounds,
+        diagnostics,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Variant;
-    use crate::verify::verify_against_ground_truth;
+    use crate::engine::Engine;
+    use crate::verify::verify_cliques;
     use graphcore::gen;
+
+    fn general(p: usize, seed: u64) -> Engine {
+        Engine::builder()
+            .p(p)
+            .algorithm("general")
+            .seed(seed)
+            .build()
+            .expect("valid engine")
+    }
 
     #[test]
     fn complete_graph_is_fully_listed() {
         let g = gen::complete_graph(12);
         for p in [3, 4, 5] {
-            let result = list_kp(&g, &ListingConfig::for_p(p));
-            verify_against_ground_truth(&g, p, &result).expect("complete listing");
-            assert!(result.rounds.total() > 0);
+            let (report, cliques) = general(p, 0xC11).collect(&g);
+            verify_cliques(&g, p, &cliques).expect("complete listing");
+            assert!(report.total_rounds() > 0);
         }
     }
 
@@ -112,8 +195,8 @@ mod tests {
         for seed in [1, 2] {
             let g = gen::erdos_renyi(90, 0.35, seed);
             for p in [4, 5] {
-                let result = list_kp(&g, &ListingConfig::for_p(p).with_seed(seed));
-                verify_against_ground_truth(&g, p, &result)
+                let (_, cliques) = general(p, seed).collect(&g);
+                verify_cliques(&g, p, &cliques)
                     .unwrap_or_else(|e| panic!("seed {seed}, p {p}: {e}"));
             }
         }
@@ -123,64 +206,95 @@ mod tests {
     fn fast_k4_variant_is_complete() {
         for seed in [3, 4] {
             let g = gen::erdos_renyi(90, 0.35, seed);
-            let result = list_kp(&g, &ListingConfig::fast_k4().with_seed(seed));
-            verify_against_ground_truth(&g, 4, &result)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let engine = Engine::builder()
+                .p(4)
+                .algorithm("fast-k4")
+                .seed(seed)
+                .build()
+                .unwrap();
+            let (_, cliques) = engine.collect(&g);
+            verify_cliques(&g, 4, &cliques).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
     #[test]
     fn planted_cliques_are_listed() {
         let (g, planted) = gen::planted_cliques(100, 0.05, 3, 6, 9);
-        let result = list_kp(&g, &ListingConfig::for_p(6));
+        let (_, cliques) = general(6, 0xC11).collect(&g);
         for c in &planted {
-            assert!(result.cliques.contains(&c.vertices), "planted K6 missing");
+            assert!(cliques.contains(&c.vertices), "planted K6 missing");
         }
-        verify_against_ground_truth(&g, 6, &result).expect("complete K6 listing");
+        verify_cliques(&g, 6, &cliques).expect("complete K6 listing");
     }
 
     #[test]
     fn graphs_without_cliques_yield_nothing() {
         let g = gen::complete_bipartite(20, 20);
-        let result = list_kp(&g, &ListingConfig::for_p(4));
-        assert!(result.is_empty());
+        let (_, count) = general(4, 0xC11).count(&g);
+        assert_eq!(count, 0);
         let empty = Graph::new(30);
-        let result = list_kp(&empty, &ListingConfig::for_p(4));
-        assert!(result.is_empty());
-        assert_eq!(result.rounds.total(), 0);
+        let (report, count) = general(4, 0xC11).count(&empty);
+        assert_eq!(count, 0);
+        assert_eq!(report.total_rounds(), 0);
     }
 
     #[test]
     fn tiny_graphs_are_handled() {
         let g = gen::complete_graph(3);
-        let result = list_kp(&g, &ListingConfig::for_p(4));
-        assert!(result.is_empty());
+        let (_, count) = general(4, 0xC11).count(&g);
+        assert_eq!(count, 0);
         let g = gen::complete_graph(4);
-        let result = list_kp(&g, &ListingConfig::for_p(4));
-        assert_eq!(result.len(), 1);
+        let (report, count) = general(4, 0xC11).count(&g);
+        assert_eq!(count, 1);
+        assert_eq!(report.sink.emitted, 1);
     }
 
     #[test]
     fn both_variants_agree_on_the_output_set() {
         let g = gen::erdos_renyi(80, 0.3, 31);
-        let general = list_kp(&g, &ListingConfig::for_p(4));
-        let fast = list_kp(
-            &g,
-            &ListingConfig {
-                variant: Variant::FastK4,
-                ..ListingConfig::for_p(4)
-            },
-        );
-        assert_eq!(general.cliques, fast.cliques);
+        let (_, general_cliques) = general(4, 0xC11).collect(&g);
+        let fast = Engine::builder().p(4).algorithm("fast-k4").build().unwrap();
+        let (_, fast_cliques) = fast.collect(&g);
+        assert_eq!(general_cliques, fast_cliques);
     }
 
     #[test]
     fn dense_mode_lists_the_same_cliques() {
         let g = gen::erdos_renyi(80, 0.3, 37);
-        let cfg = ListingConfig::for_p(4);
-        let sparse = list_kp_with_mode(&g, &cfg, ExchangeMode::SparsityAware);
-        let dense = list_kp_with_mode(&g, &cfg, ExchangeMode::DenseAssumption);
-        assert_eq!(sparse.cliques, dense.cliques);
-        assert!(dense.rounds.total() >= sparse.rounds.total());
+        let sparse = general(4, 0xC11);
+        let dense = Engine::builder()
+            .p(4)
+            .exchange_mode(ExchangeMode::DenseAssumption)
+            .build()
+            .unwrap();
+        let (sparse_report, sparse_cliques) = sparse.collect(&g);
+        let (dense_report, dense_cliques) = dense.collect(&g);
+        assert_eq!(sparse_cliques, dense_cliques);
+        assert!(dense_report.total_rounds() >= sparse_report.total_rounds());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_engine() {
+        // Acceptance guard: the legacy free functions must keep compiling and
+        // produce the same listing as the engine they wrap.
+        let g = gen::erdos_renyi(70, 0.3, 41);
+        let legacy = list_kp(&g, &ListingConfig::for_p(5));
+        let (report, cliques) = general(5, 0xC11).collect(&g);
+        assert_eq!(legacy.cliques, cliques);
+        assert_eq!(legacy.rounds.total(), report.total_rounds());
+        let dense = list_kp_with_mode(&g, &ListingConfig::for_p(4), ExchangeMode::DenseAssumption);
+        verify_cliques(&g, 4, &dense.cliques).expect("legacy dense listing exact");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "at least 3")]
+    fn legacy_wrapper_still_panics_on_bad_p() {
+        let cfg = ListingConfig {
+            p: 2,
+            ..ListingConfig::for_p(3)
+        };
+        list_kp(&gen::complete_graph(5), &cfg);
     }
 }

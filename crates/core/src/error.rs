@@ -1,0 +1,176 @@
+//! Typed configuration errors surfaced by the [`Engine`](crate::Engine)
+//! builder.
+//!
+//! Historically the free-function entry points asserted their preconditions
+//! (`assert!(p >= 3)`) and panicked on bad configurations. The builder
+//! validates every parameter up front and returns a [`ConfigError`] instead,
+//! so services embedding the crate can reject bad requests without unwinding.
+
+use std::fmt;
+
+/// A rejected engine configuration.
+///
+/// Returned by [`EngineBuilder::build`](crate::EngineBuilder::build) and
+/// [`ListingConfig::validate`](crate::ListingConfig::validate); every variant
+/// corresponds to one precondition that used to be an `assert!`/`panic!` in
+/// the free-function API.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// No clique size was set on the builder.
+    MissingCliqueSize,
+    /// The clique size is below the smallest listable clique (`p ≥ 3`).
+    CliqueSizeTooSmall {
+        /// The rejected clique size.
+        p: usize,
+    },
+    /// The selected algorithm does not support the requested clique size
+    /// (e.g. the fast `K_4` algorithm of Theorem 1.2 is specialised to
+    /// `p = 4`).
+    UnsupportedCliqueSize {
+        /// Registry name of the selected algorithm.
+        algorithm: &'static str,
+        /// The rejected clique size.
+        p: usize,
+        /// Smallest supported clique size.
+        min: usize,
+        /// Largest supported clique size (`None` = unbounded).
+        max: Option<usize>,
+    },
+    /// The requested algorithm name is not in the registry.
+    UnknownAlgorithm {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Both a registered algorithm name and a custom implementation were
+    /// set on the builder; the selection is ambiguous.
+    ConflictingAlgorithmSelection {
+        /// The registered name that conflicts with the custom algorithm.
+        name: String,
+    },
+    /// An iteration cap that must be at least 1 was set to zero (a zero cap
+    /// would silently skip the whole pipeline).
+    ZeroIterationCap {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// `words_per_edge` was zero; every edge occupies at least one word on
+    /// the wire.
+    ZeroWordsPerEdge,
+    /// An exponent parameter left its valid open interval (e.g. the heavy
+    /// threshold exponent must satisfy `0 < γ < 1`).
+    BadExponent {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A multiplicative factor was negative, zero where forbidden, or not
+    /// finite.
+    BadFactor {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingCliqueSize => {
+                write!(f, "no clique size set: call EngineBuilder::p before build")
+            }
+            ConfigError::CliqueSizeTooSmall { p } => {
+                write!(f, "clique size must be at least 3 (got {p})")
+            }
+            ConfigError::UnsupportedCliqueSize {
+                algorithm,
+                p,
+                min,
+                max,
+            } => match max {
+                Some(max) => write!(
+                    f,
+                    "algorithm `{algorithm}` supports clique sizes {min}..={max} (got {p})"
+                ),
+                None => write!(
+                    f,
+                    "algorithm `{algorithm}` supports clique sizes >= {min} (got {p})"
+                ),
+            },
+            ConfigError::UnknownAlgorithm { name } => {
+                write!(
+                    f,
+                    "unknown algorithm `{name}`; see cliquelist::algorithms()"
+                )
+            }
+            ConfigError::ConflictingAlgorithmSelection { name } => {
+                write!(
+                    f,
+                    "both algorithm(\"{name}\") and a custom algorithm were set; choose one"
+                )
+            }
+            ConfigError::ZeroIterationCap { field } => {
+                write!(f, "iteration cap `{field}` must be at least 1")
+            }
+            ConfigError::ZeroWordsPerEdge => {
+                write!(f, "words_per_edge must be at least 1")
+            }
+            ConfigError::BadExponent { field, value } => {
+                write!(f, "exponent `{field}` is outside its valid range: {value}")
+            }
+            ConfigError::BadFactor { field, value } => {
+                write!(
+                    f,
+                    "factor `{field}` must be finite and non-negative: {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_parameter() {
+        let e = ConfigError::CliqueSizeTooSmall { p: 2 };
+        assert!(e.to_string().contains("at least 3"));
+        let e = ConfigError::UnsupportedCliqueSize {
+            algorithm: "fast-k4",
+            p: 5,
+            min: 4,
+            max: Some(4),
+        };
+        assert!(e.to_string().contains("fast-k4"));
+        assert!(e.to_string().contains('5'));
+        let e = ConfigError::UnsupportedCliqueSize {
+            algorithm: "general",
+            p: 2,
+            min: 3,
+            max: None,
+        };
+        assert!(e.to_string().contains(">= 3"));
+        let e = ConfigError::UnknownAlgorithm {
+            name: "quantum".into(),
+        };
+        assert!(e.to_string().contains("quantum"));
+        let e = ConfigError::ConflictingAlgorithmSelection {
+            name: "fast-k4".into(),
+        };
+        assert!(e.to_string().contains("choose one"));
+        let e = ConfigError::ZeroIterationCap {
+            field: "max_arb_iterations",
+        };
+        assert!(e.to_string().contains("max_arb_iterations"));
+        let e = ConfigError::BadExponent {
+            field: "heavy_exponent",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("1.5"));
+    }
+}

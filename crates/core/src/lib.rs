@@ -6,33 +6,63 @@
 //! CONGEST model, a faster specialised `K_4` algorithm, and an optimal
 //! sparsity-aware `K_p`-listing algorithm for the CONGESTED CLIQUE model.
 //!
-//! | Paper result | Entry point |
-//! |--------------|-------------|
-//! | Theorem 1.1 — `K_p` in `~O(n^{3/4} + n^{p/(p+2)})` CONGEST rounds | [`list_kp`] with [`ListingConfig::for_p`] |
-//! | Theorem 1.2 — `K_4` in `~O(n^{2/3})` CONGEST rounds | [`list_kp`] with [`ListingConfig::fast_k4`] |
-//! | Theorem 1.3 — `K_p` in `~Θ(1 + m/n^{1+2/p})` CONGESTED CLIQUE rounds | [`congested_clique_list`] |
+//! Every algorithm — the paper's three theorems plus the comparison
+//! baselines — runs through one streaming [`Engine`] API: pick an algorithm
+//! from the registry, build a validated engine, and stream the listed
+//! cliques into any [`CliqueSink`].
+//!
+//! | Paper result | Engine algorithm |
+//! |--------------|------------------|
+//! | Theorem 1.1 — `K_p` in `~O(n^{3/4} + n^{p/(p+2)})` CONGEST rounds | `"general"` |
+//! | Theorem 1.2 — `K_4` in `~O(n^{2/3})` CONGEST rounds | `"fast-k4"` |
+//! | Theorem 1.3 — `K_p` in `~Θ(1 + m/n^{1+2/p})` CONGESTED CLIQUE rounds | `"congested-clique"` |
+//! | Θ(Δ) broadcast baseline | `"naive-broadcast"` |
+//! | Eden et al. (DISC 2019) stand-in | `"eden-k4"` |
 //! | Theorem 2.8 — Algorithm LIST | [`list::list_once`] |
 //! | Theorem 2.9 — Algorithm ARB-LIST | [`arb_list::arb_list`] |
 //!
-//! The execution model, the expander-decomposition substrate and the exact
-//! round-accounting rules are described in the repository's `DESIGN.md`.
+//! The execution model, the expander-decomposition substrate, the exact
+//! round-accounting rules and the engine/sink architecture are described in
+//! the repository's `DESIGN.md`.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use cliquelist::{list_kp, ListingConfig, verify_against_ground_truth};
+//! use cliquelist::{CollectSink, Engine, verify_cliques};
 //! use graphcore::gen;
 //!
 //! // A sparse random graph with three planted K_5 instances.
 //! let (graph, planted) = gen::planted_cliques(200, 0.02, 3, 5, 42);
 //!
-//! let result = list_kp(&graph, &ListingConfig::for_p(5));
+//! // Theorem 1.1: the general CONGEST algorithm for p = 5.
+//! let engine = Engine::builder().p(5).algorithm("general").seed(42).build()?;
+//! let mut sink = CollectSink::new();
+//! let report = engine.run(&graph, &mut sink);
 //!
 //! // The union of node outputs is the complete list of K_5 instances.
-//! verify_against_ground_truth(&graph, 5, &result)?;
-//! assert!(planted.iter().all(|c| result.cliques.contains(&c.vertices)));
-//! println!("listed {} cliques in {} rounds", result.len(), result.rounds.total());
-//! # Ok::<(), cliquelist::VerificationError>(())
+//! verify_cliques(&graph, 5, &sink.cliques).expect("listing is exact");
+//! assert!(planted.iter().all(|c| sink.cliques.contains(&c.vertices)));
+//! println!(
+//!     "listed {} cliques in {} rounds",
+//!     report.sink.emitted,
+//!     report.total_rounds()
+//! );
+//! # Ok::<(), cliquelist::ConfigError>(())
+//! ```
+//!
+//! Counting without materialising the output (the dense enumeration paths
+//! allocate nothing per clique; see `DESIGN.md` §6 for which paths those
+//! are):
+//!
+//! ```
+//! use cliquelist::Engine;
+//! use graphcore::gen;
+//!
+//! let graph = gen::erdos_renyi(120, 0.2, 7);
+//! let engine = Engine::builder().p(4).algorithm("congested-clique").build()?;
+//! let (report, count) = engine.count(&graph);
+//! println!("{count} K_4s, predicted rounds {:?}", report.congested_clique);
+//! # Ok::<(), cliquelist::ConfigError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,15 +74,27 @@ pub mod cluster_knowledge;
 pub mod config;
 pub mod congested_clique;
 pub mod driver;
+pub mod engine;
+pub mod error;
 pub mod list;
 pub mod parts;
+pub mod report;
 pub mod result;
+pub mod sink;
 pub mod sparse_listing;
 pub mod verify;
 
-pub use config::{ListingConfig, Variant};
-pub use congested_clique::{congested_clique_list, CongestedCliqueReport};
+pub use config::{ExchangeMode, ListingConfig, Variant};
+#[allow(deprecated)]
+pub use congested_clique::congested_clique_list;
+pub use congested_clique::CongestedCliqueReport;
+#[allow(deprecated)]
 pub use driver::{list_kp, list_kp_with_mode};
+pub use engine::{
+    algorithm_named, algorithms, names, AlgorithmInfo, Engine, EngineBuilder, ListingAlgorithm,
+};
+pub use error::ConfigError;
+pub use report::{CongestedCliqueStats, Model, RunReport, SinkSummary};
 pub use result::{Diagnostics, ListingResult, Rounds};
-pub use sparse_listing::ExchangeMode;
-pub use verify::{verify_against_ground_truth, VerificationError};
+pub use sink::{CliqueSink, CollectSink, CountSink, Counted, Dedup, FirstK};
+pub use verify::{verify_against_ground_truth, verify_cliques, VerificationError};

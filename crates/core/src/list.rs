@@ -7,20 +7,24 @@
 //! and shrinks `E_r` by at least a factor 4, so after `O(log n)` iterations
 //! `E_r` is empty and the surviving edge set `E_s` has arboricity at most
 //! `n^δ · log n ≤ A/2`, together with an explicit orientation.
+//!
+//! Listed instances are streamed into the caller's [`CliqueSink`]; for the
+//! general algorithm successive ARB-LIST invocations emit disjoint clique
+//! sets because every emitted clique contains a goal edge and goal edges are
+//! removed from the working graph before the next invocation. The fast-`K_4`
+//! variant's light-node listing can emit cliques without a goal edge, so its
+//! driver wraps the whole run in a [`Dedup`](crate::sink::Dedup) layer.
 
 use crate::arb_list::arb_list;
 use crate::config::ListingConfig;
 use crate::result::{Diagnostics, Rounds};
-use crate::sparse_listing::ExchangeMode;
-use graphcore::{Clique, EdgeSet, Graph, Orientation};
-use std::collections::HashSet;
+use crate::sink::CliqueSink;
+use graphcore::{EdgeSet, Graph, Orientation};
 
-/// Result of one LIST invocation.
+/// Result of one LIST invocation (the listed cliques are streamed to the
+/// sink, not returned).
 #[derive(Clone, Debug, Default)]
 pub struct ListOutcome {
-    /// All `K_p` listed during the invocation (every instance with at least
-    /// one edge outside the returned graph).
-    pub listed: HashSet<Clique>,
     /// The surviving graph `(V, Ẽ_s)`, whose arboricity is at most half the
     /// input bound.
     pub remaining: Graph,
@@ -33,7 +37,9 @@ pub struct ListOutcome {
     pub diagnostics: Diagnostics,
 }
 
-/// Runs LIST once on `graph` with the given orientation and arboricity bound.
+/// Runs LIST once on `graph` with the given orientation and arboricity bound,
+/// emitting every listed `K_p` (each instance with at least one edge outside
+/// the returned graph) into `sink`.
 ///
 /// `arboricity_bound` is the paper's `A = n^d` (we use the maximum out-degree
 /// of `orientation`); the caller must ensure `A / (2 log n) > 1`, which the
@@ -42,9 +48,9 @@ pub fn list_once(
     graph: &Graph,
     orientation: &Orientation,
     arboricity_bound: usize,
-    exchange_mode: ExchangeMode,
     config: &ListingConfig,
     seed: u64,
+    sink: &mut dyn CliqueSink,
 ) -> ListOutcome {
     let n = graph.num_vertices();
     let slack = config.arboricity_slack(n);
@@ -81,11 +87,10 @@ pub fn list_once(
             &er,
             arboricity_bound,
             delta,
-            exchange_mode,
             config,
             seed.wrapping_add(iterations as u64),
+            sink,
         );
-        outcome.listed.extend(step.listed);
         outcome.rounds.absorb(&step.rounds);
         outcome.diagnostics.absorb(&step.diagnostics);
 
@@ -127,26 +132,23 @@ pub fn list_once(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphcore::gen;
+    use crate::sink::CollectSink;
+    use graphcore::{gen, Clique};
+    use std::collections::HashSet;
 
-    fn run_list(graph: &Graph, p: usize) -> ListOutcome {
+    fn run_list(graph: &Graph, p: usize) -> (ListOutcome, HashSet<Clique>) {
         let orientation = Orientation::from_degeneracy(graph);
         let a = orientation.max_out_degree().max(1);
         let config = ListingConfig::for_p(p);
-        list_once(
-            graph,
-            &orientation,
-            a,
-            ExchangeMode::SparsityAware,
-            &config,
-            5,
-        )
+        let mut sink = CollectSink::new();
+        let outcome = list_once(graph, &orientation, a, &config, 5, &mut sink);
+        (outcome, sink.into_cliques())
     }
 
     #[test]
     fn removed_edges_have_their_cliques_listed() {
         let g = gen::erdos_renyi(120, 0.3, 7);
-        let out = run_list(&g, 4);
+        let (out, listed) = run_list(&g, 4);
         let remaining_edges = out.remaining.edge_set();
         for clique in graphcore::cliques::list_cliques(&g, 4) {
             let touches_removed = clique.iter().enumerate().any(|(i, &a)| {
@@ -156,7 +158,7 @@ mod tests {
             });
             if touches_removed {
                 assert!(
-                    out.listed.contains(&clique),
+                    listed.contains(&clique),
                     "K4 {clique:?} touching a removed edge was not listed"
                 );
             }
@@ -168,7 +170,7 @@ mod tests {
         let g = gen::erdos_renyi(150, 0.4, 3);
         let orientation = Orientation::from_degeneracy(&g);
         let a = orientation.max_out_degree().max(1);
-        let out = run_list(&g, 4);
+        let (out, _) = run_list(&g, 4);
         let new_bound = out.remaining_orientation.max_out_degree();
         assert!(
             new_bound <= a,
@@ -181,8 +183,8 @@ mod tests {
     #[test]
     fn listed_cliques_are_real() {
         let g = gen::erdos_renyi(100, 0.3, 9);
-        let out = run_list(&g, 4);
-        for clique in &out.listed {
+        let (_, listed) = run_list(&g, 4);
+        for clique in &listed {
             assert!(
                 graphcore::cliques::is_clique(&g, clique),
                 "{clique:?} is not a clique"
@@ -193,15 +195,15 @@ mod tests {
     #[test]
     fn sparse_input_passes_through() {
         let g = gen::cycle_graph(60);
-        let out = run_list(&g, 4);
-        assert!(out.listed.is_empty());
+        let (out, listed) = run_list(&g, 4);
+        assert!(listed.is_empty());
         assert_eq!(out.remaining.num_edges(), g.num_edges());
     }
 
     #[test]
     fn terminates_within_iteration_cap() {
         let g = gen::erdos_renyi(140, 0.35, 21);
-        let out = run_list(&g, 5);
+        let (out, _) = run_list(&g, 5);
         assert!(out.diagnostics.arb_iterations <= ListingConfig::for_p(5).max_arb_iterations);
         assert!(out.diagnostics.decompositions >= 1);
     }

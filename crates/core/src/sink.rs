@@ -1,0 +1,303 @@
+//! Streaming output sinks for listed cliques.
+//!
+//! Every algorithm behind the [`Engine`](crate::Engine) *emits* cliques into
+//! a [`CliqueSink`] instead of materialising a `HashSet` per phase and
+//! merging. The engine guarantees that [`CliqueSink::accept`] is called
+//! **exactly once per distinct clique** of a run, in a deterministic order,
+//! with the clique in canonical form (vertices sorted ascending). Sinks can
+//! therefore be as cheap as a single counter ([`CountSink`]) — no per-clique
+//! allocation on the output path, which is measurably faster on dense
+//! workloads where the listing itself dominates.
+//!
+//! A sink can declare itself *saturated* ([`CliqueSink::is_saturated`]);
+//! the pipeline then skips further local enumeration work. Saturation never
+//! changes the simulated round counts — rounds model communication, which
+//! the distributed algorithm performs regardless of how much output a
+//! client consumes.
+
+use graphcore::Clique;
+use std::collections::HashSet;
+
+/// A consumer of listed cliques.
+///
+/// Implementations receive each distinct clique of a run exactly once (see
+/// the module docs for the emission contract). The slice is only valid for
+/// the duration of the call — copy it if the sink retains cliques.
+pub trait CliqueSink {
+    /// Accepts one listed clique (canonical form: sorted, deduplicated).
+    fn accept(&mut self, clique: &[u32]);
+
+    /// Whether the sink has seen enough: when `true`, the pipeline may skip
+    /// the remaining *local enumeration* (it still charges the full
+    /// communication rounds).
+    fn is_saturated(&self) -> bool {
+        false
+    }
+}
+
+impl<S: CliqueSink + ?Sized> CliqueSink for &mut S {
+    fn accept(&mut self, clique: &[u32]) {
+        (**self).accept(clique);
+    }
+
+    fn is_saturated(&self) -> bool {
+        (**self).is_saturated()
+    }
+}
+
+/// Collects every clique into a `HashSet` — the drop-in replacement for the
+/// pre-Engine `ListingResult::cliques` field.
+#[derive(Clone, Debug, Default)]
+pub struct CollectSink {
+    /// The collected cliques.
+    pub cliques: HashSet<Clique>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Number of collected cliques.
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+
+    /// The collected cliques as a sorted vector (deterministic order).
+    pub fn sorted(&self) -> Vec<Clique> {
+        let mut v: Vec<Clique> = self.cliques.iter().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Consumes the sink and returns the collected set.
+    pub fn into_cliques(self) -> HashSet<Clique> {
+        self.cliques
+    }
+}
+
+impl CliqueSink for CollectSink {
+    fn accept(&mut self, clique: &[u32]) {
+        self.cliques.insert(clique.to_vec());
+    }
+}
+
+/// Counts cliques without storing them — no allocation per clique.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountSink {
+    /// Number of cliques accepted so far.
+    pub count: u64,
+}
+
+impl CountSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        CountSink::default()
+    }
+}
+
+impl CliqueSink for CountSink {
+    fn accept(&mut self, _clique: &[u32]) {
+        self.count += 1;
+    }
+}
+
+/// Keeps only the first `k` cliques of the (deterministic) emission order,
+/// then reports saturation so the pipeline can stop enumerating.
+#[derive(Clone, Debug)]
+pub struct FirstK {
+    limit: usize,
+    /// The retained cliques, in emission order.
+    pub cliques: Vec<Clique>,
+}
+
+impl FirstK {
+    /// Creates a sink that retains at most `k` cliques.
+    pub fn new(k: usize) -> Self {
+        FirstK {
+            limit: k,
+            cliques: Vec::new(),
+        }
+    }
+
+    /// The configured retention limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+impl CliqueSink for FirstK {
+    fn accept(&mut self, clique: &[u32]) {
+        if self.cliques.len() < self.limit {
+            self.cliques.push(clique.to_vec());
+        }
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.cliques.len() >= self.limit
+    }
+}
+
+/// Forwards each distinct clique to an inner sink once, dropping duplicates.
+///
+/// The engine already guarantees exactly-once emission, so user code rarely
+/// needs this directly; it exists for composing *multiple* runs into one
+/// downstream sink (e.g. a comparison matrix that unions several algorithms)
+/// and is what the pipeline itself uses internally where two listing paths
+/// can overlap (per-`ARB-LIST` cross-cluster overlap, and the fast-`K_4`
+/// light-node listing).
+#[derive(Debug)]
+pub struct Dedup<S: CliqueSink> {
+    seen: HashSet<Clique>,
+    inner: S,
+}
+
+impl<S: CliqueSink> Dedup<S> {
+    /// Wraps `inner` with a dedup layer.
+    pub fn new(inner: S) -> Self {
+        Dedup {
+            seen: HashSet::new(),
+            inner,
+        }
+    }
+
+    /// Number of distinct cliques forwarded so far.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Consumes the wrapper and returns the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: CliqueSink> CliqueSink for Dedup<S> {
+    fn accept(&mut self, clique: &[u32]) {
+        if self.seen.insert(clique.to_vec()) {
+            self.inner.accept(clique);
+        }
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
+    }
+}
+
+/// Counts the cliques passing through to an inner sink; used by the engine
+/// to fill the [`SinkSummary`](crate::SinkSummary) of a
+/// [`RunReport`](crate::RunReport).
+///
+/// Respects saturation: once the inner sink reports
+/// [`CliqueSink::is_saturated`], further cliques are dropped instead of
+/// forwarded, so `emitted` is exactly the number of cliques the inner sink
+/// received.
+#[derive(Debug)]
+pub struct Counted<S: CliqueSink> {
+    inner: S,
+    emitted: u64,
+}
+
+impl<S: CliqueSink> Counted<S> {
+    /// Wraps `inner` with an emission counter.
+    pub fn new(inner: S) -> Self {
+        Counted { inner, emitted: 0 }
+    }
+
+    /// Number of cliques forwarded so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Consumes the wrapper and returns the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: CliqueSink> CliqueSink for Counted<S> {
+    fn accept(&mut self, clique: &[u32]) {
+        if self.inner.is_saturated() {
+            return;
+        }
+        self.emitted += 1;
+        self.inner.accept(clique);
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_deduplicates() {
+        let mut sink = CollectSink::new();
+        assert!(sink.is_empty());
+        sink.accept(&[1, 2, 3]);
+        sink.accept(&[1, 2, 3]);
+        sink.accept(&[2, 3, 4]);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.sorted()[0], vec![1, 2, 3]);
+        assert!(!sink.is_saturated());
+        assert_eq!(sink.into_cliques().len(), 2);
+    }
+
+    #[test]
+    fn count_sink_counts_every_accept() {
+        let mut sink = CountSink::new();
+        sink.accept(&[1, 2, 3]);
+        sink.accept(&[2, 3, 4]);
+        assert_eq!(sink.count, 2);
+    }
+
+    #[test]
+    fn first_k_saturates() {
+        let mut sink = FirstK::new(2);
+        assert_eq!(sink.limit(), 2);
+        sink.accept(&[1, 2, 3]);
+        assert!(!sink.is_saturated());
+        sink.accept(&[2, 3, 4]);
+        assert!(sink.is_saturated());
+        sink.accept(&[3, 4, 5]);
+        assert_eq!(sink.cliques, vec![vec![1, 2, 3], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn dedup_forwards_each_clique_once() {
+        let mut sink = Dedup::new(CountSink::new());
+        sink.accept(&[1, 2, 3]);
+        sink.accept(&[1, 2, 3]);
+        sink.accept(&[2, 3, 4]);
+        assert_eq!(sink.distinct(), 2);
+        assert_eq!(sink.into_inner().count, 2);
+    }
+
+    #[test]
+    fn counted_tracks_forwarded_cliques_and_saturation() {
+        let mut sink = Counted::new(FirstK::new(1));
+        sink.accept(&[1, 2, 3]);
+        assert_eq!(sink.emitted(), 1);
+        assert!(sink.is_saturated());
+    }
+
+    #[test]
+    fn mutable_references_are_sinks_too() {
+        fn emit(sink: &mut dyn CliqueSink) {
+            sink.accept(&[1, 2, 3]);
+        }
+        let mut count = CountSink::new();
+        let mut as_ref: &mut dyn CliqueSink = &mut count;
+        emit(&mut as_ref);
+        assert_eq!(count.count, 1);
+    }
+}

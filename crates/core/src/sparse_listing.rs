@@ -11,7 +11,8 @@
 //!    and broadcast it inside the cluster;
 //! 4. assign every cluster node `p` parts through the radix representation of
 //!    its new identifier and deliver to it all known edges between its parts;
-//! 5. let every node list the `K_p` instances it now sees.
+//! 5. let every node list the `K_p` instances it now sees, emitting each one
+//!    into the caller's [`CliqueSink`].
 //!
 //! The data movement is performed on the pooled knowledge and the *loads* of
 //! steps 2–4 are computed exactly per node; rounds are charged through the
@@ -19,33 +20,31 @@
 //! number of edges between two parts is proportional to the *actual* number of
 //! known edges (Lemma 2.7), not to the worst case; the
 //! [`ExchangeMode::DenseAssumption`] mode deliberately ignores this and is
-//! used by the ablation experiment and the Eden-et-al-style baseline.
+//! used by the ablation experiment and the Eden-et-al-style baseline. The
+//! mode is selected by [`ListingConfig::exchange_mode`] (a builder option of
+//! the [`Engine`](crate::Engine)).
+//!
+//! The emission into the sink may contain duplicates across goal edges (a
+//! clique can contain several goal edges of the same cluster) and across
+//! clusters; the caller (`arb_list`) wraps the downstream sink in a
+//! per-invocation [`Dedup`](crate::sink::Dedup) layer, preserving the
+//! engine's exactly-once contract.
 
 use crate::config::ListingConfig;
 use crate::parts::TupleAssignment;
 use crate::result::{phase, Rounds};
+use crate::sink::CliqueSink;
 use expander::{Cluster, ClusterIds, ClusterRouter};
 use graphcore::partition::VertexPartition;
-use graphcore::{cliques, Clique, EdgeSet, Graph};
+use graphcore::{cliques, EdgeSet, Graph};
 use std::collections::{HashMap, HashSet};
 
-/// How the part-exchange load is accounted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ExchangeMode {
-    /// Loads follow the actual number of known edges between parts
-    /// (the paper's sparsity-aware algorithm).
-    SparsityAware,
-    /// Loads assume every pair of parts is fully connected
-    /// (`(n/P)²` edges per pair) — the generic, non-sparsity-aware listing
-    /// used as an ablation and by the Eden-et-al-style baseline.
-    DenseAssumption,
-}
+pub use crate::config::ExchangeMode;
 
-/// Outcome of the in-cluster listing step for one cluster.
+/// Cost outcome of the in-cluster listing step for one cluster (the listed
+/// cliques are streamed to the sink, not returned).
 #[derive(Clone, Debug, Default)]
 pub struct SparseListingOutcome {
-    /// The `K_p` instances listed by the cluster (canonical form).
-    pub cliques: Vec<Clique>,
     /// Rounds per phase (identifier assignment, reshuffle, partition
     /// broadcast, part exchange).
     pub rounds: Rounds,
@@ -75,19 +74,21 @@ pub struct SparseListingInput<'a> {
     pub arboricity_bound: usize,
 }
 
-/// Runs the sparsity-aware listing for one cluster and returns the listed
-/// cliques together with the rounds charged.
+/// Runs the sparsity-aware listing for one cluster, streaming the listed
+/// cliques into `sink` (in sorted-goal-edge order, possibly with duplicates —
+/// see the module docs) and returning the rounds charged.
 pub fn cluster_listing(
     input: &SparseListingInput<'_>,
     config: &ListingConfig,
-    mode: ExchangeMode,
     seed: u64,
+    sink: &mut dyn CliqueSink,
 ) -> SparseListingOutcome {
     let mut outcome = SparseListingOutcome::default();
     let cluster = input.cluster;
     let k = cluster.len();
     let n = input.n;
     let p = config.p;
+    let mode = config.exchange_mode;
     let words = config.words_per_edge;
     if k == 0 || input.known_edges.is_empty() {
         return outcome;
@@ -208,21 +209,22 @@ pub fn cluster_listing(
     // Every K_p whose edges are all known and which contains a goal edge is
     // listed by the owner of the tuple of its vertex parts; since every tuple
     // is owned, this equals the set of K_p in the known-edge graph containing
-    // a goal edge.
+    // a goal edge. Goal edges are visited in sorted order so the emission
+    // order is deterministic (EdgeSet iteration order is not).
     let undirected: Vec<(u32, u32)> = input
         .known_edges
         .iter()
         .map(|&(a, b)| (a.min(b), a.max(b)))
         .collect();
     let known_graph = Graph::from_edges(n, &undirected).expect("known edges are in range");
-    let mut found: HashSet<Clique> = HashSet::new();
-    for e in input.goal_edges.iter() {
+    for e in input.goal_edges.to_sorted_vec() {
+        if sink.is_saturated() {
+            break;
+        }
         for clique in cliques::cliques_containing_edge(&known_graph, p, e.u(), e.v()) {
-            found.insert(clique);
+            sink.accept(&clique);
         }
     }
-    outcome.cliques = found.into_iter().collect();
-    outcome.cliques.sort_unstable();
     let _ = ids;
     outcome
 }
@@ -230,7 +232,8 @@ pub fn cluster_listing(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphcore::{gen, Edge, Orientation};
+    use crate::sink::{CollectSink, Dedup};
+    use graphcore::{gen, Clique, Edge, Orientation};
 
     fn inputs_for(
         graph: &Graph,
@@ -254,6 +257,16 @@ mod tests {
         (cluster, em_graph, known, em)
     }
 
+    fn listed(
+        input: &SparseListingInput<'_>,
+        config: &ListingConfig,
+        seed: u64,
+    ) -> (SparseListingOutcome, std::collections::HashSet<Clique>) {
+        let mut collect = Dedup::new(CollectSink::new());
+        let outcome = cluster_listing(input, config, seed, &mut collect);
+        (outcome, collect.into_inner().into_cliques())
+    }
+
     #[test]
     fn lists_all_cliques_with_a_goal_edge() {
         let g = gen::erdos_renyi(40, 0.3, 5);
@@ -269,9 +282,9 @@ mod tests {
             arboricity_bound: 10,
         };
         let cfg = ListingConfig::for_p(4);
-        let out = cluster_listing(&input, &cfg, ExchangeMode::SparsityAware, 3);
+        let (out, got) = listed(&input, &cfg, 3);
         // Expected: all K4 of g containing an edge inside the cluster prefix.
-        let expected: HashSet<Clique> = cliques::list_cliques(&g, 4)
+        let expected: std::collections::HashSet<Clique> = cliques::list_cliques(&g, 4)
             .into_iter()
             .filter(|c| {
                 c.iter()
@@ -279,7 +292,6 @@ mod tests {
                     .any(|(i, &a)| c[i + 1..].iter().any(|&b| em.contains_pair(a, b)))
             })
             .collect();
-        let got: HashSet<Clique> = out.cliques.iter().cloned().collect();
         assert_eq!(got, expected);
         assert!(out.rounds.total() > 0);
     }
@@ -299,14 +311,15 @@ mod tests {
             arboricity_bound: 12,
         };
         let cfg = ListingConfig::for_p(4);
-        let sparse = cluster_listing(&input, &cfg, ExchangeMode::SparsityAware, 1);
-        let dense = cluster_listing(&input, &cfg, ExchangeMode::DenseAssumption, 1);
+        let dense_cfg = cfg.with_exchange_mode(ExchangeMode::DenseAssumption);
+        let (sparse, sparse_cliques) = listed(&input, &cfg, 1);
+        let (dense, dense_cliques) = listed(&input, &dense_cfg, 1);
         assert!(
             dense.rounds.for_phase(phase::PART_EXCHANGE)
                 >= sparse.rounds.for_phase(phase::PART_EXCHANGE)
         );
         // Both list exactly the same cliques.
-        assert_eq!(sparse.cliques, dense.cliques);
+        assert_eq!(sparse_cliques, dense_cliques);
     }
 
     #[test]
@@ -326,8 +339,8 @@ mod tests {
             arboricity_bound: 1,
         };
         let cfg = ListingConfig::for_p(4);
-        let out = cluster_listing(&input, &cfg, ExchangeMode::SparsityAware, 1);
-        assert!(out.cliques.is_empty());
+        let (out, got) = listed(&input, &cfg, 1);
+        assert!(got.is_empty());
         assert_eq!(out.rounds.total(), 0);
     }
 
@@ -349,7 +362,7 @@ mod tests {
                 n: 50,
                 arboricity_bound: 20,
             };
-            let out = cluster_listing(&input, &cfg, ExchangeMode::SparsityAware, 7);
+            let (out, _) = listed(&input, &cfg, 7);
             loads.push(out.exchange_load);
         }
         assert!(
@@ -358,5 +371,28 @@ mod tests {
             loads[1],
             loads[0]
         );
+    }
+
+    #[test]
+    fn saturated_sinks_stop_the_local_enumeration_but_not_the_rounds() {
+        let g = gen::complete_graph(20);
+        let (cluster, em_graph, known, em) = inputs_for(&g, 20);
+        let learned = HashMap::new();
+        let input = SparseListingInput {
+            cluster: &cluster,
+            em_graph: &em_graph,
+            known_edges: &known,
+            goal_edges: &em,
+            learned_words: &learned,
+            n: 20,
+            arboricity_bound: 19,
+        };
+        let cfg = ListingConfig::for_p(4);
+        let mut first = crate::sink::FirstK::new(1);
+        let out = cluster_listing(&input, &cfg, 3, &mut first);
+        assert_eq!(first.cliques.len(), 1);
+        // Rounds are still the full communication cost.
+        let (full, _) = listed(&input, &cfg, 3);
+        assert_eq!(out.rounds.total(), full.rounds.total());
     }
 }

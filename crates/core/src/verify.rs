@@ -48,9 +48,25 @@ pub fn verify_against_ground_truth(
     p: usize,
     result: &ListingResult,
 ) -> Result<(), VerificationError> {
+    verify_cliques(graph, p, &result.cliques)
+}
+
+/// Checks that `listed` (e.g. the contents of a
+/// [`CollectSink`](crate::CollectSink)) is exactly the set of `p`-cliques of
+/// `graph`.
+///
+/// # Errors
+///
+/// Returns a [`VerificationError`] describing the missing and spurious cliques
+/// if the output is not exactly the ground truth.
+pub fn verify_cliques(
+    graph: &Graph,
+    p: usize,
+    listed: &HashSet<Clique>,
+) -> Result<(), VerificationError> {
     let truth: HashSet<Clique> = cliques::list_cliques(graph, p).into_iter().collect();
-    let missing: Vec<Clique> = truth.difference(&result.cliques).cloned().collect();
-    let spurious: Vec<Clique> = result.cliques.difference(&truth).cloned().collect();
+    let missing: Vec<Clique> = truth.difference(listed).cloned().collect();
+    let spurious: Vec<Clique> = listed.difference(&truth).cloned().collect();
     if missing.is_empty() && spurious.is_empty() {
         Ok(())
     } else {

@@ -32,27 +32,52 @@ pub fn count_cliques(graph: &Graph, p: usize) -> usize {
 /// Calls `visit` once for every `p`-clique; the slice passed to the callback
 /// is sorted in increasing vertex order.
 pub fn for_each_clique(graph: &Graph, p: usize, mut visit: impl FnMut(&[u32])) {
+    for_each_clique_while(graph, p, |c| {
+        visit(c);
+        true
+    });
+}
+
+/// Like [`for_each_clique`], but the callback returns whether to continue:
+/// returning `false` aborts the enumeration immediately. Returns `true` when
+/// the enumeration ran to completion and `false` when it was aborted.
+///
+/// This is the streaming building block for consumers that only want a
+/// bounded prefix of the listing (e.g. a saturating clique sink): the
+/// ordered-search recursion unwinds as soon as the callback declines, so an
+/// early stop costs nothing beyond the cliques already visited.
+pub fn for_each_clique_while(
+    graph: &Graph,
+    p: usize,
+    mut visit: impl FnMut(&[u32]) -> bool,
+) -> bool {
     let n = graph.num_vertices();
     if p == 0 {
-        visit(&[]);
-        return;
+        return visit(&[]);
     }
     if p == 1 {
         for v in 0..n as u32 {
-            visit(&[v]);
+            if !visit(&[v]) {
+                return false;
+            }
         }
-        return;
+        return true;
     }
     if p == 2 {
         for (u, v) in graph.edges() {
-            visit(&[u, v]);
+            if !visit(&[u, v]) {
+                return false;
+            }
         }
-        return;
+        return true;
     }
 
     let ordering = degeneracy_ordering(graph);
     let position = &ordering.position;
     let mut stack: Vec<u32> = Vec::with_capacity(p);
+    // Scratch buffer for the sorted copy handed to the visitor, reused across
+    // visits so the enumeration allocates nothing per clique.
+    let mut scratch: Vec<u32> = Vec::with_capacity(p);
     for &v in &ordering.order {
         // Candidates: later neighbours of v.
         let candidates: Vec<u32> = graph
@@ -65,29 +90,37 @@ pub fn for_each_clique(graph: &Graph, p: usize, mut visit: impl FnMut(&[u32])) {
             continue;
         }
         stack.push(v);
-        extend_clique(graph, p, &candidates, &mut stack, &mut visit);
+        let keep_going = extend_clique(graph, p, &candidates, &mut stack, &mut scratch, &mut visit);
         stack.pop();
+        if !keep_going {
+            return false;
+        }
     }
+    true
 }
 
 /// Recursively extends the clique on `stack` using vertices from `candidates`
-/// (all of which are adjacent to every vertex already on the stack).
+/// (all of which are adjacent to every vertex already on the stack). Returns
+/// `false` as soon as the visitor declines, unwinding the whole recursion.
+/// `scratch` receives the sorted copy passed to the visitor (reused across
+/// visits — no per-clique allocation).
 fn extend_clique(
     graph: &Graph,
     p: usize,
     candidates: &[u32],
     stack: &mut Vec<u32>,
-    visit: &mut impl FnMut(&[u32]),
-) {
+    scratch: &mut Vec<u32>,
+    visit: &mut impl FnMut(&[u32]) -> bool,
+) -> bool {
     if stack.len() == p {
-        let mut clique = stack.clone();
-        clique.sort_unstable();
-        visit(&clique);
-        return;
+        scratch.clear();
+        scratch.extend_from_slice(stack);
+        scratch.sort_unstable();
+        return visit(scratch);
     }
     let needed = p - stack.len();
     if candidates.len() < needed {
-        return;
+        return true;
     }
     for (i, &u) in candidates.iter().enumerate() {
         // Prune: not enough candidates remain after u.
@@ -100,9 +133,13 @@ fn extend_clique(
             .filter(|&w| graph.has_edge(u, w))
             .collect();
         stack.push(u);
-        extend_clique(graph, p, &next, stack, visit);
+        let keep_going = extend_clique(graph, p, &next, stack, scratch, visit);
         stack.pop();
+        if !keep_going {
+            return false;
+        }
     }
+    true
 }
 
 /// Lists every `p`-clique that contains the given edge `{a, b}`.
@@ -115,9 +152,18 @@ pub fn cliques_containing_edge(graph: &Graph, p: usize, a: u32, b: u32) -> Vec<C
     let common = graph.common_neighbors(a, b);
     let mut out = Vec::new();
     let mut stack = vec![a.min(b), a.max(b)];
-    extend_clique(graph, p, &common, &mut stack, &mut |c: &[u32]| {
-        out.push(c.to_vec());
-    });
+    let mut scratch = Vec::with_capacity(p);
+    extend_clique(
+        graph,
+        p,
+        &common,
+        &mut stack,
+        &mut scratch,
+        &mut |c: &[u32]| {
+            out.push(c.to_vec());
+            true
+        },
+    );
     out.sort_unstable();
     out.dedup();
     out
@@ -223,6 +269,28 @@ mod tests {
         for c in &planted {
             assert!(k6s.contains(&c.vertices), "planted clique missing");
         }
+    }
+
+    #[test]
+    fn while_variant_stops_immediately_when_declined() {
+        let g = gen::complete_graph(30);
+        for p in [1usize, 2, 4] {
+            let mut visited = Vec::new();
+            let completed = for_each_clique_while(&g, p, |c| {
+                visited.push(c.to_vec());
+                visited.len() < 3
+            });
+            assert!(!completed, "p = {p}: enumeration must report the abort");
+            assert_eq!(visited.len(), 3, "p = {p}: exactly 3 visits before stop");
+        }
+        // A callback that never declines sees everything and reports
+        // completion.
+        let mut count = 0usize;
+        assert!(for_each_clique_while(&g, 3, |_| {
+            count += 1;
+            true
+        }));
+        assert_eq!(count, count_cliques(&g, 3));
     }
 
     #[test]

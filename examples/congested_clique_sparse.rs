@@ -3,14 +3,15 @@
 //! The round complexity of the paper's CONGESTED CLIQUE algorithm is
 //! `~Θ(1 + m / n^{1+2/p})`: constant for sparse inputs and growing linearly in
 //! the edge count beyond the threshold `m ≈ n^{1+2/p}`. This example sweeps
-//! the density of a `K_4`-free background and prints measured rounds next to
-//! the predicted value.
+//! the density of a `K_4`-free background through the `Engine` API and prints
+//! measured rounds next to the predicted value, reading the load statistics
+//! from `RunReport::congested_clique`.
 //!
 //! ```text
 //! cargo run --release --example congested_clique_sparse
 //! ```
 
-use distributed_clique_listing::cliquelist::{congested_clique_list, verify_against_ground_truth};
+use distributed_clique_listing::cliquelist::{verify_cliques, Engine};
 use distributed_clique_listing::graphcore::gen;
 
 fn main() {
@@ -21,18 +22,27 @@ fn main() {
         "{:>8}  {:>8}  {:>8}  {:>22}  {:>10}  {:>10}",
         "density", "m", "rounds", "predicted 1+m/n^{1+2/p}", "max send", "max recv"
     );
+    let engine = Engine::builder()
+        .p(p)
+        .algorithm("congested-clique")
+        .seed(3)
+        .build()
+        .expect("valid configuration");
     for density in [0.02, 0.1, 0.25, 0.5, 0.8] {
         let graph = gen::multipartite(n, 3, density, 11);
-        let report = congested_clique_list(&graph, p, 3);
-        verify_against_ground_truth(&graph, p, &report.result).expect("listing is exact");
+        let (report, cliques) = engine.collect(&graph);
+        verify_cliques(&graph, p, &cliques).expect("listing is exact");
+        let stats = report
+            .congested_clique
+            .expect("congested-clique runs report load statistics");
         println!(
             "{:>8.2}  {:>8}  {:>8}  {:>22.2}  {:>10}  {:>10}",
             density,
             graph.num_edges(),
-            report.result.rounds.total(),
-            report.predicted_rounds,
-            report.max_send,
-            report.max_recv
+            report.total_rounds(),
+            stats.predicted_rounds,
+            stats.max_send,
+            stats.max_recv
         );
     }
     println!();

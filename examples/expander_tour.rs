@@ -3,13 +3,16 @@
 //! The clique-listing algorithm consumes a δ-expander decomposition: dense,
 //! well-mixing clusters (`E_m`), a low-arboricity remainder with an explicit
 //! orientation (`E_s`), and a small leftover (`E_r`). This example builds the
-//! decomposition of an RMAT graph, validates every guarantee and prints the
-//! per-cluster statistics.
+//! decomposition of an RMAT graph, validates every guarantee, prints the
+//! per-cluster statistics, and finishes by running the full listing `Engine`
+//! on the same graph to show where the decomposition cost lands in the
+//! end-to-end round breakdown.
 //!
 //! ```text
 //! cargo run --release --example expander_tour
 //! ```
 
+use distributed_clique_listing::cliquelist::Engine;
 use distributed_clique_listing::expander::{decompose, DecompositionConfig};
 use distributed_clique_listing::graphcore::gen;
 
@@ -66,4 +69,23 @@ fn main() {
         "(mixing-time acceptance threshold: {:.1})",
         config.mixing_limit(n)
     );
+
+    // The decomposition is the substrate of the K_p listing pipeline: run the
+    // general algorithm end-to-end on the same graph and show how many rounds
+    // the decomposition phase contributes to the whole.
+    let engine = Engine::builder()
+        .p(4)
+        .algorithm("general")
+        .experiment_scale()
+        .build()
+        .expect("valid configuration");
+    let (report, count) = engine.count(&graph);
+    println!();
+    println!(
+        "end-to-end K4 listing through the engine: {count} cliques in {} rounds",
+        report.total_rounds()
+    );
+    for (phase, rounds) in report.rounds.iter() {
+        println!("  {phase:<22} {rounds}");
+    }
 }

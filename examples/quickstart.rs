@@ -1,12 +1,12 @@
 //! Quickstart: list the `K_5` instances of a random graph with the paper's
-//! CONGEST algorithm (Theorem 1.1) and check the output against the exact
-//! sequential enumeration.
+//! CONGEST algorithm (Theorem 1.1) through the streaming `Engine` API and
+//! check the output against the exact sequential enumeration.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use distributed_clique_listing::cliquelist::{list_kp, verify_against_ground_truth, ListingConfig};
+use distributed_clique_listing::cliquelist::{verify_cliques, CollectSink, Engine};
 use distributed_clique_listing::graphcore::gen;
 
 fn main() {
@@ -19,28 +19,38 @@ fn main() {
         planted.len()
     );
 
-    // Run the general K_p listing algorithm for p = 5.
-    let config = ListingConfig::for_p(5);
-    let result = list_kp(&graph, &config);
+    // Build a validated engine for the general K_p algorithm with p = 5 and
+    // stream the listing into a collecting sink.
+    let engine = Engine::builder()
+        .p(5)
+        .algorithm("general")
+        .build()
+        .expect("p = 5 is a valid configuration");
+    let mut sink = CollectSink::new();
+    let report = engine.run(&graph, &mut sink);
 
-    println!("listed {} distinct K5 instances", result.len());
-    println!("round breakdown ({} total):", result.rounds.total());
-    for (phase, rounds) in result.rounds.iter() {
+    println!(
+        "listed {} distinct K5 instances ({} emitted to the sink)",
+        sink.len(),
+        report.sink.emitted
+    );
+    println!("round breakdown ({} total):", report.total_rounds());
+    for (phase, rounds) in report.rounds.iter() {
         println!("  {phase:<22} {rounds}");
     }
     println!(
         "diagnostics: {} LIST iterations, {} decompositions, {} clusters, bad-edge fraction {:.4}",
-        result.diagnostics.list_iterations,
-        result.diagnostics.decompositions,
-        result.diagnostics.clusters,
-        result.diagnostics.bad_edge_fraction()
+        report.diagnostics.list_iterations,
+        report.diagnostics.decompositions,
+        report.diagnostics.clusters,
+        report.diagnostics.bad_edge_fraction()
     );
 
     // The union of node outputs must be the complete list.
-    verify_against_ground_truth(&graph, 5, &result).expect("listing is exact");
+    verify_cliques(&graph, 5, &sink.cliques).expect("listing is exact");
     for clique in &planted {
         assert!(
-            result.cliques.contains(&clique.vertices),
+            sink.cliques.contains(&clique.vertices),
             "planted clique {:?} missing",
             clique.vertices
         );

@@ -3,18 +3,17 @@
 //! Social graphs have skewed degree distributions and overlapping communities;
 //! small cliques (triangles, `K_4`) are the standard building blocks of
 //! community and cohesion metrics. This example generates a
-//! Barabási–Albert-style network, runs the paper's fast `K_4` algorithm
-//! (Theorem 1.2) and the triangle pipeline on it, and prints the census
-//! together with the distributed round cost.
+//! Barabási–Albert-style network and runs three engines on it — the paper's
+//! fast `K_4` algorithm (Theorem 1.2), the triangle pipeline (`p = 3`) and
+//! the naive baseline — then prints the census together with the distributed
+//! round cost. The `K_4` membership analysis consumes the stream through a
+//! `CollectSink`; the naive comparison only needs a count.
 //!
 //! ```text
 //! cargo run --release --example social_network
 //! ```
 
-use distributed_clique_listing::cliquelist::baselines::{
-    naive_broadcast_listing, triangle_listing,
-};
-use distributed_clique_listing::cliquelist::{list_kp, verify_against_ground_truth, ListingConfig};
+use distributed_clique_listing::cliquelist::{verify_cliques, CollectSink, Engine, FirstK};
 use distributed_clique_listing::graphcore::gen;
 use std::collections::HashMap;
 
@@ -28,33 +27,56 @@ fn main() {
     );
 
     // Triangles via the pipeline configured for p = 3.
-    let triangles = triangle_listing(&graph, 1);
-    verify_against_ground_truth(&graph, 3, &triangles).expect("triangle listing is exact");
+    let triangle_engine = Engine::builder()
+        .p(3)
+        .algorithm("general")
+        .seed(1)
+        .build()
+        .expect("valid configuration");
+    let (triangle_report, triangles) = triangle_engine.collect(&graph);
+    verify_cliques(&graph, 3, &triangles).expect("triangle listing is exact");
     println!(
         "triangles: {} listed in {} CONGEST rounds",
         triangles.len(),
-        triangles.rounds.total()
+        triangle_report.total_rounds()
     );
 
     // K4 via the fast algorithm of Theorem 1.2.
-    let k4 = list_kp(&graph, &ListingConfig::fast_k4());
-    verify_against_ground_truth(&graph, 4, &k4).expect("K4 listing is exact");
+    let k4_engine = Engine::builder()
+        .p(4)
+        .algorithm("fast-k4")
+        .build()
+        .expect("valid configuration");
+    let mut k4_sink = CollectSink::new();
+    let k4_report = k4_engine.run(&graph, &mut k4_sink);
+    verify_cliques(&graph, 4, &k4_sink.cliques).expect("K4 listing is exact");
     println!(
         "K4s: {} listed in {} CONGEST rounds",
-        k4.len(),
-        k4.rounds.total()
+        k4_sink.len(),
+        k4_report.total_rounds()
     );
 
-    // Compare with the naive Θ(Δ) baseline.
-    let naive = naive_broadcast_listing(&graph, &ListingConfig::for_p(4));
+    // Compare with the naive Θ(Δ) baseline — a count-only sink is enough.
+    let naive_engine = Engine::builder()
+        .p(4)
+        .algorithm("naive-broadcast")
+        .build()
+        .expect("valid configuration");
+    let (naive_report, _) = naive_engine.count(&graph);
     println!(
         "naive broadcast baseline: {} rounds (= max degree)",
-        naive.rounds.total()
+        naive_report.total_rounds()
     );
+
+    // Streaming means a client that only wants a sample pays nothing more:
+    // a FirstK sink saturates after three cliques.
+    let mut sample = FirstK::new(3);
+    k4_engine.run(&graph, &mut sample);
+    println!("sample of listed K4s (FirstK sink): {:?}", sample.cliques);
 
     // A tiny analysis pass: which vertices participate in the most K4s?
     let mut membership: HashMap<u32, usize> = HashMap::new();
-    for clique in &k4.cliques {
+    for clique in &k4_sink.cliques {
         for &v in clique {
             *membership.entry(v).or_insert(0) += 1;
         }

@@ -1,0 +1,112 @@
+//! The algorithm × workload × sink matrix test.
+//!
+//! For **every** algorithm in the engine registry and a planted and an
+//! Erdős–Rényi workload, this asserts the three-way agreement the streaming
+//! contract promises:
+//!
+//! * [`CountSink`] totals equal [`CollectSink`] set sizes (exactly-once
+//!   emission — a duplicate or a dropped clique would break the equality);
+//! * both equal the exact sequential enumeration count (completeness);
+//! * the collected set is exactly the ground truth (soundness);
+//! * the emission order is deterministic across runs ([`FirstK`] prefix).
+
+use distributed_clique_listing::cliquelist::{
+    algorithms, verify_cliques, CollectSink, CountSink, Engine, FirstK,
+};
+use distributed_clique_listing::graphcore::{cliques, gen, Graph};
+
+/// The workloads of the matrix: a planted-clique background and denser
+/// Erdős–Rényi graphs.
+fn workloads(p: usize) -> Vec<(String, Graph)> {
+    vec![
+        (
+            format!("planted(90,{p})"),
+            gen::planted_cliques(90, 0.05, 3, p, 7).0,
+        ),
+        ("er(70,0.3)".to_string(), gen::erdos_renyi(70, 0.3, 11)),
+        ("er(50,0.45)".to_string(), gen::erdos_renyi(50, 0.45, 13)),
+    ]
+}
+
+#[test]
+fn count_collect_and_ground_truth_agree_for_every_algorithm() {
+    for algorithm in algorithms() {
+        let info = algorithm.info();
+        for p in [3usize, 4, 5] {
+            if !info.supports_p(p) {
+                continue;
+            }
+            let engine = Engine::builder()
+                .p(p)
+                .algorithm(info.name)
+                .seed(5)
+                .build()
+                .unwrap_or_else(|e| panic!("{} p={p}: {e}", info.name));
+            for (label, graph) in workloads(p) {
+                let truth = cliques::count_cliques(&graph, p);
+
+                let mut collect = CollectSink::new();
+                let collect_report = engine.run(&graph, &mut collect);
+                let mut count = CountSink::new();
+                let count_report = engine.run(&graph, &mut count);
+
+                assert_eq!(
+                    count.count as usize,
+                    collect.len(),
+                    "{}, p={p}, {label}: CountSink total != CollectSink size",
+                    info.name
+                );
+                assert_eq!(
+                    collect.len(),
+                    truth,
+                    "{}, p={p}, {label}: listed count != exact enumeration",
+                    info.name
+                );
+                assert_eq!(count_report.sink.emitted, count.count);
+                assert_eq!(collect_report.sink.emitted as usize, collect.len());
+                verify_cliques(&graph, p, &collect.cliques)
+                    .unwrap_or_else(|e| panic!("{}, p={p}, {label}: {e}", info.name));
+                // The measured cost must not depend on the sink.
+                assert_eq!(
+                    collect_report.total_rounds(),
+                    count_report.total_rounds(),
+                    "{}, p={p}, {label}: rounds depend on the sink",
+                    info.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn first_k_prefixes_are_deterministic_for_every_algorithm() {
+    let graph = gen::erdos_renyi(60, 0.4, 3);
+    for algorithm in algorithms() {
+        let info = algorithm.info();
+        if !info.supports_p(4) {
+            continue;
+        }
+        let engine = Engine::builder()
+            .p(4)
+            .algorithm(info.name)
+            .seed(9)
+            .build()
+            .expect("valid engine");
+        let total = engine.count(&graph).1 as usize;
+        let k = 5.min(total);
+        let mut first = FirstK::new(k);
+        let report = engine.run(&graph, &mut first);
+        assert_eq!(first.cliques.len(), k, "{}", info.name);
+        assert_eq!(report.sink.emitted as usize, k, "{}", info.name);
+        if total > k {
+            assert!(report.sink.saturated, "{}", info.name);
+        }
+        let mut again = FirstK::new(k);
+        engine.run(&graph, &mut again);
+        assert_eq!(
+            first.cliques, again.cliques,
+            "{}: emission order is not deterministic",
+            info.name
+        );
+    }
+}

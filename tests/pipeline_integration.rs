@@ -1,20 +1,24 @@
 //! End-to-end integration tests: the full CONGEST pipeline (expander
 //! decomposition → ARB-LIST → LIST → driver) and the CONGESTED CLIQUE
-//! algorithm, across graph families, clique sizes and seeds, verified against
-//! the exact sequential enumeration.
+//! algorithm, across graph families, clique sizes and seeds, all through the
+//! streaming `Engine` API and verified against the exact sequential
+//! enumeration.
 
-use distributed_clique_listing::cliquelist::baselines::{
-    eden_style_k4, naive_broadcast_listing, triangle_listing,
-};
-use distributed_clique_listing::cliquelist::{
-    congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth, ExchangeMode,
-    ListingConfig, Variant,
-};
+use distributed_clique_listing::cliquelist::{verify_cliques, CollectSink, Engine, ExchangeMode};
 use distributed_clique_listing::graphcore::{gen, Graph};
 
-fn check(graph: &Graph, p: usize, config: &ListingConfig) {
-    let result = list_kp(graph, config);
-    verify_against_ground_truth(graph, p, &result)
+fn engine(p: usize, algorithm: &str, seed: u64) -> Engine {
+    Engine::builder()
+        .p(p)
+        .algorithm(algorithm)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("engine p={p} algorithm={algorithm}: {e}"))
+}
+
+fn check(graph: &Graph, p: usize, seed: u64) {
+    let (_, cliques) = engine(p, "general", seed).collect(graph);
+    verify_cliques(graph, p, &cliques)
         .unwrap_or_else(|e| panic!("p = {p}, n = {}: {e}", graph.num_vertices()));
 }
 
@@ -23,7 +27,7 @@ fn general_algorithm_on_erdos_renyi_for_p_4_to_6() {
     for seed in [1, 2, 3] {
         let graph = gen::erdos_renyi(80, 0.35, seed);
         for p in [4, 5, 6] {
-            check(&graph, p, &ListingConfig::for_p(p).with_seed(seed));
+            check(&graph, p, seed);
         }
     }
 }
@@ -32,10 +36,10 @@ fn general_algorithm_on_erdos_renyi_for_p_4_to_6() {
 fn general_algorithm_on_dense_tripartite_with_planted_cliques() {
     for seed in [5, 9] {
         let (graph, planted) = gen::clique_listing_workload(120, 4, 0.7, 3, seed);
-        let result = list_kp(&graph, &ListingConfig::for_p(4).with_seed(seed));
-        verify_against_ground_truth(&graph, 4, &result).expect("exact listing");
+        let (_, cliques) = engine(4, "general", seed).collect(&graph);
+        verify_cliques(&graph, 4, &cliques).expect("exact listing");
         for c in &planted {
-            assert!(result.cliques.contains(&c.vertices));
+            assert!(cliques.contains(&c.vertices));
         }
     }
 }
@@ -45,14 +49,18 @@ fn experiment_configuration_is_also_exact() {
     // The experiment configuration (constant slack, bare charge policy)
     // changes only the round accounting, never the output.
     let (graph, _) = gen::clique_listing_workload(130, 5, 0.7, 3, 11);
-    let config = ListingConfig::for_p(5).for_experiments();
-    let result = list_kp(&graph, &config);
-    verify_against_ground_truth(&graph, 5, &result).expect("exact listing");
+    let exp = Engine::builder()
+        .p(5)
+        .experiment_scale()
+        .build()
+        .expect("valid engine");
+    let (report, cliques) = exp.collect(&graph);
+    verify_cliques(&graph, 5, &cliques).expect("exact listing");
     assert!(
-        result.diagnostics.list_iterations >= 1,
+        report.diagnostics.list_iterations >= 1,
         "pipeline must be active"
     );
-    assert!(result.diagnostics.clusters >= 1);
+    assert!(report.diagnostics.clusters >= 1);
 }
 
 #[test]
@@ -64,17 +72,17 @@ fn fast_k4_on_multiple_families() {
         gen::complete_graph(20),
     ];
     for graph in &graphs {
-        let result = list_kp(graph, &ListingConfig::fast_k4());
-        verify_against_ground_truth(graph, 4, &result).expect("fast K4 exact");
+        let (_, cliques) = engine(4, "fast-k4", 0xC11).collect(graph);
+        verify_cliques(graph, 4, &cliques).expect("fast K4 exact");
     }
 }
 
 #[test]
 fn skewed_degree_graphs_for_p_5() {
     let graph = gen::barabasi_albert(200, 8, 3);
-    check(&graph, 5, &ListingConfig::for_p(5));
+    check(&graph, 5, 0xC11);
     let rmat = gen::rmat(7, 10, (0.6, 0.18, 0.18, 0.04), 3);
-    check(&rmat, 5, &ListingConfig::for_p(5));
+    check(&rmat, 5, 0xC11);
 }
 
 #[test]
@@ -82,8 +90,9 @@ fn congested_clique_matches_ground_truth_across_densities() {
     for density in [0.05, 0.3, 0.7] {
         let graph = gen::multipartite(150, 3, density, 13);
         for p in [3, 4] {
-            let report = congested_clique_list(&graph, p, 5);
-            verify_against_ground_truth(&graph, p, &report.result).expect("CC listing exact");
+            let (report, cliques) = engine(p, "congested-clique", 5).collect(&graph);
+            verify_cliques(&graph, p, &cliques).expect("CC listing exact");
+            assert!(report.congested_clique.is_some());
         }
     }
 }
@@ -91,49 +100,68 @@ fn congested_clique_matches_ground_truth_across_densities() {
 #[test]
 fn all_baselines_agree_with_ground_truth() {
     let graph = gen::erdos_renyi(70, 0.35, 17);
-    let naive = naive_broadcast_listing(&graph, &ListingConfig::for_p(4));
-    verify_against_ground_truth(&graph, 4, &naive).expect("naive exact");
-    let eden = eden_style_k4(&graph, 3);
-    verify_against_ground_truth(&graph, 4, &eden).expect("eden-style exact");
-    let triangles = triangle_listing(&graph, 3);
-    verify_against_ground_truth(&graph, 3, &triangles).expect("triangles exact");
+    let (_, naive) = engine(4, "naive-broadcast", 3).collect(&graph);
+    verify_cliques(&graph, 4, &naive).expect("naive exact");
+    let (_, eden) = engine(4, "eden-k4", 3).collect(&graph);
+    verify_cliques(&graph, 4, &eden).expect("eden-style exact");
+    let (_, triangles) = engine(3, "general", 3).collect(&graph);
+    verify_cliques(&graph, 3, &triangles).expect("triangles exact");
 }
 
 #[test]
 fn exchange_modes_and_variants_produce_identical_outputs() {
     let (graph, _) = gen::clique_listing_workload(110, 4, 0.6, 3, 23);
-    let cfg = ListingConfig::for_p(4).for_experiments();
-    let sparse = list_kp_with_mode(&graph, &cfg, ExchangeMode::SparsityAware);
-    let dense = list_kp_with_mode(&graph, &cfg, ExchangeMode::DenseAssumption);
-    let fast = list_kp(
-        &graph,
-        &ListingConfig {
-            variant: Variant::FastK4,
-            ..cfg
-        },
-    );
-    assert_eq!(sparse.cliques, dense.cliques);
-    assert_eq!(sparse.cliques, fast.cliques);
-    verify_against_ground_truth(&graph, 4, &sparse).expect("exact");
+    let sparse_engine = Engine::builder()
+        .p(4)
+        .experiment_scale()
+        .exchange_mode(ExchangeMode::SparsityAware)
+        .build()
+        .expect("valid engine");
+    let dense_engine = Engine::builder()
+        .p(4)
+        .experiment_scale()
+        .exchange_mode(ExchangeMode::DenseAssumption)
+        .build()
+        .expect("valid engine");
+    let fast_engine = Engine::builder()
+        .p(4)
+        .algorithm("fast-k4")
+        .experiment_scale()
+        .build()
+        .expect("valid engine");
+    let (_, sparse) = sparse_engine.collect(&graph);
+    let (_, dense) = dense_engine.collect(&graph);
+    let (_, fast) = fast_engine.collect(&graph);
+    assert_eq!(sparse, dense);
+    assert_eq!(sparse, fast);
+    verify_cliques(&graph, 4, &sparse).expect("exact");
 }
 
 #[test]
 fn degenerate_inputs_are_handled() {
     // No vertices, no edges, fewer vertices than p, p-free graphs.
-    assert!(list_kp(&Graph::new(0), &ListingConfig::for_p(4)).is_empty());
-    assert!(list_kp(&Graph::new(50), &ListingConfig::for_p(4)).is_empty());
-    assert!(list_kp(&gen::complete_graph(3), &ListingConfig::for_p(4)).is_empty());
+    let k4 = engine(4, "general", 0xC11);
+    assert_eq!(k4.count(&Graph::new(0)).1, 0);
+    assert_eq!(k4.count(&Graph::new(50)).1, 0);
+    assert_eq!(k4.count(&gen::complete_graph(3)).1, 0);
     let bipartite = gen::complete_bipartite(25, 25);
-    let result = list_kp(&bipartite, &ListingConfig::for_p(4));
-    assert!(result.is_empty());
-    verify_against_ground_truth(&bipartite, 4, &result).expect("empty output is exact");
+    let (_, cliques) = k4.collect(&bipartite);
+    assert!(cliques.is_empty());
+    verify_cliques(&bipartite, 4, &cliques).expect("empty output is exact");
 }
 
 #[test]
 fn rounds_are_reported_for_non_trivial_runs() {
     let (graph, _) = gen::clique_listing_workload(100, 4, 0.7, 2, 31);
-    let result = list_kp(&graph, &ListingConfig::for_p(4).for_experiments());
-    assert!(result.rounds.total() > 0);
+    let exp = Engine::builder()
+        .p(4)
+        .experiment_scale()
+        .build()
+        .expect("valid engine");
+    let mut sink = CollectSink::new();
+    let report = exp.run(&graph, &mut sink);
+    assert!(report.total_rounds() > 0);
+    assert_eq!(report.sink.emitted as usize, sink.len());
     // Every phase that reports rounds must be one of the documented phases.
     use distributed_clique_listing::cliquelist::result::phase;
     let known = [
@@ -148,8 +176,42 @@ fn rounds_are_reported_for_non_trivial_runs() {
         phase::LIGHT_LISTING,
         phase::FINAL_BROADCAST,
     ];
-    for (name, rounds) in result.rounds.iter() {
+    for (name, rounds) in report.rounds.iter() {
         assert!(known.contains(&name), "unknown phase {name}");
         assert!(rounds > 0);
     }
+}
+
+/// Acceptance guard for the deprecated compatibility wrappers: the legacy
+/// free-function entry points must keep compiling against the published
+/// signatures and agree with the engines they wrap.
+#[test]
+#[allow(deprecated)]
+fn legacy_free_functions_still_compile_and_agree() {
+    use distributed_clique_listing::cliquelist::baselines::{
+        eden_style_k4, naive_broadcast_listing, triangle_listing,
+    };
+    use distributed_clique_listing::cliquelist::{
+        congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth,
+        ListingConfig,
+    };
+    let g = gen::erdos_renyi(60, 0.3, 19);
+
+    let result = list_kp(&g, &ListingConfig::for_p(5));
+    verify_against_ground_truth(&g, 5, &result).expect("legacy list_kp exact");
+    let (_, via_engine) = engine(5, "general", 0xC11).collect(&g);
+    assert_eq!(result.cliques, via_engine);
+
+    let dense = list_kp_with_mode(&g, &ListingConfig::for_p(4), ExchangeMode::DenseAssumption);
+    verify_against_ground_truth(&g, 4, &dense).expect("legacy dense exact");
+
+    let cc = congested_clique_list(&g, 4, 1);
+    verify_against_ground_truth(&g, 4, &cc.result).expect("legacy CC exact");
+
+    let naive = naive_broadcast_listing(&g, &ListingConfig::for_p(4));
+    verify_against_ground_truth(&g, 4, &naive).expect("legacy naive exact");
+    let eden = eden_style_k4(&g, 1);
+    verify_against_ground_truth(&g, 4, &eden).expect("legacy eden exact");
+    let triangles = triangle_listing(&g, 1);
+    verify_against_ground_truth(&g, 3, &triangles).expect("legacy triangles exact");
 }

@@ -1,13 +1,13 @@
 //! Workspace-level integration test: the full `K_p` listing pipeline on small
-//! planted workloads, cross-checked against `graphcore::cliques` exact
-//! enumeration.
+//! planted workloads, driven through the `Engine` API and cross-checked
+//! against `graphcore::cliques` exact enumeration.
 //!
 //! This test is feature-independent on purpose: CI runs it both with the
 //! default (sequential) configuration and with `--features parallel`, so the
 //! listing pipeline is exercised under both executors.
 
 use distributed_clique_listing::cliquelist::baselines::simulate_naive_broadcast;
-use distributed_clique_listing::cliquelist::{list_kp, ListingConfig, Variant};
+use distributed_clique_listing::cliquelist::Engine;
 use distributed_clique_listing::graphcore::{canonical_clique, cliques, gen};
 use std::collections::HashSet;
 
@@ -15,9 +15,14 @@ use std::collections::HashSet;
 /// the output set against the exact sequential enumeration.
 fn check_planted(n: usize, p: usize, num_planted: usize, seed: u64) {
     let (graph, planted) = gen::planted_cliques(n, 0.04, num_planted, p, seed);
-    let result = list_kp(&graph, &ListingConfig::for_p(p).with_seed(seed));
+    let engine = Engine::builder()
+        .p(p)
+        .algorithm("general")
+        .seed(seed)
+        .build()
+        .expect("valid engine");
+    let (report, listed) = engine.collect(&graph);
 
-    let listed: HashSet<Vec<u32>> = result.cliques.iter().cloned().collect();
     let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, p).into_iter().collect();
     assert_eq!(
         listed, exact,
@@ -30,7 +35,7 @@ fn check_planted(n: usize, p: usize, num_planted: usize, seed: u64) {
             c.vertices
         );
     }
-    assert_eq!(result.len(), exact.len());
+    assert_eq!(report.sink.emitted as usize, exact.len());
 }
 
 #[test]
@@ -50,12 +55,12 @@ fn planted_k5_workloads_match_exact_enumeration() {
 #[test]
 fn fast_k4_matches_exact_enumeration_on_planted_workload() {
     let (graph, _) = gen::planted_cliques(100, 0.05, 4, 4, 13);
-    let config = ListingConfig {
-        variant: Variant::FastK4,
-        ..ListingConfig::for_p(4)
-    };
-    let result = list_kp(&graph, &config);
-    let listed: HashSet<Vec<u32>> = result.cliques.iter().cloned().collect();
+    let engine = Engine::builder()
+        .p(4)
+        .algorithm("fast-k4")
+        .build()
+        .expect("valid engine");
+    let (_, listed) = engine.collect(&graph);
     let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, 4).into_iter().collect();
     assert_eq!(listed, exact);
 }

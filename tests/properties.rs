@@ -12,9 +12,7 @@
 //! the original proptest strategies used.
 
 use distributed_clique_listing::cliquelist::parts::TupleAssignment;
-use distributed_clique_listing::cliquelist::{
-    congested_clique_list, list_kp, verify_against_ground_truth, ListingConfig, Variant,
-};
+use distributed_clique_listing::cliquelist::{verify_cliques, Engine};
 use distributed_clique_listing::expander::{decompose, DecompositionConfig};
 use distributed_clique_listing::graphcore::orientation::{degeneracy_ordering, Orientation};
 use distributed_clique_listing::graphcore::partition::VertexPartition;
@@ -35,15 +33,24 @@ fn sample_graph(rng: &mut SmallRng, max_n: usize) -> Graph {
     gen::erdos_renyi(n, prob, seed)
 }
 
+fn engine(p: usize, algorithm: &str, seed: u64) -> Engine {
+    Engine::builder()
+        .p(p)
+        .algorithm(algorithm)
+        .seed(seed)
+        .build()
+        .expect("valid engine")
+}
+
 #[test]
 fn congest_listing_is_always_exact() {
     let mut rng = SmallRng::seed_from_u64(0xC0DE_0001);
     for case in 0..CASES {
         let graph = sample_graph(&mut rng, 40);
         let p = rng.gen_range(3usize..6);
-        let result = list_kp(&graph, &ListingConfig::for_p(p));
+        let (_, listed) = engine(p, "general", 0xC11).collect(&graph);
         assert!(
-            verify_against_ground_truth(&graph, p, &result).is_ok(),
+            verify_cliques(&graph, p, &listed).is_ok(),
             "case {case}: K_{p} listing diverged from ground truth"
         );
     }
@@ -54,13 +61,9 @@ fn fast_k4_listing_is_always_exact() {
     let mut rng = SmallRng::seed_from_u64(0xC0DE_0002);
     for case in 0..CASES {
         let graph = sample_graph(&mut rng, 40);
-        let config = ListingConfig {
-            variant: Variant::FastK4,
-            ..ListingConfig::for_p(4)
-        };
-        let result = list_kp(&graph, &config);
+        let (_, listed) = engine(4, "fast-k4", 0xC11).collect(&graph);
         assert!(
-            verify_against_ground_truth(&graph, 4, &result).is_ok(),
+            verify_cliques(&graph, 4, &listed).is_ok(),
             "case {case}: fast K_4 listing diverged from ground truth"
         );
     }
@@ -73,9 +76,9 @@ fn congested_clique_listing_is_always_exact() {
         let graph = sample_graph(&mut rng, 40);
         let p = rng.gen_range(3usize..6);
         if graph.num_vertices() >= 2 {
-            let report = congested_clique_list(&graph, p, 1);
+            let (_, listed) = engine(p, "congested-clique", 1).collect(&graph);
             assert!(
-                verify_against_ground_truth(&graph, p, &report.result).is_ok(),
+                verify_cliques(&graph, p, &listed).is_ok(),
                 "case {case}: congested-clique K_{p} listing diverged from ground truth"
             );
         }
@@ -121,8 +124,8 @@ fn listed_cliques_are_cliques() {
     let mut rng = SmallRng::seed_from_u64(0xC0DE_0006);
     for case in 0..CASES {
         let graph = sample_graph(&mut rng, 35);
-        let result = list_kp(&graph, &ListingConfig::for_p(4));
-        for clique in &result.cliques {
+        let (_, listed) = engine(4, "general", 0xC11).collect(&graph);
+        for clique in &listed {
             assert_eq!(clique.len(), 4, "case {case}");
             assert!(cliques::is_clique(&graph, clique), "case {case}");
         }
