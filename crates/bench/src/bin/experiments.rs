@@ -21,12 +21,16 @@ use bench::{core_periphery_workload, fit_exponent, listing_workload, two_communi
 use cliquelist::baselines::simulate_naive_broadcast;
 use cliquelist::report::{json_f64, json_string};
 use cliquelist::result::phase;
-use cliquelist::{verify_against_ground_truth, verify_cliques, Engine, ExchangeMode, RunReport};
+use cliquelist::{
+    algorithms, verify_against_ground_truth, verify_cliques, CountSink, Engine, ExchangeMode,
+    RunReport,
+};
 use expander::{decompose, DecompositionConfig};
 use graphcore::partition::{
     edges_within, lemma_2_7_bound, lemma_2_7_preconditions, sample_vertices,
 };
-use graphcore::{gen, orientation};
+use graphcore::{cliques, gen, orientation};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +58,7 @@ fn main() {
     run("e9", &e9_ablation);
     run("e10", &e10_lower_bound_ratio);
     run("e11", &e11_simulated_broadcast);
+    run("perf", &perf_hot_paths);
     if json {
         println!("{{\"experiments\":[{}]}}", rendered.join(","));
     }
@@ -787,6 +792,117 @@ fn e10_lower_bound_ratio(json: bool) -> String {
     if log.text {
         println!("{table}");
         println!("(the ratio growing like n^{{2/(p+2)}} reflects the gap between Theorem 1.1 and the known lower bound, as discussed in the paper's Section 5)");
+    }
+    log.render()
+}
+
+/// PERF — the bench-trajectory experiment: wall-clock timings of the
+/// enumeration hot path on small fixed dense workloads, plus one engine run
+/// per registered algorithm. `experiments -- perf --json` is what the CI
+/// perf-smoke job captures and what `BENCH_PR3.json` at the repository root
+/// records, so successive PRs can diff simulator performance (unlike E1–E11,
+/// the quantities here are timings, not round counts — they carry no
+/// scientific claim and vary with the host).
+fn perf_hot_paths(json: bool) -> String {
+    let mut log = Log::new(
+        "perf",
+        "Bench trajectory — wall-clock of exact enumeration and one engine run per algorithm",
+        json,
+    );
+    /// Times `body` `reps` times; returns (best, mean) in milliseconds.
+    fn time_reps(reps: u32, mut body: impl FnMut()) -> (f64, f64) {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            body();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            best = best.min(ms);
+            total += ms;
+        }
+        (best, total / f64::from(reps))
+    }
+    const REPS: u32 = 3;
+
+    let mut table = Table::new(&["kind", "workload", "p", "cliques", "best ms", "mean ms"]);
+    // The dense-enumeration workloads: exact sequential K_p counting, the
+    // path every algorithm's ground truth and final broadcast run through.
+    let er400 = gen::erdos_renyi(400, 0.25, 7);
+    let er200 = gen::erdos_renyi(200, 0.5, 9);
+    let turan300 = gen::multipartite(300, 3, 0.8, 3);
+    let enumeration_cases: Vec<(&str, &graphcore::Graph, usize)> = vec![
+        ("er(400,0.25)", &er400, 3),
+        ("er(400,0.25)", &er400, 4),
+        ("er(200,0.5)", &er200, 5),
+        ("turan(300,3,0.8)", &turan300, 4),
+    ];
+    for (label, graph, p) in &enumeration_cases {
+        let mut count = 0usize;
+        let (best, mean) = time_reps(REPS, || count = cliques::count_cliques(graph, *p));
+        log.run(
+            &[
+                ("kind", json_string("enumeration")),
+                ("workload", json_string(label)),
+                ("p", p.to_string()),
+                ("cliques", count.to_string()),
+                ("best_ms", json_f64(best)),
+                ("mean_ms", json_f64(mean)),
+            ],
+            None,
+        );
+        table.row(&[
+            "enumeration".into(),
+            (*label).into(),
+            p.to_string(),
+            count.to_string(),
+            format!("{best:.2}"),
+            format!("{mean:.2}"),
+        ]);
+    }
+
+    // One engine run per registered algorithm (p = 4, counting sink: no
+    // per-clique allocation on the output path).
+    let workload = listing_workload(120, 4, 13);
+    for algorithm in algorithms() {
+        let info = algorithm.info();
+        let engine = Engine::builder()
+            .p(4)
+            .algorithm(info.name)
+            .experiment_scale()
+            .seed(1)
+            .build()
+            .expect("perf engine config is valid");
+        let mut count = 0u64;
+        let mut report = None;
+        let (best, mean) = time_reps(REPS, || {
+            let mut sink = CountSink::new();
+            report = Some(engine.run(&workload.graph, &mut sink));
+            count = sink.count;
+        });
+        let report = report.expect("at least one rep ran");
+        log.run(
+            &[
+                ("kind", json_string("engine")),
+                ("workload", json_string(&workload.label)),
+                ("p", 4.to_string()),
+                ("cliques", count.to_string()),
+                ("best_ms", json_f64(best)),
+                ("mean_ms", json_f64(mean)),
+            ],
+            Some(&report),
+        );
+        table.row(&[
+            format!("engine:{}", info.name),
+            "listing_workload(120)".into(),
+            4.to_string(),
+            count.to_string(),
+            format!("{best:.2}"),
+            format!("{mean:.2}"),
+        ]);
+    }
+    if log.text {
+        println!("{table}");
+        println!("(timings are host-dependent; the JSON form of this experiment is the bench-trajectory artifact)");
     }
     log.render()
 }

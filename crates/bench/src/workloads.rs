@@ -40,23 +40,25 @@ pub const BACKGROUND_DENSITY: f64 = 0.8;
 pub fn listing_workload(n: usize, p: usize, seed: u64) -> ListingWorkload {
     assert!(p >= 3, "clique size must be at least 3");
     let planted_count = (n / 40).clamp(2, 8);
-    let mut graph = gen::multipartite(n, 3, BACKGROUND_DENSITY, seed);
+    let background = gen::multipartite(n, 3, BACKGROUND_DENSITY, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE);
     let mut vertices: Vec<u32> = (0..n as u32).collect();
     vertices.shuffle(&mut rng);
     let mut planted = Vec::with_capacity(planted_count);
+    let mut planted_edges = Vec::new();
     for c in 0..planted_count {
         let mut members: Vec<u32> = vertices[c * p..(c + 1) * p].to_vec();
         members.sort_unstable();
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                graph
-                    .add_edge(members[i], members[j])
-                    .expect("planted vertices are in range");
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                planted_edges.push((u, v));
             }
         }
         planted.push(PlantedClique { vertices: members });
     }
+    let graph = background
+        .with_edges_added(&planted_edges)
+        .expect("planted vertices are in range");
     ListingWorkload {
         label: format!(
             "tripartite(n={n}, d={BACKGROUND_DENSITY}) + {planted_count} planted K{p} (seed={seed})"
@@ -81,7 +83,7 @@ pub fn listing_workload(n: usize, p: usize, seed: u64) -> ListingWorkload {
 pub fn core_periphery_workload(n: usize, seed: u64) -> ListingWorkload {
     let core = 2 * n / 3;
     let periphery = n - core;
-    let mut graph = gen::multipartite(n, 3, BACKGROUND_DENSITY, seed);
+    let graph = gen::multipartite(n, 3, BACKGROUND_DENSITY, seed);
     // Remove nothing: the generator already placed the periphery vertices in
     // parts, but we rebuild their adjacency from scratch so they stay sparse.
     let mut edges: Vec<(u32, u32)> = graph
@@ -102,10 +104,11 @@ pub fn core_periphery_workload(n: usize, seed: u64) -> ListingWorkload {
             edges.push((v as u32, (v + 1) as u32));
         }
     }
-    graph = Graph::from_edges(n, &edges).expect("core-periphery edges are in range");
+    let background = Graph::from_edges(n, &edges).expect("core-periphery edges are in range");
     // Planted K4s with two core and two periphery vertices.
     let planted_count = (periphery / 20).clamp(1, 4);
     let mut planted = Vec::new();
+    let mut planted_edges = Vec::new();
     for c in 0..planted_count {
         let members = vec![
             (2 * c) as u32,
@@ -113,17 +116,18 @@ pub fn core_periphery_workload(n: usize, seed: u64) -> ListingWorkload {
             (core + 2 * c) as u32,
             (core + 2 * c + 1) as u32,
         ];
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                graph
-                    .add_edge(members[i], members[j])
-                    .expect("planted vertices are in range");
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                planted_edges.push((u, v));
             }
         }
         let mut members = members;
         members.sort_unstable();
         planted.push(PlantedClique { vertices: members });
     }
+    let graph = background
+        .with_edges_added(&planted_edges)
+        .expect("planted vertices are in range");
     ListingWorkload {
         label: format!("core-periphery(n={n}, core={core}, seed={seed})"),
         n,

@@ -6,15 +6,11 @@ use crate::node::{Context, NodeId, NodeProgram, Status};
 use crate::rng::DeterministicRng;
 use crate::topology::Topology;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Messages addressed to (or received from) specific nodes.
 type Mailbox<M> = Vec<(NodeId, M)>;
-
-/// Per-link FIFO queues of `(message, width-in-words)` pairs, keyed by the
-/// directed link `(src, dst)`.
-type LinkQueues<M> = BTreeMap<(u32, u32), VecDeque<(M, u32)>>;
 
 /// Outcome of stepping one node: `(node index, new status, produced outbox)`.
 #[cfg(feature = "parallel")]
@@ -66,10 +62,18 @@ pub struct Network<P: NodeProgram> {
     programs: Vec<P>,
     rngs: Vec<DeterministicRng>,
     statuses: Vec<Status>,
-    /// FIFO queue of pending words per directed link. Ordered so that message
-    /// delivery (and therefore inbox ordering) is deterministic across runs
-    /// and identical between the sequential and parallel executors.
-    queues: LinkQueues<P::Message>,
+    /// FIFO queue of `(message, width-in-words)` pairs per directed link,
+    /// indexed by the topology's dense link index ([`Topology::link_index`]).
+    /// Link indices are lexicographic in `(src, dst)`, so iterating the flat
+    /// vector reproduces the delivery order of the former
+    /// `BTreeMap<(src, dst), _>` exactly — deterministic across runs and
+    /// identical between the sequential and parallel executors — while
+    /// `enqueue`/`deliver` touch a plain array slot instead of paying a tree
+    /// lookup per message.
+    queues: Vec<VecDeque<(P::Message, u32)>>,
+    /// Number of messages currently queued across all links (keeps
+    /// [`Network::is_quiescent`] O(1) in the link count).
+    queued_messages: usize,
     ledger: CostLedger,
     metrics: Metrics,
     round: u64,
@@ -90,13 +94,17 @@ impl<P: NodeProgram> Network<P> {
         let rngs = (0..n)
             .map(|i| DeterministicRng::for_node(config.seed, i))
             .collect();
+        let queues = (0..topology.num_directed_links())
+            .map(|_| VecDeque::new())
+            .collect();
         Network {
             topology,
             config,
             programs,
             rngs,
             statuses: vec![Status::Running; n],
-            queues: BTreeMap::new(),
+            queues,
+            queued_messages: 0,
             ledger: CostLedger::new(),
             metrics: Metrics::default(),
             round: 0,
@@ -197,8 +205,7 @@ impl<P: NodeProgram> Network<P> {
 
     /// Whether every node is done and all link queues are empty.
     pub fn is_quiescent(&self) -> bool {
-        self.statuses.iter().all(|&s| s == Status::Done)
-            && self.queues.values().all(VecDeque::is_empty)
+        self.queued_messages == 0 && self.statuses.iter().all(|&s| s == Status::Done)
     }
 
     /// Executes one synchronous round: delivers up to the per-link bandwidth
@@ -232,43 +239,63 @@ impl<P: NodeProgram> Network<P> {
 
     /// Phase 1 of a round: delivers up to the per-link bandwidth from each
     /// queue. Returns the per-node inboxes (each ordered by `(src, dst)` link
-    /// identifier, deterministically) and the number of words delivered.
+    /// identifier, deterministically — the flat queue vector is laid out in
+    /// that order) and the number of words delivered.
     fn deliver(&mut self) -> (Vec<Mailbox<P::Message>>, u64) {
         let n = self.programs.len();
         let bandwidth = self.config.bandwidth_words as u64;
         let mut inboxes: Vec<Mailbox<P::Message>> = vec![Vec::new(); n];
+        // Nothing in flight: skip the link scan entirely (common on the
+        // quiescence-detection tail, where nodes still compute but no
+        // messages remain).
+        if self.queued_messages == 0 {
+            return (inboxes, 0);
+        }
         let mut recv_words: Vec<u64> = vec![0; n];
         let mut words_delivered = 0u64;
-        for (&(src, dst), queue) in &mut self.queues {
-            let mut budget = bandwidth;
-            while budget > 0 {
-                match queue.front() {
-                    Some((_, words)) if u64::from(*words) <= budget => {
-                        let (msg, words) = queue.pop_front().expect("front checked above");
-                        budget -= u64::from(words);
-                        words_delivered += u64::from(words);
-                        recv_words[dst as usize] += u64::from(words);
-                        self.metrics.messages_delivered += 1;
-                        inboxes[dst as usize].push((NodeId(src), msg));
+        let mut delivered = 0usize;
+        for src in 0..n {
+            let source = NodeId::new(src);
+            let range = self.topology.link_range(source);
+            let neighbors = self.topology.neighbors(source);
+            for (queue, &dst) in self.queues[range].iter_mut().zip(neighbors) {
+                if queue.is_empty() {
+                    continue;
+                }
+                let mut budget = bandwidth;
+                while budget > 0 {
+                    match queue.front() {
+                        Some((_, words)) if u64::from(*words) <= budget => {
+                            let (msg, words) = queue.pop_front().expect("front checked above");
+                            delivered += 1;
+                            budget -= u64::from(words);
+                            words_delivered += u64::from(words);
+                            recv_words[dst.index()] += u64::from(words);
+                            inboxes[dst.index()].push((source, msg));
+                        }
+                        // A message wider than the remaining budget waits for
+                        // the next round (no fragmentation), unless it is
+                        // wider than the whole bandwidth, in which case it
+                        // takes the full link for ceil(words / bandwidth)
+                        // rounds; we model that by letting it through alone
+                        // when the budget is fresh.
+                        Some((_, words))
+                            if u64::from(*words) > bandwidth && budget == bandwidth =>
+                        {
+                            let (msg, words) = queue.pop_front().expect("front checked above");
+                            delivered += 1;
+                            words_delivered += u64::from(words);
+                            recv_words[dst.index()] += u64::from(words);
+                            inboxes[dst.index()].push((source, msg));
+                            budget = 0;
+                        }
+                        _ => break,
                     }
-                    // A message wider than the remaining budget waits for the
-                    // next round (no fragmentation), unless it is wider than
-                    // the whole bandwidth, in which case it takes the full
-                    // link for ceil(words / bandwidth) rounds; we model that
-                    // by letting it through alone when the budget is fresh.
-                    Some((_, words)) if u64::from(*words) > bandwidth && budget == bandwidth => {
-                        let (msg, words) = queue.pop_front().expect("front checked above");
-                        words_delivered += u64::from(words);
-                        recv_words[dst as usize] += u64::from(words);
-                        self.metrics.messages_delivered += 1;
-                        inboxes[dst as usize].push((NodeId(src), msg));
-                        budget = 0;
-                    }
-                    _ => break,
                 }
             }
         }
-        self.queues.retain(|_, q| !q.is_empty());
+        self.queued_messages -= delivered;
+        self.metrics.messages_delivered += delivered as u64;
         for &w in &recv_words {
             self.metrics.max_node_recv_per_round = self.metrics.max_node_recv_per_round.max(w);
         }
@@ -302,8 +329,13 @@ impl<P: NodeProgram> Network<P> {
             sent_words += u64::from(words);
             self.metrics.messages_sent += 1;
             self.metrics.words_sent += u64::from(words);
-            let queue = self.queues.entry((src.0, dst.0)).or_default();
+            let link = self
+                .topology
+                .link_index(src, dst)
+                .expect("Context::send only accepts neighbouring destinations");
+            let queue = &mut self.queues[link];
             queue.push_back((msg, words));
+            self.queued_messages += 1;
             let queued: u64 = queue.iter().map(|(_, w)| u64::from(*w)).sum();
             self.metrics.max_link_queue = self.metrics.max_link_queue.max(queued);
         }

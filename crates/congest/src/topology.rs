@@ -13,8 +13,26 @@ pub struct Topology {
     adjacency: Vec<Vec<NodeId>>,
     /// Sorted neighbour sets used for O(log deg) adjacency queries.
     sorted: Vec<Vec<u32>>,
+    /// Prefix sums of degrees: the directed link from `u` to its `k`-th
+    /// sorted neighbour has the dense index `link_offsets[u] + k`. Link
+    /// indices are therefore ordered lexicographically by `(src, dst)`, which
+    /// is what keeps flat per-link queues byte-compatible with the former
+    /// `BTreeMap<(src, dst), _>` iteration order.
+    link_offsets: Vec<usize>,
     num_edges: usize,
     complete: bool,
+}
+
+/// Computes the directed-link prefix sums of a sorted adjacency structure.
+fn link_offsets_of(sorted: &[Vec<u32>]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(sorted.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for row in sorted {
+        total += row.len();
+        offsets.push(total);
+    }
+    offsets
 }
 
 impl Topology {
@@ -43,9 +61,11 @@ impl Topology {
             adjacency.push(set.iter().map(|&v| NodeId(v)).collect());
             sorted.push(set.into_iter().collect());
         }
+        let link_offsets = link_offsets_of(&sorted);
         Topology {
             adjacency,
             sorted,
+            link_offsets,
             num_edges: num_edges / 2,
             complete: false,
         }
@@ -83,9 +103,11 @@ impl Topology {
             adjacency.push(row);
             sorted.push(srow);
         }
+        let link_offsets = link_offsets_of(&sorted);
         Topology {
             adjacency,
             sorted,
+            link_offsets,
             num_edges: n * n.saturating_sub(1) / 2,
             complete: true,
         }
@@ -143,6 +165,39 @@ impl Topology {
     pub fn max_degree(&self) -> usize {
         self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Number of directed links (`2m`): every undirected edge carries one
+    /// independent FIFO queue per direction.
+    pub fn num_directed_links(&self) -> usize {
+        *self.link_offsets.last().unwrap_or(&0)
+    }
+
+    /// The dense index of the directed link `src -> dst`, or `None` if the
+    /// two nodes are not adjacent. Link indices are lexicographic in
+    /// `(src, dst)` and contiguous per source (see [`Topology::link_range`]).
+    ///
+    /// Complete topologies resolve the index arithmetically; general
+    /// topologies binary-search the source's sorted neighbour row.
+    pub fn link_index(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        if self.complete {
+            if !self.are_adjacent(src, dst) {
+                return None;
+            }
+            let rank = dst.index() - usize::from(dst.index() > src.index());
+            return Some(self.link_offsets[src.index()] + rank);
+        }
+        self.sorted[src.index()]
+            .binary_search(&dst.0)
+            .ok()
+            .map(|rank| self.link_offsets[src.index()] + rank)
+    }
+
+    /// The contiguous range of link indices whose source is `src`; the `k`-th
+    /// index in the range targets the `k`-th entry of
+    /// [`Topology::neighbors`]`(src)`.
+    pub fn link_range(&self, src: NodeId) -> std::ops::Range<usize> {
+        self.link_offsets[src.index()]..self.link_offsets[src.index() + 1]
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +238,36 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn link_indices_are_dense_and_lexicographic() {
+        for topo in [
+            Topology::from_edges(6, &[(0, 3), (0, 5), (1, 2), (2, 3), (4, 5)]),
+            Topology::complete(5),
+            Topology::path(4),
+        ] {
+            let n = topo.num_nodes();
+            let mut seen = Vec::new();
+            for u in 0..n {
+                let src = NodeId::new(u);
+                let range = topo.link_range(src);
+                assert_eq!(range.len(), topo.degree(src));
+                for (k, &dst) in topo.neighbors(src).iter().enumerate() {
+                    let idx = topo.link_index(src, dst).expect("neighbour link exists");
+                    assert_eq!(idx, range.start + k);
+                    seen.push(idx);
+                }
+            }
+            // Dense cover of 0..2m, in (src, dst) lexicographic order.
+            assert_eq!(seen, (0..topo.num_directed_links()).collect::<Vec<_>>());
+            // Non-neighbours (including self) have no link.
+            for u in 0..n {
+                assert_eq!(topo.link_index(NodeId::new(u), NodeId::new(u)), None);
+            }
+        }
+        let path = Topology::path(4);
+        assert_eq!(path.link_index(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(path.num_directed_links(), 6);
     }
 }

@@ -229,6 +229,11 @@ fn light_node_listing(
             }
         }
     }
+    // Scratch buffers reused across all (u, w) pairs: N(u) ∩ N(w), then that
+    // intersected with N(v). Merge-based — no per-pair allocation and no
+    // per-candidate has_edge probe.
+    let mut uw_common: Vec<u32> = Vec::new();
+    let mut witnesses: Vec<u32> = Vec::new();
     for (&v, cluster_neighbors) in &outside {
         if cluster_neighbors.len() as f64 > heavy_threshold {
             continue; // heavy: handled inside the cluster
@@ -237,19 +242,18 @@ fn light_node_listing(
         // receives one answer word per (cluster neighbour, neighbour) pair.
         max_rounds = max_rounds.max(2 * cluster_neighbors.len() as u64);
         // v now knows, for every cluster neighbour u and every neighbour y of
-        // v, whether {u, y} is an edge; list the K4s it sees.
+        // v, whether {u, y} is an edge; list the K4s it sees. The witnesses y
+        // are exactly N(u) ∩ N(w) ∩ N(v), ascending (which keeps the emission
+        // order of the former filter loop).
         for (i, &u) in cluster_neighbors.iter().enumerate() {
             for &w in &cluster_neighbors[i + 1..] {
                 if !graph.has_edge(u, w) {
                     continue;
                 }
-                for &y in graph.neighbors(v) {
-                    if y == u || y == w {
-                        continue;
-                    }
-                    if graph.has_edge(u, y) && graph.has_edge(w, y) {
-                        sink.accept(&graphcore::canonical_clique(&[v, u, w, y]));
-                    }
+                graph.common_neighbors_into(u, w, &mut uw_common);
+                graphcore::intersect_sorted_into(&uw_common, graph.neighbors(v), &mut witnesses);
+                for &y in &witnesses {
+                    sink.accept(&graphcore::canonical_clique(&[v, u, w, y]));
                 }
             }
         }

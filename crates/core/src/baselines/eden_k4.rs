@@ -17,10 +17,10 @@
 //! `eden-k4`), whose [`prepare`](crate::ListingAlgorithm::prepare) pass pins
 //! the dense exchange and the single-pass iteration cap.
 
-use crate::config::{ExchangeMode, ListingConfig, Variant};
+use crate::config::ListingConfig;
 use crate::list::list_once;
-use crate::result::{phase, Diagnostics, ListingResult, Rounds};
-use crate::sink::{CliqueSink, CollectSink, Dedup};
+use crate::result::{phase, Diagnostics, Rounds};
+use crate::sink::{CliqueSink, Dedup};
 use graphcore::{cliques, Graph, Orientation};
 
 /// Runs the Eden-style baseline, emitting every listed `K_4` into `sink`
@@ -64,25 +64,6 @@ pub(crate) fn run_streaming(
         }
     }
     (rounds, diagnostics)
-}
-
-/// Runs the simplified Eden-et-al-style `K_4` baseline.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cliquelist::Engine with algorithm \"eden-k4\" instead"
-)]
-pub fn eden_style_k4(graph: &Graph, seed: u64) -> ListingResult {
-    let mut config = ListingConfig::fast_k4().with_seed(seed);
-    config.max_arb_iterations = 4;
-    config.exchange_mode = ExchangeMode::DenseAssumption;
-    debug_assert_eq!(config.variant, Variant::FastK4);
-    let mut sink = CollectSink::new();
-    let (rounds, diagnostics) = run_streaming(graph, &config, &mut sink);
-    ListingResult {
-        cliques: sink.into_cliques(),
-        rounds,
-        diagnostics,
-    }
 }
 
 #[cfg(test)]
@@ -135,15 +116,5 @@ mod tests {
     fn trivial_inputs() {
         assert_eq!(eden(0).count(&Graph::new(3)).1, 0);
         assert_eq!(eden(0).count(&gen::path_graph(10)).1, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_the_engine() {
-        let g = gen::erdos_renyi(70, 0.3, 5);
-        let legacy = eden_style_k4(&g, 5);
-        let (report, cliques) = eden(5).collect(&g);
-        assert_eq!(legacy.cliques, cliques);
-        assert_eq!(legacy.rounds.total(), report.total_rounds());
     }
 }

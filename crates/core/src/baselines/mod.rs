@@ -10,23 +10,16 @@
 //!   `O(n^{5/6+o(1)})` rounds: a single decomposition pass (no arboricity
 //!   iteration) with a generic, non-sparsity-aware in-cluster listing.
 //!   Registered as `eden-k4`.
-//! * [`triangle`]: triangle listing through the same machinery (`p = 3`),
-//!   the regime solved by Chang et al. and Chang–Saranurak, used as a
-//!   reference point in the experiments. Reached through the engine with
-//!   `p(3)` and the `general` algorithm.
+//! * Triangle listing (`p = 3`, the regime of Chang–Pettie–Zhang and
+//!   Chang–Saranurak, `~O(n^{1/3})` rounds) runs through the same pipeline:
+//!   build an [`Engine`](crate::Engine) with `p(3)` and the `general`
+//!   algorithm.
 //!
-//! The free functions in these modules are deprecated wrappers; the engine
-//! registry ([`cliquelist::algorithms`](crate::algorithms)) is the supported
-//! way to enumerate and run the baselines.
+//! The engine registry ([`cliquelist::algorithms`](crate::algorithms)) is the
+//! way to enumerate and run the baselines; the pre-Engine free functions were
+//! removed after their one-release deprecation window.
 
 pub mod eden_k4;
 pub mod naive;
-pub mod triangle;
 
-#[allow(deprecated)]
-pub use eden_k4::eden_style_k4;
-#[allow(deprecated)]
-pub use naive::naive_broadcast_listing;
 pub use naive::{naive_broadcast_rounds, simulate_naive_broadcast, NaiveBroadcastProgram};
-#[allow(deprecated)]
-pub use triangle::triangle_listing;

@@ -8,7 +8,7 @@
 
 use crate::config::ListingConfig;
 use crate::result::{phase, ListingResult, Rounds};
-use crate::sink::{CliqueSink, CollectSink};
+use crate::sink::CliqueSink;
 use congest::{
     Context, Network, NetworkConfig, NodeId, NodeProgram, RoundReport, Status, Topology,
 };
@@ -42,22 +42,6 @@ pub(crate) fn run_streaming(
         });
     }
     rounds
-}
-
-/// Runs the naive baseline analytically: charges `Δ` rounds and returns the
-/// full listing.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cliquelist::Engine with algorithm \"naive-broadcast\" instead"
-)]
-pub fn naive_broadcast_listing(graph: &Graph, config: &ListingConfig) -> ListingResult {
-    let mut sink = CollectSink::new();
-    let rounds = run_streaming(graph, config, &mut sink);
-    ListingResult {
-        cliques: sink.into_cliques(),
-        rounds,
-        diagnostics: Default::default(),
-    }
 }
 
 /// Runs the message-level naive broadcast ([`NaiveBroadcastProgram`]) on the
@@ -238,15 +222,5 @@ mod tests {
         let (report, count) = naive_engine(4).count(&Graph::new(10));
         assert_eq!(count, 0);
         assert_eq!(report.total_rounds(), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_the_engine() {
-        let g = gen::erdos_renyi(40, 0.3, 13);
-        let legacy = naive_broadcast_listing(&g, &ListingConfig::for_p(4));
-        let (report, cliques) = naive_engine(4).collect(&g);
-        assert_eq!(legacy.cliques, cliques);
-        assert_eq!(legacy.rounds.total(), report.total_rounds());
     }
 }

@@ -199,8 +199,11 @@ fn gather_light_probes(
 
     // Light probes: every good cluster node tells each of its outside
     // neighbours about its light neighbours; the outside neighbour answers
-    // which of them it is adjacent to (and the edge's orientation).
+    // which of them it is adjacent to (and the edge's orientation). The
+    // answer set is `lights ∩ N(v)` — a sorted merge over the CSR rows into a
+    // reused scratch buffer, not a has_edge probe per pair.
     let mut probe_rounds = 0u64;
+    let mut adjacent_lights: Vec<u32> = Vec::new();
     for &u in &cluster.vertices {
         if bad.contains(&u) {
             continue;
@@ -222,15 +225,11 @@ fn gather_light_probes(
         // neighbour (adjacency + direction bit), on each incident edge.
         probe_rounds = probe_rounds.max(2 * lights.len() as u64);
         for &v in &outside {
-            let mut found = 0u64;
-            for &w in lights {
-                if w != v && graph.has_edge(v, w) {
-                    let (src, dst) = oriented(orientation, v, w);
-                    known.insert((src, dst));
-                    found += 1;
-                }
+            graphcore::intersect_sorted_into(lights, graph.neighbors(v), &mut adjacent_lights);
+            for &w in &adjacent_lights {
+                let (src, dst) = oriented(orientation, v, w);
+                known.insert((src, dst));
             }
-            let _ = found;
             *knowledge.learned_words.entry(u).or_insert(0) += words * lights.len() as u64;
         }
     }

@@ -9,36 +9,21 @@
 //! `O(p² m / n^{2/p})` messages and the clique moves `n − 1` messages per node
 //! per round (Lenzen routing).
 //!
-//! The algorithm is normally reached through the [`Engine`](crate::Engine)
-//! (algorithm `congested-clique`), which streams the listed cliques into a
+//! The algorithm is reached through the [`Engine`](crate::Engine) (algorithm
+//! `congested-clique`), which streams the listed cliques into a
 //! [`CliqueSink`] and reports the send/receive loads in
-//! [`RunReport::congested_clique`](crate::RunReport::congested_clique); the
-//! free function [`congested_clique_list`] remains as a deprecated wrapper.
+//! [`RunReport::congested_clique`](crate::RunReport::congested_clique). The
+//! pre-Engine free function (`congested_clique_list`) survived PR 2 as a
+//! deprecated wrapper and was removed in the following release.
 
 use crate::config::ListingConfig;
 use crate::parts::TupleAssignment;
 use crate::report::CongestedCliqueStats;
-use crate::result::{phase, ListingResult, Rounds};
-use crate::sink::{CliqueSink, CollectSink};
+use crate::result::{phase, Rounds};
+use crate::sink::CliqueSink;
 use congest::CongestedClique;
 use graphcore::partition::VertexPartition;
 use graphcore::{cliques, Graph, Orientation};
-
-/// Result details specific to the legacy CONGESTED CLIQUE entry point; the
-/// Engine API reports the same data as
-/// [`RunReport::congested_clique`](crate::RunReport::congested_clique).
-#[derive(Clone, Debug, Default)]
-pub struct CongestedCliqueReport {
-    /// The listing result (cliques + rounds).
-    pub result: ListingResult,
-    /// Maximum number of words any node sent during the edge exchange.
-    pub max_send: u64,
-    /// Maximum number of words any node received during the edge exchange.
-    pub max_recv: u64,
-    /// The theoretical prediction `1 + m / n^{1+2/p}` (no polylog factors),
-    /// for comparison in the experiments.
-    pub predicted_rounds: f64,
-}
 
 /// Runs the CONGESTED CLIQUE algorithm, emitting every `K_p` of `graph` into
 /// `sink` exactly once, and returns the measured rounds plus the load
@@ -130,37 +115,6 @@ pub(crate) fn run_streaming(
     (rounds, stats)
 }
 
-/// Lists every `K_p` of `graph` in the CONGESTED CLIQUE model and reports the
-/// measured number of rounds.
-///
-/// # Panics
-///
-/// Panics if `p < 3` or the graph has fewer than 2 vertices.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cliquelist::Engine with algorithm \"congested-clique\" instead"
-)]
-pub fn congested_clique_list(graph: &Graph, p: usize, seed: u64) -> CongestedCliqueReport {
-    assert!(p >= 3, "clique size must be at least 3");
-    assert!(
-        graph.num_vertices() >= 2,
-        "the congested clique needs at least two nodes"
-    );
-    let config = ListingConfig::for_p(p).with_seed(seed);
-    let mut sink = CollectSink::new();
-    let (rounds, stats) = run_streaming(graph, &config, &mut sink);
-    CongestedCliqueReport {
-        result: ListingResult {
-            cliques: sink.into_cliques(),
-            rounds,
-            diagnostics: Default::default(),
-        },
-        max_send: stats.max_send,
-        max_recv: stats.max_recv,
-        predicted_rounds: stats.predicted_rounds,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,22 +183,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_the_engine() {
-        let g = gen::erdos_renyi(60, 0.25, 9);
-        let legacy = congested_clique_list(&g, 4, 3);
-        let (report, cliques) = run(&g, 4, 3);
-        assert_eq!(legacy.result.cliques, cliques);
-        assert_eq!(legacy.result.rounds.total(), report.total_rounds());
-        let stats = report.congested_clique.unwrap();
-        assert_eq!(legacy.max_send, stats.max_send);
-        assert_eq!(legacy.max_recv, stats.max_recv);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "at least 3")]
-    fn small_p_rejected() {
-        congested_clique_list(&gen::complete_graph(5), 2, 0);
+    fn small_p_rejected_by_the_builder() {
+        assert!(Engine::builder()
+            .p(2)
+            .algorithm("congested-clique")
+            .build()
+            .is_err());
     }
 }

@@ -7,16 +7,16 @@
 //! remaining outgoing edges to its neighbours and the remaining instances are
 //! listed locally.
 //!
-//! The driver is normally reached through the [`Engine`](crate::Engine)
-//! (algorithms `general` and `fast-k4`), which streams the listed cliques
-//! into a [`CliqueSink`]; the free functions [`list_kp`]
-//! and [`list_kp_with_mode`] remain as deprecated wrappers that collect into
-//! the legacy [`ListingResult`].
+//! The driver is reached through the [`Engine`](crate::Engine) (algorithms
+//! `general` and `fast-k4`), which streams the listed cliques into a
+//! [`CliqueSink`]. The pre-Engine free functions (`list_kp`,
+//! `list_kp_with_mode`) survived PR 2 as deprecated wrappers and were removed
+//! in the following release.
 
-use crate::config::{ExchangeMode, ListingConfig, Variant};
+use crate::config::{ListingConfig, Variant};
 use crate::list::list_once;
-use crate::result::{phase, Diagnostics, ListingResult, Rounds};
-use crate::sink::{CliqueSink, CollectSink, Dedup};
+use crate::result::{phase, Diagnostics, Rounds};
+use crate::sink::{CliqueSink, Dedup};
 use graphcore::{cliques, Graph, Orientation};
 
 /// Runs the CONGEST driver (general or fast-`K_4`, per `config.variant`),
@@ -116,57 +116,10 @@ fn run_congest_inner(
     (rounds, diagnostics)
 }
 
-/// Lists every `K_p` instance of `graph` with the configured algorithm and
-/// returns the union of the node outputs together with the measured round
-/// complexity.
-///
-/// # Panics
-///
-/// Panics if `config` is invalid (e.g. `config.p < 3`); the
-/// [`Engine`](crate::Engine) builder is the non-panicking replacement.
-#[deprecated(
-    since = "0.2.0",
-    note = "use cliquelist::Engine with a CliqueSink instead"
-)]
-pub fn list_kp(graph: &Graph, config: &ListingConfig) -> ListingResult {
-    run_legacy(graph, config, config.exchange_mode)
-}
-
-/// Same as [`list_kp`] but with an explicit in-cluster exchange mode; the
-/// dense mode is used by the ablation experiment and baselines.
-///
-/// # Panics
-///
-/// Panics if `config` is invalid (e.g. `config.p < 3`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use cliquelist::Engine with EngineBuilder::exchange_mode instead"
-)]
-pub fn list_kp_with_mode(
-    graph: &Graph,
-    config: &ListingConfig,
-    exchange_mode: ExchangeMode,
-) -> ListingResult {
-    run_legacy(graph, config, exchange_mode)
-}
-
-fn run_legacy(graph: &Graph, config: &ListingConfig, exchange_mode: ExchangeMode) -> ListingResult {
-    let config = config.with_exchange_mode(exchange_mode);
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid listing config: {e}"));
-    let mut sink = CollectSink::new();
-    let (rounds, diagnostics) = run_congest(graph, &config, &mut sink);
-    ListingResult {
-        cliques: sink.into_cliques(),
-        rounds,
-        diagnostics,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExchangeMode;
     use crate::engine::Engine;
     use crate::verify::verify_cliques;
     use graphcore::gen;
@@ -271,30 +224,5 @@ mod tests {
         let (dense_report, dense_cliques) = dense.collect(&g);
         assert_eq!(sparse_cliques, dense_cliques);
         assert!(dense_report.total_rounds() >= sparse_report.total_rounds());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_engine() {
-        // Acceptance guard: the legacy free functions must keep compiling and
-        // produce the same listing as the engine they wrap.
-        let g = gen::erdos_renyi(70, 0.3, 41);
-        let legacy = list_kp(&g, &ListingConfig::for_p(5));
-        let (report, cliques) = general(5, 0xC11).collect(&g);
-        assert_eq!(legacy.cliques, cliques);
-        assert_eq!(legacy.rounds.total(), report.total_rounds());
-        let dense = list_kp_with_mode(&g, &ListingConfig::for_p(4), ExchangeMode::DenseAssumption);
-        verify_cliques(&g, 4, &dense.cliques).expect("legacy dense listing exact");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "at least 3")]
-    fn legacy_wrapper_still_panics_on_bad_p() {
-        let cfg = ListingConfig {
-            p: 2,
-            ..ListingConfig::for_p(3)
-        };
-        list_kp(&gen::complete_graph(5), &cfg);
     }
 }

@@ -85,11 +85,6 @@ pub mod sparse_listing;
 pub mod verify;
 
 pub use config::{ExchangeMode, ListingConfig, Variant};
-#[allow(deprecated)]
-pub use congested_clique::congested_clique_list;
-pub use congested_clique::CongestedCliqueReport;
-#[allow(deprecated)]
-pub use driver::{list_kp, list_kp_with_mode};
 pub use engine::{
     algorithm_named, algorithms, names, AlgorithmInfo, Engine, EngineBuilder, ListingAlgorithm,
 };

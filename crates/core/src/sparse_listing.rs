@@ -210,19 +210,24 @@ pub fn cluster_listing(
     // listed by the owner of the tuple of its vertex parts; since every tuple
     // is owned, this equals the set of K_p in the known-edge graph containing
     // a goal edge. Goal edges are visited in sorted order so the emission
-    // order is deterministic (EdgeSet iteration order is not).
+    // order is deterministic (EdgeSet iteration order is not). The
+    // per-cluster enumerator amortises its bitsets and candidate arena over
+    // all goal edges of the cluster.
     let undirected: Vec<(u32, u32)> = input
         .known_edges
         .iter()
         .map(|&(a, b)| (a.min(b), a.max(b)))
         .collect();
     let known_graph = Graph::from_edges(n, &undirected).expect("known edges are in range");
+    let mut enumerator = cliques::EdgeCliqueEnumerator::new(&known_graph, p);
+    let mut found = Vec::new();
     for e in input.goal_edges.to_sorted_vec() {
         if sink.is_saturated() {
             break;
         }
-        for clique in cliques::cliques_containing_edge(&known_graph, p, e.u(), e.v()) {
-            sink.accept(&clique);
+        enumerator.cliques_containing_edge_into(e.u(), e.v(), &mut found);
+        for clique in &found {
+            sink.accept(clique);
         }
     }
     let _ = ids;

@@ -54,23 +54,25 @@ pub fn clique_listing_workload(
 ) -> (Graph, Vec<PlantedClique>) {
     assert!(p >= 3, "clique size must be at least 3");
     assert!(planted * p <= n, "planted cliques do not fit");
-    let mut graph = multipartite(n, p - 1, density, seed);
+    let background = multipartite(n, p - 1, density, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD_EF01);
     let mut vertices: Vec<u32> = (0..n as u32).collect();
     vertices.shuffle(&mut rng);
     let mut cliques = Vec::with_capacity(planted);
+    let mut planted_edges = Vec::new();
     for c in 0..planted {
         let mut members: Vec<u32> = vertices[c * p..(c + 1) * p].to_vec();
         members.sort_unstable();
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                graph
-                    .add_edge(members[i], members[j])
-                    .expect("planted vertices are in range");
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                planted_edges.push((u, v));
             }
         }
         cliques.push(PlantedClique { vertices: members });
     }
+    let graph = background
+        .with_edges_added(&planted_edges)
+        .expect("planted vertices are in range");
     (graph, cliques)
 }
 

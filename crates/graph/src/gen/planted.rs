@@ -40,24 +40,26 @@ pub fn planted_cliques(
         count * size <= n,
         "cannot plant {count} disjoint cliques of size {size} into {n} vertices"
     );
-    let mut graph = erdos_renyi(n, background_p, seed);
+    let background = erdos_renyi(n, background_p, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
     let mut vertices: Vec<u32> = (0..n as u32).collect();
     vertices.shuffle(&mut rng);
 
     let mut planted = Vec::with_capacity(count);
+    let mut planted_edges = Vec::new();
     for c in 0..count {
         let mut members: Vec<u32> = vertices[c * size..(c + 1) * size].to_vec();
         members.sort_unstable();
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                graph
-                    .add_edge(members[i], members[j])
-                    .expect("planted vertices are in range");
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                planted_edges.push((u, v));
             }
         }
         planted.push(PlantedClique { vertices: members });
     }
+    let graph = background
+        .with_edges_added(&planted_edges)
+        .expect("planted vertices are in range");
     (graph, planted)
 }
 

@@ -1,8 +1,22 @@
-//! Compact undirected graphs with sorted adjacency lists.
+//! Compact undirected graphs in CSR (compressed sparse row) form.
+//!
+//! The adjacency structure is two flat arrays — `offsets` (one entry per
+//! vertex plus a sentinel) and `nbrs` (all neighbour lists concatenated, each
+//! sorted by vertex id) — so a neighbourhood is one contiguous, cache-friendly
+//! slice. Point queries (`has_edge`) binary-search the shorter endpoint's row
+//! in `O(log deg)`, but the hot paths deliberately avoid per-element point
+//! queries: neighbourhood intersections are sorted merges over the CSR rows
+//! (`common_neighbors_into`, [`intersect_sorted_into`]) in
+//! `O(deg_u + deg_v)`, and the clique enumerator in [`crate::cliques`] works
+//! on a pre-built oriented DAG with reusable buffers instead of probing
+//! `has_edge` in its innermost loop.
+//!
+//! Subgraph builders (`edge_subgraph`, `without_edges`, `induced_keep_ids`)
+//! are single-pass linear filters over the CSR arrays: rows stay sorted by
+//! construction, so no per-vertex set rebuild is needed.
 
 use crate::edge::{Edge, EdgeSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors produced when constructing or manipulating a [`Graph`].
@@ -38,33 +52,65 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-/// An undirected simple graph on vertices `0..n`.
+/// Writes the sorted intersection of two sorted `u32` slices into `out`
+/// (cleared first). The classic two-pointer merge: `O(|a| + |b|)`, no
+/// allocation beyond `out`'s existing capacity.
+pub fn intersect_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// An undirected simple graph on vertices `0..n`, stored in CSR form.
 ///
-/// Adjacency lists are kept sorted so that adjacency queries cost
-/// `O(log deg)` and neighbourhood intersections cost `O(deg_u + deg_v)`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// The neighbours of `v` live in `nbrs[offsets[v]..offsets[v+1]]`, sorted by
+/// vertex id. See the module docs for the cost model.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    adj: Vec<Vec<u32>>,
+    /// CSR row offsets; `offsets.len() == n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists.
+    nbrs: Vec<u32>,
     num_edges: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0)
+    }
 }
 
 impl Graph {
     /// Creates an empty graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            nbrs: Vec::new(),
             num_edges: 0,
         }
     }
 
     /// Builds a graph from an edge list, ignoring duplicates.
     ///
+    /// Single-pass linear construction: count degrees, scatter both directed
+    /// copies into the CSR array, then sort and deduplicate each row in
+    /// place.
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n` and
     /// [`GraphError::SelfLoop`] if `u == v` for some edge.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
-        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
         for &(u, v) in edges {
             if u as usize >= n {
                 return Err(GraphError::VertexOutOfRange { vertex: u, n });
@@ -75,20 +121,48 @@ impl Graph {
             if u == v {
                 return Err(GraphError::SelfLoop { vertex: u });
             }
-            sets[u as usize].insert(v);
-            sets[v as usize].insert(u);
         }
-        let mut num_edges = 0;
-        let adj: Vec<Vec<u32>> = sets
-            .into_iter()
-            .map(|s| {
-                num_edges += s.len();
-                s.into_iter().collect()
-            })
-            .collect();
+        // Degree count (duplicates included; they are squeezed out below).
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Scatter.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut nbrs = vec![0u32; offsets[n] as usize];
+        for &(u, v) in edges {
+            nbrs[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            nbrs[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each row and compact duplicates in place.
+        let mut write = 0usize;
+        let mut compacted = vec![0u32; n + 1];
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            nbrs[start..end].sort_unstable();
+            compacted[v] = write as u32;
+            let mut prev = u32::MAX;
+            for read in start..end {
+                let w = nbrs[read];
+                if w != prev {
+                    nbrs[write] = w;
+                    write += 1;
+                    prev = w;
+                }
+            }
+        }
+        compacted[n] = write as u32;
+        nbrs.truncate(write);
         Ok(Graph {
-            adj,
-            num_edges: num_edges / 2,
+            offsets: compacted,
+            nbrs,
+            num_edges: write / 2,
         })
     }
 
@@ -104,7 +178,7 @@ impl Graph {
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
@@ -118,35 +192,41 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: u32) -> usize {
-        self.adj[v as usize].len()
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
     }
 
     /// Maximum degree (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree (`2m / n`; 0 for the empty graph).
     pub fn average_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        let n = self.num_vertices();
+        if n == 0 {
             0.0
         } else {
-            2.0 * self.num_edges as f64 / self.adj.len() as f64
+            2.0 * self.num_edges as f64 / n as f64
         }
     }
 
-    /// The sorted neighbour list of `v`.
+    /// The sorted neighbour list of `v` — one contiguous CSR slice.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.adj[v as usize]
+        &self.nbrs[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
 
-    /// Whether `u` and `v` are adjacent.
+    /// Whether `u` and `v` are adjacent (`O(log min(deg_u, deg_v))`).
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+        let n = self.num_vertices();
+        if u == v || u as usize >= n || v as usize >= n {
             return false;
         }
         let (small, large) = if self.degree(u) <= self.degree(v) {
@@ -154,16 +234,21 @@ impl Graph {
         } else {
             (v, u)
         };
-        self.adj[small as usize].binary_search(&large).is_ok()
+        self.neighbors(small).binary_search(&large).is_ok()
     }
 
     /// Adds an edge, returning `true` if it was not already present.
+    ///
+    /// This splices into the flat CSR arrays (`O(n + m)` worst case), so it is
+    /// meant for construction-time touch-ups (planting cliques into a
+    /// generated background), not for bulk building — use
+    /// [`Graph::from_edges`] for that.
     ///
     /// # Errors
     ///
     /// Returns an error if an endpoint is out of range or `u == v`.
     pub fn add_edge(&mut self, u: u32, v: u32) -> Result<bool, GraphError> {
-        let n = self.adj.len();
+        let n = self.num_vertices();
         if u as usize >= n {
             return Err(GraphError::VertexOutOfRange { vertex: u, n });
         }
@@ -176,21 +261,50 @@ impl Graph {
         if self.has_edge(u, v) {
             return Ok(false);
         }
-        let pos_u = self.adj[u as usize].binary_search(&v).unwrap_err();
-        self.adj[u as usize].insert(pos_u, v);
-        let pos_v = self.adj[v as usize].binary_search(&u).unwrap_err();
-        self.adj[v as usize].insert(pos_v, u);
+        self.insert_directed(u, v);
+        self.insert_directed(v, u);
         self.num_edges += 1;
         Ok(true)
     }
 
+    /// Returns a copy of the graph with `extra` edges added; duplicates and
+    /// already-present edges are ignored. One linear rebuild — the bulk
+    /// counterpart of repeated [`Graph::add_edge`] calls, which each pay an
+    /// `O(n + m)` CSR splice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an extra edge has an endpoint out of range or is a
+    /// self-loop.
+    pub fn with_edges_added(&self, extra: &[(u32, u32)]) -> Result<Graph, GraphError> {
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.num_edges() + extra.len());
+        edges.extend(self.edges());
+        edges.extend_from_slice(extra);
+        Graph::from_edges(self.num_vertices(), &edges)
+    }
+
+    /// Splices `v` into the sorted row of `u` and shifts the later offsets.
+    fn insert_directed(&mut self, u: u32, v: u32) {
+        let start = self.offsets[u as usize] as usize;
+        let end = self.offsets[u as usize + 1] as usize;
+        let pos = start + self.nbrs[start..end].partition_point(|&w| w < v);
+        self.nbrs.insert(pos, v);
+        for offset in &mut self.offsets[u as usize + 1..] {
+            *offset += 1;
+        }
+    }
+
     /// Iterates over all undirected edges `(u, v)` with `u < v`, in
     /// lexicographic order.
+    ///
+    /// Each row is sorted, so the iterator binary-searches the first
+    /// neighbour above `u` once per row and then walks the upper half
+    /// directly — no per-element comparison.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&v| (u as u32) < v)
-                .map(move |&v| (u as u32, v))
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            let row = self.neighbors(u);
+            let upper = row.partition_point(|&v| v < u);
+            row[upper..].iter().map(move |&v| (u, v))
         })
     }
 
@@ -199,58 +313,72 @@ impl Graph {
         self.edges().map(|(u, v)| Edge::new(u, v)).collect()
     }
 
+    /// Linear CSR filter: keeps exactly the neighbour entries for which
+    /// `keep(u, v)` holds. `keep` must be symmetric, or the result is not a
+    /// valid undirected graph.
+    fn filter_neighbors(&self, mut keep: impl FnMut(u32, u32) -> bool) -> Graph {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut nbrs = Vec::with_capacity(self.nbrs.len());
+        for u in 0..n as u32 {
+            for &v in self.neighbors(u) {
+                if keep(u, v) {
+                    nbrs.push(v);
+                }
+            }
+            offsets.push(nbrs.len() as u32);
+        }
+        let num_edges = nbrs.len() / 2;
+        Graph {
+            offsets,
+            nbrs,
+            num_edges,
+        }
+    }
+
     /// Returns the subgraph on the same vertex set containing only the given
-    /// edges (edges not present in `self` are ignored).
+    /// edges (edges not present in `self` are ignored). Single linear pass
+    /// over the CSR arrays.
     pub fn edge_subgraph(&self, edges: &EdgeSet) -> Graph {
-        let filtered: Vec<(u32, u32)> = edges
-            .iter()
-            .filter(|e| self.has_edge(e.u(), e.v()))
-            .map(Edge::endpoints)
-            .collect();
-        Graph::from_edges(self.num_vertices(), &filtered)
-            .expect("edges of an existing graph are always in range")
+        self.filter_neighbors(|u, v| edges.contains_pair(u, v))
     }
 
     /// Returns the subgraph on the same vertex set with the given edges
-    /// removed.
+    /// removed. Single linear pass over the CSR arrays.
     pub fn without_edges(&self, edges: &EdgeSet) -> Graph {
-        let remaining: Vec<(u32, u32)> = self
-            .edges()
-            .filter(|&(u, v)| !edges.contains_pair(u, v))
-            .collect();
-        Graph::from_edges(self.num_vertices(), &remaining)
-            .expect("remaining edges are always in range")
+        self.filter_neighbors(|u, v| !edges.contains_pair(u, v))
     }
 
     /// Returns the subgraph induced by `vertices` **keeping the original
     /// vertex identifiers** (vertices outside the set become isolated).
+    /// Single linear pass over the CSR arrays after building a membership
+    /// mask.
     pub fn induced_keep_ids(&self, vertices: &[u32]) -> Graph {
-        let set: BTreeSet<u32> = vertices.iter().copied().collect();
-        let edges: Vec<(u32, u32)> = self
-            .edges()
-            .filter(|&(u, v)| set.contains(&u) && set.contains(&v))
-            .collect();
-        Graph::from_edges(self.num_vertices(), &edges).expect("existing edges are in range")
+        let mut mask = vec![false; self.num_vertices()];
+        for &v in vertices {
+            if (v as usize) < mask.len() {
+                mask[v as usize] = true;
+            }
+        }
+        self.filter_neighbors(|u, v| mask[u as usize] && mask[v as usize])
     }
 
     /// Sorted intersection of the neighbourhoods of `u` and `v`.
+    ///
+    /// Allocates the result; hot paths should prefer
+    /// [`Graph::common_neighbors_into`] with a reused scratch buffer.
     pub fn common_neighbors(&self, u: u32, v: u32) -> Vec<u32> {
-        let a = self.neighbors(u);
-        let b = self.neighbors(v);
         let mut out = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
+        self.common_neighbors_into(u, v, &mut out);
         out
+    }
+
+    /// Writes the sorted intersection of the neighbourhoods of `u` and `v`
+    /// into `out` (cleared first). `O(deg_u + deg_v)`, no allocation beyond
+    /// `out`'s capacity — the scratch-buffer variant for hot callers.
+    pub fn common_neighbors_into(&self, u: u32, v: u32, out: &mut Vec<u32>) {
+        intersect_sorted_into(self.neighbors(u), self.neighbors(v), out);
     }
 
     /// Connected components as lists of vertices; singleton components are
@@ -320,6 +448,8 @@ mod tests {
     fn duplicate_edges_are_ignored() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
         assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
     }
 
     #[test]
@@ -350,11 +480,44 @@ mod tests {
     }
 
     #[test]
+    fn add_edge_matches_from_edges() {
+        // The splice-based add_edge and the linear bulk build agree exactly.
+        let edges = [(0u32, 5u32), (2, 3), (1, 4), (0, 1), (4, 5), (2, 5)];
+        let bulk = Graph::from_edges(6, &edges).unwrap();
+        let mut incremental = Graph::new(6);
+        for &(u, v) in &edges {
+            incremental.add_edge(u, v).unwrap();
+        }
+        assert_eq!(bulk, incremental);
+    }
+
+    #[test]
     fn common_neighbors_intersects() {
         let g = triangle_plus_pendant();
         assert_eq!(g.common_neighbors(0, 1), vec![2]);
         assert_eq!(g.common_neighbors(0, 3), vec![2]);
         assert_eq!(g.common_neighbors(3, 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn common_neighbors_into_reuses_the_buffer() {
+        let g = triangle_plus_pendant();
+        let mut buf = vec![99, 99, 99];
+        g.common_neighbors_into(0, 1, &mut buf);
+        assert_eq!(buf, vec![2]);
+        g.common_neighbors_into(3, 4, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_into_matches_naive() {
+        let a = [1u32, 3, 4, 7, 9];
+        let b = [0u32, 3, 7, 8, 9, 12];
+        let mut out = Vec::new();
+        intersect_sorted_into(&a, &b, &mut out);
+        assert_eq!(out, vec![3, 7, 9]);
+        intersect_sorted_into(&a, &[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -402,5 +565,32 @@ mod tests {
         assert_eq!(set.len(), 4);
         let g2 = Graph::from_edge_set(5, &set).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn upper_half_edge_iterator_is_exact() {
+        // The binary-search row split must reproduce the filtered iteration
+        // exactly, including lexicographic order.
+        let g = crate::gen::erdos_renyi(60, 0.2, 5);
+        let fast: Vec<(u32, u32)> = g.edges().collect();
+        let mut reference = Vec::new();
+        for u in 0..60u32 {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    reference.push((u, v));
+                }
+            }
+        }
+        assert_eq!(fast, reference);
+        assert_eq!(fast.len(), g.num_edges());
+        assert!(fast.windows(2).all(|w| w[0] < w[1]), "not lexicographic");
+    }
+
+    #[test]
+    fn default_is_the_empty_graph() {
+        let g = Graph::default();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
     }
 }

@@ -3,8 +3,9 @@
 //! This crate is self-contained (no external graph library) and provides
 //! everything the CONGEST algorithms need from the "sequential world":
 //!
-//! * [`Graph`]: compact undirected graphs with sorted adjacency lists,
-//!   O(log deg) adjacency queries and edge-subgraph operations;
+//! * [`Graph`]: compact undirected graphs in CSR form (flat offset + neighbour
+//!   arrays, rows sorted by id) with linear-time edge-subgraph operations and
+//!   merge-based neighbourhood intersections;
 //! * [`gen`]: synthetic workload generators (Erdős–Rényi, planted cliques,
 //!   random regular, Barabási–Albert, RMAT/Kronecker, classic families);
 //! * [`orientation`]: degeneracy orderings, bounded out-degree orientations
@@ -40,8 +41,8 @@ pub mod spectral;
 pub mod stats;
 
 pub use edge::{Edge, EdgeSet};
-pub use graph::{Graph, GraphError};
-pub use orientation::Orientation;
+pub use graph::{intersect_sorted_into, Graph, GraphError};
+pub use orientation::{Orientation, OrientedDag};
 
 /// A clique, stored as a strictly increasing list of vertex identifiers.
 ///

@@ -85,6 +85,83 @@ pub fn degeneracy_ordering(graph: &Graph) -> DegeneracyOrdering {
     }
 }
 
+/// The acyclic "later-neighbour" DAG of a degeneracy ordering, in CSR form.
+///
+/// For every vertex `v`, the structure stores the neighbours that appear
+/// *after* `v` in the peeling order, sorted by vertex id (the same order the
+/// underlying CSR rows use). Built once in `O(n + m)`, it is the substrate of
+/// the ordered clique enumeration in [`crate::cliques`]: the out-degree of
+/// every vertex is at most the degeneracy, so per-depth candidate buffers can
+/// be sized once up front, and candidate sets stay sorted so intersections
+/// are plain merges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrientedDag {
+    /// CSR row offsets; `offsets.len() == n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated out-neighbour lists, each sorted by vertex id.
+    targets: Vec<u32>,
+}
+
+impl OrientedDag {
+    /// Builds the DAG of `ordering` over `graph` in one linear pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordering` does not cover the vertices of `graph`.
+    pub fn from_ordering(graph: &Graph, ordering: &DegeneracyOrdering) -> Self {
+        let n = graph.num_vertices();
+        let position = &ordering.position;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::with_capacity(graph.num_edges());
+        for v in 0..n as u32 {
+            for &w in graph.neighbors(v) {
+                if position[w as usize] > position[v as usize] {
+                    targets.push(w);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        OrientedDag { offsets, targets }
+    }
+
+    /// Computes a degeneracy ordering of `graph` and builds its DAG.
+    pub fn from_degeneracy(graph: &Graph) -> Self {
+        OrientedDag::from_ordering(graph, &degeneracy_ordering(graph))
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (equals the number of undirected edges of the
+    /// source graph).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The out-neighbours of `v` (its later neighbours), sorted by vertex id.
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Maximum out-degree over all vertices (at most the degeneracy when the
+    /// DAG comes from a degeneracy ordering).
+    pub fn max_out_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// An orientation of (a subset of) a graph's edges: each edge is directed away
 /// from exactly one endpoint, and the quantity of interest is the maximum
 /// out-degree.
@@ -319,6 +396,26 @@ mod tests {
         for (u, v) in r.edges() {
             assert!(o.is_oriented(u, v));
         }
+    }
+
+    #[test]
+    fn oriented_dag_covers_every_edge_once_with_bounded_out_degree() {
+        let g = gen::erdos_renyi(70, 0.2, 13);
+        let ordering = degeneracy_ordering(&g);
+        let dag = OrientedDag::from_ordering(&g, &ordering);
+        assert_eq!(dag.num_vertices(), 70);
+        assert_eq!(dag.num_edges(), g.num_edges());
+        assert!(dag.max_out_degree() <= ordering.degeneracy);
+        for v in 0..70u32 {
+            let out = dag.out_neighbors(v);
+            assert_eq!(out.len(), dag.out_degree(v));
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "row not sorted by id");
+            for &w in out {
+                assert!(g.has_edge(v, w));
+                assert!(ordering.position[w as usize] > ordering.position[v as usize]);
+            }
+        }
+        assert_eq!(OrientedDag::from_degeneracy(&g), dag);
     }
 
     #[test]

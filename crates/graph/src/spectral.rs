@@ -82,9 +82,26 @@ pub fn second_eigenpair(graph: &Graph, vertices: &[u32]) -> Option<(f64, Vec<f64
         return None;
     }
 
-    let index: std::collections::HashMap<u32, usize> =
-        active.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let k = active.len();
+    // Remap the induced subgraph to dense indices 0..k once, so the power
+    // iteration below walks flat arrays instead of paying a hash lookup per
+    // neighbour per iteration. Row order and per-row neighbour order are
+    // preserved, which keeps the floating-point summation order — and
+    // therefore the returned eigenvector — bit-identical to the direct
+    // iteration over the vertex-id graph.
+    let mut position = vec![u32::MAX; sub.num_vertices()];
+    for (i, &v) in active.iter().enumerate() {
+        position[v as usize] = i as u32;
+    }
+    let mut row_offsets = Vec::with_capacity(k + 1);
+    row_offsets.push(0usize);
+    let mut row_targets: Vec<u32> = Vec::new();
+    for &v in &active {
+        for &w in sub.neighbors(v) {
+            row_targets.push(position[w as usize]);
+        }
+        row_offsets.push(row_targets.len());
+    }
     let degrees: Vec<f64> = active.iter().map(|&v| sub.degree(v) as f64).collect();
     let total_degree: f64 = degrees.iter().sum();
     // Stationary distribution of the lazy walk: π(v) ∝ deg(v).
@@ -101,14 +118,13 @@ pub fn second_eigenpair(graph: &Graph, vertices: &[u32]) -> Option<(f64, Vec<f64
     normalise(&mut x);
     let mut lambda = 0.0f64;
     let iterations = 200.max(4 * (k as f64).ln() as usize);
+    let mut y = vec![0.0f64; k];
     for _ in 0..iterations {
-        let mut y = vec![0.0f64; k];
-        for (i, &v) in active.iter().enumerate() {
+        for i in 0..k {
             let mut acc = 0.5 * x[i];
             let d = degrees[i];
-            for &w in sub.neighbors(v) {
-                let j = index[&w];
-                acc += 0.5 * x[j] / d;
+            for &j in &row_targets[row_offsets[i]..row_offsets[i + 1]] {
+                acc += 0.5 * x[j as usize] / d;
             }
             y[i] = acc;
         }
@@ -123,7 +139,9 @@ pub fn second_eigenpair(graph: &Graph, vertices: &[u32]) -> Option<(f64, Vec<f64
         for v in &mut y {
             *v /= norm;
         }
-        x = y;
+        // `y` is fully rewritten at the top of the next iteration, so the
+        // buffers can simply trade places — no per-iteration allocation.
+        std::mem::swap(&mut x, &mut y);
     }
     Some((lambda.clamp(0.0, 1.0), x))
 }

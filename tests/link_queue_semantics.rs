@@ -1,0 +1,167 @@
+//! Pins the flat (link-indexed) queue executor to the reference semantics of
+//! the former `BTreeMap<(src, dst), VecDeque>` link queues.
+//!
+//! A deterministic chatter program floods every link with multi-word
+//! messages for several rounds while every node records its full inbox
+//! sequence. The same schedule is replayed against an in-test reference
+//! model that implements the original per-link delivery rules — `(src, dst)`
+//! lexicographic link order, FIFO per link, per-round word budget, and the
+//! over-wide-message rule (a message wider than the whole bandwidth goes
+//! through alone on a fresh budget) — and the executor must agree on every
+//! inbox, on the round count, and on quiescence.
+
+use distributed_clique_listing::congest::{
+    Context, Network, NetworkConfig, NodeId, NodeProgram, Status, Topology,
+};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Rounds during which every node transmits.
+const SEND_ROUNDS: u64 = 4;
+
+/// The payload node `src` sends to `dst` in `round`.
+fn payload(src: u32, dst: u32, round: u64) -> u64 {
+    u64::from(src) * 1_000_000 + round * 1_000 + u64::from(dst)
+}
+
+/// The wire width of that payload: cycles through 1..=3 words so queues back
+/// up and the wide-message rule fires under bandwidth 1 and 2.
+fn width(src: u32, dst: u32, round: u64) -> u32 {
+    1 + ((src as u64 + dst as u64 + round) % 3) as u32
+}
+
+/// Sends to every neighbour each round and records every delivery.
+struct Chatter {
+    log: Vec<(u64, u32, u64)>,
+}
+
+impl NodeProgram for Chatter {
+    type Message = u64;
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>, incoming: &[(NodeId, u64)]) -> Status {
+        let round = ctx.round();
+        for &(src, msg) in incoming {
+            self.log.push((round, src.index() as u32, msg));
+        }
+        let me = ctx.id().index() as u32;
+        if round <= SEND_ROUNDS {
+            let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+            for dst in neighbors {
+                ctx.send(dst, payload(me, dst.index() as u32, round));
+            }
+            Status::Running
+        } else {
+            Status::Done
+        }
+    }
+
+    fn message_words(&self, message: &u64) -> u32 {
+        // Recover (src, dst, round) from the payload to keep widths pure.
+        let src = (message / 1_000_000) as u32;
+        let round = (message / 1_000) % 1_000;
+        let dst = (message % 1_000) as u32;
+        width(src, dst, round)
+    }
+}
+
+/// One node's inbox log: `(round, source, payload)` in delivery order.
+type InboxLog = Vec<(u64, u32, u64)>;
+
+/// The reference executor: BTreeMap link queues, original delivery rules.
+/// Returns the per-node inbox logs and the number of simulated rounds.
+fn reference_run(topology: &Topology, bandwidth: u64) -> (Vec<InboxLog>, u64) {
+    let n = topology.num_nodes();
+    let mut queues: BTreeMap<(u32, u32), VecDeque<(u64, u32)>> = BTreeMap::new();
+    let mut logs: Vec<InboxLog> = vec![Vec::new(); n];
+    let mut round = 0u64;
+    loop {
+        let done_sending = round >= SEND_ROUNDS;
+        if done_sending && queues.values().all(VecDeque::is_empty) {
+            return (logs, round);
+        }
+        round += 1;
+        // Phase 1: deliver in (src, dst) order with the original budget rules.
+        let mut inboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for (&(src, dst), queue) in &mut queues {
+            let mut budget = bandwidth;
+            while budget > 0 {
+                match queue.front() {
+                    Some((_, words)) if u64::from(*words) <= budget => {
+                        let (msg, words) = queue.pop_front().unwrap();
+                        budget -= u64::from(words);
+                        inboxes[dst as usize].push((src, msg));
+                    }
+                    Some((_, words)) if u64::from(*words) > bandwidth && budget == bandwidth => {
+                        let (msg, _) = queue.pop_front().unwrap();
+                        inboxes[dst as usize].push((src, msg));
+                        budget = 0;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // Phase 2: record inboxes and enqueue this round's sends.
+        for v in 0..n {
+            for &(src, msg) in &inboxes[v] {
+                logs[v].push((round, src, msg));
+            }
+            if round <= SEND_ROUNDS {
+                for &dst in topology.neighbors(NodeId::new(v)) {
+                    let (d, s) = (dst.index() as u32, v as u32);
+                    queues
+                        .entry((s, d))
+                        .or_default()
+                        .push_back((payload(s, d, round), width(s, d, round)));
+                }
+            }
+        }
+    }
+}
+
+fn chatter_topologies() -> Vec<Topology> {
+    vec![
+        // Irregular sparse graph: unequal degrees, multiple links per node.
+        Topology::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 4), (4, 5)]),
+        Topology::path(5),
+        Topology::complete(5),
+    ]
+}
+
+#[test]
+fn flat_link_queues_match_the_reference_model() {
+    for (t, topology) in chatter_topologies().into_iter().enumerate() {
+        for bandwidth in [1u32, 2, 5] {
+            let config = NetworkConfig::default().with_bandwidth(bandwidth);
+            let mut net = Network::new(topology.clone(), config, |_| Chatter { log: Vec::new() });
+            let report = net.run(10_000);
+            assert!(report.terminated, "topology {t}, bandwidth {bandwidth}");
+
+            let (expected_logs, expected_rounds) = reference_run(&topology, u64::from(bandwidth));
+            for (v, expected) in expected_logs.iter().enumerate() {
+                assert_eq!(
+                    &net.program(NodeId::new(v)).log,
+                    expected,
+                    "topology {t}, bandwidth {bandwidth}: inbox log of node {v} diverged"
+                );
+            }
+            assert_eq!(
+                report.simulated_rounds, expected_rounds,
+                "topology {t}, bandwidth {bandwidth}: round count diverged"
+            );
+            assert!(net.is_quiescent());
+        }
+    }
+}
+
+#[test]
+fn rerunning_is_byte_identical() {
+    let topology = Topology::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 4)]);
+    let run = |seed: u64| {
+        let config = NetworkConfig::default().with_seed(seed);
+        let mut net = Network::new(topology.clone(), config, |_| Chatter { log: Vec::new() });
+        let report = net.run(10_000);
+        let logs: Vec<InboxLog> = net.into_programs().into_iter().map(|p| p.log).collect();
+        (report.simulated_rounds, logs)
+    };
+    assert_eq!(run(7), run(7));
+}

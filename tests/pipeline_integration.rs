@@ -106,6 +106,9 @@ fn all_baselines_agree_with_ground_truth() {
     verify_cliques(&graph, 4, &eden).expect("eden-style exact");
     let (_, triangles) = engine(3, "general", 3).collect(&graph);
     verify_cliques(&graph, 3, &triangles).expect("triangles exact");
+    // Triangle-free inputs yield nothing through the p = 3 pipeline.
+    let bipartite = gen::complete_bipartite(15, 15);
+    assert_eq!(engine(3, "general", 3).count(&bipartite).1, 0);
 }
 
 #[test]
@@ -180,38 +183,4 @@ fn rounds_are_reported_for_non_trivial_runs() {
         assert!(known.contains(&name), "unknown phase {name}");
         assert!(rounds > 0);
     }
-}
-
-/// Acceptance guard for the deprecated compatibility wrappers: the legacy
-/// free-function entry points must keep compiling against the published
-/// signatures and agree with the engines they wrap.
-#[test]
-#[allow(deprecated)]
-fn legacy_free_functions_still_compile_and_agree() {
-    use distributed_clique_listing::cliquelist::baselines::{
-        eden_style_k4, naive_broadcast_listing, triangle_listing,
-    };
-    use distributed_clique_listing::cliquelist::{
-        congested_clique_list, list_kp, list_kp_with_mode, verify_against_ground_truth,
-        ListingConfig,
-    };
-    let g = gen::erdos_renyi(60, 0.3, 19);
-
-    let result = list_kp(&g, &ListingConfig::for_p(5));
-    verify_against_ground_truth(&g, 5, &result).expect("legacy list_kp exact");
-    let (_, via_engine) = engine(5, "general", 0xC11).collect(&g);
-    assert_eq!(result.cliques, via_engine);
-
-    let dense = list_kp_with_mode(&g, &ListingConfig::for_p(4), ExchangeMode::DenseAssumption);
-    verify_against_ground_truth(&g, 4, &dense).expect("legacy dense exact");
-
-    let cc = congested_clique_list(&g, 4, 1);
-    verify_against_ground_truth(&g, 4, &cc.result).expect("legacy CC exact");
-
-    let naive = naive_broadcast_listing(&g, &ListingConfig::for_p(4));
-    verify_against_ground_truth(&g, 4, &naive).expect("legacy naive exact");
-    let eden = eden_style_k4(&g, 1);
-    verify_against_ground_truth(&g, 4, &eden).expect("legacy eden exact");
-    let triangles = triangle_listing(&g, 1);
-    verify_against_ground_truth(&g, 3, &triangles).expect("legacy triangles exact");
 }
