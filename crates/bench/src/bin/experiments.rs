@@ -860,6 +860,69 @@ fn perf_hot_paths(json: bool) -> String {
         ]);
     }
 
+    // Thread-scaling of the sharded parallel enumerator on the dense K4
+    // workload (er(400,0.25), p = 4 — the heaviest enumeration case above).
+    // Only meaningful in a `--features parallel` build; the sequential build
+    // records an explicit skip so the artifact says *why* the series is
+    // missing. `available_parallelism` is recorded because the speedup is a
+    // property of the host: a single-core runner cannot show one.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    #[cfg(feature = "parallel")]
+    {
+        let scaling_truth = cliques::count_cliques(&er400, 4);
+        let mut scaling_rows: Vec<(usize, f64, f64)> = Vec::new();
+        for &threads in &[1usize, 2, 4, 8] {
+            let mut count = 0usize;
+            let (best, mean) = time_reps(REPS, || {
+                count = cliques::count_cliques_parallel(&er400, 4, threads);
+            });
+            assert_eq!(count, scaling_truth, "parallel count diverged");
+            scaling_rows.push((threads, best, mean));
+        }
+        let baseline = scaling_rows[0].1;
+        for &(threads, best, mean) in &scaling_rows {
+            let speedup = baseline / best;
+            log.run(
+                &[
+                    ("kind", json_string("thread-scaling")),
+                    ("workload", json_string("er(400,0.25)")),
+                    ("p", 4.to_string()),
+                    ("threads", threads.to_string()),
+                    ("available_parallelism", host_threads.to_string()),
+                    ("cliques", scaling_truth.to_string()),
+                    ("best_ms", json_f64(best)),
+                    ("mean_ms", json_f64(mean)),
+                    ("speedup_vs_1_thread", json_f64(speedup)),
+                ],
+                None,
+            );
+            table.row(&[
+                format!("thread-scaling:{threads}"),
+                "er(400,0.25)".into(),
+                4.to_string(),
+                scaling_truth.to_string(),
+                format!("{best:.2}"),
+                format!("{mean:.2} ({speedup:.2}x)"),
+            ]);
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        log.run(
+            &[
+                ("kind", json_string("thread-scaling")),
+                ("workload", json_string("er(400,0.25)")),
+                ("p", 4.to_string()),
+                ("available_parallelism", host_threads.to_string()),
+                (
+                    "skipped",
+                    json_string("built without the `parallel` feature"),
+                ),
+            ],
+            None,
+        );
+    }
+
     // One engine run per registered algorithm (p = 4, counting sink: no
     // per-clique allocation on the output path).
     let workload = listing_workload(120, 4, 13);

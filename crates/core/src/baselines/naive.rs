@@ -35,12 +35,10 @@ pub(crate) fn run_streaming(
         return rounds;
     }
     rounds.add(phase::FINAL_BROADCAST, naive_broadcast_rounds(graph));
-    if !sink.is_saturated() {
-        cliques::for_each_clique_while(graph, config.p, |c| {
-            sink.accept(c);
-            !sink.is_saturated()
-        });
-    }
+    // After the broadcast every node knows its closed neighbourhood's edges,
+    // so the union of node outputs is one dense local enumeration — the
+    // engine may shard it across threads without changing the output.
+    crate::local::stream_cliques(graph, config, sink);
     rounds
 }
 

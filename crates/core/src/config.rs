@@ -28,6 +28,69 @@ pub enum ExchangeMode {
     DenseAssumption,
 }
 
+/// How much thread parallelism a run's local enumeration may use.
+///
+/// The knob controls only *wall-clock* behaviour: algorithms whose local
+/// enumeration is sharded (see
+/// [`ParallelSupport`](crate::engine::ParallelSupport)) produce byte-identical
+/// output at every setting, and algorithms that simulate a CONGEST message
+/// schedule ignore the knob and record a sequential-fallback reason in the
+/// [`RunReport`](crate::RunReport). Builds without the `parallel` feature
+/// always run sequentially.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Strictly sequential local enumeration (the default).
+    #[default]
+    Off,
+    /// Exactly this many worker threads; `Threads(0)` is rejected by
+    /// [`ListingConfig::validate`].
+    Threads(usize),
+    /// Resolve the thread count at run time: the [`THREADS_ENV_VAR`]
+    /// environment variable when set to a positive integer, otherwise the
+    /// machine's available parallelism (see [`auto_threads`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// The worker-thread count this setting resolves to (`Off` resolves
+    /// to 1). Resolution is deterministic for a fixed environment; only
+    /// [`Parallelism::Auto`] consults the environment at all.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Threads(n) => n,
+            Parallelism::Auto => auto_threads(),
+        }
+    }
+}
+
+/// Environment variable consulted by [`Parallelism::Auto`]: a positive
+/// integer pins the resolved thread count (the CI matrix uses this to sweep
+/// thread counts without recompiling).
+pub const THREADS_ENV_VAR: &str = "CLIQUELIST_THREADS";
+
+/// The thread count [`Parallelism::Auto`] resolves to right now:
+/// [`THREADS_ENV_VAR`] when it parses as a positive integer, otherwise the
+/// machine's available parallelism (1 if undeterminable).
+pub fn auto_threads() -> usize {
+    resolve_auto_threads(std::env::var(THREADS_ENV_VAR).ok().as_deref())
+}
+
+/// Pure resolution rule behind [`auto_threads`], taking the environment
+/// variable's value explicitly so tests can pin it without mutating the
+/// process environment: a positive integer wins, anything else (unset,
+/// empty, zero, garbage) falls back to the machine's available parallelism.
+pub fn resolve_auto_threads(env_value: Option<&str>) -> usize {
+    if let Some(value) = env_value {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Configuration of the `K_p` listing pipeline.
 ///
 /// Prefer constructing configurations through
@@ -66,6 +129,11 @@ pub struct ListingConfig {
     pub max_list_iterations: usize,
     /// Seed for all randomised choices (partitions, tie-breaking).
     pub seed: u64,
+    /// Thread parallelism of the local enumeration. Only algorithms with
+    /// sharded local enumeration honour it; everything else (and every build
+    /// without the `parallel` feature) runs sequentially and says so in the
+    /// [`RunReport`](crate::RunReport).
+    pub parallelism: Parallelism,
     /// The slack factor between the arboricity bound `A` and the cluster
     /// degree parameter `n^δ` (`n^δ = A / slack`). `None` uses the paper's
     /// `2 log n`; experiments at simulation scale set a small constant here,
@@ -99,6 +167,7 @@ impl ListingConfig {
             max_arb_iterations: 32,
             max_list_iterations: 64,
             seed: 0xC11,
+            parallelism: Parallelism::Off,
             arboricity_slack: None,
             termination_exponent_override: None,
         };
@@ -148,6 +217,9 @@ impl ListingConfig {
         }
         if self.words_per_edge == 0 {
             return Err(ConfigError::ZeroWordsPerEdge);
+        }
+        if self.parallelism == Parallelism::Threads(0) {
+            return Err(ConfigError::ZeroThreads);
         }
         if !(self.heavy_exponent > 0.0 && self.heavy_exponent < 1.0) {
             return Err(ConfigError::BadExponent {
@@ -236,6 +308,20 @@ impl ListingConfig {
         self
     }
 
+    /// Worker threads the local enumeration of a run may use: 1 unless the
+    /// algorithm opted into sharded enumeration (`algorithm_supports`), the
+    /// crate was built with the `parallel` feature, **and** the
+    /// [`Parallelism`] knob resolves above 1. This is the single source of
+    /// truth shared by the enumeration path and the
+    /// [`RunReport`](crate::RunReport) summary, so the two can never
+    /// disagree.
+    pub fn effective_threads(&self, algorithm_supports: bool) -> usize {
+        if !algorithm_supports || !cfg!(feature = "parallel") {
+            return 1;
+        }
+        self.parallelism.threads().max(1)
+    }
+
     /// The bad-node threshold for an `n`-node graph: a cluster node with more
     /// `C`-light neighbours than this is bad (Section 2.4.1).
     pub fn bad_node_threshold(&self, n: usize) -> f64 {
@@ -305,6 +391,68 @@ mod tests {
             ..ListingConfig::for_p(4)
         };
         assert!((overridden.termination_exponent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threads_rejected_and_positive_accepted() {
+        let good = ListingConfig::for_p(4);
+        assert_eq!(good.parallelism, Parallelism::Off);
+        let zero = ListingConfig {
+            parallelism: Parallelism::Threads(0),
+            ..good
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroThreads));
+        for parallelism in [
+            Parallelism::Off,
+            Parallelism::Threads(1),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let cfg = ListingConfig {
+                parallelism,
+                ..good
+            };
+            assert!(cfg.validate().is_ok(), "{parallelism:?} must validate");
+        }
+    }
+
+    #[test]
+    fn auto_resolution_is_deterministic() {
+        // The environment rule is pure: a positive integer pins the count...
+        assert_eq!(resolve_auto_threads(Some("4")), 4);
+        assert_eq!(resolve_auto_threads(Some(" 2 ")), 2);
+        // ...and unset/empty/zero/garbage all fall back to the same
+        // machine-derived value.
+        let fallback = resolve_auto_threads(None);
+        assert!(fallback >= 1);
+        assert_eq!(resolve_auto_threads(Some("")), fallback);
+        assert_eq!(resolve_auto_threads(Some("0")), fallback);
+        assert_eq!(resolve_auto_threads(Some("many")), fallback);
+        // Repeated resolution never flips within a process.
+        assert_eq!(auto_threads(), auto_threads());
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn parallelism_resolves_thread_counts() {
+        assert_eq!(Parallelism::Off.threads(), 1);
+        assert_eq!(Parallelism::Threads(6).threads(), 6);
+        assert_eq!(Parallelism::default(), Parallelism::Off);
+    }
+
+    #[test]
+    fn effective_threads_requires_support_and_feature() {
+        let cfg = ListingConfig {
+            parallelism: Parallelism::Threads(4),
+            ..ListingConfig::for_p(4)
+        };
+        // Algorithms that never opted in are always sequential.
+        assert_eq!(cfg.effective_threads(false), 1);
+        // Opted-in algorithms get the resolved count only in parallel builds.
+        let expected = if cfg!(feature = "parallel") { 4 } else { 1 };
+        assert_eq!(cfg.effective_threads(true), expected);
+        let off = ListingConfig::for_p(4);
+        assert_eq!(off.effective_threads(true), 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::result::{phase, Rounds};
 use crate::sink::CliqueSink;
 use congest::CongestedClique;
 use graphcore::partition::VertexPartition;
-use graphcore::{cliques, Graph, Orientation};
+use graphcore::{Graph, Orientation};
 
 /// Runs the CONGESTED CLIQUE algorithm, emitting every `K_p` of `graph` into
 /// `sink` exactly once, and returns the measured rounds plus the load
@@ -105,13 +105,11 @@ pub(crate) fn run_streaming(
     // some multiset of parts) is listed by the owner of the corresponding
     // tuple: the union of the node outputs is the full list, and the exact
     // enumeration emits each instance once, in deterministic order. A
-    // saturated sink aborts the enumeration (not the charged rounds).
-    if !sink.is_saturated() {
-        cliques::for_each_clique_while(graph, p, |c| {
-            sink.accept(c);
-            !sink.is_saturated()
-        });
-    }
+    // saturated sink aborts the enumeration (not the charged rounds). The
+    // node-local listings are independent, so this is a dense local
+    // enumeration the engine may shard across threads — output is identical
+    // at any `Parallelism` setting.
+    crate::local::stream_cliques(graph, config, sink);
     (rounds, stats)
 }
 

@@ -23,11 +23,11 @@
 //! `DESIGN.md` §6 for the trait boundaries.
 
 use crate::baselines::{eden_k4, naive};
-use crate::config::{ExchangeMode, ListingConfig, Variant};
+use crate::config::{ExchangeMode, ListingConfig, Parallelism, Variant};
 use crate::congested_clique;
 use crate::driver;
 use crate::error::ConfigError;
-use crate::report::{Model, RunReport, SinkSummary};
+use crate::report::{Model, ParallelismSummary, RunReport, SinkSummary};
 use crate::sink::{CliqueSink, CollectSink, CountSink, Counted};
 use congest::ChargePolicy;
 use expander::DecompositionConfig;
@@ -49,8 +49,34 @@ pub mod names {
     pub const EDEN_K4: &str = "eden-k4";
 }
 
+/// Whether an algorithm's local enumeration can be sharded across worker
+/// threads (the [`Parallelism`] knob of the builder).
+///
+/// This is *capability* metadata: it depends only on how the algorithm
+/// computes, never on the requested thread count, so reports derived from it
+/// stay byte-identical across parallelism settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelSupport {
+    /// The algorithm's listing work is one dense local enumeration over an
+    /// aggregate graph: its degeneracy-DAG roots shard across worker threads
+    /// with byte-identical output (see `DESIGN.md` §8).
+    Sharded,
+    /// The algorithm is pinned to sequential execution; the payload says why
+    /// and is recorded as the sequential-fallback reason in
+    /// [`RunReport::parallelism`](crate::RunReport).
+    Sequential(&'static str),
+}
+
+/// The capability reason shared by the CONGEST-simulated pipelines: their
+/// listing work is interleaved with the simulated round structure
+/// (decomposition, probes, per-cluster exchanges), whose emissions are
+/// order-dependent — there is no independent root set to shard.
+const CONGEST_SEQUENTIAL: &str =
+    "CONGEST pipeline: emissions are interleaved with the simulated round structure";
+
 /// Static capabilities of a listing algorithm: which clique sizes it
-/// supports and which communication model its rounds are measured in.
+/// supports, which communication model its rounds are measured in, and
+/// whether its local enumeration can run sharded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AlgorithmInfo {
     /// Registry name (stable, lower-case, kebab-case).
@@ -61,6 +87,8 @@ pub struct AlgorithmInfo {
     pub min_p: usize,
     /// Largest supported clique size (`None` = unbounded).
     pub max_p: Option<usize>,
+    /// Whether the local enumeration honours the [`Parallelism`] knob.
+    pub parallel: ParallelSupport,
     /// One-line human description.
     pub summary: &'static str,
 }
@@ -107,6 +135,7 @@ impl ListingAlgorithm for GeneralListing {
             model: Model::Congest,
             min_p: 3,
             max_p: None,
+            parallel: ParallelSupport::Sequential(CONGEST_SEQUENTIAL),
             summary: "general K_p listing in ~O(n^{3/4} + n^{p/(p+2)}) CONGEST rounds",
         }
     }
@@ -134,6 +163,7 @@ impl ListingAlgorithm for FastK4Listing {
             model: Model::Congest,
             min_p: 4,
             max_p: Some(4),
+            parallel: ParallelSupport::Sequential(CONGEST_SEQUENTIAL),
             summary: "specialised K_4 listing in ~O(n^{2/3}) CONGEST rounds",
         }
     }
@@ -161,6 +191,7 @@ impl ListingAlgorithm for CongestedCliqueListing {
             model: Model::CongestedClique,
             min_p: 3,
             max_p: None,
+            parallel: ParallelSupport::Sharded,
             summary: "sparsity-aware K_p listing in ~Θ(1 + m/n^{1+2/p}) CONGESTED CLIQUE rounds",
         }
     }
@@ -185,6 +216,7 @@ impl ListingAlgorithm for NaiveBroadcastListing {
             model: Model::Congest,
             min_p: 3,
             max_p: None,
+            parallel: ParallelSupport::Sharded,
             summary: "naive neighbourhood broadcast in Θ(Δ) CONGEST rounds",
         }
     }
@@ -208,6 +240,7 @@ impl ListingAlgorithm for EdenK4Listing {
             model: Model::Congest,
             min_p: 4,
             max_p: Some(4),
+            parallel: ParallelSupport::Sequential(CONGEST_SEQUENTIAL),
             summary: "Eden-et-al-style K_4 baseline in O(n^{5/6+o(1)}) CONGEST rounds",
         }
     }
@@ -310,6 +343,20 @@ impl Engine {
             emitted: counted.emitted(),
             saturated: counted.is_saturated(),
         };
+        // Capability + build only — never the requested thread count — so the
+        // serialised report stays byte-identical across parallelism settings.
+        let sharded = matches!(info.parallel, ParallelSupport::Sharded);
+        report.parallelism = ParallelismSummary {
+            supported: sharded && cfg!(feature = "parallel"),
+            sequential_reason: match info.parallel {
+                ParallelSupport::Sequential(reason) => Some(reason),
+                ParallelSupport::Sharded if !cfg!(feature = "parallel") => {
+                    Some("built without the `parallel` feature")
+                }
+                ParallelSupport::Sharded => None,
+            },
+            threads_granted: self.config.effective_threads(sharded),
+        };
         report
     }
 
@@ -344,6 +391,7 @@ pub struct EngineBuilder {
     algorithm: Option<String>,
     custom: Option<Box<dyn ListingAlgorithm>>,
     seed: Option<u64>,
+    parallelism: Option<Parallelism>,
     exchange_mode: Option<ExchangeMode>,
     charge_policy: Option<ChargePolicy>,
     decomposition: Option<DecompositionConfig>,
@@ -386,6 +434,17 @@ impl EngineBuilder {
     /// Seed for all randomised choices (partitions, tie-breaking).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Thread parallelism of the local enumeration (defaults to
+    /// [`Parallelism::Off`]). Never changes a run's output: algorithms with
+    /// sharded local enumeration produce byte-identical listings at every
+    /// setting, and CONGEST-simulated algorithms ignore the knob and record
+    /// a sequential-fallback reason in the [`RunReport`]. `Threads(0)` is
+    /// rejected by [`EngineBuilder::build`].
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
         self
     }
 
@@ -500,6 +559,9 @@ impl EngineBuilder {
         if let Some(seed) = self.seed {
             config.seed = seed;
         }
+        if let Some(parallelism) = self.parallelism {
+            config.parallelism = parallelism;
+        }
         if let Some(mode) = self.exchange_mode {
             config.exchange_mode = mode;
         }
@@ -607,6 +669,7 @@ mod tests {
                     model: Model::Congest,
                     min_p: 3,
                     max_p: None,
+                    parallel: ParallelSupport::Sequential("test stub"),
                     summary: "test stub",
                 }
             }
@@ -738,6 +801,7 @@ mod tests {
                     model: Model::Congest,
                     min_p: 3,
                     max_p: None,
+                    parallel: ParallelSupport::Sequential("test stub"),
                     summary: "test stub",
                 }
             }
@@ -766,6 +830,90 @@ mod tests {
         assert_eq!(report.sink.emitted, 1);
         assert_eq!(cliques.len(), 1);
         assert_eq!(report.total_rounds(), 1);
+    }
+
+    #[test]
+    fn capability_metadata_marks_the_dense_paths_sharded() {
+        for name in [names::CONGESTED_CLIQUE, names::NAIVE_BROADCAST] {
+            let info = algorithm_named(name).unwrap().info();
+            assert_eq!(info.parallel, ParallelSupport::Sharded, "{name}");
+        }
+        for name in [names::GENERAL, names::FAST_K4, names::EDEN_K4] {
+            let info = algorithm_named(name).unwrap().info();
+            assert!(
+                matches!(info.parallel, ParallelSupport::Sequential(_)),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        assert_eq!(
+            Engine::builder()
+                .p(4)
+                .parallelism(Parallelism::Threads(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+        let engine = Engine::builder()
+            .p(4)
+            .parallelism(Parallelism::Threads(2))
+            .build()
+            .unwrap();
+        assert_eq!(engine.config().parallelism, Parallelism::Threads(2));
+    }
+
+    #[test]
+    fn congest_paths_record_a_sequential_fallback_reason() {
+        let graph = gen::erdos_renyi(30, 0.3, 2);
+        let engine = Engine::builder()
+            .p(4)
+            .algorithm("general")
+            .parallelism(Parallelism::Threads(4))
+            .build()
+            .unwrap();
+        let (report, _) = engine.count(&graph);
+        assert!(!report.parallelism.supported);
+        assert_eq!(report.parallelism.threads_granted, 1);
+        let reason = report
+            .parallelism
+            .sequential_reason
+            .expect("reason recorded");
+        assert!(reason.contains("CONGEST"));
+        // The reason reaches the serialised artifact.
+        assert!(report.to_json().contains(reason));
+        // ...and is a capability statement: the same engine without any
+        // parallelism request serialises identically.
+        let sequential = Engine::builder().p(4).algorithm("general").build().unwrap();
+        let (sequential_report, _) = sequential.count(&graph);
+        assert_eq!(
+            sequential_report.parallelism.sequential_reason,
+            Some(reason)
+        );
+    }
+
+    #[test]
+    fn sharded_paths_report_threads_consistent_with_the_build() {
+        let graph = gen::erdos_renyi(30, 0.3, 2);
+        let engine = Engine::builder()
+            .p(4)
+            .algorithm("congested-clique")
+            .parallelism(Parallelism::Threads(3))
+            .build()
+            .unwrap();
+        let (report, _) = engine.count(&graph);
+        if cfg!(feature = "parallel") {
+            assert!(report.parallelism.supported);
+            assert_eq!(report.parallelism.sequential_reason, None);
+            assert_eq!(report.parallelism.threads_granted, 3);
+        } else {
+            assert!(!report.parallelism.supported);
+            assert_eq!(report.parallelism.threads_granted, 1);
+            let reason = report.parallelism.sequential_reason.expect("reason");
+            assert!(reason.contains("parallel"));
+        }
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub enum ConfigError {
     /// `words_per_edge` was zero; every edge occupies at least one word on
     /// the wire.
     ZeroWordsPerEdge,
+    /// `Parallelism::Threads(0)` was requested; a run needs at least one
+    /// worker thread (use `Parallelism::Off` for sequential execution).
+    ZeroThreads,
     /// An exponent parameter left its valid open interval (e.g. the heavy
     /// threshold exponent must satisfy `0 < γ < 1`).
     BadExponent {
@@ -116,6 +119,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroWordsPerEdge => {
                 write!(f, "words_per_edge must be at least 1")
+            }
+            ConfigError::ZeroThreads => {
+                write!(
+                    f,
+                    "Parallelism::Threads needs at least 1 thread; use Parallelism::Off for \
+                     sequential runs"
+                )
             }
             ConfigError::BadExponent { field, value } => {
                 write!(f, "exponent `{field}` is outside its valid range: {value}")

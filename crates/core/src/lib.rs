@@ -77,6 +77,7 @@ pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod list;
+mod local;
 pub mod parts;
 pub mod report;
 pub mod result;
@@ -84,12 +85,17 @@ pub mod sink;
 pub mod sparse_listing;
 pub mod verify;
 
-pub use config::{ExchangeMode, ListingConfig, Variant};
+pub use config::{
+    auto_threads, ExchangeMode, ListingConfig, Parallelism, Variant, THREADS_ENV_VAR,
+};
 pub use engine::{
     algorithm_named, algorithms, names, AlgorithmInfo, Engine, EngineBuilder, ListingAlgorithm,
+    ParallelSupport,
 };
 pub use error::ConfigError;
-pub use report::{CongestedCliqueStats, Model, RunReport, SinkSummary};
+pub use report::{CongestedCliqueStats, Model, ParallelismSummary, RunReport, SinkSummary};
 pub use result::{Diagnostics, ListingResult, Rounds};
+#[cfg(feature = "parallel")]
+pub use sink::ShardBuffer;
 pub use sink::{CliqueSink, CollectSink, CountSink, Counted, Dedup, FirstK};
 pub use verify::{verify_against_ground_truth, verify_cliques, VerificationError};

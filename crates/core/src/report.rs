@@ -47,6 +47,41 @@ pub struct SinkSummary {
     pub saturated: bool,
 }
 
+/// How a run's local enumeration was executed with respect to the
+/// [`Parallelism`](crate::Parallelism) knob.
+///
+/// `supported` and `sequential_reason` are a pure function of the algorithm
+/// and the build (never of the requested thread count or the host), so the
+/// JSON rendered by [`RunReport::to_json`] is byte-identical across every
+/// parallelism setting — the report artifact stays diffable.
+/// `threads_granted` is the one host-dependent execution detail and is
+/// deliberately **not** serialised, for the same reason timings are not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismSummary {
+    /// Whether this algorithm in this build can shard its local enumeration.
+    pub supported: bool,
+    /// Why runs are pinned to sequential execution (`None` when sharding is
+    /// available): either the algorithm's capability reason (CONGEST
+    /// simulation) or the missing `parallel` feature.
+    pub sequential_reason: Option<&'static str>,
+    /// Worker threads the engine granted to the local enumeration (1 =
+    /// sequential). An upper bound on what the enumeration actually fans out
+    /// to: degenerate inputs (single-shard plans, saturated sinks) still run
+    /// sequentially under a grant. Execution detail, excluded from
+    /// [`RunReport::to_json`].
+    pub threads_granted: usize,
+}
+
+impl Default for ParallelismSummary {
+    fn default() -> Self {
+        ParallelismSummary {
+            supported: false,
+            sequential_reason: None,
+            threads_granted: 1,
+        }
+    }
+}
+
 /// CONGESTED CLIQUE load statistics (Theorem 1.3), present only on runs of
 /// the `congested-clique` algorithm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -75,6 +110,9 @@ pub struct RunReport {
     pub diagnostics: Diagnostics,
     /// Sink-boundary summary, filled by the engine.
     pub sink: SinkSummary,
+    /// How the local enumeration was executed (sharded or sequential, and
+    /// why), filled by the engine.
+    pub parallelism: ParallelismSummary,
     /// CONGESTED CLIQUE load statistics, when applicable.
     pub congested_clique: Option<CongestedCliqueStats>,
 }
@@ -134,6 +172,18 @@ impl RunReport {
             out,
             ",\"sink\":{{\"emitted\":{},\"saturated\":{}}}",
             self.sink.emitted, self.sink.saturated
+        );
+        // `threads_granted` is deliberately omitted: like wall-clock timings it
+        // is a host/execution detail, and including it would make otherwise
+        // byte-identical runs diff by thread count.
+        let reason = self
+            .parallelism
+            .sequential_reason
+            .map_or("null".to_string(), json_string);
+        let _ = write!(
+            out,
+            ",\"parallel\":{{\"supported\":{},\"sequential_reason\":{reason}}}",
+            self.parallelism.supported
         );
         match &self.congested_clique {
             Some(cc) => {
@@ -223,6 +273,32 @@ mod tests {
         assert!(json.contains("\"max_send\":7"));
         assert!(json.contains("\"predicted_rounds\":1.25"));
         assert!(json.contains("\"model\":\"congested-clique\""));
+    }
+
+    #[test]
+    fn parallelism_summary_is_rendered_without_thread_counts() {
+        let mut report = RunReport::new("general", Model::Congest, 4);
+        report.parallelism = ParallelismSummary {
+            supported: false,
+            sequential_reason: Some("CONGEST rounds are simulated sequentially"),
+            threads_granted: 8,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"parallel\":{\"supported\":false"));
+        assert!(
+            json.contains("\"sequential_reason\":\"CONGEST rounds are simulated sequentially\"")
+        );
+        // The thread count is an execution detail and must stay out of the
+        // diffable artifact.
+        assert!(!json.contains("threads"));
+
+        report.parallelism = ParallelismSummary {
+            supported: true,
+            sequential_reason: None,
+            threads_granted: 4,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"parallel\":{\"supported\":true,\"sequential_reason\":null}"));
     }
 
     #[test]

@@ -190,6 +190,85 @@ impl<S: CliqueSink> CliqueSink for Dedup<S> {
     }
 }
 
+/// Per-shard clique buffer for the sharded parallel enumeration.
+///
+/// Worker threads cannot emit into the run's sink directly — the sink is a
+/// single `&mut` consumer and the exactly-once contract promises a
+/// deterministic order. Instead each worker fills one `ShardBuffer` per
+/// claimed shard (the buffer is itself a [`CliqueSink`], so the worker-side
+/// enumeration code is sink-agnostic) and the orchestrating thread calls
+/// [`ShardBuffer::replay_into`] in **ascending shard order**: shards are
+/// contiguous ranges of the degeneracy ordering, so the replayed sequence is
+/// byte-identical to the sequential emission regardless of thread count or
+/// worker scheduling. Storage is one flat `u32` array (rows of width `p`),
+/// so buffering allocates nothing per clique.
+///
+/// Only exists in `parallel` builds — sequential builds have no shards to
+/// buffer.
+#[cfg(feature = "parallel")]
+#[derive(Clone, Debug)]
+pub struct ShardBuffer {
+    shard: usize,
+    width: usize,
+    flat: Vec<u32>,
+}
+
+#[cfg(feature = "parallel")]
+impl ShardBuffer {
+    /// Creates an empty buffer for shard `shard` holding cliques of `width`
+    /// vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` (a zero-width row cannot delimit cliques).
+    pub fn new(shard: usize, width: usize) -> Self {
+        assert!(width > 0, "clique width must be at least 1");
+        ShardBuffer {
+            shard,
+            width,
+            flat: Vec::new(),
+        }
+    }
+
+    /// The shard index this buffer belongs to (its merge position).
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of buffered cliques.
+    pub fn len(&self) -> usize {
+        self.flat.len() / self.width
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Replays every buffered clique into `sink`, in buffered order, stopping
+    /// after the accept that saturates the sink; returns whether the sink is
+    /// still accepting. The accept/saturation-check sequence is exactly the
+    /// sequential path's (`accept`, then `is_saturated`), which keeps the
+    /// exactly-once emission byte-identical.
+    pub fn replay_into(&self, sink: &mut dyn CliqueSink) -> bool {
+        for clique in self.flat.chunks_exact(self.width) {
+            sink.accept(clique);
+            if sink.is_saturated() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl CliqueSink for ShardBuffer {
+    fn accept(&mut self, clique: &[u32]) {
+        debug_assert_eq!(clique.len(), self.width, "clique width mismatch");
+        self.flat.extend_from_slice(clique);
+    }
+}
+
 /// Counts the cliques passing through to an inner sink; used by the engine
 /// to fill the [`SinkSummary`](crate::SinkSummary) of a
 /// [`RunReport`](crate::RunReport).
@@ -280,6 +359,40 @@ mod tests {
         sink.accept(&[2, 3, 4]);
         assert_eq!(sink.distinct(), 2);
         assert_eq!(sink.into_inner().count, 2);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn shard_buffers_replay_in_order_and_respect_saturation() {
+        let mut a = ShardBuffer::new(0, 3);
+        let mut b = ShardBuffer::new(1, 3);
+        assert!(a.is_empty());
+        b.accept(&[7, 8, 9]);
+        a.accept(&[1, 2, 3]);
+        a.accept(&[2, 3, 4]);
+        assert_eq!(a.len(), 2);
+        assert_eq!((a.shard(), b.shard()), (0, 1));
+
+        // Ascending-shard replay reproduces the sequential emission order.
+        let mut collected = Vec::new();
+        {
+            struct Probe<'a>(&'a mut Vec<Vec<u32>>);
+            impl CliqueSink for Probe<'_> {
+                fn accept(&mut self, clique: &[u32]) {
+                    self.0.push(clique.to_vec());
+                }
+            }
+            let mut probe = Probe(&mut collected);
+            assert!(a.replay_into(&mut probe));
+            assert!(b.replay_into(&mut probe));
+        }
+        assert_eq!(collected, vec![vec![1, 2, 3], vec![2, 3, 4], vec![7, 8, 9]]);
+
+        // Replay stops with the accept that saturates the sink, exactly like
+        // the sequential accept-then-check loop.
+        let mut first = FirstK::new(1);
+        assert!(!a.replay_into(&mut first));
+        assert_eq!(first.cliques, vec![vec![1, 2, 3]]);
     }
 
     #[test]

@@ -220,15 +220,18 @@ pub fn cluster_listing(
         .collect();
     let known_graph = Graph::from_edges(n, &undirected).expect("known edges are in range");
     let mut enumerator = cliques::EdgeCliqueEnumerator::new(&known_graph, p);
-    let mut found = Vec::new();
     for e in input.goal_edges.to_sorted_vec() {
         if sink.is_saturated() {
             break;
         }
-        enumerator.cliques_containing_edge_into(e.u(), e.v(), &mut found);
-        for clique in &found {
+        // Stream the cliques of this goal edge directly into the sink
+        // (ascending canonical order, no per-edge clique materialisation); a
+        // saturated sink aborts mid-edge and the enumerator resets its
+        // scratch state at the next query.
+        enumerator.for_each_containing_edge_while(e.u(), e.v(), |clique| {
             sink.accept(clique);
-        }
+            !sink.is_saturated()
+        });
     }
     let _ = ids;
     outcome

@@ -1,4 +1,5 @@
-//! Exact sequential `K_p` enumeration, used as ground truth.
+//! Exact `K_p` enumeration: the sequential ground truth and its sharded
+//! parallel counterpart.
 //!
 //! The enumerator follows the standard ordered-search scheme (kClist-style):
 //! fix a degeneracy ordering, build the [`OrientedDag`] of later neighbours
@@ -12,8 +13,18 @@
 //! word-packed adjacency-bitset fast path for high-degree vertices — instead
 //! of per-element `O(log deg)` `has_edge` probes. Visiting a clique performs
 //! zero heap allocations.
+//!
+//! The root set of the ordered search is embarrassingly parallel: each root
+//! explores only its own later-neighbour DAG, so disjoint root ranges can be
+//! enumerated independently. [`ShardPlan`] partitions the ordering into
+//! contiguous, work-balanced shards and [`ShardedEnumerator`] runs the same
+//! arena-based search over any single shard; with the `parallel` feature,
+//! `for_each_clique_parallel_while` fans shards out over
+//! [`std::thread::scope`] workers and replays the per-shard results in
+//! ascending shard order, so the emission order is **byte-identical** to the
+//! sequential enumeration regardless of thread count (see `DESIGN.md` §8).
 
-use crate::orientation::{degeneracy_ordering, OrientedDag};
+use crate::orientation::{degeneracy_ordering, DegeneracyOrdering, OrientedDag};
 use crate::{Clique, Graph};
 
 /// Degree at or above which a vertex gets a word-packed adjacency bitset.
@@ -195,7 +206,37 @@ pub fn for_each_clique_while(
     // Scratch buffer for the sorted copy handed to the visitor, reused across
     // visits so the enumeration allocates nothing per clique.
     let mut scratch: Vec<u32> = Vec::with_capacity(p);
-    for &v in &ordering.order {
+    enumerate_roots(
+        graph,
+        &bitsets,
+        &dag,
+        p,
+        &ordering.order,
+        &mut arena,
+        &mut stack,
+        &mut scratch,
+        &mut visit,
+    )
+}
+
+/// Runs the ordered search from every root in `roots` (a slice of the
+/// degeneracy ordering, in peel order). This is the loop shared by the
+/// sequential enumeration (all roots) and the sharded enumeration (one
+/// contiguous root range per shard): concatenating the visits of consecutive
+/// root ranges reproduces the sequential visit order exactly.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_roots(
+    graph: &Graph,
+    bitsets: &NeighborBitsets,
+    dag: &OrientedDag,
+    p: usize,
+    roots: &[u32],
+    arena: &mut [Vec<u32>],
+    stack: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+    visit: &mut impl FnMut(&[u32]) -> bool,
+) -> bool {
+    for &v in roots {
         // Candidates: later neighbours of v, sorted by id.
         let candidates = dag.out_neighbors(v);
         if candidates.len() + 1 < p {
@@ -204,15 +245,7 @@ pub fn for_each_clique_while(
         arena[0].clear();
         arena[0].extend_from_slice(candidates);
         stack.push(v);
-        let keep_going = extend_clique(
-            graph,
-            &bitsets,
-            p,
-            &mut arena,
-            &mut stack,
-            &mut scratch,
-            &mut visit,
-        );
+        let keep_going = extend_clique(graph, bitsets, p, arena, stack, scratch, visit);
         stack.pop();
         if !keep_going {
             return false;
@@ -266,6 +299,429 @@ fn extend_clique(
     true
 }
 
+/// A partition of a degeneracy ordering's roots into contiguous,
+/// work-balanced shards — the unit of parallelism of the sharded clique
+/// enumeration.
+///
+/// Each shard is a half-open range of *positions* in the peel order. Shards
+/// are contiguous and cover every position exactly once, so enumerating the
+/// shards in ascending index order visits the roots in exactly the sequential
+/// order — this is what makes the parallel enumeration's merged output
+/// byte-identical to [`for_each_clique_while`] (see `DESIGN.md` §8).
+///
+/// Balancing uses a per-root work estimate that is quadratic in the root's
+/// later-degree `d` (the first candidate level has `d` vertices and each
+/// costs up to another `O(d)` intersection), so a handful of dense cores do
+/// not all land in one shard. The estimate only shapes the *boundaries*;
+/// correctness never depends on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Half-open `(start, end)` position ranges, ascending and contiguous.
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Work estimate for one root: constant bookkeeping plus a quadratic term in
+/// the later-degree once the root can contribute a `p`-clique at all.
+fn root_work(out_degree: usize, p: usize) -> u64 {
+    if out_degree + 1 < p {
+        1
+    } else {
+        1 + (out_degree as u64) * (out_degree as u64)
+    }
+}
+
+impl ShardPlan {
+    /// Plans at most `target_shards` contiguous shards over the roots of
+    /// `ordering`, greedily cutting whenever the accumulated work estimate
+    /// reaches an equal share of the total. Every shard is non-empty; the
+    /// plan may hold fewer shards than requested (e.g. on tiny graphs).
+    pub fn balanced(
+        dag: &OrientedDag,
+        ordering: &DegeneracyOrdering,
+        p: usize,
+        target_shards: usize,
+    ) -> Self {
+        let n = ordering.order.len();
+        if n == 0 {
+            return ShardPlan { ranges: Vec::new() };
+        }
+        let target = target_shards.clamp(1, n);
+        let total: u64 = ordering
+            .order
+            .iter()
+            .map(|&v| root_work(dag.out_degree(v), p))
+            .sum();
+        let chunk = total.div_ceil(target as u64).max(1);
+        let mut ranges = Vec::with_capacity(target);
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, &v) in ordering.order.iter().enumerate() {
+            acc += root_work(dag.out_degree(v), p);
+            if acc >= chunk && ranges.len() + 1 < target {
+                ranges.push((start as u32, (i + 1) as u32));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < n {
+            ranges.push((start as u32, n as u32));
+        }
+        ShardPlan { ranges }
+    }
+
+    /// Number of planned shards (0 only for the empty graph).
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The position range (into the ordering's `order`) of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.num_shards()`.
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        let (start, end) = self.ranges[shard];
+        start as usize..end as usize
+    }
+
+    /// Iterates over the shard ranges in ascending order.
+    pub fn ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        self.ranges.iter().map(|&(s, e)| s as usize..e as usize)
+    }
+}
+
+/// The sharable state of a sharded `p`-clique enumeration: the degeneracy
+/// ordering, its [`OrientedDag`], the high-degree adjacency bitsets and a
+/// [`ShardPlan`] — everything built exactly once, all of it read-only during
+/// enumeration so one instance can serve any number of worker threads by
+/// shared reference.
+///
+/// [`ShardedEnumerator::for_each_in_shard_while`] runs the same arena-based
+/// ordered search as [`for_each_clique_while`], restricted to one shard's
+/// roots; visiting shards `0, 1, 2, …` in order reproduces the sequential
+/// visit order exactly.
+pub struct ShardedEnumerator<'g> {
+    graph: &'g Graph,
+    p: usize,
+    ordering: DegeneracyOrdering,
+    dag: OrientedDag,
+    bitsets: NeighborBitsets,
+    plan: ShardPlan,
+    max_out: usize,
+}
+
+impl<'g> ShardedEnumerator<'g> {
+    /// Prepares a sharded enumeration of the `p`-cliques of `graph` with at
+    /// most `target_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 3`; the `p ≤ 2` cases are trivial linear scans with
+    /// nothing to shard (use [`for_each_clique_while`]).
+    pub fn new(graph: &'g Graph, p: usize, target_shards: usize) -> Self {
+        assert!(p >= 3, "sharded enumeration requires p >= 3 (got {p})");
+        let ordering = degeneracy_ordering(graph);
+        let dag = OrientedDag::from_ordering(graph, &ordering);
+        let bitsets = NeighborBitsets::build(graph, BITSET_DEGREE_THRESHOLD);
+        let plan = ShardPlan::balanced(&dag, &ordering, p, target_shards);
+        let max_out = dag.max_out_degree();
+        ShardedEnumerator {
+            graph,
+            p,
+            ordering,
+            dag,
+            bitsets,
+            plan,
+            max_out,
+        }
+    }
+
+    /// The clique size being enumerated.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of shards in the underlying plan.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// The shard plan (for inspection and tests).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Enumerates every `p`-clique rooted in `shard`, in the sequential
+    /// visit order, until `visit` declines; returns whether the shard ran to
+    /// completion. Allocates one candidate arena per call (amortised over the
+    /// whole shard) so concurrent calls on different shards never share
+    /// mutable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.num_shards()`.
+    pub fn for_each_in_shard_while(
+        &self,
+        shard: usize,
+        mut visit: impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        let mut arena: Vec<Vec<u32>> = (0..self.p - 1)
+            .map(|_| Vec::with_capacity(self.max_out))
+            .collect();
+        let mut stack: Vec<u32> = Vec::with_capacity(self.p);
+        let mut scratch: Vec<u32> = Vec::with_capacity(self.p);
+        let roots = &self.ordering.order[self.plan.range(shard)];
+        enumerate_roots(
+            self.graph,
+            &self.bitsets,
+            &self.dag,
+            self.p,
+            roots,
+            &mut arena,
+            &mut stack,
+            &mut scratch,
+            &mut visit,
+        )
+    }
+
+    /// Like [`ShardedEnumerator::for_each_in_shard_while`] with a visitor
+    /// that never declines.
+    pub fn for_each_in_shard(&self, shard: usize, mut visit: impl FnMut(&[u32])) {
+        self.for_each_in_shard_while(shard, |c| {
+            visit(c);
+            true
+        });
+    }
+}
+
+/// Shards planned per worker thread by the parallel drivers: oversubscribing
+/// lets fast workers steal the tail instead of idling behind one slow shard,
+/// while the per-shard overhead (one arena + one buffer) stays negligible.
+#[cfg(feature = "parallel")]
+pub const SHARDS_PER_THREAD: usize = 8;
+
+/// Shards a worker may run ahead of the replay cursor, per worker thread.
+/// This is the backpressure bound of [`merge_shards`]: without it, workers
+/// racing ahead of one slow shard could buffer nearly the whole result set;
+/// with it, at most `O(threads)` shard buffers ever exist at once.
+#[cfg(feature = "parallel")]
+const BACKPRESSURE_WINDOW_PER_THREAD: usize = 2;
+
+/// The generic ordered shard merge used by every parallel driver (this
+/// module's `for_each_clique_parallel*` and the engine's sink path in the
+/// `cliquelist` crate): `produce(shard)` runs on up to `threads` scoped
+/// worker threads, and `consume` runs **only on the calling thread**, in
+/// ascending shard order, parking out-of-order results until their turn.
+/// Returns `true` when every shard was consumed; `consume` returning `false`
+/// stops the merge immediately and tells workers to abandon unclaimed
+/// shards.
+///
+/// Two properties make this the deterministic backbone of `DESIGN.md` §8:
+///
+/// * **Order.** Which worker runs which shard is scheduling-dependent, but
+///   consumption is strictly `0, 1, 2, …` — so when shards are contiguous
+///   ranges of one sequence, the merged result is byte-identical to a
+///   sequential pass at any thread count.
+/// * **Bounded buffering.** A worker may claim a shard only while it is
+///   within a fixed window of the replay cursor
+///   ([`BACKPRESSURE_WINDOW_PER_THREAD`] per thread); workers past the
+///   window block until the cursor advances. Peak outstanding results are
+///   therefore `O(threads)` shards, not `O(num_shards)` — one slow early
+///   shard cannot make the merge buffer the whole result set.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` (the caller decides the sequential fallback).
+#[cfg(feature = "parallel")]
+pub fn merge_shards<T, P, C>(shards: usize, threads: usize, produce: P, mut consume: C) -> bool
+where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+    C: FnMut(T) -> bool,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{mpsc, Condvar, Mutex};
+
+    assert!(threads > 0, "need at least one worker thread");
+    let stop = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    // Replay cursor + its wait gate. `cursor` is the next shard index to be
+    // consumed; workers wanting to run further ahead than the window wait on
+    // the condvar, and the consumer notifies under the mutex after every
+    // advance (and on stop), so no wakeup can be lost.
+    let cursor = AtomicUsize::new(0);
+    let gate = (Mutex::new(()), Condvar::new());
+    let window = threads
+        .saturating_mul(BACKPRESSURE_WINDOW_PER_THREAD)
+        .max(1);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut completed = true;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(shards) {
+            let tx = tx.clone();
+            let (produce, stop, next, cursor, gate) = (&produce, &stop, &next, &cursor, &gate);
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let shard = next.fetch_add(1, Ordering::Relaxed);
+                if shard >= shards {
+                    break;
+                }
+                // Backpressure: wait until the claimed shard is within the
+                // window of the replay cursor. The worker holding the cursor
+                // shard itself never waits (shard == cursor < cursor+window),
+                // so the consumer always makes progress — no deadlock.
+                {
+                    let mut guard = gate.0.lock().expect("gate mutex");
+                    while shard >= cursor.load(Ordering::Acquire) + window
+                        && !stop.load(Ordering::Relaxed)
+                    {
+                        guard = gate.1.wait(guard).expect("gate mutex");
+                    }
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if tx.send((shard, produce(shard))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+        let mut emit = 0usize;
+        'replay: while emit < shards {
+            let Ok((shard, result)) = rx.recv() else {
+                break;
+            };
+            pending[shard] = Some(result);
+            while emit < shards {
+                let Some(result) = pending[emit].take() else {
+                    break;
+                };
+                let keep_going = consume(result);
+                emit += 1;
+                // Advance the cursor under the gate lock so a worker checking
+                // the window between our store and our notify cannot miss the
+                // wakeup.
+                {
+                    let _guard = gate.0.lock().expect("gate mutex");
+                    cursor.store(emit, Ordering::Release);
+                    if !keep_going {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    gate.1.notify_all();
+                }
+                if !keep_going {
+                    completed = false;
+                    break 'replay;
+                }
+            }
+        }
+        // On early exit, release any workers still parked at the gate.
+        {
+            let _guard = gate.0.lock().expect("gate mutex");
+            stop.store(true, Ordering::Relaxed);
+            gate.1.notify_all();
+        }
+    });
+    completed
+}
+
+/// Parallel counterpart of [`for_each_clique`]: enumerates every `p`-clique
+/// on up to `threads` scoped worker threads, calling `visit` **on the calling
+/// thread** in exactly the sequential emission order.
+///
+/// The thread count influences wall-clock time only, never results: workers
+/// fill one buffer per contiguous shard and the caller replays the buffers
+/// in ascending shard order (see `DESIGN.md` §8 for the determinism
+/// argument).
+#[cfg(feature = "parallel")]
+pub fn for_each_clique_parallel(
+    graph: &Graph,
+    p: usize,
+    threads: usize,
+    mut visit: impl FnMut(&[u32]),
+) {
+    for_each_clique_parallel_while(graph, p, threads, |c| {
+        visit(c);
+        true
+    });
+}
+
+/// Parallel counterpart of [`for_each_clique_while`]: like
+/// [`for_each_clique_parallel`], but the callback returns whether to
+/// continue. Returns `true` when the enumeration ran to completion.
+///
+/// A declined visit stops the replay immediately and signals the workers to
+/// abandon their remaining shards; cliques already buffered by other workers
+/// are discarded, so an early stop costs at most the shards in flight.
+/// Degenerate inputs (`threads ≤ 1`, `p < 3`, or a plan with a single shard)
+/// fall back to the sequential enumeration.
+#[cfg(feature = "parallel")]
+pub fn for_each_clique_parallel_while(
+    graph: &Graph,
+    p: usize,
+    threads: usize,
+    mut visit: impl FnMut(&[u32]) -> bool,
+) -> bool {
+    if threads <= 1 || p < 3 {
+        return for_each_clique_while(graph, p, visit);
+    }
+    let enumerator = ShardedEnumerator::new(graph, p, threads.saturating_mul(SHARDS_PER_THREAD));
+    let shards = enumerator.num_shards();
+    if shards <= 1 {
+        return for_each_clique_while(graph, p, visit);
+    }
+    merge_shards(
+        shards,
+        threads,
+        |shard| {
+            // Flat buffer of `p`-wide rows: no per-clique allocation.
+            let mut flat: Vec<u32> = Vec::new();
+            enumerator.for_each_in_shard(shard, |c| flat.extend_from_slice(c));
+            flat
+        },
+        |flat| flat.chunks_exact(p).all(&mut visit),
+    )
+}
+
+/// Parallel counterpart of [`count_cliques`]: counts without materialising
+/// or merging, since a count needs no emission order — each worker sums the
+/// cliques of the shards it claims.
+#[cfg(feature = "parallel")]
+pub fn count_cliques_parallel(graph: &Graph, p: usize, threads: usize) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if threads <= 1 || p < 3 {
+        return count_cliques(graph, p);
+    }
+    let enumerator = ShardedEnumerator::new(graph, p, threads.saturating_mul(SHARDS_PER_THREAD));
+    let shards = enumerator.num_shards();
+    if shards <= 1 {
+        return count_cliques(graph, p);
+    }
+    let next = AtomicUsize::new(0);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(shards) {
+            let (enumerator, next, total) = (&enumerator, &next, &total);
+            scope.spawn(move || loop {
+                let shard = next.fetch_add(1, Ordering::Relaxed);
+                if shard >= shards {
+                    break;
+                }
+                let mut count = 0usize;
+                enumerator.for_each_in_shard(shard, |_| count += 1);
+                total.fetch_add(count, Ordering::Relaxed);
+            });
+        }
+    });
+    total.into_inner()
+}
+
 /// Reusable state for repeated [`cliques_containing_edge`]-style queries
 /// against one graph: the adjacency bitsets, the candidate arena, the vertex
 /// stack and the sort scratch are built once and shared across every queried
@@ -300,12 +756,39 @@ impl<'g> EdgeCliqueEnumerator<'g> {
     /// [`cliques_containing_edge`], without the per-call setup.
     pub fn cliques_containing_edge_into(&mut self, a: u32, b: u32, out: &mut Vec<Clique>) {
         out.clear();
+        self.for_each_containing_edge_while(a, b, |c| {
+            out.push(c.to_vec());
+            true
+        });
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Streams every `p`-clique containing the edge `{a, b}` (canonical
+    /// sorted form, ascending canonical order, each exactly once) until
+    /// `visit` declines; returns whether the query ran to completion. An
+    /// absent edge visits nothing and completes.
+    ///
+    /// This is the streaming building block behind the saturation-aware
+    /// in-cluster listing: declining unwinds the search immediately, and the
+    /// enumerator's scratch state (candidate arena, vertex stack, sort
+    /// scratch) is **reset at the start of every query**, so a query aborted
+    /// mid-recursion leaves the enumerator ready for the next goal edge. The
+    /// reset is deliberate: an aborted search skips the unwinding that would
+    /// otherwise pop the seed vertices, so relying on balanced pushes/pops
+    /// would poison the next query's stack (regression-tested in
+    /// `edge_enumerator_resumes_cleanly_after_an_aborted_query`).
+    pub fn for_each_containing_edge_while(
+        &mut self,
+        a: u32,
+        b: u32,
+        mut visit: impl FnMut(&[u32]) -> bool,
+    ) -> bool {
         if self.p < 2 || !self.graph.has_edge(a, b) {
-            return;
+            return true;
         }
         if self.p == 2 {
-            out.push(vec![a.min(b), a.max(b)]);
-            return;
+            return visit(&[a.min(b), a.max(b)]);
         }
         let EdgeCliqueEnumerator {
             graph,
@@ -315,24 +798,15 @@ impl<'g> EdgeCliqueEnumerator<'g> {
             stack,
             scratch,
         } = self;
-        graph.common_neighbors_into(a, b, &mut arena[0]);
+        // Reset every piece of per-query scratch state up front — a previous
+        // query aborted by its visitor leaves its seed vertices on the stack
+        // and the last partial clique in the sort scratch.
         stack.clear();
+        scratch.clear();
+        graph.common_neighbors_into(a, b, &mut arena[0]);
         stack.push(a.min(b));
         stack.push(a.max(b));
-        extend_clique(
-            graph,
-            bitsets,
-            *p,
-            arena,
-            stack,
-            scratch,
-            &mut |c: &[u32]| {
-                out.push(c.to_vec());
-                true
-            },
-        );
-        out.sort_unstable();
-        out.dedup();
+        extend_clique(graph, bitsets, *p, arena, stack, scratch, &mut visit)
     }
 }
 
@@ -584,6 +1058,221 @@ mod tests {
             // found once per contained edge — the dedup above fixes that.
             assert_eq!(listed, reference, "p = {p}");
         }
+    }
+
+    #[test]
+    fn shard_plan_is_a_contiguous_partition_of_the_roots() {
+        for (n, prob, seed) in [(0usize, 0.0, 0u64), (1, 0.0, 0), (50, 0.2, 3), (90, 0.4, 7)] {
+            let g = gen::erdos_renyi(n, prob, seed);
+            let ordering = degeneracy_ordering(&g);
+            let dag = OrientedDag::from_ordering(&g, &ordering);
+            for target in [1usize, 2, 3, 7, 64, 1000] {
+                let plan = ShardPlan::balanced(&dag, &ordering, 4, target);
+                if n == 0 {
+                    assert_eq!(plan.num_shards(), 0);
+                    continue;
+                }
+                assert!(plan.num_shards() >= 1);
+                assert!(
+                    plan.num_shards() <= target.max(1).min(n),
+                    "n={n} target={target}"
+                );
+                let mut covered = 0usize;
+                for (i, range) in plan.ranges().enumerate() {
+                    assert_eq!(range.start, covered, "shard {i} not contiguous");
+                    assert!(range.end > range.start, "shard {i} empty");
+                    covered = range.end;
+                }
+                assert_eq!(covered, n, "shards must cover every root");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_concatenation_reproduces_the_sequential_order() {
+        let g = gen::erdos_renyi(70, 0.3, 11);
+        for p in [3usize, 4, 5] {
+            let mut sequential = Vec::new();
+            for_each_clique(&g, p, |c| sequential.push(c.to_vec()));
+            for target in [1usize, 2, 5, 16] {
+                let enumerator = ShardedEnumerator::new(&g, p, target);
+                let mut merged = Vec::new();
+                for shard in 0..enumerator.num_shards() {
+                    enumerator.for_each_in_shard(shard, |c| merged.push(c.to_vec()));
+                }
+                assert_eq!(merged, sequential, "p={p} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_enumeration_stops_when_declined() {
+        let g = gen::complete_graph(20);
+        let enumerator = ShardedEnumerator::new(&g, 3, 4);
+        let mut seen = 0usize;
+        let completed = enumerator.for_each_in_shard_while(0, |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert!(!completed);
+        assert_eq!(seen, 2);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn merge_shards_consumes_in_order_despite_adversarial_completion() {
+        // Early shards sleep longest, so completion order is roughly the
+        // reverse of shard order — consumption must still be 0, 1, 2, …, and
+        // the claim-window backpressure must not deadlock while shard 0 holds
+        // everyone back.
+        let shards = 24usize;
+        let consumed = std::cell::RefCell::new(Vec::new());
+        let completed = merge_shards(
+            shards,
+            4,
+            |shard| {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (shards - shard) as u64 % 7,
+                ));
+                shard * 10
+            },
+            |value| {
+                consumed.borrow_mut().push(value);
+                true
+            },
+        );
+        assert!(completed);
+        let expected: Vec<usize> = (0..shards).map(|s| s * 10).collect();
+        assert_eq!(consumed.into_inner(), expected);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn merge_shards_stops_early_and_releases_parked_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let produced = AtomicUsize::new(0);
+        let mut consumed = 0usize;
+        let completed = merge_shards(
+            64,
+            4,
+            |shard| {
+                produced.fetch_add(1, Ordering::Relaxed);
+                shard
+            },
+            |_| {
+                consumed += 1;
+                consumed < 3
+            },
+        );
+        assert!(!completed);
+        assert_eq!(consumed, 3);
+        // The stop signal plus the claim window keep the abandoned work
+        // bounded; without them all 64 shards would have been produced.
+        assert!(
+            produced.load(Ordering::Relaxed) < 64,
+            "early stop must abandon unclaimed shards"
+        );
+    }
+
+    #[test]
+    fn containing_edge_stream_is_sorted_and_matches_the_buffered_query() {
+        let g = gen::erdos_renyi(45, 0.35, 6);
+        for p in [3usize, 4, 5] {
+            let mut enumerator = EdgeCliqueEnumerator::new(&g, p);
+            let mut buffered = Vec::new();
+            for (a, b) in g.edges() {
+                let mut streamed: Vec<Clique> = Vec::new();
+                assert!(enumerator.for_each_containing_edge_while(a, b, |c| {
+                    streamed.push(c.to_vec());
+                    true
+                }));
+                enumerator.cliques_containing_edge_into(a, b, &mut buffered);
+                // The stream arrives in ascending canonical order, so it must
+                // equal the sorted+deduped buffered output element for
+                // element.
+                assert_eq!(streamed, buffered, "p={p} edge {a}-{b}");
+                assert!(streamed.windows(2).all(|w| w[0] < w[1]), "p={p} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_enumerator_resumes_cleanly_after_an_aborted_query() {
+        let g = gen::erdos_renyi(50, 0.4, 9);
+        for p in [3usize, 4] {
+            let mut enumerator = EdgeCliqueEnumerator::new(&g, p);
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            // An edge with at least two containing cliques, so aborting after
+            // the first visit leaves the recursion genuinely mid-flight.
+            let (a, b) = edges
+                .iter()
+                .copied()
+                .find(|&(a, b)| cliques_containing_edge(&g, p, a, b).len() >= 2)
+                .expect("dense test graph has a multi-clique edge");
+            let mut visits = 0usize;
+            let completed = enumerator.for_each_containing_edge_while(a, b, |_| {
+                visits += 1;
+                false
+            });
+            assert!(!completed, "p={p}: abort must be reported");
+            assert_eq!(visits, 1, "p={p}: exactly one visit before the abort");
+            // Every later query must be unaffected by the aborted one: the
+            // scratch state (stack, arena, sort scratch) is reset per query.
+            let mut out = Vec::new();
+            for &(c, d) in &edges {
+                enumerator.cliques_containing_edge_into(c, d, &mut out);
+                assert_eq!(
+                    out,
+                    cliques_containing_edge(&g, p, c, d),
+                    "p={p}: query {c}-{d} after an aborted query diverged"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_enumeration_is_byte_identical_to_sequential() {
+        let g = gen::erdos_renyi(80, 0.25, 5);
+        for p in [3usize, 4, 5] {
+            let mut sequential = Vec::new();
+            for_each_clique(&g, p, |c| sequential.push(c.to_vec()));
+            for threads in [1usize, 2, 3, 8] {
+                let mut parallel = Vec::new();
+                for_each_clique_parallel(&g, p, threads, |c| parallel.push(c.to_vec()));
+                assert_eq!(parallel, sequential, "p={p} threads={threads}");
+                assert_eq!(
+                    count_cliques_parallel(&g, p, threads),
+                    sequential.len(),
+                    "p={p} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_while_stops_early_with_the_sequential_prefix() {
+        let g = gen::complete_graph(18);
+        let mut sequential = Vec::new();
+        for_each_clique(&g, 4, |c| sequential.push(c.to_vec()));
+        for limit in [1usize, 5, 40] {
+            let mut prefix = Vec::new();
+            let completed = for_each_clique_parallel_while(&g, 4, 4, |c| {
+                prefix.push(c.to_vec());
+                prefix.len() < limit
+            });
+            assert!(!completed, "limit={limit}");
+            assert_eq!(prefix.len(), limit);
+            assert_eq!(prefix, sequential[..limit], "limit={limit}");
+        }
+        // A never-declining visitor completes and sees everything.
+        let mut all = Vec::new();
+        assert!(for_each_clique_parallel_while(&g, 4, 4, |c| {
+            all.push(c.to_vec());
+            true
+        }));
+        assert_eq!(all, sequential);
     }
 
     #[test]

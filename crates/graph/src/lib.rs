@@ -11,8 +11,10 @@
 //! * [`orientation`]: degeneracy orderings, bounded out-degree orientations
 //!   and arboricity bounds — the paper's algorithms are parameterised by an
 //!   orientation with bounded out-degree;
-//! * [`cliques`]: exact sequential `K_p` enumeration, used as ground truth to
-//!   verify that the distributed algorithms list every clique;
+//! * [`cliques`]: exact `K_p` enumeration — the sequential ground truth used
+//!   to verify the distributed algorithms, plus its sharded parallel
+//!   counterpart (feature `parallel`) whose merged output is byte-identical
+//!   to the sequential order at any thread count;
 //! * [`spectral`]: conductance and lazy-random-walk mixing-time estimates used
 //!   to validate the clusters produced by the expander decomposition;
 //! * [`partition`]: random vertex partitions and the edge-count bound of

@@ -11,9 +11,9 @@
 //! * the emission order is deterministic across runs ([`FirstK`] prefix).
 
 use distributed_clique_listing::cliquelist::{
-    algorithms, verify_cliques, CollectSink, CountSink, Engine, FirstK,
+    algorithms, verify_cliques, CliqueSink, CollectSink, CountSink, Engine, FirstK, Parallelism,
 };
-use distributed_clique_listing::graphcore::{cliques, gen, Graph};
+use distributed_clique_listing::graphcore::{cliques, gen, Clique, Graph};
 
 /// The workloads of the matrix: a planted-clique background and denser
 /// Erdős–Rényi graphs.
@@ -73,6 +73,97 @@ fn count_collect_and_ground_truth_agree_for_every_algorithm() {
                     "{}, p={p}, {label}: rounds depend on the sink",
                     info.name
                 );
+            }
+        }
+    }
+}
+
+/// Records the exact sink-call sequence of a run (never saturates), so two
+/// runs can be compared call for call — the strongest form of the
+/// "parallelism never changes output" promise.
+#[derive(Default)]
+struct TraceSink {
+    accepts: Vec<Clique>,
+}
+
+impl CliqueSink for TraceSink {
+    fn accept(&mut self, clique: &[u32]) {
+        self.accepts.push(clique.to_vec());
+    }
+}
+
+/// Acceptance gate of the sharded-parallelism PR: for **every** registered
+/// algorithm × workload, every `Parallelism` setting yields byte-identical
+/// output — identical sink-call traces (which subsumes the collected set and
+/// the count), identical `FirstK` prefixes, and identical `to_json`
+/// artifacts. Algorithms without sharded local enumeration must fall back to
+/// sequential rather than diverge. Runs under both feature configurations
+/// (without `parallel`, every setting falls back — equality is then the
+/// fallback's correctness check).
+#[test]
+fn parallelism_settings_are_byte_identical_for_every_algorithm() {
+    let settings = [
+        Parallelism::Threads(1),
+        Parallelism::Threads(2),
+        Parallelism::Threads(8),
+        Parallelism::Auto,
+    ];
+    for algorithm in algorithms() {
+        let info = algorithm.info();
+        for p in [3usize, 4] {
+            if !info.supports_p(p) {
+                continue;
+            }
+            for (label, graph) in workloads(p).into_iter().take(2) {
+                let build = |parallelism: Parallelism| {
+                    Engine::builder()
+                        .p(p)
+                        .algorithm(info.name)
+                        .seed(5)
+                        .parallelism(parallelism)
+                        .build()
+                        .unwrap_or_else(|e| panic!("{} p={p}: {e}", info.name))
+                };
+
+                let reference_engine = build(Parallelism::Off);
+                let mut reference = TraceSink::default();
+                let reference_report = reference_engine.run(&graph, &mut reference);
+                let reference_json = reference_report.to_json();
+                let k = 5.min(reference.accepts.len());
+                let mut reference_first = FirstK::new(k);
+                reference_engine.run(&graph, &mut reference_first);
+
+                for parallelism in settings {
+                    let engine = build(parallelism);
+                    let mut trace = TraceSink::default();
+                    let report = engine.run(&graph, &mut trace);
+                    assert_eq!(
+                        trace.accepts, reference.accepts,
+                        "{}, p={p}, {label}, {parallelism:?}: sink-call trace \
+                         diverged from Parallelism::Off",
+                        info.name
+                    );
+                    assert_eq!(
+                        report.to_json(),
+                        reference_json,
+                        "{}, p={p}, {label}, {parallelism:?}: to_json not byte-identical",
+                        info.name
+                    );
+                    let (_, count) = engine.count(&graph);
+                    assert_eq!(
+                        count as usize,
+                        reference.accepts.len(),
+                        "{}, p={p}, {label}, {parallelism:?}: count diverged",
+                        info.name
+                    );
+                    let mut first = FirstK::new(k);
+                    engine.run(&graph, &mut first);
+                    assert_eq!(
+                        first.cliques, reference_first.cliques,
+                        "{}, p={p}, {label}, {parallelism:?}: FirstK prefix diverged",
+                        info.name
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,198 @@
+//! The parallel-vs-sequential differential battery for the sharded clique
+//! enumeration.
+//!
+//! The sharded enumerator promises output **byte-identical** to the
+//! sequential enumerator at every thread count — same cliques, same emission
+//! order, same early-stop prefixes. This battery checks that promise
+//! differentially across the full matrix of
+//!
+//! * clique sizes `p ∈ {3, 4, 5, 6}`,
+//! * workload families (Erdős–Rényi, planted cliques, multipartite/Turán,
+//!   RMAT, random regular),
+//! * thread counts `{1, 2, 3, 8}` (including oversubscription of this
+//!   machine), and
+//! * seeds drawn from the deterministic in-tree property harness (no
+//!   proptest in the build environment; failures reproduce exactly).
+//!
+//! Checked per cell: the collected listing with emission order (the
+//! visit-call trace), the allocation-free parallel count, and `FirstK`-style
+//! early-stop prefixes. Shard-plan structure is covered separately.
+
+#![cfg(feature = "parallel")]
+
+use distributed_clique_listing::graphcore::cliques::{
+    count_cliques_parallel, for_each_clique, for_each_clique_parallel,
+    for_each_clique_parallel_while, for_each_clique_while, ShardPlan, ShardedEnumerator,
+};
+use distributed_clique_listing::graphcore::orientation::{degeneracy_ordering, OrientedDag};
+use distributed_clique_listing::graphcore::{gen, Clique, Graph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Thread counts exercised for every workload (1 must hit the sequential
+/// delegation path; 8 oversubscribes small shard plans).
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// The workload families of the matrix, sized so the whole battery stays
+/// fast while every generator family contributes dense and sparse shapes.
+fn workloads(seed: u64) -> Vec<(String, Graph)> {
+    vec![
+        (
+            format!("er(70,0.25,{seed})"),
+            gen::erdos_renyi(70, 0.25, seed),
+        ),
+        (
+            format!("planted(80,p6,{seed})"),
+            gen::planted_cliques(80, 0.04, 3, 6, seed).0,
+        ),
+        (
+            format!("multipartite(75,3,0.5,{seed})"),
+            gen::multipartite(75, 3, 0.5, seed),
+        ),
+        (
+            format!("rmat(6,10,{seed})"),
+            gen::rmat(6, 10, (0.57, 0.19, 0.19, 0.05), seed),
+        ),
+        (
+            format!("regular(70,12,{seed})"),
+            gen::random_regular(70, 12, seed),
+        ),
+    ]
+}
+
+/// The sequential visit-call trace: the reference for every comparison.
+fn sequential_trace(graph: &Graph, p: usize) -> Vec<Clique> {
+    let mut trace = Vec::new();
+    for_each_clique(graph, p, |c| trace.push(c.to_vec()));
+    trace
+}
+
+#[test]
+fn parallel_trace_and_count_match_sequential_across_the_matrix() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0001);
+    for round in 0..2u64 {
+        let seed = rng.gen_range(0u64..1_000);
+        for (label, graph) in workloads(seed) {
+            for p in 3usize..=6 {
+                let reference = sequential_trace(&graph, p);
+                for threads in THREADS {
+                    let mut trace = Vec::new();
+                    for_each_clique_parallel(&graph, p, threads, |c| trace.push(c.to_vec()));
+                    assert_eq!(
+                        trace, reference,
+                        "round {round}, {label}, p={p}, threads={threads}: \
+                         parallel visit trace diverged from sequential"
+                    );
+                    assert_eq!(
+                        count_cliques_parallel(&graph, p, threads),
+                        reference.len(),
+                        "round {round}, {label}, p={p}, threads={threads}: count diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn early_stop_prefixes_match_sequential_first_k() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0002);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0u64..1_000);
+        let graph = gen::erdos_renyi(60, 0.35, seed);
+        let p = rng.gen_range(3usize..6);
+        let reference = sequential_trace(&graph, p);
+        if reference.is_empty() {
+            continue;
+        }
+        for threads in THREADS {
+            for k in [1usize, 3, 17, reference.len() + 1] {
+                let mut prefix = Vec::new();
+                let completed = for_each_clique_parallel_while(&graph, p, threads, |c| {
+                    prefix.push(c.to_vec());
+                    prefix.len() < k
+                });
+                // The visitor declines at visit k, so the run completes only
+                // when fewer than k cliques exist.
+                let expected = k.min(reference.len());
+                assert_eq!(
+                    prefix,
+                    reference[..expected],
+                    "p={p} threads={threads} k={k}"
+                );
+                assert_eq!(
+                    completed,
+                    reference.len() < k,
+                    "p={p} threads={threads} k={k}: completion flag wrong"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn while_variants_agree_on_completion_for_degenerate_inputs() {
+    // p < 3 and tiny graphs delegate to the sequential path; the parallel
+    // entry points must still be total and equal.
+    for p in 0usize..=2 {
+        let graph = gen::path_graph(5);
+        let mut seq = Vec::new();
+        for_each_clique_while(&graph, p, |c| {
+            seq.push(c.to_vec());
+            true
+        });
+        let mut par = Vec::new();
+        assert!(for_each_clique_parallel_while(&graph, p, 4, |c| {
+            par.push(c.to_vec());
+            true
+        }));
+        assert_eq!(par, seq, "p={p}");
+    }
+    let empty = Graph::new(0);
+    assert_eq!(count_cliques_parallel(&empty, 4, 8), 0);
+    let mut visited = false;
+    for_each_clique_parallel(&empty, 3, 8, |_| visited = true);
+    assert!(!visited);
+}
+
+#[test]
+fn shard_plans_partition_the_ordering_with_balanced_work() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0003);
+    for case in 0..12 {
+        let n = rng.gen_range(4usize..90);
+        let prob = f64::from(rng.gen_range(5u32..50)) / 100.0;
+        let graph = gen::erdos_renyi(n, prob, rng.gen_range(0u64..1_000));
+        let ordering = degeneracy_ordering(&graph);
+        let dag = OrientedDag::from_ordering(&graph, &ordering);
+        for target in [1usize, 2, 4, 16, 64] {
+            let plan = ShardPlan::balanced(&dag, &ordering, 4, target);
+            assert!(plan.num_shards() >= 1, "case {case}");
+            assert!(plan.num_shards() <= target.min(n), "case {case}");
+            let mut covered = 0usize;
+            for range in plan.ranges() {
+                assert_eq!(range.start, covered, "case {case}: gap or overlap");
+                assert!(!range.is_empty(), "case {case}: empty shard");
+                covered = range.end;
+            }
+            assert_eq!(covered, n, "case {case}: plan must cover every root");
+        }
+    }
+}
+
+#[test]
+fn shard_enumeration_concatenates_to_the_sequential_trace() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0004);
+    for _ in 0..4 {
+        let graph = gen::erdos_renyi(50, 0.35, rng.gen_range(0u64..1_000));
+        let p = rng.gen_range(3usize..6);
+        let reference = sequential_trace(&graph, p);
+        for target in [1usize, 3, 9] {
+            let enumerator = ShardedEnumerator::new(&graph, p, target);
+            let mut merged = Vec::new();
+            for shard in 0..enumerator.num_shards() {
+                enumerator.for_each_in_shard(shard, |c| merged.push(c.to_vec()));
+            }
+            assert_eq!(merged, reference, "p={p} target={target}");
+        }
+    }
+}

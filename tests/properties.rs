@@ -16,7 +16,7 @@ use distributed_clique_listing::cliquelist::{verify_cliques, Engine};
 use distributed_clique_listing::expander::{decompose, DecompositionConfig};
 use distributed_clique_listing::graphcore::orientation::{degeneracy_ordering, Orientation};
 use distributed_clique_listing::graphcore::partition::VertexPartition;
-use distributed_clique_listing::graphcore::{cliques, gen, Graph};
+use distributed_clique_listing::graphcore::{cliques, gen, Edge, EdgeSet, Graph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -147,6 +147,112 @@ fn tuple_assignment_covers_every_pair() {
                 assert!(assignment.tuples_containing(a, b) >= 1, "case {case}");
                 assert!(assignment.owners_needing(a, b) >= 1, "case {case}");
             }
+        }
+    }
+}
+
+/// Asserts every structural invariant of the CSR representation that the
+/// single-pass subgraph builders promise to preserve:
+///
+/// * every row (`neighbors(v)`) is strictly increasing — sorted, duplicate
+///   free — with in-range endpoints and no self-loops;
+/// * adjacency is symmetric: `w ∈ N(v)` iff `v ∈ N(w)` (checked both through
+///   `has_edge` and directly on the rows);
+/// * the row offsets are consistent (`degree` sums to `2m`, every row slice
+///   is addressable — the offsets array is monotone or these slices would
+///   panic/overlap);
+/// * `edges()` round-trips: it yields exactly `m` lexicographically sorted
+///   `u < v` pairs from which `from_edges` rebuilds an identical graph.
+fn assert_csr_invariants(g: &Graph, context: &str) {
+    let n = g.num_vertices();
+    let mut degree_sum = 0usize;
+    for v in 0..n as u32 {
+        let row = g.neighbors(v);
+        assert_eq!(row.len(), g.degree(v), "{context}: degree/row mismatch");
+        degree_sum += row.len();
+        assert!(
+            row.windows(2).all(|w| w[0] < w[1]),
+            "{context}: row of {v} not strictly increasing: {row:?}"
+        );
+        for &w in row {
+            assert!((w as usize) < n, "{context}: neighbour {w} out of range");
+            assert_ne!(w, v, "{context}: self-loop at {v}");
+            assert!(g.has_edge(v, w), "{context}: has_edge({v},{w}) false");
+            assert!(g.has_edge(w, v), "{context}: has_edge not symmetric");
+            assert!(
+                g.neighbors(w).binary_search(&v).is_ok(),
+                "{context}: adjacency rows not symmetric for {{{v},{w}}}"
+            );
+        }
+    }
+    assert_eq!(
+        degree_sum,
+        2 * g.num_edges(),
+        "{context}: offsets inconsistent with num_edges"
+    );
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    assert_eq!(edges.len(), g.num_edges(), "{context}: edges() count");
+    assert!(
+        edges.iter().all(|&(u, v)| u < v),
+        "{context}: edges() emitted a non-canonical pair"
+    );
+    assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "{context}: edges() not lexicographically sorted"
+    );
+    let rebuilt = Graph::from_edges(n, &edges).expect("round-trip build");
+    assert_eq!(&rebuilt, g, "{context}: edges() round-trip diverged");
+}
+
+/// Samples a random subset of a graph's edges.
+fn sample_edge_subset(rng: &mut SmallRng, g: &Graph, keep_prob: f64) -> EdgeSet {
+    g.edges()
+        .filter(|_| rng.gen_range(0u32..100) < (keep_prob * 100.0) as u32)
+        .map(|(u, v)| Edge::new(u, v))
+        .collect()
+}
+
+#[test]
+fn csr_invariants_survive_subgraph_composition_chains() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0009);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 60);
+        assert_csr_invariants(&graph, &format!("case {case}: base"));
+
+        // edge_subgraph and without_edges split the edge set exactly.
+        let keep = sample_edge_subset(&mut rng, &graph, 0.5);
+        let kept = graph.edge_subgraph(&keep);
+        let dropped = graph.without_edges(&keep);
+        assert_csr_invariants(&kept, &format!("case {case}: edge_subgraph"));
+        assert_csr_invariants(&dropped, &format!("case {case}: without_edges"));
+        assert_eq!(
+            kept.num_edges() + dropped.num_edges(),
+            graph.num_edges(),
+            "case {case}: edge_subgraph/without_edges must partition the edges"
+        );
+
+        // Composition chain: a vertex-induced cut of an edge cut, then a
+        // second edge removal — the shapes the LIST pipeline produces when it
+        // peels cluster edges and bad edges off the remaining graph.
+        let n = graph.num_vertices();
+        let vertices: Vec<u32> = (0..n as u32)
+            .filter(|_| rng.gen_range(0u32..100) < 60)
+            .collect();
+        let induced = kept.induced_keep_ids(&vertices);
+        assert_csr_invariants(&induced, &format!("case {case}: induced∘subgraph"));
+        assert_eq!(induced.num_vertices(), n, "case {case}: ids must be kept");
+        let peel = sample_edge_subset(&mut rng, &induced, 0.3);
+        let peeled = induced.without_edges(&peel);
+        assert_csr_invariants(&peeled, &format!("case {case}: without∘induced∘subgraph"));
+        assert_eq!(
+            peeled.num_edges() + peel.len(),
+            induced.num_edges(),
+            "case {case}: peeling removed a wrong edge count"
+        );
+
+        // Every edge of every composed graph existed in the original.
+        for (u, v) in peeled.edges() {
+            assert!(graph.has_edge(u, v), "case {case}: phantom edge {u}-{v}");
         }
     }
 }
