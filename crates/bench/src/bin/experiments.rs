@@ -905,22 +905,86 @@ fn perf_hot_paths(json: bool) -> String {
                 format!("{mean:.2} ({speedup:.2}x)"),
             ]);
         }
+
+        // Cluster-scaling of the CONGEST pipeline (PR 5): the `general`
+        // algorithm fans its per-cluster work out over the shared
+        // ordered-merge orchestrator, so the sparse listing workload now
+        // scales with threads too. Output is byte-identical at every
+        // setting (enforced by the differential battery); this experiment
+        // records the wall-clock side. The speedup is host-bound —
+        // `available_parallelism` is recorded for exactly that reason.
+        let cluster_graph = gen::erdos_renyi(260, 0.12, 5);
+        let cluster_label = "er(260,0.12) sparse general";
+        let mut cluster_truth: Option<u64> = None;
+        let mut cluster_rows: Vec<(usize, f64, f64)> = Vec::new();
+        for &threads in &[1usize, 2, 4, 8] {
+            let engine = Engine::builder()
+                .p(4)
+                .algorithm("general")
+                .experiment_scale()
+                .seed(5)
+                .parallelism(cliquelist::Parallelism::Threads(threads))
+                .build()
+                .expect("cluster-scaling engine config is valid");
+            let mut count = 0u64;
+            let (best, mean) = time_reps(REPS, || {
+                let mut sink = CountSink::new();
+                engine.run(&cluster_graph, &mut sink);
+                count = sink.count;
+            });
+            match cluster_truth {
+                None => cluster_truth = Some(count),
+                Some(t) => assert_eq!(count, t, "cluster-parallel count diverged"),
+            }
+            cluster_rows.push((threads, best, mean));
+        }
+        let cluster_baseline = cluster_rows[0].1;
+        for &(threads, best, mean) in &cluster_rows {
+            let speedup = cluster_baseline / best;
+            log.run(
+                &[
+                    ("kind", json_string("cluster-scaling")),
+                    ("workload", json_string(cluster_label)),
+                    ("p", 4.to_string()),
+                    ("threads", threads.to_string()),
+                    ("available_parallelism", host_threads.to_string()),
+                    ("cliques", cluster_truth.unwrap_or(0).to_string()),
+                    ("best_ms", json_f64(best)),
+                    ("mean_ms", json_f64(mean)),
+                    ("speedup_vs_1_thread", json_f64(speedup)),
+                ],
+                None,
+            );
+            table.row(&[
+                format!("cluster-scaling:{threads}"),
+                cluster_label.into(),
+                4.to_string(),
+                cluster_truth.unwrap_or(0).to_string(),
+                format!("{best:.2}"),
+                format!("{mean:.2} ({speedup:.2}x)"),
+            ]);
+        }
     }
     #[cfg(not(feature = "parallel"))]
     {
-        log.run(
-            &[
-                ("kind", json_string("thread-scaling")),
-                ("workload", json_string("er(400,0.25)")),
-                ("p", 4.to_string()),
-                ("available_parallelism", host_threads.to_string()),
-                (
-                    "skipped",
-                    json_string("built without the `parallel` feature"),
-                ),
-            ],
-            None,
-        );
+        for (kind, workload) in [
+            ("thread-scaling", "er(400,0.25)"),
+            ("cluster-scaling", "er(260,0.12) sparse general"),
+        ] {
+            log.run(
+                &[
+                    ("kind", json_string(kind)),
+                    ("workload", json_string(workload)),
+                    ("p", 4.to_string()),
+                    ("available_parallelism", host_threads.to_string()),
+                    (
+                        "skipped",
+                        json_string("built without the `parallel` feature"),
+                    ),
+                ],
+                None,
+            );
+        }
     }
 
     // One engine run per registered algorithm (p = 4, counting sink: no

@@ -24,15 +24,45 @@
 //! single `Dedup` — see `driver::run_congest` — which is both necessary for
 //! cross-invocation duplicates and sufficient for the in-invocation ones, so
 //! this function adds no second layer.
+//!
+//! # Cluster-parallel execution
+//!
+//! The paper's clusters are independent by construction: each one pools
+//! knowledge, reshuffles edges and lists the `K_p` instances of its own goal
+//! edges without reading any other cluster's state (Sections 2.4.2–2.4.3).
+//! This function exploits that with a plan/execute split: the per-cluster
+//! work is a pure *produce* step (`run_cluster` — knowledge gathering,
+//! in-cluster listing and the fast-`K_4` light listing, all emitting into a
+//! private [`ShardBuffer`]), and the mutation of the invocation outcome plus
+//! the replay into the real sink is a *consume* step executed **only on the
+//! calling thread, in ascending cluster order**. Under the `parallel`
+//! feature and a [`Parallelism`](crate::Parallelism) grant above one thread,
+//! contiguous cluster ranges (size-balanced by goal-edge count through
+//! [`balanced_ranges`](graphcore::ordered_merge::balanced_ranges)) fan out
+//! over the same
+//! [`ordered_merge`](graphcore::ordered_merge) orchestrator that drives the
+//! sharded dense enumeration; the sequential path runs the identical
+//! produce/consume code inline, so the emitted clique sequence, the round
+//! breakdown and the diagnostics are byte-identical at any thread count.
+//! Every cluster's rounds are always accounted — consumption never stops
+//! early — while replay into a saturated sink is skipped, matching the sink
+//! contract's "saturation skips local enumeration, never communication".
 
 use crate::cluster_knowledge::gather_cluster_knowledge;
 use crate::config::{ListingConfig, Variant};
 use crate::result::{phase, Diagnostics, Rounds};
-use crate::sink::{CliqueSink, Dedup};
+use crate::sink::{CliqueSink, Dedup, ShardBuffer};
 use crate::sparse_listing::{cluster_listing, SparseListingInput};
 use expander::{decompose, Cluster};
 use graphcore::{EdgeSet, Graph, Orientation};
 use std::collections::BTreeMap;
+
+/// Cluster-range tasks planned per worker thread by the cluster fan-out:
+/// oversubscription lets fast workers steal the tail instead of idling
+/// behind one expensive cluster, while each task stays large enough to
+/// amortise its buffer.
+#[cfg(feature = "parallel")]
+const CLUSTER_TASKS_PER_THREAD: usize = 4;
 
 /// Result of one ARB-LIST invocation (the listed cliques are streamed to the
 /// sink, not returned).
@@ -50,6 +80,50 @@ pub struct ArbListOutcome {
     pub rounds: Rounds,
     /// Diagnostics of this invocation.
     pub diagnostics: Diagnostics,
+}
+
+/// Everything one cluster contributes back to its ARB-LIST invocation: the
+/// work-item payload of the cluster fan-out. Produced (possibly on a worker
+/// thread) without touching any shared mutable state; merged into the
+/// [`ArbListOutcome`] and replayed into the sink in ascending cluster order.
+struct ClusterYield {
+    goal_edges: EdgeSet,
+    bad_edges: EdgeSet,
+    cluster_edge_count: usize,
+    max_learned_words: u64,
+    heavy_upload_rounds: u64,
+    light_probe_rounds: u64,
+    listing_rounds: Rounds,
+    light_listing_rounds: u64,
+    emissions: ShardBuffer,
+}
+
+/// A [`ShardBuffer`] whose saturation mirrors a shared stop flag: the
+/// consume step raises the flag once the *real* sink saturates, and
+/// producers — inline or on worker threads — observe it through the
+/// ordinary [`CliqueSink::is_saturated`] probes of the in-cluster listing,
+/// stopping their enumeration early instead of buffering cliques that the
+/// replay guard would discard anyway.
+///
+/// The flag never changes what reaches the sink: it is raised only while
+/// the sink is saturated, consumption is strictly ascending, and a yield
+/// consumed after the raise is not replayed at all — so a buffer truncated
+/// by the flag is never the one being replayed. It is purely a
+/// work-avoidance signal, which is what keeps `FirstK`-style runs as cheap
+/// as they were when clusters streamed straight into the sink.
+struct GatedBuffer<'a> {
+    buffer: ShardBuffer,
+    stop: &'a std::sync::atomic::AtomicBool,
+}
+
+impl CliqueSink for GatedBuffer<'_> {
+    fn accept(&mut self, clique: &[u32]) {
+        self.buffer.accept(clique);
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.stop.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 /// Runs one invocation of ARB-LIST, emitting every listed `K_p` into `sink`.
@@ -85,7 +159,7 @@ pub fn arb_list(
     // Dedup — see `driver::run_congest` — so a second layer here would only
     // double the memory.
     let mut dedup;
-    let mut sink: &mut dyn CliqueSink = match config.variant {
+    let sink: &mut dyn CliqueSink = match config.variant {
         Variant::General => {
             dedup = Dedup::new(sink);
             &mut dedup
@@ -125,41 +199,38 @@ pub fn arb_list(
         Variant::FastK4 => (arboricity_bound as f64 / (n.max(2) as f64).powf(1.0 / 3.0)).max(1.0),
     };
 
-    // Per-phase maxima across clusters (clusters operate in parallel on
-    // disjoint edge sets; the light listing of the fast K4 variant is the one
-    // sequential exception).
-    let mut max_heavy = 0u64;
-    let mut max_probe = 0u64;
-    let mut sequential_light_listing = 0u64;
-    let mut per_cluster_rounds: Vec<Rounds> = Vec::new();
+    let clusters = &decomposition.clusters;
+    // The per-cluster E'_m edge sets double as the fan-out's balancing
+    // weights: a cluster's listing work scales with its goal-edge count.
+    let cluster_ems: Vec<EdgeSet> = clusters
+        .iter()
+        .map(|c| c.edges_within(&decomposition.em))
+        .collect();
 
-    for cluster in &decomposition.clusters {
-        let cluster_em: EdgeSet = cluster.edges_within(&decomposition.em);
-        outcome.diagnostics.cluster_edges += cluster_em.len();
+    // Work-avoidance flag shared between the consume step (which raises it
+    // once the real sink saturates) and the producers (whose gated buffers
+    // report it as saturation, aborting further enumeration).
+    let stop_listing = std::sync::atomic::AtomicBool::new(sink.is_saturated());
 
+    // --- Produce: everything one cluster computes on its own ---------------
+    // Pure function of shared read-only state (plus the advisory stop flag),
+    // so the orchestrator may run it on any worker thread. Emissions land in
+    // a private per-cluster buffer.
+    let run_cluster = |index: usize| -> ClusterYield {
+        let cluster: &Cluster = &clusters[index];
+        let cluster_em = &cluster_ems[index];
         let knowledge = gather_cluster_knowledge(
             graph,
             orientation,
             cluster,
-            &cluster_em,
+            cluster_em,
             heavy_threshold,
             config,
         );
-        max_heavy = max_heavy.max(knowledge.heavy_upload_rounds);
-        max_probe = max_probe.max(knowledge.light_probe_rounds);
-        outcome.diagnostics.bad_edges += knowledge.bad_edges.len();
-        outcome.diagnostics.max_learned_words = outcome
-            .diagnostics
-            .max_learned_words
-            .max(knowledge.max_learned_words());
-
-        // Bad-bad edges are deferred to Ê_r.
-        for e in knowledge.bad_edges.iter() {
-            outcome.er_new.insert(e);
-        }
-        for e in knowledge.goal_edges.iter() {
-            outcome.goal_edges.insert(e);
-        }
+        let mut emissions = GatedBuffer {
+            buffer: ShardBuffer::new(index, config.p),
+            stop: &stop_listing,
+        };
 
         // In-cluster sparsity-aware listing.
         let input = SparseListingInput {
@@ -171,14 +242,116 @@ pub fn arb_list(
             n,
             arboricity_bound,
         };
-        let listing = cluster_listing(&input, config, seed ^ cluster.id as u64, &mut sink);
-        per_cluster_rounds.push(listing.rounds);
+        let listing = cluster_listing(&input, config, seed ^ cluster.id as u64, &mut emissions);
 
         // Fast K4 variant: C-light nodes list the instances whose outside edge
         // touches a light node, sequentially over the clusters (Section 3).
-        if config.variant == Variant::FastK4 {
-            let light_rounds = light_node_listing(graph, cluster, heavy_threshold, &mut sink);
-            sequential_light_listing += light_rounds;
+        let light_listing_rounds = if config.variant == Variant::FastK4 {
+            light_node_listing(graph, cluster, heavy_threshold, &mut emissions)
+        } else {
+            0
+        };
+
+        let max_learned_words = knowledge.max_learned_words();
+        ClusterYield {
+            goal_edges: knowledge.goal_edges,
+            bad_edges: knowledge.bad_edges,
+            cluster_edge_count: cluster_em.len(),
+            max_learned_words,
+            heavy_upload_rounds: knowledge.heavy_upload_rounds,
+            light_probe_rounds: knowledge.light_probe_rounds,
+            listing_rounds: listing.rounds,
+            light_listing_rounds,
+            emissions: emissions.buffer,
+        }
+    };
+
+    // Per-phase maxima across clusters (clusters operate in parallel on
+    // disjoint edge sets; the light listing of the fast K4 variant is the one
+    // sequential exception).
+    let mut max_heavy = 0u64;
+    let mut max_probe = 0u64;
+    let mut sequential_light_listing = 0u64;
+    let mut per_cluster_rounds: Vec<Rounds> = Vec::new();
+
+    // --- Consume: merge one cluster's yield, ascending cluster order -------
+    // Runs only on the calling thread. Rounds and diagnostics are always
+    // merged (communication happens regardless of how much output the client
+    // consumes); only the emission replay honours saturation.
+    let mut consume = |y: ClusterYield| {
+        outcome.diagnostics.cluster_edges += y.cluster_edge_count;
+        max_heavy = max_heavy.max(y.heavy_upload_rounds);
+        max_probe = max_probe.max(y.light_probe_rounds);
+        outcome.diagnostics.bad_edges += y.bad_edges.len();
+        outcome.diagnostics.max_learned_words = outcome
+            .diagnostics
+            .max_learned_words
+            .max(y.max_learned_words);
+
+        // Bad-bad edges are deferred to Ê_r.
+        for e in y.bad_edges.iter() {
+            outcome.er_new.insert(e);
+        }
+        for e in y.goal_edges.iter() {
+            outcome.goal_edges.insert(e);
+        }
+
+        per_cluster_rounds.push(y.listing_rounds);
+        sequential_light_listing += y.light_listing_rounds;
+
+        if !sink.is_saturated() {
+            y.emissions.replay_into(sink);
+        }
+        if sink.is_saturated() {
+            stop_listing.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    };
+
+    // --- Execute: fan the cluster tasks out, or run them inline ------------
+    // The parallel branch groups clusters into contiguous, goal-edge-balanced
+    // ranges and drives them through the shared ordered-merge orchestrator;
+    // consumption is strictly ascending and never stops early (every
+    // cluster's rounds count), so the merged outcome is byte-identical to the
+    // inline loop below at any thread count.
+    let fanned_out = {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = config.effective_threads(true);
+            if threads > 1 && clusters.len() > 1 {
+                let weights: Vec<u64> = cluster_ems.iter().map(|em| 1 + em.len() as u64).collect();
+                let tasks = graphcore::ordered_merge::balanced_ranges(
+                    &weights,
+                    threads.saturating_mul(CLUSTER_TASKS_PER_THREAD),
+                );
+                graphcore::ordered_merge::ordered_merge(
+                    tasks.len(),
+                    threads,
+                    |task| {
+                        let (start, end) = tasks[task];
+                        (start as usize..end as usize)
+                            .map(&run_cluster)
+                            .collect::<Vec<ClusterYield>>()
+                    },
+                    |yields| {
+                        for y in yields {
+                            consume(y);
+                        }
+                        true
+                    },
+                );
+                true
+            } else {
+                false
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            false
+        }
+    };
+    if !fanned_out {
+        for index in 0..clusters.len() {
+            consume(run_cluster(index));
         }
     }
 
@@ -435,5 +608,58 @@ mod tests {
         );
         let (_, fast_listed) = run_arb(&g, 4, Variant::FastK4);
         assert!(fast_count.count as usize >= fast_listed.len());
+    }
+
+    /// A sink recording the exact accept sequence (never saturates).
+    #[derive(Default)]
+    struct TraceSink {
+        accepts: Vec<Clique>,
+    }
+
+    impl CliqueSink for TraceSink {
+        fn accept(&mut self, clique: &[u32]) {
+            self.accepts.push(clique.to_vec());
+        }
+    }
+
+    #[test]
+    fn dedup_exists_for_duplicates_not_order() {
+        // The Dedup layers of the pipeline absorb *structural* duplicates —
+        // a clique containing several goal edges (of one cluster or of
+        // overlapping clusters) is found once per goal edge. They are NOT
+        // needed to repair iteration order: with the flat dense-id tables,
+        // the raw (pre-dedup) emission sequence of the fast-K4 variant —
+        // which runs without any inner Dedup — is identical from run to run.
+        let g = gen::erdos_renyi(90, 0.35, 23);
+        let orientation = Orientation::from_degeneracy(&g);
+        let a = orientation.max_out_degree().max(1);
+        let er = g.edge_set();
+        let n = g.num_vertices() as f64;
+        let delta =
+            (((a as f64 / (2.0 * n.log2())).max(n.powf(0.5))).ln() / n.ln()).clamp(0.05, 0.95);
+        let config = ListingConfig {
+            variant: Variant::FastK4,
+            ..ListingConfig::for_p(4)
+        };
+
+        let mut first = TraceSink::default();
+        arb_list(&g, &orientation, &er, a, delta, &config, 7, &mut first);
+        let mut second = TraceSink::default();
+        arb_list(&g, &orientation, &er, a, delta, &config, 7, &mut second);
+        assert_eq!(
+            first.accepts, second.accepts,
+            "raw pre-dedup emission order must be deterministic"
+        );
+
+        // The duplicates a Dedup would drop are genuine re-findings of the
+        // same clique, so deduplication changes multiplicities only — never
+        // membership.
+        let distinct: HashSet<Clique> = first.accepts.iter().cloned().collect();
+        assert!(
+            first.accepts.len() >= distinct.len(),
+            "raw emission may repeat structurally shared cliques"
+        );
+        let (_, deduped) = run_arb(&g, 4, Variant::FastK4);
+        assert_eq!(distinct, deduped);
     }
 }

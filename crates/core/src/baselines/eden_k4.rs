@@ -21,7 +21,7 @@ use crate::config::ListingConfig;
 use crate::list::list_once;
 use crate::result::{phase, Diagnostics, Rounds};
 use crate::sink::{CliqueSink, Dedup};
-use graphcore::{cliques, Graph, Orientation};
+use graphcore::{Graph, Orientation};
 
 /// Runs the Eden-style baseline, emitting every listed `K_4` into `sink`
 /// exactly once (the light-node listing and the final broadcast can overlap,
@@ -56,12 +56,8 @@ pub(crate) fn run_streaming(
             phase::FINAL_BROADCAST,
             (remaining.max_degree() as u64).max(1),
         );
-        if !sink.is_saturated() {
-            cliques::for_each_clique_while(&remaining, 4, |c| {
-                sink.accept(c);
-                !sink.is_saturated()
-            });
-        }
+        // Dense local pass over the remainder: shared sharded path.
+        crate::local::stream_cliques(&remaining, config, &mut sink);
     }
     (rounds, diagnostics)
 }

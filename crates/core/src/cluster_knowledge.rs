@@ -15,26 +15,35 @@
 //!
 //! The function returns the cluster's pooled knowledge together with the exact
 //! per-node communication loads, from which the caller charges rounds.
+//!
+//! All bookkeeping is flat and order-structural: outside neighbours are
+//! classified from a sorted run-length scan, heavy/light/bad memberships are
+//! sorted vectors probed by binary search, per-node loads live in a
+//! rank-keyed [`DenseTable`], and the pooled edge list is sorted + deduped
+//! once at the end. No `HashMap`/`HashSet` survives on this path, so both the
+//! values *and every intermediate iteration order* are deterministic — the
+//! property the cluster-parallel fan-out of `arb_list` relies on.
 
 use crate::config::{ListingConfig, Variant};
-use expander::Cluster;
+use expander::{Cluster, DenseTable};
 use graphcore::{Edge, EdgeSet, Graph, Orientation};
-use std::collections::{HashMap, HashSet};
 
 /// Pooled knowledge of one cluster after the edge-learning phase.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterKnowledge {
     /// All edges known to some node of the cluster, as oriented pairs
     /// `(source, target)` (oriented according to the global orientation of
-    /// the current graph), deduplicated.
+    /// the current graph), deduplicated and sorted.
     pub known_edges: Vec<(u32, u32)>,
     /// Goal edges: the cluster's `E'_m` edges minus the bad-bad edges.
     pub goal_edges: EdgeSet,
     /// Bad-bad edges, to be moved to `Ê_r`.
     pub bad_edges: EdgeSet,
-    /// Per-cluster-node number of words learned from outside the cluster
-    /// (heavy uploads plus probe replies). Remark 2.10 bounds the maximum.
-    pub learned_words: HashMap<u32, u64>,
+    /// Per-cluster-node words learned from outside the cluster (heavy uploads
+    /// plus probe replies), keyed by the node's **dense rank** of Lemma 2.5
+    /// (its position in the sorted cluster vertex list). Remark 2.10 bounds
+    /// the maximum.
+    pub learned_words: DenseTable,
     /// Rounds needed by the heavy-upload phase for this cluster
     /// (`max_v ceil(words(v) / g_{v,C})`).
     pub heavy_upload_rounds: u64,
@@ -52,7 +61,7 @@ pub struct ClusterKnowledge {
 impl ClusterKnowledge {
     /// Maximum number of outside words learned by a single cluster node.
     pub fn max_learned_words(&self) -> u64 {
-        self.learned_words.values().copied().max().unwrap_or(0)
+        self.learned_words.max()
     }
 }
 
@@ -75,62 +84,86 @@ pub fn gather_cluster_knowledge(
 ) -> ClusterKnowledge {
     let n = graph.num_vertices();
     let words = config.words_per_edge;
-    let mut knowledge = ClusterKnowledge::default();
-    let mut known: HashSet<(u32, u32)> = HashSet::new();
+    let mut knowledge = ClusterKnowledge {
+        learned_words: DenseTable::new(cluster.len()),
+        ..ClusterKnowledge::default()
+    };
+    // Collected with duplicates (both endpoints of an internal edge record
+    // it; heavy uploads re-record edges a cluster node already knows) and
+    // sorted + deduplicated once in `finalize` — a flat replacement for the
+    // old `HashSet` pool with a structural final order.
+    let mut known: Vec<(u32, u32)> = Vec::new();
 
     // Every edge incident to a cluster node (in the current graph) is known to
     // that node; record it oriented by the global orientation.
     for &u in &cluster.vertices {
         for &v in graph.neighbors(u) {
-            let (src, dst) = oriented(orientation, u, v);
-            known.insert((src, dst));
+            known.push(oriented(orientation, u, v));
         }
     }
 
-    // Classify outside neighbours as heavy or light.
-    let mut cluster_degree: HashMap<u32, u32> = HashMap::new();
+    // Classify outside neighbours as heavy or light: collect every outside
+    // endpoint, sort, and run-length scan — the run length *is* the number of
+    // cluster neighbours. Both lists come out sorted by identifier.
+    let mut outside: Vec<u32> = Vec::new();
     for &u in &cluster.vertices {
         for &v in graph.neighbors(u) {
             if !cluster.contains(v) {
-                *cluster_degree.entry(v).or_insert(0) += 1;
+                outside.push(v);
             }
         }
     }
-    let mut heavy: HashSet<u32> = HashSet::new();
-    let mut light: HashSet<u32> = HashSet::new();
-    for (&v, &g) in &cluster_degree {
-        if f64::from(g) > heavy_threshold {
-            heavy.insert(v);
-        } else {
-            light.insert(v);
+    outside.sort_unstable();
+    // Heavy neighbours keep their cluster degree (needed for the upload
+    // schedule); light neighbours only need membership.
+    let mut heavy: Vec<(u32, u32)> = Vec::new();
+    let mut light: Vec<u32> = Vec::new();
+    let mut i = 0usize;
+    while i < outside.len() {
+        let v = outside[i];
+        let mut j = i + 1;
+        while j < outside.len() && outside[j] == v {
+            j += 1;
         }
+        let degree = (j - i) as u32;
+        if f64::from(degree) > heavy_threshold {
+            heavy.push((v, degree));
+        } else {
+            light.push(v);
+        }
+        i = j;
     }
     knowledge.heavy_count = heavy.len();
     knowledge.light_count = light.len();
 
     // Heavy upload: each heavy node splits its outgoing edges across its
     // cluster neighbours (round-robin), which determines both who learns what
-    // and the per-edge word count (and hence the phase's round cost).
+    // and the per-edge word count (and hence the phase's round cost). Heavy
+    // nodes are visited in ascending identifier order.
     let mut heavy_rounds = 0u64;
-    for &v in &heavy {
+    let mut receivers: Vec<u32> = Vec::new();
+    for &(v, degree) in &heavy {
         let out = orientation.out_neighbors(v);
         if out.is_empty() {
             continue;
         }
-        let g = u64::from(cluster_degree[&v]).max(1);
+        let g = u64::from(degree).max(1);
         let upload_words = words * out.len() as u64;
         heavy_rounds = heavy_rounds.max(upload_words.div_ceil(g));
         // Receivers: the cluster neighbours of v, in identifier order.
-        let receivers: Vec<u32> = graph
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&u| cluster.contains(u))
-            .collect();
+        receivers.clear();
+        receivers.extend(
+            graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| cluster.contains(u)),
+        );
         for (i, &w) in out.iter().enumerate() {
-            known.insert((v, w));
+            known.push((v, w));
             let receiver = receivers[i % receivers.len()];
-            *knowledge.learned_words.entry(receiver).or_insert(0) += words;
+            let rank = cluster_rank(cluster, receiver);
+            knowledge.learned_words.add(rank, words);
         }
     }
     knowledge.heavy_upload_rounds = heavy_rounds;
@@ -157,40 +190,43 @@ pub fn gather_cluster_knowledge(
 }
 
 /// The general-algorithm continuation: bad-node detection and light probes.
+/// `light` is sorted ascending (memberships resolve by binary search).
 #[allow(clippy::too_many_arguments)]
 fn gather_light_probes(
     graph: &Graph,
     orientation: &Orientation,
     cluster: &Cluster,
     cluster_em: &EdgeSet,
-    light: &HashSet<u32>,
+    light: &[u32],
     config: &ListingConfig,
     n: usize,
     words: u64,
     mut knowledge: ClusterKnowledge,
-    mut known: HashSet<(u32, u32)>,
+    mut known: Vec<(u32, u32)>,
 ) -> ClusterKnowledge {
-    // Bad nodes: cluster nodes with too many light neighbours.
+    // Bad nodes: cluster nodes with too many light neighbours. Light
+    // neighbour lists are indexed by the node's dense rank; the bad list
+    // comes out sorted because cluster vertices are scanned in rank order.
     let bad_threshold = config.bad_node_threshold(n);
-    let mut light_neighbors: HashMap<u32, Vec<u32>> = HashMap::new();
-    let mut bad: HashSet<u32> = HashSet::new();
+    let mut light_neighbors: Vec<Vec<u32>> = Vec::with_capacity(cluster.len());
+    let mut bad: Vec<u32> = Vec::new();
     for &u in &cluster.vertices {
         let lights: Vec<u32> = graph
             .neighbors(u)
             .iter()
             .copied()
-            .filter(|w| light.contains(w))
+            .filter(|w| light.binary_search(w).is_ok())
             .collect();
         if lights.len() as f64 > bad_threshold {
-            bad.insert(u);
+            bad.push(u);
         }
-        light_neighbors.insert(u, lights);
+        light_neighbors.push(lights);
     }
     knowledge.bad_node_count = bad.len();
 
     // Edges between two bad nodes stop being goal edges.
     for e in cluster_em.iter() {
-        if bad.contains(&e.u()) && bad.contains(&e.v()) {
+        if bad.binary_search(&e.u()).is_ok() && bad.binary_search(&e.v()).is_ok() {
             knowledge.bad_edges.insert(e);
         } else {
             knowledge.goal_edges.insert(e);
@@ -204,11 +240,11 @@ fn gather_light_probes(
     // reused scratch buffer, not a has_edge probe per pair.
     let mut probe_rounds = 0u64;
     let mut adjacent_lights: Vec<u32> = Vec::new();
-    for &u in &cluster.vertices {
-        if bad.contains(&u) {
+    for (rank, &u) in cluster.vertices.iter().enumerate() {
+        if bad.binary_search(&u).is_ok() {
             continue;
         }
-        let lights = &light_neighbors[&u];
+        let lights = &light_neighbors[rank];
         if lights.is_empty() {
             continue;
         }
@@ -227,10 +263,11 @@ fn gather_light_probes(
         for &v in &outside {
             graphcore::intersect_sorted_into(lights, graph.neighbors(v), &mut adjacent_lights);
             for &w in &adjacent_lights {
-                let (src, dst) = oriented(orientation, v, w);
-                known.insert((src, dst));
+                known.push(oriented(orientation, v, w));
             }
-            *knowledge.learned_words.entry(u).or_insert(0) += words * lights.len() as u64;
+            knowledge
+                .learned_words
+                .add(rank, words * lights.len() as u64);
         }
     }
     knowledge.light_probe_rounds = probe_rounds;
@@ -238,10 +275,18 @@ fn gather_light_probes(
     finalize(knowledge, known)
 }
 
-fn finalize(mut knowledge: ClusterKnowledge, known: HashSet<(u32, u32)>) -> ClusterKnowledge {
-    let mut edges: Vec<(u32, u32)> = known.into_iter().collect();
-    edges.sort_unstable();
-    knowledge.known_edges = edges;
+/// The dense rank (Lemma 2.5) of a cluster member.
+fn cluster_rank(cluster: &Cluster, v: u32) -> usize {
+    cluster
+        .vertices
+        .binary_search(&v)
+        .unwrap_or_else(|_| panic!("{v} is not a member of cluster {}", cluster.id))
+}
+
+fn finalize(mut knowledge: ClusterKnowledge, mut known: Vec<(u32, u32)>) -> ClusterKnowledge {
+    known.sort_unstable();
+    known.dedup();
+    knowledge.known_edges = known;
     knowledge
 }
 
@@ -260,6 +305,7 @@ fn oriented(orientation: &Orientation, u: u32, v: u32) -> (u32, u32) {
 mod tests {
     use super::*;
     use graphcore::gen;
+    use std::collections::HashSet;
 
     /// A graph made of a dense cluster (K6 on 0..6) plus outside nodes:
     /// a heavy node 6 adjacent to every cluster node, and light nodes 7, 8
@@ -356,9 +402,33 @@ mod tests {
             assert!(k.heavy_upload_rounds >= 1);
             assert!(k.max_learned_words() >= cfg.words_per_edge);
         }
+        // The learned-word table is keyed by cluster rank and covers every
+        // member.
+        assert_eq!(k.learned_words.len(), cluster.len());
         // Probe rounds reflect the largest light list of a good node (at most
         // one light neighbour each here).
         assert!(k.light_probe_rounds <= 2);
+    }
+
+    #[test]
+    fn knowledge_is_structurally_deterministic() {
+        // Two runs must agree *representationally* — same sorted edge list,
+        // same rank-keyed load table — not merely as sets. This is the flat
+        // replacement for the old hash-pool, whose iteration order varied.
+        let g = gen::erdos_renyi(60, 0.35, 11);
+        let o = Orientation::from_degeneracy(&g);
+        let cfg = ListingConfig::for_p(4);
+        let cluster = Cluster::new(0, (0..20).collect());
+        let em: EdgeSet = g
+            .edges()
+            .filter(|&(u, v)| u < 20 && v < 20)
+            .map(|(u, v)| Edge::new(u, v))
+            .collect();
+        let a = gather_cluster_knowledge(&g, &o, &cluster, &em, cfg.heavy_threshold(60), &cfg);
+        let b = gather_cluster_knowledge(&g, &o, &cluster, &em, cfg.heavy_threshold(60), &cfg);
+        assert_eq!(a.known_edges, b.known_edges);
+        assert!(a.known_edges.windows(2).all(|w| w[0] < w[1]), "not sorted");
+        assert_eq!(a.learned_words, b.learned_words);
     }
 
     #[test]

@@ -65,31 +65,28 @@ pub(crate) fn run_streaming(
     let partition = VertexPartition::random(n, assignment.num_parts, config.seed);
     rounds.add(phase::PARTITION_BROADCAST, 1);
 
-    // Edge exchange loads.
+    // Edge exchange loads. The pair counts live in a flat upper-triangular
+    // [`PairTable`] over the `≈ n^{1/p}` parts and the per-tuple pair dedup
+    // is a sorted scratch vector — no hash container anywhere on this path,
+    // so every intermediate iteration order is structural (the same flat
+    // layout the in-cluster listing uses; see `expander::ids`).
     let words = config.words_per_edge;
-    let mut pair_counts: std::collections::HashMap<(u32, u32), u64> =
-        std::collections::HashMap::new();
+    let mut pair_counts = expander::PairTable::new(assignment.num_parts);
     let mut send_load = vec![0u64; n];
     for (u, v) in graph.edges() {
         let (a, b) = (partition.part_of(u), partition.part_of(v));
-        let key = (a.min(b), a.max(b));
-        *pair_counts.entry(key).or_insert(0) += 1;
+        pair_counts.add(a, b, 1);
         let source = orientation.source_of(u, v).unwrap_or(u);
-        send_load[source as usize] += assignment.owners_needing(key.0, key.1) * words;
+        send_load[source as usize] += assignment.owners_needing(a.min(b), a.max(b)) * words;
     }
     let mut max_recv = 0u64;
+    let mut tuple_pairs: Vec<(u32, u32)> = Vec::new();
     for rank in 0..n {
         let mut load = 0u64;
         for t in assignment.tuples_of(rank) {
-            let digits = assignment.tuple_parts(t);
-            let mut pairs: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
-            for (i, &a) in digits.iter().enumerate() {
-                for &b in &digits[i + 1..] {
-                    pairs.insert((a.min(b), a.max(b)));
-                }
-            }
-            for pair in pairs {
-                load += pair_counts.get(&pair).copied().unwrap_or(0) * words;
+            assignment.distinct_pairs_into(t, &mut tuple_pairs);
+            for &(a, b) in &tuple_pairs {
+                load += pair_counts.get(a, b) * words;
             }
         }
         max_recv = max_recv.max(load);

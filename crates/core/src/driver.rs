@@ -17,7 +17,7 @@ use crate::config::{ListingConfig, Variant};
 use crate::list::list_once;
 use crate::result::{phase, Diagnostics, Rounds};
 use crate::sink::{CliqueSink, Dedup};
-use graphcore::{cliques, Graph, Orientation};
+use graphcore::{Graph, Orientation};
 
 /// Runs the CONGEST driver (general or fast-`K_4`, per `config.variant`),
 /// emitting every listed clique into `sink` exactly once, and returns the
@@ -105,13 +105,11 @@ fn run_congest_inner(
         // members), so the union of the node outputs is exactly the set of
         // K_p instances of the surviving graph. These cliques are disjoint
         // from the streamed ones for the general algorithm (each of those
-        // lost a goal edge); the fast-K4 wrapper dedups.
-        if !sink.is_saturated() {
-            cliques::for_each_clique_while(&current, config.p, |clique| {
-                sink.accept(clique);
-                !sink.is_saturated()
-            });
-        }
+        // lost a goal edge); the fast-K4 wrapper dedups. The enumeration is
+        // one dense local pass over the surviving graph, so it runs through
+        // the shared `local::stream_cliques` path — sharded across worker
+        // threads under a `Parallelism` grant, byte-identical either way.
+        crate::local::stream_cliques(&current, config, &mut sink);
     }
     (rounds, diagnostics)
 }

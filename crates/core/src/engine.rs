@@ -67,13 +67,6 @@ pub enum ParallelSupport {
     Sequential(&'static str),
 }
 
-/// The capability reason shared by the CONGEST-simulated pipelines: their
-/// listing work is interleaved with the simulated round structure
-/// (decomposition, probes, per-cluster exchanges), whose emissions are
-/// order-dependent — there is no independent root set to shard.
-const CONGEST_SEQUENTIAL: &str =
-    "CONGEST pipeline: emissions are interleaved with the simulated round structure";
-
 /// Static capabilities of a listing algorithm: which clique sizes it
 /// supports, which communication model its rounds are measured in, and
 /// whether its local enumeration can run sharded.
@@ -135,7 +128,7 @@ impl ListingAlgorithm for GeneralListing {
             model: Model::Congest,
             min_p: 3,
             max_p: None,
-            parallel: ParallelSupport::Sequential(CONGEST_SEQUENTIAL),
+            parallel: ParallelSupport::Sharded,
             summary: "general K_p listing in ~O(n^{3/4} + n^{p/(p+2)}) CONGEST rounds",
         }
     }
@@ -163,7 +156,7 @@ impl ListingAlgorithm for FastK4Listing {
             model: Model::Congest,
             min_p: 4,
             max_p: Some(4),
-            parallel: ParallelSupport::Sequential(CONGEST_SEQUENTIAL),
+            parallel: ParallelSupport::Sharded,
             summary: "specialised K_4 listing in ~O(n^{2/3}) CONGEST rounds",
         }
     }
@@ -240,7 +233,7 @@ impl ListingAlgorithm for EdenK4Listing {
             model: Model::Congest,
             min_p: 4,
             max_p: Some(4),
-            parallel: ParallelSupport::Sequential(CONGEST_SEQUENTIAL),
+            parallel: ParallelSupport::Sharded,
             summary: "Eden-et-al-style K_4 baseline in O(n^{5/6+o(1)}) CONGEST rounds",
         }
     }
@@ -833,17 +826,13 @@ mod tests {
     }
 
     #[test]
-    fn capability_metadata_marks_the_dense_paths_sharded() {
-        for name in [names::CONGESTED_CLIQUE, names::NAIVE_BROADCAST] {
-            let info = algorithm_named(name).unwrap().info();
-            assert_eq!(info.parallel, ParallelSupport::Sharded, "{name}");
-        }
-        for name in [names::GENERAL, names::FAST_K4, names::EDEN_K4] {
-            let info = algorithm_named(name).unwrap().info();
-            assert!(
-                matches!(info.parallel, ParallelSupport::Sequential(_)),
-                "{name}"
-            );
+    fn capability_metadata_marks_every_builtin_sharded() {
+        // Since the cluster fan-out landed, every built-in path shards: the
+        // dense local enumerations over root shards, the CONGEST pipelines
+        // over cluster tasks. Capability stays a build/algorithm fact.
+        for algorithm in algorithms() {
+            let info = algorithm.info();
+            assert_eq!(info.parallel, ParallelSupport::Sharded, "{}", info.name);
         }
     }
 
@@ -866,7 +855,7 @@ mod tests {
     }
 
     #[test]
-    fn congest_paths_record_a_sequential_fallback_reason() {
+    fn congest_paths_report_sharded_support_consistent_with_the_build() {
         let graph = gen::erdos_renyi(30, 0.3, 2);
         let engine = Engine::builder()
             .p(4)
@@ -875,23 +864,26 @@ mod tests {
             .build()
             .unwrap();
         let (report, _) = engine.count(&graph);
-        assert!(!report.parallelism.supported);
-        assert_eq!(report.parallelism.threads_granted, 1);
-        let reason = report
-            .parallelism
-            .sequential_reason
-            .expect("reason recorded");
-        assert!(reason.contains("CONGEST"));
-        // The reason reaches the serialised artifact.
-        assert!(report.to_json().contains(reason));
-        // ...and is a capability statement: the same engine without any
+        if cfg!(feature = "parallel") {
+            assert!(report.parallelism.supported);
+            assert_eq!(report.parallelism.sequential_reason, None);
+            assert_eq!(report.parallelism.threads_granted, 4);
+        } else {
+            assert!(!report.parallelism.supported);
+            assert_eq!(report.parallelism.threads_granted, 1);
+            let reason = report.parallelism.sequential_reason.expect("reason");
+            assert!(reason.contains("parallel"));
+            assert!(report.to_json().contains(reason));
+        }
+        // Capability is a build/algorithm fact: the same engine without any
         // parallelism request serialises identically.
         let sequential = Engine::builder().p(4).algorithm("general").build().unwrap();
         let (sequential_report, _) = sequential.count(&graph);
         assert_eq!(
             sequential_report.parallelism.sequential_reason,
-            Some(reason)
+            report.parallelism.sequential_reason
         );
+        assert_eq!(sequential_report.to_json(), report.to_json());
     }
 
     #[test]

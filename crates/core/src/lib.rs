@@ -95,7 +95,5 @@ pub use engine::{
 pub use error::ConfigError;
 pub use report::{CongestedCliqueStats, Model, ParallelismSummary, RunReport, SinkSummary};
 pub use result::{Diagnostics, ListingResult, Rounds};
-#[cfg(feature = "parallel")]
-pub use sink::ShardBuffer;
-pub use sink::{CliqueSink, CollectSink, CountSink, Counted, Dedup, FirstK};
+pub use sink::{CliqueSink, CollectSink, CountSink, Counted, Dedup, FirstK, ShardBuffer};
 pub use verify::{verify_against_ground_truth, verify_cliques, VerificationError};

@@ -1,8 +1,10 @@
 //! The shared local enumeration behind the dense listing paths.
 //!
-//! The `congested-clique` and `naive-broadcast` algorithms both end in the
-//! same local step: enumerate every `K_p` of an (aggregate) graph into the
-//! run's [`CliqueSink`]. This module is that step's single implementation —
+//! The `congested-clique` and `naive-broadcast` algorithms end in one dense
+//! local step — enumerate every `K_p` of an (aggregate) graph into the
+//! run's [`CliqueSink`] — and the CONGEST drivers (`general`/`fast-k4`'s
+//! final broadcast, `eden-k4`'s naive finish) end in the same step over
+//! their surviving graph. This module is that step's single implementation —
 //! sequential by default, sharded across [`std::thread::scope`] workers when
 //! the `parallel` feature is on and the validated
 //! [`Parallelism`](crate::Parallelism) knob resolves above one thread.
@@ -45,14 +47,16 @@ pub(crate) fn stream_cliques(graph: &Graph, config: &ListingConfig, sink: &mut d
 }
 
 /// The sharded path: fan shards out over scoped worker threads through
-/// [`graphcore::cliques::merge_shards`] (the single orchestration shared
-/// with the graph-level drivers — stop flag, ordered replay and backpressure
-/// live there), with one [`ShardBuffer`] per shard bridging the enumeration
-/// to the `dyn CliqueSink`. Only this thread ever touches `sink`.
+/// [`graphcore::ordered_merge::ordered_merge`] (the single orchestration
+/// shared with the graph-level drivers and the cluster fan-out of
+/// `arb_list` — stop flag, ordered replay and backpressure live there), with
+/// one [`ShardBuffer`] per shard bridging the enumeration to the
+/// `dyn CliqueSink`. Only this thread ever touches `sink`.
 #[cfg(feature = "parallel")]
 fn parallel_stream(graph: &Graph, p: usize, threads: usize, sink: &mut dyn CliqueSink) {
     use crate::sink::ShardBuffer;
-    use graphcore::cliques::{merge_shards, ShardedEnumerator, SHARDS_PER_THREAD};
+    use graphcore::cliques::{ShardedEnumerator, SHARDS_PER_THREAD};
+    use graphcore::ordered_merge::ordered_merge as merge_shards;
 
     let enumerator = ShardedEnumerator::new(graph, p, threads.saturating_mul(SHARDS_PER_THREAD));
     let shards = enumerator.num_shards();

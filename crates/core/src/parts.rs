@@ -98,6 +98,25 @@ impl TupleAssignment {
     pub fn owners_needing(&self, a: u32, b: u32) -> u64 {
         self.tuples_containing(a, b).min(self.k as u64)
     }
+
+    /// Writes the distinct unordered part pairs of tuple `t` into `out`
+    /// (cleared first), canonical `(min, max)` form, sorted ascending.
+    ///
+    /// This is the per-tuple pair enumeration both exchange-load accountings
+    /// (in-cluster and CONGESTED CLIQUE) sum [`expander::PairTable`] counts
+    /// over; the scratch-vector dedup replaces a per-tuple hash set, so the
+    /// iteration order is structural.
+    pub fn distinct_pairs_into(&self, t: u64, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        let digits = self.tuple_parts(t);
+        for (i, &a) in digits.iter().enumerate() {
+            for &b in &digits[i + 1..] {
+                out.push((a.min(b), a.max(b)));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +182,32 @@ mod tests {
                     assert!(covered.contains(&vec![a, b, c]), "({a},{b},{c}) uncovered");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_are_sorted_and_deduped() {
+        let asg = TupleAssignment::new(27, 3);
+        let mut pairs = Vec::new();
+        for t in 0..asg.num_tuples {
+            asg.distinct_pairs_into(t, &mut pairs);
+            // Reference: brute-force set of unordered digit pairs.
+            let digits = asg.tuple_parts(t);
+            let mut expected: Vec<(u32, u32)> = Vec::new();
+            for (i, &a) in digits.iter().enumerate() {
+                for &b in &digits[i + 1..] {
+                    let pair = (a.min(b), a.max(b));
+                    if !expected.contains(&pair) {
+                        expected.push(pair);
+                    }
+                }
+            }
+            expected.sort_unstable();
+            assert_eq!(pairs, expected, "tuple {t}");
+            assert!(
+                pairs.windows(2).all(|w| w[0] < w[1]),
+                "tuple {t} not strict"
+            );
         }
     }
 

@@ -203,9 +203,9 @@ impl<S: CliqueSink> CliqueSink for Dedup<S> {
 /// worker scheduling. Storage is one flat `u32` array (rows of width `p`),
 /// so buffering allocates nothing per clique.
 ///
-/// Only exists in `parallel` builds — sequential builds have no shards to
-/// buffer.
-#[cfg(feature = "parallel")]
+/// The cluster fan-out of `arb_list` uses the same buffer for its per-cluster
+/// emissions — on every path, sequential builds included, so the sequential
+/// pipeline and the parallel one run literally the same produce/replay code.
 #[derive(Clone, Debug)]
 pub struct ShardBuffer {
     shard: usize,
@@ -213,7 +213,6 @@ pub struct ShardBuffer {
     flat: Vec<u32>,
 }
 
-#[cfg(feature = "parallel")]
 impl ShardBuffer {
     /// Creates an empty buffer for shard `shard` holding cliques of `width`
     /// vertices.
@@ -261,7 +260,6 @@ impl ShardBuffer {
     }
 }
 
-#[cfg(feature = "parallel")]
 impl CliqueSink for ShardBuffer {
     fn accept(&mut self, clique: &[u32]) {
         debug_assert_eq!(clique.len(), self.width, "clique width mismatch");
@@ -361,7 +359,6 @@ mod tests {
         assert_eq!(sink.into_inner().count, 2);
     }
 
-    #[cfg(feature = "parallel")]
     #[test]
     fn shard_buffers_replay_in_order_and_respect_saturation() {
         let mut a = ShardBuffer::new(0, 3);

@@ -28,16 +28,25 @@
 //! clique can contain several goal edges of the same cluster) and across
 //! clusters; the caller (`arb_list`) wraps the downstream sink in a
 //! per-invocation [`Dedup`](crate::sink::Dedup) layer, preserving the
-//! engine's exactly-once contract.
+//! engine's exactly-once contract. The emission *order* needs no such
+//! repair: goal edges are visited in sorted order and each goal edge's
+//! cliques stream in ascending canonical order, so the raw (pre-dedup)
+//! sequence is already deterministic — the `Dedup` exists solely for the
+//! genuine duplicates above, never to absorb iteration-order noise (see
+//! `dedup_exists_for_duplicates_not_order` in `arb_list`).
+//!
+//! All load accounting is flat: per-rank loads live in `Vec`s keyed by the
+//! dense identifiers of Lemma 2.5 ([`ClusterIds`]), part-pair counts in a
+//! [`PairTable`] over the radix parts — no hashing on the per-edge path and
+//! no hash-order iteration anywhere.
 
 use crate::config::ListingConfig;
 use crate::parts::TupleAssignment;
 use crate::result::{phase, Rounds};
 use crate::sink::CliqueSink;
-use expander::{Cluster, ClusterIds, ClusterRouter};
+use expander::{Cluster, ClusterIds, ClusterRouter, DenseTable, PairTable};
 use graphcore::partition::VertexPartition;
 use graphcore::{cliques, EdgeSet, Graph};
-use std::collections::{HashMap, HashSet};
 
 pub use crate::config::ExchangeMode;
 
@@ -64,9 +73,9 @@ pub struct SparseListingInput<'a> {
     pub known_edges: &'a [(u32, u32)],
     /// Goal edges of the cluster.
     pub goal_edges: &'a EdgeSet,
-    /// Per-cluster-node words of outside knowledge (for the reshuffle's send
-    /// load).
-    pub learned_words: &'a HashMap<u32, u64>,
+    /// Per-cluster-node words of outside knowledge, keyed by dense rank (for
+    /// the reshuffle's send load).
+    pub learned_words: &'a DenseTable,
     /// Number of vertices of the whole graph.
     pub n: usize,
     /// Orientation out-degree bound of the current graph (`n^d`), used only
@@ -109,26 +118,22 @@ pub fn cluster_listing(
     let responsible_rank = |vertex: u32| -> usize { ((vertex as usize) / block).min(k - 1) };
 
     // Send load: what each cluster node currently holds (its own outgoing
-    // incident edges plus what it learned from outside).
-    let mut send_load: HashMap<u32, u64> = HashMap::new();
-    for &u in &cluster.vertices {
-        let own: u64 = input
-            .known_edges
-            .iter()
-            .filter(|&&(src, _)| src == u)
-            .count() as u64;
-        let learned = input.learned_words.get(&u).copied().unwrap_or(0);
-        send_load.insert(u, own * words + learned);
-    }
+    // incident edges plus what it learned from outside). One pass over the
+    // known edges, crediting cluster-member sources by dense rank.
+    let mut send_load = DenseTable::new(k);
     // Receive load: each responsible node receives the known out-edges of the
     // vertices in its block.
-    let mut recv_load: HashMap<usize, u64> = HashMap::new();
+    let mut recv_load = DenseTable::new(k);
     for &(src, _) in input.known_edges {
-        *recv_load.entry(responsible_rank(src)).or_insert(0) += words;
+        if let Some(rank) = ids.rank(src) {
+            send_load.add(rank, words);
+        }
+        recv_load.add(responsible_rank(src), words);
     }
-    let max_send = send_load.values().copied().max().unwrap_or(0);
-    let max_recv = recv_load.values().copied().max().unwrap_or(0);
-    outcome.reshuffle_load = max_send.max(max_recv);
+    for (rank, learned) in input.learned_words.iter() {
+        send_load.add(rank, learned);
+    }
+    outcome.reshuffle_load = send_load.max().max(recv_load.max());
     outcome.rounds.add(
         phase::RESHUFFLE,
         router.rounds_for_load(outcome.reshuffle_load),
@@ -144,11 +149,11 @@ pub fn cluster_listing(
         .add(phase::PARTITION_BROADCAST, router.rounds_for_load(n as u64));
 
     // --- Step 4: part exchange ---------------------------------------------
-    // Count known edges between each unordered pair of parts.
-    let mut pair_counts: HashMap<(u32, u32), u64> = HashMap::new();
+    // Count known edges between each unordered pair of parts — a flat
+    // upper-triangular table over the `P ≈ k^{1/p}` parts.
+    let mut pair_counts = PairTable::new(assignment.num_parts);
     for &(src, dst) in input.known_edges {
-        let (a, b) = (partition.part_of(src), partition.part_of(dst));
-        *pair_counts.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+        pair_counts.add(partition.part_of(src), partition.part_of(dst), 1);
     }
     // Receive load per rank: sum over its tuples of the counts of every pair
     // of parts in the tuple.
@@ -159,19 +164,16 @@ pub fn cluster_listing(
         part_size * part_size
     };
     let mut max_exchange_recv = 0u64;
+    // Scratch for the distinct part pairs of one tuple: at most p(p−1)/2
+    // entries, sorted + deduped in place (no per-tuple hash set).
+    let mut tuple_pairs: Vec<(u32, u32)> = Vec::new();
     for rank in 0..k {
         let mut load = 0u64;
         for t in assignment.tuples_of(rank) {
-            let digits = assignment.tuple_parts(t);
-            let mut pairs: HashSet<(u32, u32)> = HashSet::new();
-            for (i, &a) in digits.iter().enumerate() {
-                for &b in &digits[i + 1..] {
-                    pairs.insert((a.min(b), a.max(b)));
-                }
-            }
-            for pair in pairs {
+            assignment.distinct_pairs_into(t, &mut tuple_pairs);
+            for &(a, b) in &tuple_pairs {
                 let count = match mode {
-                    ExchangeMode::SparsityAware => pair_counts.get(&pair).copied().unwrap_or(0),
+                    ExchangeMode::SparsityAware => pair_counts.get(a, b),
                     ExchangeMode::DenseAssumption => dense_pair_load,
                 };
                 load += count * words;
@@ -182,14 +184,14 @@ pub fn cluster_listing(
     // Send load per rank: each known edge (owned by the responsible node of
     // its source) is sent to every node owning a tuple containing both
     // endpoint parts.
-    let mut exchange_send: HashMap<usize, u64> = HashMap::new();
+    let mut exchange_send = DenseTable::new(k);
     for &(src, dst) in input.known_edges {
         let (a, b) = (partition.part_of(src), partition.part_of(dst));
         let copies = assignment.owners_needing(a.min(b), a.max(b));
-        *exchange_send.entry(responsible_rank(src)).or_insert(0) += copies * words;
+        exchange_send.add(responsible_rank(src), copies * words);
     }
     let max_exchange_send = match mode {
-        ExchangeMode::SparsityAware => exchange_send.values().copied().max().unwrap_or(0),
+        ExchangeMode::SparsityAware => exchange_send.max(),
         ExchangeMode::DenseAssumption => {
             // Each responsible node nominally forwards its worst-case share of
             // a dense graph: (n/k)·n^d edges, each to p²·k^{1−2/p} owners.
@@ -233,7 +235,6 @@ pub fn cluster_listing(
             !sink.is_saturated()
         });
     }
-    let _ = ids;
     outcome
 }
 
@@ -279,7 +280,7 @@ mod tests {
     fn lists_all_cliques_with_a_goal_edge() {
         let g = gen::erdos_renyi(40, 0.3, 5);
         let (cluster, em_graph, known, em) = inputs_for(&g, 15);
-        let learned = HashMap::new();
+        let learned = DenseTable::new(cluster.len());
         let input = SparseListingInput {
             cluster: &cluster,
             em_graph: &em_graph,
@@ -308,7 +309,7 @@ mod tests {
     fn dense_mode_charges_at_least_as_many_rounds() {
         let g = gen::erdos_renyi(60, 0.2, 9);
         let (cluster, em_graph, known, em) = inputs_for(&g, 20);
-        let learned = HashMap::new();
+        let learned = DenseTable::new(cluster.len());
         let input = SparseListingInput {
             cluster: &cluster,
             em_graph: &em_graph,
@@ -335,7 +336,7 @@ mod tests {
         let g = gen::path_graph(10);
         let cluster = Cluster::new(0, vec![0, 1]);
         let em_graph = g.clone();
-        let learned = HashMap::new();
+        let learned = DenseTable::new(cluster.len());
         let goal = EdgeSet::new();
         let input = SparseListingInput {
             cluster: &cluster,
@@ -360,7 +361,7 @@ mod tests {
         let mut loads = Vec::new();
         for g in [&sparse_graph, &dense_graph] {
             let (cluster, em_graph, known, em) = inputs_for(g, 25);
-            let learned = HashMap::new();
+            let learned = DenseTable::new(cluster.len());
             let input = SparseListingInput {
                 cluster: &cluster,
                 em_graph: &em_graph,
@@ -385,7 +386,7 @@ mod tests {
     fn saturated_sinks_stop_the_local_enumeration_but_not_the_rounds() {
         let g = gen::complete_graph(20);
         let (cluster, em_graph, known, em) = inputs_for(&g, 20);
-        let learned = HashMap::new();
+        let learned = DenseTable::new(cluster.len());
         let input = SparseListingInput {
             cluster: &cluster,
             em_graph: &em_graph,

@@ -1,4 +1,5 @@
-//! Intra-cluster identifier assignment (Lemma 2.5).
+//! Intra-cluster identifier assignment (Lemma 2.5) and the flat dense-id
+//! tables built on top of it.
 //!
 //! Several steps of the listing algorithm need every cluster node to know a
 //! dense rank in `{0, …, |C| − 1}`: responsibilities for outside vertices and
@@ -7,15 +8,22 @@
 //! `O(polylog n)` rounds; we compute the ranks directly (sorted by original
 //! identifier, which is what a distributed prefix-sum over a BFS tree would
 //! produce) and charge that cost.
+//!
+//! The dense ranks are what make the pipeline's load accounting flat:
+//! [`DenseTable`] (per-rank word counters) and [`PairTable`] (per-part-pair
+//! edge counters) are plain `Vec`-indexed tables keyed by dense identifiers,
+//! replacing the `HashMap`/`HashSet` bookkeeping of the earlier pipeline.
+//! Beyond skipping a hash per touch on the hot path, their iteration order
+//! is *structural* (ascending rank / pair index), which is what lets the
+//! cluster fan-out run in parallel with byte-identical output instead of
+//! repairing iteration order downstream.
 
 use crate::cluster::Cluster;
 use congest::{ChargePolicy, PrimitiveKind};
-use std::collections::HashMap;
 
 /// The dense identifier assignment of one cluster.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ClusterIds {
-    rank_of: HashMap<u32, usize>,
     by_rank: Vec<u32>,
 }
 
@@ -23,9 +31,12 @@ impl ClusterIds {
     /// Assigns ranks `0..k` to the cluster's nodes in increasing order of
     /// their original identifiers.
     pub fn assign(cluster: &Cluster) -> Self {
-        let by_rank = cluster.vertices.clone();
-        let rank_of = by_rank.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        ClusterIds { rank_of, by_rank }
+        // Cluster vertices are sorted and deduplicated on construction, so
+        // the vertex list *is* the rank order and ranks resolve by binary
+        // search — no per-vertex hash table.
+        ClusterIds {
+            by_rank: cluster.vertices.clone(),
+        }
     }
 
     /// Number of nodes covered.
@@ -40,7 +51,7 @@ impl ClusterIds {
 
     /// The rank of an original vertex, if it belongs to the cluster.
     pub fn rank(&self, v: u32) -> Option<usize> {
-        self.rank_of.get(&v).copied()
+        self.by_rank.binary_search(&v).ok()
     }
 
     /// The original vertex holding `rank`.
@@ -60,6 +71,118 @@ impl ClusterIds {
     /// The primitive kind under which the cost is charged.
     pub fn primitive_kind() -> PrimitiveKind {
         PrimitiveKind::ClusterIdAssignment
+    }
+}
+
+/// A flat `u64` counter table keyed by dense identifiers `0..len` — the
+/// load-accounting workhorse of the cluster pipeline (per-rank send/receive
+/// words, learned-word counts).
+///
+/// Every operation is a direct `Vec` index: no hashing on the hot path, and
+/// [`DenseTable::iter`] walks the keys in ascending order, so any value
+/// derived from an iteration is deterministic by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DenseTable {
+    values: Vec<u64>,
+}
+
+impl DenseTable {
+    /// Creates a zeroed table over the dense key space `0..len`.
+    pub fn new(len: usize) -> Self {
+        DenseTable {
+            values: vec![0; len],
+        }
+    }
+
+    /// Number of keys (dense identifiers) covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the key space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Adds `delta` to the counter of dense id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn add(&mut self, id: usize, delta: u64) {
+        self.values[id] += delta;
+    }
+
+    /// The counter of dense id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn get(&self, id: usize) -> u64 {
+        self.values[id]
+    }
+
+    /// The maximum counter over all ids (0 for an empty table).
+    pub fn max(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates over `(id, value)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.values.iter().copied().enumerate()
+    }
+}
+
+/// A flat counter table over unordered pairs of dense identifiers
+/// `{a, b} ⊆ 0..num_ids` (including `a == b`), stored as one
+/// upper-triangular `Vec<u64>`.
+///
+/// This replaces the `HashMap<(u32, u32), u64>` pair-count tables of the
+/// part-exchange accounting: the part universe of the radix assignment is
+/// `P ≈ k^{1/p}`, so the full triangle is tiny (`P(P+1)/2` words) while a
+/// hash map would pay a hash per counted edge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairTable {
+    num_ids: u32,
+    values: Vec<u64>,
+}
+
+impl PairTable {
+    /// Creates a zeroed table over all unordered pairs of `0..num_ids`.
+    pub fn new(num_ids: u32) -> Self {
+        let n = num_ids as usize;
+        PairTable {
+            num_ids,
+            values: vec![0; n * (n + 1) / 2],
+        }
+    }
+
+    /// Number of distinct dense identifiers covered.
+    pub fn num_ids(&self) -> u32 {
+        self.num_ids
+    }
+
+    /// The flat index of the unordered pair `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    fn index(&self, a: u32, b: u32) -> usize {
+        let (lo, hi) = (a.min(b) as usize, a.max(b) as usize);
+        assert!(hi < self.num_ids as usize, "pair id {hi} out of range");
+        // Row `lo` of the upper triangle starts after the rows above it.
+        lo * self.num_ids as usize - lo * (lo + 1) / 2 + hi
+    }
+
+    /// Adds `delta` to the counter of the unordered pair `{a, b}`.
+    pub fn add(&mut self, a: u32, b: u32, delta: u64) {
+        let i = self.index(a, b);
+        self.values[i] += delta;
+    }
+
+    /// The counter of the unordered pair `{a, b}`.
+    pub fn get(&self, a: u32, b: u32) -> u64 {
+        self.values[self.index(a, b)]
     }
 }
 
@@ -97,5 +220,67 @@ mod tests {
         let ids = ClusterIds::assign(&Cluster::new(0, vec![]));
         assert!(ids.is_empty());
         assert_eq!(ids.rank(0), None);
+    }
+
+    #[test]
+    fn dense_table_counts_and_maxes() {
+        let mut t = DenseTable::new(4);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.max(), 0);
+        t.add(1, 5);
+        t.add(1, 2);
+        t.add(3, 6);
+        assert_eq!(t.get(0), 0);
+        assert_eq!(t.get(1), 7);
+        assert_eq!(t.max(), 7);
+        let pairs: Vec<(usize, u64)> = t.iter().collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 7), (2, 0), (3, 6)]);
+        assert!(DenseTable::new(0).is_empty());
+        assert_eq!(DenseTable::new(0).max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn dense_table_rejects_out_of_range_ids() {
+        DenseTable::new(2).add(2, 1);
+    }
+
+    #[test]
+    fn pair_table_matches_a_reference_map() {
+        use std::collections::HashMap;
+        let p = 5u32;
+        let mut table = PairTable::new(p);
+        assert_eq!(table.num_ids(), p);
+        let mut reference: HashMap<(u32, u32), u64> = HashMap::new();
+        // A deterministic pseudo-random walk over pairs.
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (x >> 33) as u32 % p;
+            let b = (x >> 13) as u32 % p;
+            let delta = x % 5;
+            table.add(a, b, delta);
+            *reference.entry((a.min(b), a.max(b))).or_insert(0) += delta;
+        }
+        for a in 0..p {
+            for b in a..p {
+                assert_eq!(
+                    table.get(a, b),
+                    reference.get(&(a, b)).copied().unwrap_or(0),
+                    "pair ({a},{b})"
+                );
+                // Unordered: both orders hit the same counter.
+                assert_eq!(table.get(a, b), table.get(b, a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pair_table_rejects_out_of_range_ids() {
+        PairTable::new(3).get(1, 3);
     }
 }

@@ -44,5 +44,5 @@ pub mod routing;
 
 pub use cluster::Cluster;
 pub use decomposition::{decompose, Decomposition, DecompositionConfig, Violation};
-pub use ids::ClusterIds;
+pub use ids::{ClusterIds, DenseTable, PairTable};
 pub use routing::{ClusterRouter, RoutingOutcome};

@@ -13,11 +13,15 @@
 //! *verifies* the hypothesis of the theorem by reporting the observed maximum
 //! load, so callers (and tests) can check they stayed within the budget the
 //! paper's analysis assumes.
+//!
+//! Loads and deliveries are tracked in flat [`DenseTable`]/`Vec` structures
+//! keyed by the dense cluster ranks of Lemma 2.5 — no hashing per message,
+//! and delivery order is structural (source order within each destination).
 
 use crate::cluster::Cluster;
+use crate::ids::{ClusterIds, DenseTable};
 use congest::{ChargePolicy, CostLedger, PrimitiveKind};
 use graphcore::Graph;
-use std::collections::HashMap;
 
 /// Outcome of one routing invocation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,7 +39,8 @@ pub struct RoutingOutcome {
 /// A load-accounted router for one cluster.
 #[derive(Clone, Debug)]
 pub struct ClusterRouter {
-    cluster: Cluster,
+    ids: ClusterIds,
+    cluster_id: usize,
     bandwidth: u64,
     n: usize,
     policy: ChargePolicy,
@@ -48,7 +53,8 @@ impl ClusterRouter {
     pub fn new(cluster: &Cluster, em_graph: &Graph, n: usize, policy: ChargePolicy) -> Self {
         ClusterRouter {
             bandwidth: cluster.bandwidth(em_graph).max(1),
-            cluster: cluster.clone(),
+            ids: ClusterIds::assign(cluster),
+            cluster_id: cluster.id,
             n,
             policy,
         }
@@ -60,11 +66,20 @@ impl ClusterRouter {
         self.bandwidth
     }
 
+    /// The dense identifier assignment (Lemma 2.5) the router keys its load
+    /// tables by.
+    pub fn ids(&self) -> &ClusterIds {
+        &self.ids
+    }
+
     /// Routes `messages` (source, destination, payload) inside the cluster,
     /// grouping them by destination, and charges the corresponding rounds to
     /// `ledger`.
     ///
-    /// Every payload is counted as `words_per_message` words.
+    /// Every payload is counted as `words_per_message` words. The returned
+    /// deliveries are indexed by the **dense rank** of the destination (see
+    /// [`ClusterRouter::ids`]); each destination's messages arrive as
+    /// `(source, payload)` pairs in submission order.
     ///
     /// # Panics
     ///
@@ -75,28 +90,28 @@ impl ClusterRouter {
         messages: Vec<(u32, u32, T)>,
         words_per_message: u64,
         ledger: &mut CostLedger,
-    ) -> (HashMap<u32, Vec<(u32, T)>>, RoutingOutcome) {
-        let mut send_load: HashMap<u32, u64> = HashMap::new();
-        let mut recv_load: HashMap<u32, u64> = HashMap::new();
-        let mut delivered: HashMap<u32, Vec<(u32, T)>> = HashMap::new();
+    ) -> (Vec<Vec<(u32, T)>>, RoutingOutcome) {
+        let k = self.ids.len();
+        let mut send_load = DenseTable::new(k);
+        let mut recv_load = DenseTable::new(k);
+        let mut delivered: Vec<Vec<(u32, T)>> = (0..k).map(|_| Vec::new()).collect();
         let count = messages.len() as u64;
         for (src, dst, payload) in messages {
-            assert!(
-                self.cluster.contains(src),
-                "routing source {src} is not in cluster {}",
-                self.cluster.id
-            );
-            assert!(
-                self.cluster.contains(dst),
-                "routing destination {dst} is not in cluster {}",
-                self.cluster.id
-            );
-            *send_load.entry(src).or_insert(0) += words_per_message;
-            *recv_load.entry(dst).or_insert(0) += words_per_message;
-            delivered.entry(dst).or_default().push((src, payload));
+            let src_rank = self.ids.rank(src).unwrap_or_else(|| {
+                panic!("routing source {src} is not in cluster {}", self.cluster_id)
+            });
+            let dst_rank = self.ids.rank(dst).unwrap_or_else(|| {
+                panic!(
+                    "routing destination {dst} is not in cluster {}",
+                    self.cluster_id
+                )
+            });
+            send_load.add(src_rank, words_per_message);
+            recv_load.add(dst_rank, words_per_message);
+            delivered[dst_rank].push((src, payload));
         }
-        let max_send = send_load.values().copied().max().unwrap_or(0);
-        let max_recv = recv_load.values().copied().max().unwrap_or(0);
+        let max_send = send_load.max();
+        let max_recv = recv_load.max();
         let rounds = self
             .policy
             .routing_rounds(self.n, max_send.max(max_recv), self.bandwidth);
@@ -144,12 +159,13 @@ mod tests {
         assert_eq!(outcome.max_recv, 2);
         assert_eq!(outcome.rounds, 1);
         assert_eq!(ledger.for_kind(PrimitiveKind::IntraClusterRouting), 1);
-        let total: usize = delivered.values().map(Vec::len).sum();
+        let total: usize = delivered.iter().map(Vec::len).sum();
         assert_eq!(total, 20);
-        // Each destination received from the correct sources.
-        for (dst, items) in &delivered {
+        // Each destination received from the correct sources (on the
+        // identity-id cluster 0..10, rank == vertex).
+        for (dst_rank, items) in delivered.iter().enumerate() {
             for (src, _) in items {
-                assert_eq!((src + 1) % 10, *dst);
+                assert_eq!(((src + 1) % 10) as usize, dst_rank);
             }
         }
     }
@@ -173,8 +189,23 @@ mod tests {
         let router = ClusterRouter::new(&cluster, &g, 10, ChargePolicy::bare());
         let mut ledger = CostLedger::new();
         let (delivered, outcome) = router.route(Vec::<(u32, u32, u8)>::new(), 1, &mut ledger);
-        assert!(delivered.is_empty());
+        assert!(delivered.iter().all(Vec::is_empty));
         assert_eq!(outcome.rounds, 1);
+    }
+
+    #[test]
+    fn deliveries_are_rank_indexed_on_sparse_id_clusters() {
+        // A cluster whose vertex ids are far from dense: rank indexing must
+        // follow the sorted-id order of Lemma 2.5.
+        let g = gen::complete_graph(40);
+        let cluster = Cluster::new(3, vec![31, 4, 17]);
+        let router = ClusterRouter::new(&cluster, &g, 40, ChargePolicy::bare());
+        let mut ledger = CostLedger::new();
+        let (delivered, _) = router.route(vec![(4u32, 31u32, 'x'), (17, 4, 'y')], 1, &mut ledger);
+        assert_eq!(router.ids().rank(31), Some(2));
+        assert_eq!(delivered[2], vec![(4, 'x')]);
+        assert_eq!(delivered[0], vec![(17, 'y')]);
+        assert!(delivered[1].is_empty());
     }
 
     #[test]

@@ -341,32 +341,14 @@ impl ShardPlan {
         p: usize,
         target_shards: usize,
     ) -> Self {
-        let n = ordering.order.len();
-        if n == 0 {
-            return ShardPlan { ranges: Vec::new() };
-        }
-        let target = target_shards.clamp(1, n);
-        let total: u64 = ordering
+        let weights: Vec<u64> = ordering
             .order
             .iter()
             .map(|&v| root_work(dag.out_degree(v), p))
-            .sum();
-        let chunk = total.div_ceil(target as u64).max(1);
-        let mut ranges = Vec::with_capacity(target);
-        let mut start = 0usize;
-        let mut acc = 0u64;
-        for (i, &v) in ordering.order.iter().enumerate() {
-            acc += root_work(dag.out_degree(v), p);
-            if acc >= chunk && ranges.len() + 1 < target {
-                ranges.push((start as u32, (i + 1) as u32));
-                start = i + 1;
-                acc = 0;
-            }
+            .collect();
+        ShardPlan {
+            ranges: crate::ordered_merge::balanced_ranges(&weights, target_shards),
         }
-        if start < n {
-            ranges.push((start as u32, n as u32));
-        }
-        ShardPlan { ranges }
     }
 
     /// Number of planned shards (0 only for the empty graph).
@@ -500,135 +482,14 @@ impl<'g> ShardedEnumerator<'g> {
 #[cfg(feature = "parallel")]
 pub const SHARDS_PER_THREAD: usize = 8;
 
-/// Shards a worker may run ahead of the replay cursor, per worker thread.
-/// This is the backpressure bound of [`merge_shards`]: without it, workers
-/// racing ahead of one slow shard could buffer nearly the whole result set;
-/// with it, at most `O(threads)` shard buffers ever exist at once.
+/// The ordered shard merge used by every parallel driver (this module's
+/// `for_each_clique_parallel*` and the engine's sink path in the
+/// `cliquelist` crate). Re-exported from [`crate::ordered_merge`], where the
+/// orchestration lives once for all fan-outs (root shards here, cluster
+/// tasks in the CONGEST pipeline); see that module for the determinism and
+/// backpressure contract.
 #[cfg(feature = "parallel")]
-const BACKPRESSURE_WINDOW_PER_THREAD: usize = 2;
-
-/// The generic ordered shard merge used by every parallel driver (this
-/// module's `for_each_clique_parallel*` and the engine's sink path in the
-/// `cliquelist` crate): `produce(shard)` runs on up to `threads` scoped
-/// worker threads, and `consume` runs **only on the calling thread**, in
-/// ascending shard order, parking out-of-order results until their turn.
-/// Returns `true` when every shard was consumed; `consume` returning `false`
-/// stops the merge immediately and tells workers to abandon unclaimed
-/// shards.
-///
-/// Two properties make this the deterministic backbone of `DESIGN.md` §8:
-///
-/// * **Order.** Which worker runs which shard is scheduling-dependent, but
-///   consumption is strictly `0, 1, 2, …` — so when shards are contiguous
-///   ranges of one sequence, the merged result is byte-identical to a
-///   sequential pass at any thread count.
-/// * **Bounded buffering.** A worker may claim a shard only while it is
-///   within a fixed window of the replay cursor
-///   ([`BACKPRESSURE_WINDOW_PER_THREAD`] per thread); workers past the
-///   window block until the cursor advances. Peak outstanding results are
-///   therefore `O(threads)` shards, not `O(num_shards)` — one slow early
-///   shard cannot make the merge buffer the whole result set.
-///
-/// # Panics
-///
-/// Panics if `threads == 0` (the caller decides the sequential fallback).
-#[cfg(feature = "parallel")]
-pub fn merge_shards<T, P, C>(shards: usize, threads: usize, produce: P, mut consume: C) -> bool
-where
-    T: Send,
-    P: Fn(usize) -> T + Sync,
-    C: FnMut(T) -> bool,
-{
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-    use std::sync::{mpsc, Condvar, Mutex};
-
-    assert!(threads > 0, "need at least one worker thread");
-    let stop = AtomicBool::new(false);
-    let next = AtomicUsize::new(0);
-    // Replay cursor + its wait gate. `cursor` is the next shard index to be
-    // consumed; workers wanting to run further ahead than the window wait on
-    // the condvar, and the consumer notifies under the mutex after every
-    // advance (and on stop), so no wakeup can be lost.
-    let cursor = AtomicUsize::new(0);
-    let gate = (Mutex::new(()), Condvar::new());
-    let window = threads
-        .saturating_mul(BACKPRESSURE_WINDOW_PER_THREAD)
-        .max(1);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    let mut completed = true;
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(shards) {
-            let tx = tx.clone();
-            let (produce, stop, next, cursor, gate) = (&produce, &stop, &next, &cursor, &gate);
-            scope.spawn(move || loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let shard = next.fetch_add(1, Ordering::Relaxed);
-                if shard >= shards {
-                    break;
-                }
-                // Backpressure: wait until the claimed shard is within the
-                // window of the replay cursor. The worker holding the cursor
-                // shard itself never waits (shard == cursor < cursor+window),
-                // so the consumer always makes progress — no deadlock.
-                {
-                    let mut guard = gate.0.lock().expect("gate mutex");
-                    while shard >= cursor.load(Ordering::Acquire) + window
-                        && !stop.load(Ordering::Relaxed)
-                    {
-                        guard = gate.1.wait(guard).expect("gate mutex");
-                    }
-                }
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                if tx.send((shard, produce(shard))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-
-        let mut pending: Vec<Option<T>> = (0..shards).map(|_| None).collect();
-        let mut emit = 0usize;
-        'replay: while emit < shards {
-            let Ok((shard, result)) = rx.recv() else {
-                break;
-            };
-            pending[shard] = Some(result);
-            while emit < shards {
-                let Some(result) = pending[emit].take() else {
-                    break;
-                };
-                let keep_going = consume(result);
-                emit += 1;
-                // Advance the cursor under the gate lock so a worker checking
-                // the window between our store and our notify cannot miss the
-                // wakeup.
-                {
-                    let _guard = gate.0.lock().expect("gate mutex");
-                    cursor.store(emit, Ordering::Release);
-                    if !keep_going {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                    gate.1.notify_all();
-                }
-                if !keep_going {
-                    completed = false;
-                    break 'replay;
-                }
-            }
-        }
-        // On early exit, release any workers still parked at the gate.
-        {
-            let _guard = gate.0.lock().expect("gate mutex");
-            stop.store(true, Ordering::Relaxed);
-            gate.1.notify_all();
-        }
-    });
-    completed
-}
+pub use crate::ordered_merge::ordered_merge as merge_shards;
 
 /// Parallel counterpart of [`for_each_clique`]: enumerates every `p`-clique
 /// on up to `threads` scoped worker threads, calling `visit` **on the calling
@@ -1116,62 +977,6 @@ mod tests {
         });
         assert!(!completed);
         assert_eq!(seen, 2);
-    }
-
-    #[cfg(feature = "parallel")]
-    #[test]
-    fn merge_shards_consumes_in_order_despite_adversarial_completion() {
-        // Early shards sleep longest, so completion order is roughly the
-        // reverse of shard order — consumption must still be 0, 1, 2, …, and
-        // the claim-window backpressure must not deadlock while shard 0 holds
-        // everyone back.
-        let shards = 24usize;
-        let consumed = std::cell::RefCell::new(Vec::new());
-        let completed = merge_shards(
-            shards,
-            4,
-            |shard| {
-                std::thread::sleep(std::time::Duration::from_millis(
-                    (shards - shard) as u64 % 7,
-                ));
-                shard * 10
-            },
-            |value| {
-                consumed.borrow_mut().push(value);
-                true
-            },
-        );
-        assert!(completed);
-        let expected: Vec<usize> = (0..shards).map(|s| s * 10).collect();
-        assert_eq!(consumed.into_inner(), expected);
-    }
-
-    #[cfg(feature = "parallel")]
-    #[test]
-    fn merge_shards_stops_early_and_releases_parked_workers() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let produced = AtomicUsize::new(0);
-        let mut consumed = 0usize;
-        let completed = merge_shards(
-            64,
-            4,
-            |shard| {
-                produced.fetch_add(1, Ordering::Relaxed);
-                shard
-            },
-            |_| {
-                consumed += 1;
-                consumed < 3
-            },
-        );
-        assert!(!completed);
-        assert_eq!(consumed, 3);
-        // The stop signal plus the claim window keep the abandoned work
-        // bounded; without them all 64 shards would have been produced.
-        assert!(
-            produced.load(Ordering::Relaxed) < 64,
-            "early stop must abandon unclaimed shards"
-        );
     }
 
     #[test]

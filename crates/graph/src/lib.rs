@@ -15,6 +15,10 @@
 //!   to verify the distributed algorithms, plus its sharded parallel
 //!   counterpart (feature `parallel`) whose merged output is byte-identical
 //!   to the sequential order at any thread count;
+//! * [`ordered_merge`]: the generic work-item orchestrator behind every
+//!   deterministic parallel fan-out (root shards, cluster tasks): balanced
+//!   contiguous planning, claim-window backpressure and ascending-index
+//!   replay;
 //! * [`spectral`]: conductance and lazy-random-walk mixing-time estimates used
 //!   to validate the clusters produced by the expander decomposition;
 //! * [`partition`]: random vertex partitions and the edge-count bound of
@@ -37,6 +41,7 @@ pub mod cliques;
 pub mod edge;
 pub mod gen;
 pub mod graph;
+pub mod ordered_merge;
 pub mod orientation;
 pub mod partition;
 pub mod spectral;

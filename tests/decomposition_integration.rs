@@ -72,7 +72,10 @@ fn cluster_ids_and_router_work_on_real_clusters() {
         let (delivered, outcome) = router.route(messages, 1, &mut ledger);
         assert_eq!(outcome.messages as usize, cluster.len());
         assert_eq!(outcome.max_recv as usize, cluster.len());
-        assert_eq!(delivered[&target].len(), cluster.len());
+        // Deliveries are indexed by dense rank; the rank-0 node got them all.
+        assert_eq!(ids.rank(target), Some(0));
+        assert_eq!(delivered[0].len(), cluster.len());
+        assert!(delivered[1..].iter().all(Vec::is_empty));
         assert_eq!(ledger.total(), outcome.rounds);
     }
 }

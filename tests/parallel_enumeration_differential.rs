@@ -17,9 +17,17 @@
 //! Checked per cell: the collected listing with emission order (the
 //! visit-call trace), the allocation-free parallel count, and `FirstK`-style
 //! early-stop prefixes. Shard-plan structure is covered separately.
+//!
+//! The second half of the file is the **cluster-parallel battery** (PR 5):
+//! the CONGEST pipelines (`general`, `fast-k4`, `eden-k4`) fan their
+//! per-cluster work out over the shared ordered-merge orchestrator, and
+//! every algorithm × workload × thread-count × seed cell must reproduce the
+//! `Parallelism::Off` run exactly — sink-call traces, counts, `FirstK`
+//! prefixes, per-phase round breakdowns and `to_json` bytes.
 
 #![cfg(feature = "parallel")]
 
+use distributed_clique_listing::cliquelist::{CliqueSink, CountSink, Engine, FirstK, Parallelism};
 use distributed_clique_listing::graphcore::cliques::{
     count_cliques_parallel, for_each_clique, for_each_clique_parallel,
     for_each_clique_parallel_while, for_each_clique_while, ShardPlan, ShardedEnumerator,
@@ -176,6 +184,171 @@ fn shard_plans_partition_the_ordering_with_balanced_work() {
             }
             assert_eq!(covered, n, "case {case}: plan must cover every root");
         }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Cluster-parallel battery: the CONGEST pipelines under the Parallelism knob.
+// --------------------------------------------------------------------------
+
+/// The three cluster-pipeline algorithms made `Sharded` by PR 5.
+const CONGEST_ALGORITHMS: [&str; 3] = ["general", "fast-k4", "eden-k4"];
+
+/// Records the exact sink-call sequence of a run (never saturates).
+#[derive(Default)]
+struct TraceSink {
+    accepts: Vec<Clique>,
+}
+
+impl CliqueSink for TraceSink {
+    fn accept(&mut self, clique: &[u32]) {
+        self.accepts.push(clique.to_vec());
+    }
+}
+
+/// Workloads where the cluster pipeline genuinely activates (dense enough to
+/// produce clusters) plus a sparse shape exercising the no-cluster path.
+fn congest_workloads(seed: u64) -> Vec<(String, Graph)> {
+    vec![
+        (
+            format!("er(80,0.3,{seed})"),
+            gen::erdos_renyi(80, 0.3, seed),
+        ),
+        (
+            format!("planted(90,p4,{seed})"),
+            gen::planted_cliques(90, 0.05, 3, 4, seed).0,
+        ),
+        (
+            format!("er-sparse(90,0.08,{seed})"),
+            gen::erdos_renyi(90, 0.08, seed),
+        ),
+    ]
+}
+
+fn congest_engine(algorithm: &str, seed: u64, parallelism: Parallelism) -> Engine {
+    Engine::builder()
+        .p(4)
+        .algorithm(algorithm)
+        .seed(seed)
+        // Simulation-scale tuning keeps the cluster pipeline active at these
+        // sizes instead of skipping straight to the final broadcast.
+        .experiment_scale()
+        .parallelism(parallelism)
+        .build()
+        .expect("valid engine")
+}
+
+#[test]
+fn cluster_parallel_runs_are_byte_identical_across_threads_and_seeds() {
+    let mut rng = SmallRng::seed_from_u64(0xC105_0001);
+    for _ in 0..2 {
+        let seed = rng.gen_range(0u64..1_000);
+        for algorithm in CONGEST_ALGORITHMS {
+            for (label, graph) in congest_workloads(seed) {
+                let reference_engine = congest_engine(algorithm, seed, Parallelism::Off);
+                let mut reference = TraceSink::default();
+                let reference_report = reference_engine.run(&graph, &mut reference);
+                let reference_json = reference_report.to_json();
+
+                for threads in THREADS {
+                    let engine = congest_engine(algorithm, seed, Parallelism::Threads(threads));
+                    let mut trace = TraceSink::default();
+                    let report = engine.run(&graph, &mut trace);
+                    assert_eq!(
+                        trace.accepts, reference.accepts,
+                        "{algorithm}, {label}, threads={threads}: sink-call trace \
+                         diverged from Parallelism::Off"
+                    );
+                    // Phase-by-phase round breakdown, not just the total: a
+                    // cluster dropped or double-counted by the fan-out would
+                    // show up here first.
+                    assert_eq!(
+                        report.rounds, reference_report.rounds,
+                        "{algorithm}, {label}, threads={threads}: phase rounds diverged"
+                    );
+                    assert_eq!(
+                        report.diagnostics, reference_report.diagnostics,
+                        "{algorithm}, {label}, threads={threads}: diagnostics diverged"
+                    );
+                    assert_eq!(
+                        report.to_json(),
+                        reference_json,
+                        "{algorithm}, {label}, threads={threads}: to_json not byte-identical"
+                    );
+                    let mut count = CountSink::new();
+                    engine.run(&graph, &mut count);
+                    assert_eq!(
+                        count.count as usize,
+                        reference.accepts.len(),
+                        "{algorithm}, {label}, threads={threads}: count diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_parallel_first_k_prefixes_match_sequential() {
+    let mut rng = SmallRng::seed_from_u64(0xC105_0002);
+    for _ in 0..2 {
+        let seed = rng.gen_range(0u64..1_000);
+        let graph = gen::erdos_renyi(80, 0.3, seed);
+        for algorithm in CONGEST_ALGORITHMS {
+            let reference_engine = congest_engine(algorithm, seed, Parallelism::Off);
+            let mut full = TraceSink::default();
+            reference_engine.run(&graph, &mut full);
+            if full.accepts.is_empty() {
+                continue;
+            }
+            for k in [1usize, 5, full.accepts.len() + 7] {
+                let mut reference_first = FirstK::new(k);
+                let reference_report = reference_engine.run(&graph, &mut reference_first);
+                for threads in THREADS {
+                    let engine = congest_engine(algorithm, seed, Parallelism::Threads(threads));
+                    let mut first = FirstK::new(k);
+                    let report = engine.run(&graph, &mut first);
+                    assert_eq!(
+                        first.cliques, reference_first.cliques,
+                        "{algorithm}, threads={threads}, k={k}: FirstK prefix diverged"
+                    );
+                    // Saturation skips replay but never communication: the
+                    // round breakdown and emission accounting stay identical.
+                    assert_eq!(
+                        report.rounds, reference_report.rounds,
+                        "{algorithm}, threads={threads}, k={k}: rounds diverged under saturation"
+                    );
+                    assert_eq!(
+                        report.sink, reference_report.sink,
+                        "{algorithm}, threads={threads}, k={k}: sink summary diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_parallel_auto_matches_explicit_threads() {
+    // Parallelism::Auto resolves from the environment; whatever it resolves
+    // to, the output must equal the Off reference (the CI matrix pins
+    // CLIQUELIST_THREADS to sweep this).
+    let graph = gen::erdos_renyi(70, 0.3, 11);
+    for algorithm in CONGEST_ALGORITHMS {
+        let mut reference = TraceSink::default();
+        let reference_report =
+            congest_engine(algorithm, 11, Parallelism::Off).run(&graph, &mut reference);
+        let mut auto = TraceSink::default();
+        let auto_report = congest_engine(algorithm, 11, Parallelism::Auto).run(&graph, &mut auto);
+        assert_eq!(
+            auto.accepts, reference.accepts,
+            "{algorithm}: Auto diverged"
+        );
+        assert_eq!(
+            auto_report.to_json(),
+            reference_report.to_json(),
+            "{algorithm}: Auto to_json diverged"
+        );
     }
 }
 
