@@ -17,33 +17,35 @@
 //! exchange-mode ablation (E9) selects the dense mode through
 //! `EngineBuilder::exchange_mode` rather than a separate entry point.
 
-use bench::{core_periphery_workload, fit_exponent, listing_workload, two_communities, Table};
+use bench::sweep::SweepOutcome;
+use bench::{
+    core_periphery_workload, fit_exponent, git_rev, listing_workload, run_sweep, sweeps,
+    trajectory, two_communities, CellRecord, CellSpec, Json, ResultStore, Sweep, Table,
+};
 use cliquelist::baselines::simulate_naive_broadcast;
 use cliquelist::report::{json_f64, json_string};
 use cliquelist::result::phase;
-use cliquelist::{
-    algorithms, verify_against_ground_truth, verify_cliques, CountSink, Engine, ExchangeMode,
-    RunReport,
-};
+use cliquelist::{verify_against_ground_truth, verify_cliques, Engine, ExchangeMode, RunReport};
 use expander::{decompose, DecompositionConfig};
 use graphcore::partition::{
     edges_within, lemma_2_7_bound, lemma_2_7_preconditions, sample_vertices,
 };
-use graphcore::{cliques, gen, orientation};
-use std::time::Instant;
+use graphcore::{gen, orientation};
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let all = which == "all";
+    let cli = Cli::parse(&args);
+    match cli.which.as_str() {
+        "report" => std::process::exit(report_cmd(&cli)),
+        "check" => std::process::exit(check_cmd(&cli)),
+        _ => {}
+    }
+    let json = cli.json;
+    let all = cli.which == "all";
     let mut rendered: Vec<String> = Vec::new();
     let mut run = |id: &str, f: &dyn Fn(bool) -> String| {
-        if all || which == id {
+        if all || cli.which == id {
             rendered.push(f(json));
         }
     };
@@ -58,10 +60,110 @@ fn main() {
     run("e9", &e9_ablation);
     run("e10", &e10_lower_bound_ratio);
     run("e11", &e11_simulated_broadcast);
-    run("perf", &perf_hot_paths);
+    if all || cli.which == "perf" {
+        rendered.push(perf_hot_paths(&cli, json));
+    }
     if json {
         println!("{{\"experiments\":[{}]}}", rendered.join(","));
     }
+}
+
+/// Parsed command line. Besides the experiment ids (`e1`…`e11`, `perf`,
+/// `all`), the binary now has two harness subcommands:
+///
+/// * `report` — run the sweep through the result cache (always resuming) and
+///   write the consolidated trajectory (`--out`, default
+///   `BENCH_TRAJECTORY.json`; `-` for stdout).
+/// * `check` — run the sweep the same way and compare against a committed
+///   trajectory (`--baseline`); exits 1 on regression, 2 on usage errors.
+///
+/// `perf` accepts `--resume` (skip cells already in `--results-dir`) and all
+/// three commands accept `--sweep smoke` for the tiny test grid.
+struct Cli {
+    which: String,
+    json: bool,
+    resume: bool,
+    results_dir: String,
+    baseline: String,
+    out: String,
+    time_factor: Option<f64>,
+    sweep: String,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Cli {
+        const VALUE_FLAGS: &[&str] = &[
+            "--results-dir",
+            "--baseline",
+            "--out",
+            "--time-factor",
+            "--sweep",
+        ];
+        let mut cli = Cli {
+            which: String::new(),
+            json: false,
+            resume: false,
+            results_dir: "results".to_string(),
+            baseline: "BENCH_TRAJECTORY.json".to_string(),
+            out: "BENCH_TRAJECTORY.json".to_string(),
+            time_factor: None,
+            sweep: "perf".to_string(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if VALUE_FLAGS.contains(&arg) {
+                let value = args.get(i + 1).cloned().unwrap_or_default();
+                match arg {
+                    "--results-dir" => cli.results_dir = value,
+                    "--baseline" => cli.baseline = value,
+                    "--out" => cli.out = value,
+                    "--time-factor" => cli.time_factor = value.parse().ok(),
+                    _ => cli.sweep = value,
+                }
+                i += 2;
+            } else {
+                match arg {
+                    "--json" => cli.json = true,
+                    "--resume" => cli.resume = true,
+                    _ if arg.starts_with("--") => eprintln!("warning: unknown flag {arg} ignored"),
+                    _ if cli.which.is_empty() => cli.which = arg.to_string(),
+                    _ => eprintln!("warning: extra argument {arg} ignored"),
+                }
+                i += 1;
+            }
+        }
+        if cli.which.is_empty() {
+            cli.which = "all".to_string();
+        }
+        cli
+    }
+}
+
+/// Runs the selected sweep through the result store. Progress goes to
+/// stderr so `--json` output stays machine-readable.
+fn run_selected_sweep(cli: &Cli, resume: bool) -> (Sweep, SweepOutcome, String) {
+    let sweep = if cli.sweep == "smoke" {
+        sweeps::smoke_sweep()
+    } else {
+        sweeps::perf_sweep()
+    };
+    let store = ResultStore::new(Path::new(&cli.results_dir).join(&sweep.id));
+    let rev = git_rev();
+    let mut executor = sweeps::execute_perf_cell;
+    let mut progress = |index: usize, total: usize, spec: &CellSpec, cached: bool| {
+        let status = if cached { "cached" } else { "running" };
+        eprintln!(
+            "[{}/{total}] {}/{} seed={} ({status})",
+            index + 1,
+            spec.experiment,
+            spec.workload,
+            spec.seed
+        );
+    };
+    let outcome = run_sweep(&store, &sweep, &rev, resume, &mut executor, &mut progress)
+        .expect("the real executor never interrupts");
+    (sweep, outcome, rev)
 }
 
 /// The n-values of the CONGEST sweeps (dense Turán-style workloads).
@@ -803,235 +905,182 @@ fn e10_lower_bound_ratio(json: bool) -> String {
 /// records, so successive PRs can diff simulator performance (unlike E1–E11,
 /// the quantities here are timings, not round counts — they carry no
 /// scientific claim and vary with the host).
-fn perf_hot_paths(json: bool) -> String {
-    let mut log = Log::new(
-        "perf",
-        "Bench trajectory — wall-clock of exact enumeration and one engine run per algorithm",
-        json,
-    );
-    /// Times `body` `reps` times; returns (best, mean) in milliseconds.
-    fn time_reps(reps: u32, mut body: impl FnMut()) -> (f64, f64) {
-        let mut best = f64::INFINITY;
-        let mut total = 0.0;
-        for _ in 0..reps {
-            let start = Instant::now();
-            body();
-            let ms = start.elapsed().as_secs_f64() * 1e3;
-            best = best.min(ms);
-            total += ms;
-        }
-        (best, total / f64::from(reps))
-    }
-    const REPS: u32 = 3;
-
-    let mut table = Table::new(&["kind", "workload", "p", "cliques", "best ms", "mean ms"]);
-    // The dense-enumeration workloads: exact sequential K_p counting, the
-    // path every algorithm's ground truth and final broadcast run through.
-    let er400 = gen::erdos_renyi(400, 0.25, 7);
-    let er200 = gen::erdos_renyi(200, 0.5, 9);
-    let turan300 = gen::multipartite(300, 3, 0.8, 3);
-    let enumeration_cases: Vec<(&str, &graphcore::Graph, usize)> = vec![
-        ("er(400,0.25)", &er400, 3),
-        ("er(400,0.25)", &er400, 4),
-        ("er(200,0.5)", &er200, 5),
-        ("turan(300,3,0.8)", &turan300, 4),
-    ];
-    for (label, graph, p) in &enumeration_cases {
-        let mut count = 0usize;
-        let (best, mean) = time_reps(REPS, || count = cliques::count_cliques(graph, *p));
-        log.run(
-            &[
-                ("kind", json_string("enumeration")),
-                ("workload", json_string(label)),
-                ("p", p.to_string()),
-                ("cliques", count.to_string()),
-                ("best_ms", json_f64(best)),
-                ("mean_ms", json_f64(mean)),
-            ],
-            None,
+fn perf_hot_paths(cli: &Cli, json: bool) -> String {
+    let (sweep, outcome, rev) = run_selected_sweep(cli, cli.resume);
+    let records = trajectory::with_speedups(&outcome.records);
+    if !json {
+        println!();
+        println!("=== perf: {} ===", sweep.claim);
+        println!(
+            "(rev {rev}; {} cells: {} executed, {} cached under {}/{})",
+            records.len(),
+            outcome.executed,
+            outcome.skipped,
+            cli.results_dir,
+            sweep.id
         );
-        table.row(&[
-            "enumeration".into(),
-            (*label).into(),
-            p.to_string(),
-            count.to_string(),
-            format!("{best:.2}"),
-            format!("{mean:.2}"),
+        let mut table = Table::new(&[
+            "experiment",
+            "workload",
+            "p",
+            "threads",
+            "cliques",
+            "best ms",
+            "mean ms",
+            "used",
         ]);
-    }
-
-    // Thread-scaling of the sharded parallel enumerator on the dense K4
-    // workload (er(400,0.25), p = 4 — the heaviest enumeration case above).
-    // Only meaningful in a `--features parallel` build; the sequential build
-    // records an explicit skip so the artifact says *why* the series is
-    // missing. `available_parallelism` is recorded because the speedup is a
-    // property of the host: a single-core runner cannot show one.
-    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    #[cfg(feature = "parallel")]
-    {
-        let scaling_truth = cliques::count_cliques(&er400, 4);
-        let mut scaling_rows: Vec<(usize, f64, f64)> = Vec::new();
-        for &threads in &[1usize, 2, 4, 8] {
-            let mut count = 0usize;
-            let (best, mean) = time_reps(REPS, || {
-                count = cliques::count_cliques_parallel(&er400, 4, threads);
-            });
-            assert_eq!(count, scaling_truth, "parallel count diverged");
-            scaling_rows.push((threads, best, mean));
-        }
-        let baseline = scaling_rows[0].1;
-        for &(threads, best, mean) in &scaling_rows {
-            let speedup = baseline / best;
-            log.run(
-                &[
-                    ("kind", json_string("thread-scaling")),
-                    ("workload", json_string("er(400,0.25)")),
-                    ("p", 4.to_string()),
-                    ("threads", threads.to_string()),
-                    ("available_parallelism", host_threads.to_string()),
-                    ("cliques", scaling_truth.to_string()),
-                    ("best_ms", json_f64(best)),
-                    ("mean_ms", json_f64(mean)),
-                    ("speedup_vs_1_thread", json_f64(speedup)),
-                ],
-                None,
-            );
+        for record in &records {
+            let config = &record.spec.config;
+            let metrics = &record.metrics;
+            let field = |doc: &Json, key: &str| {
+                doc.get(key)
+                    .and_then(Json::as_f64)
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.2}"))
+            };
+            let count = metrics
+                .get("cliques")
+                .and_then(Json::as_f64)
+                .map_or_else(|| "skipped".to_string(), |v| format!("{v}"));
             table.row(&[
-                format!("thread-scaling:{threads}"),
-                "er(400,0.25)".into(),
-                4.to_string(),
-                scaling_truth.to_string(),
-                format!("{best:.2}"),
-                format!("{mean:.2} ({speedup:.2}x)"),
+                record.spec.experiment.clone(),
+                record.spec.workload.clone(),
+                config
+                    .get("p")
+                    .and_then(Json::as_f64)
+                    .map_or_else(|| "-".to_string(), |v| format!("{v}")),
+                config
+                    .get("threads")
+                    .and_then(Json::as_f64)
+                    .map_or_else(|| "-".to_string(), |v| format!("{v}")),
+                count,
+                field(metrics, "best_ms"),
+                field(metrics, "mean_ms"),
+                metrics
+                    .get("threads_used")
+                    .and_then(Json::as_f64)
+                    .map_or_else(|| "-".to_string(), |v| format!("{v}")),
             ]);
         }
-
-        // Cluster-scaling of the CONGEST pipeline (PR 5): the `general`
-        // algorithm fans its per-cluster work out over the shared
-        // ordered-merge orchestrator, so the sparse listing workload now
-        // scales with threads too. Output is byte-identical at every
-        // setting (enforced by the differential battery); this experiment
-        // records the wall-clock side. The speedup is host-bound —
-        // `available_parallelism` is recorded for exactly that reason.
-        let cluster_graph = gen::erdos_renyi(260, 0.12, 5);
-        let cluster_label = "er(260,0.12) sparse general";
-        let mut cluster_truth: Option<u64> = None;
-        let mut cluster_rows: Vec<(usize, f64, f64)> = Vec::new();
-        for &threads in &[1usize, 2, 4, 8] {
-            let engine = Engine::builder()
-                .p(4)
-                .algorithm("general")
-                .experiment_scale()
-                .seed(5)
-                .parallelism(cliquelist::Parallelism::Threads(threads))
-                .build()
-                .expect("cluster-scaling engine config is valid");
-            let mut count = 0u64;
-            let (best, mean) = time_reps(REPS, || {
-                let mut sink = CountSink::new();
-                engine.run(&cluster_graph, &mut sink);
-                count = sink.count;
-            });
-            match cluster_truth {
-                None => cluster_truth = Some(count),
-                Some(t) => assert_eq!(count, t, "cluster-parallel count diverged"),
-            }
-            cluster_rows.push((threads, best, mean));
-        }
-        let cluster_baseline = cluster_rows[0].1;
-        for &(threads, best, mean) in &cluster_rows {
-            let speedup = cluster_baseline / best;
-            log.run(
-                &[
-                    ("kind", json_string("cluster-scaling")),
-                    ("workload", json_string(cluster_label)),
-                    ("p", 4.to_string()),
-                    ("threads", threads.to_string()),
-                    ("available_parallelism", host_threads.to_string()),
-                    ("cliques", cluster_truth.unwrap_or(0).to_string()),
-                    ("best_ms", json_f64(best)),
-                    ("mean_ms", json_f64(mean)),
-                    ("speedup_vs_1_thread", json_f64(speedup)),
-                ],
-                None,
-            );
-            table.row(&[
-                format!("cluster-scaling:{threads}"),
-                cluster_label.into(),
-                4.to_string(),
-                cluster_truth.unwrap_or(0).to_string(),
-                format!("{best:.2}"),
-                format!("{mean:.2} ({speedup:.2}x)"),
-            ]);
-        }
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        for (kind, workload) in [
-            ("thread-scaling", "er(400,0.25)"),
-            ("cluster-scaling", "er(260,0.12) sparse general"),
-        ] {
-            log.run(
-                &[
-                    ("kind", json_string(kind)),
-                    ("workload", json_string(workload)),
-                    ("p", 4.to_string()),
-                    ("available_parallelism", host_threads.to_string()),
-                    (
-                        "skipped",
-                        json_string("built without the `parallel` feature"),
-                    ),
-                ],
-                None,
-            );
-        }
-    }
-
-    // One engine run per registered algorithm (p = 4, counting sink: no
-    // per-clique allocation on the output path).
-    let workload = listing_workload(120, 4, 13);
-    for algorithm in algorithms() {
-        let info = algorithm.info();
-        let engine = Engine::builder()
-            .p(4)
-            .algorithm(info.name)
-            .experiment_scale()
-            .seed(1)
-            .build()
-            .expect("perf engine config is valid");
-        let mut count = 0u64;
-        let mut report = None;
-        let (best, mean) = time_reps(REPS, || {
-            let mut sink = CountSink::new();
-            report = Some(engine.run(&workload.graph, &mut sink));
-            count = sink.count;
-        });
-        let report = report.expect("at least one rep ran");
-        log.run(
-            &[
-                ("kind", json_string("engine")),
-                ("workload", json_string(&workload.label)),
-                ("p", 4.to_string()),
-                ("cliques", count.to_string()),
-                ("best_ms", json_f64(best)),
-                ("mean_ms", json_f64(mean)),
-            ],
-            Some(&report),
-        );
-        table.row(&[
-            format!("engine:{}", info.name),
-            "listing_workload(120)".into(),
-            4.to_string(),
-            count.to_string(),
-            format!("{best:.2}"),
-            format!("{mean:.2}"),
-        ]);
-    }
-    if log.text {
         println!("{table}");
-        println!("(timings are host-dependent; the JSON form of this experiment is the bench-trajectory artifact)");
+        println!(
+            "(timings are host-dependent; `experiments -- report` consolidates these cells \
+             plus the historical artifacts into BENCH_TRAJECTORY.json)"
+        );
     }
-    log.render()
+    let runs: Vec<String> = records.iter().map(|r| perf_run_json(r).render()).collect();
+    format!(
+        "{{\"id\":{},\"claim\":{},\"runs\":[{}],\"fits\":[]}}",
+        json_string(&sweep.id),
+        json_string(&sweep.claim),
+        runs.join(",")
+    )
+}
+
+/// Renders one cached cell in the shape of the historical `perf` run entries
+/// (`kind`/`workload`/`p`/…/`report`), extended with the cell's identity
+/// (`seed`, `git_rev`, `key`) and the observed fan-out (`threads_used`).
+fn perf_run_json(record: &CellRecord) -> Json {
+    let config = &record.spec.config;
+    let metrics = &record.metrics;
+    let mut run: Vec<(&str, Json)> = vec![
+        ("kind", config.get("kind").cloned().unwrap_or(Json::Null)),
+        ("workload", Json::Str(record.spec.workload.clone())),
+        ("p", config.get("p").cloned().unwrap_or(Json::Null)),
+    ];
+    if let Some(algorithm) = config.get("algorithm") {
+        run.push(("algorithm", algorithm.clone()));
+    }
+    if let Some(threads) = config.get("threads") {
+        run.push(("threads", threads.clone()));
+    }
+    for key in [
+        "available_parallelism",
+        "cliques",
+        "best_ms",
+        "mean_ms",
+        "speedup_vs_1_thread",
+        "threads_granted",
+        "threads_used",
+        "skipped",
+    ] {
+        if let Some(value) = metrics.get(key) {
+            run.push((key, value.clone()));
+        }
+    }
+    run.push(("seed", Json::Num(record.spec.seed as f64)));
+    run.push(("git_rev", Json::Str(record.git_rev.clone())));
+    run.push((
+        "key",
+        Json::Str(format!("{:016x}", record.spec.key(&record.git_rev))),
+    ));
+    run.push((
+        "report",
+        metrics.get("report").cloned().unwrap_or(Json::Null),
+    ));
+    Json::obj(run)
+}
+
+/// `experiments -- report`: run the sweep through the cache and write the
+/// consolidated trajectory artifact.
+fn report_cmd(cli: &Cli) -> i32 {
+    let (sweep, outcome, rev) = run_selected_sweep(cli, true);
+    let history = trajectory::load_history(Path::new("."));
+    let doc = trajectory::consolidate(&sweep, &outcome.records, &history, &rev);
+    let rendered = doc.render();
+    if cli.out == "-" {
+        println!("{rendered}");
+        return 0;
+    }
+    if let Err(e) = std::fs::write(&cli.out, format!("{rendered}\n")) {
+        eprintln!("error: could not write {}: {e}", cli.out);
+        return 2;
+    }
+    eprintln!(
+        "wrote {} ({} cells, {} historical artifacts, rev {rev})",
+        cli.out,
+        outcome.records.len(),
+        history.len()
+    );
+    0
+}
+
+/// `experiments -- check`: the perf gate. Runs the sweep (resuming from the
+/// cache), compares against the committed trajectory, and exits nonzero on
+/// any regression beyond the thresholds.
+fn check_cmd(cli: &Cli) -> i32 {
+    let text = match std::fs::read_to_string(&cli.baseline) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {}: {e}", cli.baseline);
+            return 2;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: baseline {} is not valid JSON: {e:?}", cli.baseline);
+            return 2;
+        }
+    };
+    let (_, outcome, rev) = run_selected_sweep(cli, true);
+    let violations = trajectory::check(&baseline, &outcome.records, cli.time_factor);
+    if violations.is_empty() {
+        eprintln!(
+            "perf gate OK: {} fresh cells at rev {rev} are within thresholds of {}",
+            outcome.records.len(),
+            cli.baseline
+        );
+        return 0;
+    }
+    eprintln!(
+        "perf gate FAILED: {} regression(s) vs {}",
+        violations.len(),
+        cli.baseline
+    );
+    for violation in &violations {
+        eprintln!("  {violation}");
+    }
+    1
 }
 
 /// E11 — message-level validation: the synchronous simulation of the naive

@@ -1,0 +1,219 @@
+//! The resumable sweep runner: a [`Sweep`] declares a grid of cells in code,
+//! [`run_sweep`] executes it through a [`ResultStore`] so an interrupted run
+//! (`experiments -- perf --resume`) picks up exactly where it stopped.
+//!
+//! The executor is injected as a closure, which keeps the runner testable:
+//! the integration tests drive it with deterministic synthetic executors
+//! (including one that "dies" mid-sweep) and assert that a killed-then-
+//! resumed sweep consolidates to byte-identical output.
+
+use crate::json::Json;
+use crate::store::{CellRecord, CellSpec, ResultStore};
+
+/// A declared experiment sweep: an ordered list of cells. Construction is
+/// plain code (no config files) — see [`crate::sweeps`] for the committed
+/// definitions.
+#[derive(Clone, Debug, Default)]
+pub struct Sweep {
+    /// Sweep id, e.g. `"perf"`. Used as the `results/` subdirectory.
+    pub id: String,
+    /// One-line description of what the sweep claims to measure.
+    pub claim: String,
+    /// The cells, in the order they run and are reported.
+    pub cells: Vec<CellSpec>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new(id: impl Into<String>, claim: impl Into<String>) -> Sweep {
+        Sweep {
+            id: id.into(),
+            claim: claim.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends one cell to the grid.
+    pub fn cell(
+        &mut self,
+        experiment: impl Into<String>,
+        workload: impl Into<String>,
+        config: Json,
+        seed: u64,
+    ) {
+        self.cells.push(CellSpec {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            config,
+            seed,
+        });
+    }
+}
+
+/// Raised by an executor to abandon the sweep mid-run (the test double for a
+/// killed process; the CLI never constructs it). Cells completed before the
+/// interruption are already persisted, so a later `--resume` skips them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interrupted;
+
+/// What [`run_sweep`] did: the completed records in sweep order, plus the
+/// split between freshly-executed and cache-skipped cells.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One record per sweep cell, in declaration order.
+    pub records: Vec<CellRecord>,
+    /// Cells actually executed this run.
+    pub executed: usize,
+    /// Cells satisfied from the store without running.
+    pub skipped: usize,
+}
+
+/// Runs `sweep` through `store` at revision `git_rev`.
+///
+/// With `resume` set, a cell whose result is already in the store (same
+/// experiment, workload, config hash, seed **and** revision) is skipped;
+/// otherwise every cell re-runs and overwrites its stored record. Each cell's
+/// result is persisted the moment its executor returns, so an interrupted
+/// sweep loses at most the in-flight cell.
+///
+/// `progress` is called for every cell with `(index, total, spec, skipped)`
+/// before the cell runs (or is skipped) — the CLI uses it for live status
+/// lines, tests pass `|_, _, _, _| {}`.
+pub fn run_sweep(
+    store: &ResultStore,
+    sweep: &Sweep,
+    git_rev: &str,
+    resume: bool,
+    executor: &mut dyn FnMut(&CellSpec) -> Result<Json, Interrupted>,
+    progress: &mut dyn FnMut(usize, usize, &CellSpec, bool),
+) -> Result<SweepOutcome, Interrupted> {
+    let total = sweep.cells.len();
+    let mut outcome = SweepOutcome {
+        records: Vec::with_capacity(total),
+        executed: 0,
+        skipped: 0,
+    };
+    for (index, spec) in sweep.cells.iter().enumerate() {
+        if resume {
+            if let Some(record) = store.load(spec, git_rev) {
+                progress(index, total, spec, true);
+                outcome.skipped += 1;
+                outcome.records.push(record);
+                continue;
+            }
+        }
+        progress(index, total, spec, false);
+        let metrics = executor(spec)?;
+        let record = CellRecord {
+            spec: spec.clone(),
+            git_rev: git_rev.to_string(),
+            metrics,
+        };
+        if let Err(e) = store.save(&record) {
+            // A read-only results dir degrades to "no caching", not failure.
+            eprintln!("warning: could not persist cell to {:?}: {e}", store.root());
+        }
+        outcome.executed += 1;
+        outcome.records.push(record);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("cliquelist-sweep-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::new(dir)
+    }
+
+    fn tiny_sweep() -> Sweep {
+        let mut sweep = Sweep::new("unit", "synthetic");
+        for seed in 0..4 {
+            sweep.cell(
+                "synthetic",
+                format!("w{seed}"),
+                Json::obj(vec![("n", Json::Num(10.0))]),
+                seed,
+            );
+        }
+        sweep
+    }
+
+    fn echo_metrics(spec: &CellSpec) -> Json {
+        Json::obj(vec![("value", Json::Num(spec.seed as f64 * 2.0))])
+    }
+
+    #[test]
+    fn resume_skips_completed_cells() {
+        let store = temp_store("resume");
+        let sweep = tiny_sweep();
+        let mut quiet = |_: usize, _: usize, _: &CellSpec, _: bool| {};
+        let mut echo_executor = |spec: &CellSpec| Ok(echo_metrics(spec));
+
+        let first = run_sweep(&store, &sweep, "rev", true, &mut echo_executor, &mut quiet)
+            .expect("full run");
+        assert_eq!((first.executed, first.skipped), (4, 0));
+
+        let second = run_sweep(&store, &sweep, "rev", true, &mut echo_executor, &mut quiet)
+            .expect("resumed run");
+        assert_eq!((second.executed, second.skipped), (0, 4));
+        assert_eq!(first.records, second.records);
+
+        // Without --resume every cell re-runs even though the cache is warm.
+        let fresh = run_sweep(&store, &sweep, "rev", false, &mut echo_executor, &mut quiet)
+            .expect("fresh run");
+        assert_eq!((fresh.executed, fresh.skipped), (4, 0));
+
+        // A new revision invalidates the whole cache.
+        let rev2 = run_sweep(&store, &sweep, "rev2", true, &mut echo_executor, &mut quiet)
+            .expect("rev2 run");
+        assert_eq!((rev2.executed, rev2.skipped), (4, 0));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn interruption_persists_the_prefix() {
+        let store = temp_store("interrupt");
+        let sweep = tiny_sweep();
+        let mut quiet = |_: usize, _: usize, _: &CellSpec, _: bool| {};
+        let mut echo_executor = |spec: &CellSpec| Ok(echo_metrics(spec));
+
+        // Executor that dies after two cells (a killed process).
+        let mut ran = 0;
+        let mut dying = |spec: &CellSpec| {
+            if ran == 2 {
+                return Err(Interrupted);
+            }
+            ran += 1;
+            Ok(echo_metrics(spec))
+        };
+        let err = run_sweep(&store, &sweep, "rev", true, &mut dying, &mut quiet);
+        assert_eq!(err.unwrap_err(), Interrupted);
+
+        // Resume completes only the remaining cells.
+        let resumed = run_sweep(&store, &sweep, "rev", true, &mut echo_executor, &mut quiet)
+            .expect("resumed");
+        assert_eq!((resumed.executed, resumed.skipped), (2, 2));
+        assert_eq!(resumed.records.len(), 4);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn records_preserve_sweep_order() {
+        let store = temp_store("order");
+        let sweep = tiny_sweep();
+        let mut quiet = |_: usize, _: usize, _: &CellSpec, _: bool| {};
+        let mut echo_executor = |spec: &CellSpec| Ok(echo_metrics(spec));
+        let outcome =
+            run_sweep(&store, &sweep, "rev", true, &mut echo_executor, &mut quiet).expect("run");
+        let seeds: Vec<u64> = outcome.records.iter().map(|r| r.spec.seed).collect();
+        assert_eq!(seeds, vec![0, 1, 2, 3]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,416 @@
+//! The committed sweep definitions and the real cell executor.
+//!
+//! [`perf_sweep`] is the bench-trajectory grid: the enumeration, thread-
+//! scaling, cluster-scaling and per-algorithm engine cells that earlier PRs
+//! measured ad hoc inside the `experiments` binary, declared here as data so
+//! the runner can cache, resume and consolidate them. The grid also grows
+//! past the historical `n ≈ 400` ceiling (`er(600, 0.18)`, a 1024-vertex
+//! RMAT graph, and a larger engine workload) now that completed cells are
+//! cached — an interrupted sweep no longer throws away the big cells.
+//!
+//! Every parameter that can change a cell's result is in the cell's config
+//! object (including whether the binary was built with the `parallel`
+//! feature, and the resolved thread grant for engine cells, which depends on
+//! `CLIQUELIST_THREADS`), so the store key misses whenever the measurement
+//! conditions change.
+
+use crate::json::Json;
+use crate::store::CellSpec;
+use crate::sweep::{Interrupted, Sweep};
+use crate::workloads::listing_workload;
+use cliquelist::{CountSink, Engine};
+use graphcore::{cliques, gen, Graph};
+use std::time::Instant;
+
+/// Timing repetitions per cell (matches the pre-harness perf experiment).
+pub const REPS: u32 = 3;
+
+/// The standard RMAT quadrant probabilities (Graph500 defaults).
+const RMAT_PROBS: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+/// Thread grants exercised by the scaling experiments.
+const SCALING_THREADS: &[usize] = &[1, 2, 4, 8];
+
+fn num(value: usize) -> Json {
+    Json::Num(value as f64)
+}
+
+/// The `perf` sweep: the full bench-trajectory grid.
+pub fn perf_sweep() -> Sweep {
+    let parallel_build = cfg!(feature = "parallel");
+    let mut sweep = Sweep::new(
+        "perf",
+        "Bench trajectory — wall-clock of exact enumeration, thread/cluster scaling, \
+         and one engine run per algorithm",
+    );
+    let base = |kind: &str| {
+        vec![
+            ("kind", Json::Str(kind.to_string())),
+            ("parallel_build", Json::Bool(parallel_build)),
+        ]
+    };
+
+    // Exact sequential K_p enumeration — the path every algorithm's ground
+    // truth and final broadcast run through. The first four cells are the
+    // historical grid (BENCH_PR3–5); the last two grow past n ≈ 400.
+    let enumeration: &[(&str, &str, usize, f64, usize, u64)] = &[
+        // (workload label, generator, n-or-scale, param, p, graph seed)
+        ("er(400,0.25)", "er", 400, 0.25, 3, 7),
+        ("er(400,0.25)", "er", 400, 0.25, 4, 7),
+        ("er(200,0.5)", "er", 200, 0.5, 5, 9),
+        ("turan(300,3,0.8)", "turan", 300, 0.8, 4, 3),
+        ("er(600,0.18)", "er", 600, 0.18, 4, 11),
+        ("rmat(10,16)", "rmat", 10, 16.0, 4, 13),
+    ];
+    for &(label, generator, n, param, p, graph_seed) in enumeration {
+        let mut config = base("enumeration");
+        config.extend([
+            ("gen", Json::Str(generator.to_string())),
+            ("n", num(n)),
+            ("param", Json::Num(param)),
+            ("p", num(p)),
+        ]);
+        sweep.cell("enumeration", label, Json::obj(config), graph_seed);
+    }
+
+    // Thread-scaling of the sharded parallel enumerator. The er(400) × p4
+    // series is the historical one; er(600) is the grown grid (two thread
+    // counts keep the cell budget bounded — the speedup curve comes from the
+    // er(400) series).
+    let thread_scaling: &[(&str, usize, f64, u64, &[usize])] = &[
+        ("er(400,0.25)", 400, 0.25, 7, SCALING_THREADS),
+        ("er(600,0.18)", 600, 0.18, 11, &[1, 4]),
+    ];
+    for &(label, n, param, graph_seed, grants) in thread_scaling {
+        for &threads in grants {
+            let mut config = base("thread-scaling");
+            config.extend([
+                ("gen", Json::Str("er".to_string())),
+                ("n", num(n)),
+                ("param", Json::Num(param)),
+                ("p", num(4)),
+                ("threads", num(threads)),
+            ]);
+            sweep.cell("thread-scaling", label, Json::obj(config), graph_seed);
+        }
+    }
+
+    // Cluster-scaling of the CONGEST pipeline: the `general` algorithm fans
+    // its per-cluster work out over the ordered-merge orchestrator (PR 5).
+    for &threads in SCALING_THREADS {
+        let mut config = base("cluster-scaling");
+        config.extend([
+            ("gen", Json::Str("er".to_string())),
+            ("n", num(260)),
+            ("param", Json::Num(0.12)),
+            ("p", num(4)),
+            ("algorithm", Json::Str("general".to_string())),
+            ("threads", num(threads)),
+        ]);
+        sweep.cell(
+            "cluster-scaling",
+            "er(260,0.12) sparse general",
+            Json::obj(config),
+            5,
+        );
+    }
+
+    // One engine run per registered algorithm on the standard listing
+    // workload, plus a grown workload for the two headline algorithms. The
+    // engine resolves `Parallelism::Auto`, so the resolved grant is part of
+    // the cell identity — a different `CLIQUELIST_THREADS` is a different
+    // cell, which is exactly what the CI thread matrix wants.
+    let auto = if parallel_build {
+        cliquelist::config::auto_threads()
+    } else {
+        1
+    };
+    let engine_cells: &[(usize, u64, &[&str])] = &[
+        (
+            120,
+            13,
+            &[
+                "general",
+                "fast-k4",
+                "congested-clique",
+                "naive-broadcast",
+                "eden-k4",
+            ],
+        ),
+        (200, 17, &["general", "fast-k4"]),
+    ];
+    for &(n, graph_seed, algorithms) in engine_cells {
+        for &algorithm in algorithms {
+            let mut config = base("engine");
+            config.extend([
+                ("workload", Json::Str("listing".to_string())),
+                ("n", num(n)),
+                ("p", num(4)),
+                ("algorithm", Json::Str(algorithm.to_string())),
+                ("auto_threads", num(auto)),
+            ]);
+            sweep.cell(
+                "engine",
+                format!("listing_workload({n})"),
+                Json::obj(config),
+                graph_seed,
+            );
+        }
+    }
+    sweep
+}
+
+/// A tiny sweep for CLI-level tests and quick local smoke runs: two
+/// enumeration cells and one engine cell on 40-vertex graphs, cheap even in
+/// debug builds (`experiments -- perf --sweep smoke`). Same executor, same
+/// store, same consolidation path as [`perf_sweep`].
+pub fn smoke_sweep() -> Sweep {
+    let parallel_build = cfg!(feature = "parallel");
+    let mut sweep = Sweep::new("smoke", "Smoke sweep — tiny cells exercising the harness");
+    for p in [3usize, 4] {
+        sweep.cell(
+            "enumeration",
+            "er(40,0.3)",
+            Json::obj(vec![
+                ("kind", Json::Str("enumeration".into())),
+                ("parallel_build", Json::Bool(parallel_build)),
+                ("gen", Json::Str("er".into())),
+                ("n", num(40)),
+                ("param", Json::Num(0.3)),
+                ("p", num(p)),
+            ]),
+            3,
+        );
+    }
+    sweep.cell(
+        "engine",
+        "listing_workload(40)",
+        Json::obj(vec![
+            ("kind", Json::Str("engine".into())),
+            ("parallel_build", Json::Bool(parallel_build)),
+            ("workload", Json::Str("listing".into())),
+            ("n", num(40)),
+            ("p", num(4)),
+            ("algorithm", Json::Str("general".into())),
+        ]),
+        5,
+    );
+    sweep
+}
+
+/// Times `body` `reps` times; returns `(best, mean)` in milliseconds.
+fn time_reps(reps: u32, mut body: impl FnMut()) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        body();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        total += ms;
+    }
+    (best, total / f64::from(reps))
+}
+
+fn build_graph(config: &Json, seed: u64) -> Graph {
+    let n = config.get("n").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    let param = config.get("param").and_then(Json::as_f64).unwrap_or(0.0);
+    match config.get("gen").and_then(Json::as_str) {
+        Some("er") => gen::erdos_renyi(n, param, seed),
+        Some("turan") => gen::multipartite(n, 3, param, seed),
+        Some("rmat") => gen::rmat(n as u32, param as usize, RMAT_PROBS, seed),
+        other => panic!("unknown generator in cell config: {other:?}"),
+    }
+}
+
+fn usize_field(config: &Json, key: &str) -> usize {
+    config.get(key).and_then(Json::as_f64).unwrap_or(0.0) as usize
+}
+
+/// Executes one real cell of [`perf_sweep`] and returns its metrics object.
+///
+/// Deterministic metrics (`cliques`, the embedded engine report) depend only
+/// on the cell config; timing metrics (`best_ms`, `mean_ms`) are
+/// host-dependent and gated leniently by `trajectory::check`. Never actually
+/// interrupts — the `Result` exists so tests can substitute executors that
+/// do.
+///
+/// # Panics
+///
+/// Panics on a malformed cell config (unknown kind/generator) and when a
+/// parallel count diverges from the sequential ground truth — both are
+/// programming errors in the sweep definition, not runtime conditions.
+pub fn execute_perf_cell(spec: &CellSpec) -> Result<Json, Interrupted> {
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let kind = spec
+        .config
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let p = usize_field(&spec.config, "p");
+    let mut metrics: Vec<(String, Json)> =
+        vec![("available_parallelism".to_string(), num(host_threads))];
+    match kind.as_str() {
+        "enumeration" => {
+            let graph = build_graph(&spec.config, spec.seed);
+            let mut count = 0usize;
+            let (best, mean) = time_reps(REPS, || count = cliques::count_cliques(&graph, p));
+            metrics.extend([
+                ("cliques".to_string(), num(count)),
+                ("best_ms".to_string(), Json::Num(best)),
+                ("mean_ms".to_string(), Json::Num(mean)),
+            ]);
+        }
+        "thread-scaling" => {
+            #[cfg(feature = "parallel")]
+            {
+                let graph = build_graph(&spec.config, spec.seed);
+                let threads = usize_field(&spec.config, "threads");
+                let truth = cliques::count_cliques(&graph, p);
+                let mut count = 0usize;
+                let (best, mean) = time_reps(REPS, || {
+                    count = cliques::count_cliques_parallel(&graph, p, threads);
+                });
+                assert_eq!(count, truth, "parallel count diverged");
+                metrics.extend([
+                    ("cliques".to_string(), num(count)),
+                    ("threads".to_string(), num(threads)),
+                    ("best_ms".to_string(), Json::Num(best)),
+                    ("mean_ms".to_string(), Json::Num(mean)),
+                ]);
+            }
+            #[cfg(not(feature = "parallel"))]
+            metrics.push((
+                "skipped".to_string(),
+                Json::Str("built without the `parallel` feature".to_string()),
+            ));
+        }
+        "cluster-scaling" | "engine" => {
+            let graph = if spec.config.get("workload").and_then(Json::as_str) == Some("listing") {
+                listing_workload(usize_field(&spec.config, "n"), p, spec.seed).graph
+            } else {
+                build_graph(&spec.config, spec.seed)
+            };
+            let algorithm = spec
+                .config
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .unwrap_or("general")
+                .to_string();
+            let mut builder = Engine::builder()
+                .p(p)
+                .algorithm(&algorithm)
+                .experiment_scale()
+                .seed(spec.seed);
+            if kind == "cluster-scaling" {
+                builder = builder.parallelism(cliquelist::Parallelism::Threads(usize_field(
+                    &spec.config,
+                    "threads",
+                )));
+            }
+            let engine = builder.build().expect("cell engine config is valid");
+            let mut count = 0u64;
+            let mut report = None;
+            let (best, mean) = time_reps(REPS, || {
+                let mut sink = CountSink::new();
+                report = Some(engine.run(&graph, &mut sink));
+                count = sink.count;
+            });
+            let report = report.expect("at least one rep ran");
+            let report_json =
+                Json::parse(&report.to_json()).expect("RunReport::to_json is valid JSON");
+            metrics.extend([
+                ("cliques".to_string(), Json::Num(count as f64)),
+                ("best_ms".to_string(), Json::Num(best)),
+                ("mean_ms".to_string(), Json::Num(mean)),
+                (
+                    "threads_granted".to_string(),
+                    num(report.parallelism.threads_granted),
+                ),
+                (
+                    "threads_used".to_string(),
+                    num(report.parallelism.threads_used),
+                ),
+                ("report".to_string(), report_json),
+            ]);
+        }
+        other => panic!("unknown cell kind in perf sweep: {other:?}"),
+    }
+    Ok(Json::Obj(metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_sweep_covers_the_documented_experiments() {
+        let sweep = perf_sweep();
+        let experiments: std::collections::BTreeSet<&str> =
+            sweep.cells.iter().map(|c| c.experiment.as_str()).collect();
+        assert_eq!(
+            experiments.into_iter().collect::<Vec<_>>(),
+            vec!["cluster-scaling", "engine", "enumeration", "thread-scaling"]
+        );
+        // The grid grew past the historical n ≈ 400 ceiling.
+        assert!(sweep
+            .cells
+            .iter()
+            .any(|c| c.workload == "er(600,0.18)" && c.experiment == "enumeration"));
+        assert!(sweep.cells.iter().any(|c| c.workload == "rmat(10,16)"));
+        assert!(sweep
+            .cells
+            .iter()
+            .any(|c| c.experiment == "engine" && c.workload == "listing_workload(200)"));
+        // Every cell pins the build flavour, so sequential- and
+        // parallel-build results never alias in the store.
+        assert!(sweep
+            .cells
+            .iter()
+            .all(|c| c.config.get("parallel_build").is_some()));
+    }
+
+    #[test]
+    fn executor_runs_a_small_engine_cell() {
+        let spec = CellSpec {
+            experiment: "engine".into(),
+            workload: "listing_workload(60)".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("engine".into())),
+                ("workload", Json::Str("listing".into())),
+                ("n", num(60)),
+                ("p", num(4)),
+                ("algorithm", Json::Str("general".into())),
+            ]),
+            seed: 13,
+        };
+        let metrics = execute_perf_cell(&spec).expect("executor never interrupts");
+        assert!(metrics.get("cliques").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(metrics.get("best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(metrics.get("threads_used").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(metrics.get("report").is_some());
+    }
+
+    #[test]
+    fn executor_counts_enumeration_cells_exactly() {
+        let spec = CellSpec {
+            experiment: "enumeration".into(),
+            workload: "er(60,0.3)".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("enumeration".into())),
+                ("gen", Json::Str("er".into())),
+                ("n", num(60)),
+                ("param", Json::Num(0.3)),
+                ("p", num(4)),
+            ]),
+            seed: 7,
+        };
+        let metrics = execute_perf_cell(&spec).expect("executor never interrupts");
+        let expected = cliques::count_cliques(&gen::erdos_renyi(60, 0.3, 7), 4);
+        assert_eq!(
+            metrics.get("cliques").and_then(Json::as_f64).unwrap() as usize,
+            expected
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Consolidation of sweep results into the bench-trajectory artifact, and
+//! the regression gate CI runs against it.
+//!
+//! `experiments -- report` renders the current sweep's cells **plus** the
+//! historical ad-hoc artifacts (`BENCH_PR3.json` … `BENCH_PR5.json`) into one
+//! `BENCH_TRAJECTORY.json`, embedding the per-metric thresholds the gate
+//! enforces. `experiments -- check` re-runs the sweep (through the cache, so
+//! a warm `results/` directory makes it cheap) and compares against the
+//! committed trajectory:
+//!
+//! * **Deterministic metrics are gated exactly.** Clique counts and the
+//!   embedded engine [`RunReport`](cliquelist::RunReport) JSON must match
+//!   byte-for-byte — the engine's headline invariant is that its report is
+//!   identical across thread counts, so baseline cells produced on a 1-core
+//!   host gate runs on any host. Cells are matched on their identity with
+//!   the host/build-dependent knobs (`threads`, `auto_threads`,
+//!   `parallel_build`) stripped.
+//! * **Timing metrics are gated by a generous ratio** (`best_ms` may grow by
+//!   at most `time_factor`, default [`DEFAULT_TIME_FACTOR`]), and only
+//!   between cells whose *full* config matches (same thread grant, same
+//!   build flavour). Committed baselines come from a 1-core container — the
+//!   factor absorbs host noise while still catching order-of-magnitude
+//!   regressions.
+//!
+//! New cells (grid growth) and baseline cells with no fresh counterpart
+//! (feature-gated series) are reported but never fail the gate.
+
+use crate::json::Json;
+use crate::store::CellRecord;
+use crate::sweep::Sweep;
+use std::fs;
+use std::path::Path;
+
+/// Default multiplicative slack for timing metrics: fresh `best_ms` may be
+/// up to this factor above baseline before `check` fails. Deliberately
+/// generous — CI hosts differ wildly from the 1-core container the committed
+/// baselines ran on; the gate exists to catch order-of-magnitude cliffs.
+pub const DEFAULT_TIME_FACTOR: f64 = 10.0;
+
+/// Config keys that are host- or build-dependent and therefore excluded
+/// from the identity used for deterministic-metric matching.
+const HOST_KEYS: &[&str] = &["threads", "auto_threads", "parallel_build"];
+
+/// The historical ad-hoc artifacts consolidated into the trajectory.
+pub const HISTORY_FILES: &[&str] = &["BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json"];
+
+fn deterministic_identity(record: &CellRecord) -> String {
+    let mut config = record.spec.config.clone();
+    if let Json::Obj(pairs) = &mut config {
+        pairs.retain(|(k, _)| !HOST_KEYS.contains(&k.as_str()));
+    }
+    Json::obj(vec![
+        ("experiment", Json::Str(record.spec.experiment.clone())),
+        ("workload", Json::Str(record.spec.workload.clone())),
+        ("seed", Json::Num(record.spec.seed as f64)),
+        ("config", config),
+    ])
+    .canonical()
+}
+
+fn full_identity(record: &CellRecord) -> String {
+    Json::obj(vec![
+        ("experiment", Json::Str(record.spec.experiment.clone())),
+        ("workload", Json::Str(record.spec.workload.clone())),
+        ("seed", Json::Num(record.spec.seed as f64)),
+        ("config", record.spec.config.clone()),
+    ])
+    .canonical()
+}
+
+fn cell_label(record: &CellRecord) -> String {
+    let threads = record
+        .spec
+        .config
+        .get("threads")
+        .and_then(Json::as_f64)
+        .map(|t| format!(" threads={t}"))
+        .unwrap_or_default();
+    format!(
+        "{}/{}{} seed={}",
+        record.spec.experiment, record.spec.workload, threads, record.spec.seed
+    )
+}
+
+/// Adds `speedup_vs_1_thread` to every scaling cell whose group has a
+/// `threads == 1` cell, mirroring the derived column of the historical
+/// artifacts. Computed at consolidation time from the cached cells, so a
+/// resumed sweep reports the same speedups as the original run.
+pub fn with_speedups(records: &[CellRecord]) -> Vec<CellRecord> {
+    let mut out: Vec<CellRecord> = records.to_vec();
+    for cell in &mut out {
+        let threads = cell.spec.config.get("threads").and_then(Json::as_f64);
+        let best = cell.metrics.get("best_ms").and_then(Json::as_f64);
+        let (Some(_), Some(best)) = (threads, best) else {
+            continue;
+        };
+        let baseline = records.iter().find(|r| {
+            r.spec.experiment == cell.spec.experiment
+                && r.spec.workload == cell.spec.workload
+                && r.spec.config.get("threads").and_then(Json::as_f64) == Some(1.0)
+        });
+        if let Some(base_ms) =
+            baseline.and_then(|r| r.metrics.get("best_ms").and_then(Json::as_f64))
+        {
+            if base_ms > 0.0 && best > 0.0 {
+                cell.metrics
+                    .set("speedup_vs_1_thread", Json::Num(base_ms / best));
+            }
+        }
+    }
+    out
+}
+
+/// Reads whichever of [`HISTORY_FILES`] exist under `dir` and extracts their
+/// `perf` experiment entries, normalising the two historical shapes (PR3/PR4
+/// nest `experiments` under a `perf` key with `pr`/`note` metadata; PR5 has
+/// `experiments` at top level).
+pub fn load_history(dir: &Path) -> Vec<Json> {
+    let mut history = Vec::new();
+    for name in HISTORY_FILES {
+        let Ok(text) = fs::read_to_string(dir.join(name)) else {
+            continue;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            continue;
+        };
+        let experiments = doc
+            .get("perf")
+            .and_then(|p| p.get("experiments"))
+            .or_else(|| doc.get("experiments"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[]);
+        let perf_runs = experiments
+            .iter()
+            .find(|e| e.get("id").and_then(Json::as_str) == Some("perf"))
+            .and_then(|e| e.get("runs"))
+            .cloned()
+            .unwrap_or(Json::Arr(Vec::new()));
+        let mut entry = vec![("source", Json::Str((*name).to_string()))];
+        if let Some(pr) = doc.get("pr") {
+            entry.push(("pr", pr.clone()));
+        }
+        if let Some(note) = doc.get("note") {
+            entry.push(("note", note.clone()));
+        }
+        entry.push(("runs", perf_runs));
+        history.push(Json::obj(entry));
+    }
+    history
+}
+
+/// Renders the consolidated trajectory document: sweep identity, the
+/// completed cells (with derived speedups), the embedded gate thresholds,
+/// and the normalised history. Deterministic given the records — no
+/// timestamps — which is what makes "killed, resumed, consolidated" byte-
+/// identical to a from-scratch run.
+pub fn consolidate(sweep: &Sweep, records: &[CellRecord], history: &[Json], git_rev: &str) -> Json {
+    let cells = with_speedups(records);
+    let cell_docs: Vec<Json> = cells.iter().map(CellRecord::to_json).collect();
+    Json::obj(vec![
+        ("schema", Json::Num(1.0)),
+        ("id", Json::Str(sweep.id.clone())),
+        ("claim", Json::Str(sweep.claim.clone())),
+        ("git_rev", Json::Str(git_rev.to_string())),
+        (
+            "thresholds",
+            Json::obj(vec![
+                (
+                    "deterministic",
+                    Json::Str("exact: cliques and engine reports must match baseline".into()),
+                ),
+                ("time_factor", Json::Num(DEFAULT_TIME_FACTOR)),
+                (
+                    "time_metric",
+                    Json::Str("best_ms, compared only between identical full configs".into()),
+                ),
+            ]),
+        ),
+        ("cells", Json::Arr(cell_docs)),
+        ("history", Json::Arr(history.to_vec())),
+    ])
+}
+
+/// One gate violation: a metric of a fresh cell that regressed beyond its
+/// threshold relative to the committed trajectory.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Human-readable cell label.
+    pub cell: String,
+    /// The metric that regressed.
+    pub metric: String,
+    /// What the committed trajectory recorded.
+    pub baseline: String,
+    /// What the fresh run produced.
+    pub fresh: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed (baseline {}, fresh {})",
+            self.cell, self.metric, self.baseline, self.fresh
+        )
+    }
+}
+
+fn trajectory_cells(trajectory: &Json) -> Vec<CellRecord> {
+    trajectory
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(cell_from_doc)
+        .collect()
+}
+
+fn cell_from_doc(doc: &Json) -> Option<CellRecord> {
+    Some(CellRecord {
+        spec: crate::store::CellSpec {
+            experiment: doc.get("experiment")?.as_str()?.to_string(),
+            workload: doc.get("workload")?.as_str()?.to_string(),
+            config: doc.get("config")?.clone(),
+            seed: doc.get("seed")?.as_f64()? as u64,
+        },
+        git_rev: doc
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        metrics: doc.get("metrics")?.clone(),
+    })
+}
+
+/// Compares fresh sweep results against a committed trajectory document.
+///
+/// Returns the violations (empty = gate passes). `time_factor` overrides the
+/// timing threshold; pass the trajectory's embedded default by giving
+/// `None`. See the module docs for the exact matching and threshold rules.
+pub fn check(trajectory: &Json, fresh: &[CellRecord], time_factor: Option<f64>) -> Vec<Violation> {
+    let time_factor = time_factor
+        .or_else(|| {
+            trajectory
+                .get("thresholds")
+                .and_then(|t| t.get("time_factor"))
+                .and_then(Json::as_f64)
+        })
+        .unwrap_or(DEFAULT_TIME_FACTOR);
+    let baseline = trajectory_cells(trajectory);
+    let fresh = with_speedups(fresh);
+    let mut violations = Vec::new();
+
+    for base in &baseline {
+        // Deterministic gate: match on the host-independent identity.
+        let base_id = deterministic_identity(base);
+        let Some(new) = fresh.iter().find(|r| deterministic_identity(r) == base_id) else {
+            // Feature-gated or removed cell: reported by the CLI, not a failure.
+            continue;
+        };
+        for metric in ["cliques", "report"] {
+            let (Some(b), Some(n)) = (base.metrics.get(metric), new.metrics.get(metric)) else {
+                continue;
+            };
+            if b.canonical() != n.canonical() {
+                violations.push(Violation {
+                    cell: cell_label(base),
+                    metric: metric.to_string(),
+                    baseline: truncate(&b.canonical()),
+                    fresh: truncate(&n.canonical()),
+                });
+            }
+        }
+
+        // Timing gate: only between cells whose full config matches.
+        let base_full = full_identity(base);
+        let timed = fresh.iter().find(|r| full_identity(r) == base_full);
+        let base_ms = base.metrics.get("best_ms").and_then(Json::as_f64);
+        let new_ms = timed.and_then(|r| r.metrics.get("best_ms").and_then(Json::as_f64));
+        if let (Some(base_ms), Some(new_ms)) = (base_ms, new_ms) {
+            if base_ms > 0.0 && new_ms > base_ms * time_factor {
+                violations.push(Violation {
+                    cell: cell_label(base),
+                    metric: "best_ms".to_string(),
+                    baseline: format!("{base_ms:.2}ms (threshold {time_factor:.0}x)"),
+                    fresh: format!("{new_ms:.2}ms"),
+                });
+            }
+        }
+    }
+    violations
+}
+
+fn truncate(text: &str) -> String {
+    if text.len() <= 96 {
+        return text.to_string();
+    }
+    let mut end = 96;
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &text[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CellSpec;
+
+    fn record(workload: &str, threads: Option<usize>, cliques: f64, best_ms: f64) -> CellRecord {
+        let mut config = vec![
+            ("kind", Json::Str("thread-scaling".into())),
+            ("p", Json::Num(4.0)),
+        ];
+        if let Some(t) = threads {
+            config.push(("threads", Json::Num(t as f64)));
+        }
+        CellRecord {
+            spec: CellSpec {
+                experiment: "thread-scaling".into(),
+                workload: workload.into(),
+                config: Json::obj(config),
+                seed: 7,
+            },
+            git_rev: "base-rev".into(),
+            metrics: Json::obj(vec![
+                ("cliques", Json::Num(cliques)),
+                ("best_ms", Json::Num(best_ms)),
+            ]),
+        }
+    }
+
+    fn sweep() -> Sweep {
+        Sweep::new("perf", "test claim")
+    }
+
+    #[test]
+    fn consolidation_is_deterministic_and_adds_speedups() {
+        let records = vec![
+            record("er(400,0.25)", Some(1), 100.0, 8.0),
+            record("er(400,0.25)", Some(4), 100.0, 2.0),
+        ];
+        let a = consolidate(&sweep(), &records, &[], "rev");
+        let b = consolidate(&sweep(), &records, &[], "rev");
+        assert_eq!(a.render(), b.render());
+        let cells = a.get("cells").and_then(Json::as_arr).unwrap();
+        let speedup = cells[1]
+            .get("metrics")
+            .and_then(|m| m.get("speedup_vs_1_thread"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((speedup - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_passes_on_identical_results() {
+        let records = vec![record("er(400,0.25)", Some(1), 100.0, 8.0)];
+        let trajectory = consolidate(&sweep(), &records, &[], "base-rev");
+        assert!(check(&trajectory, &records, None).is_empty());
+    }
+
+    #[test]
+    fn check_fails_on_deterministic_regression() {
+        let baseline = vec![record("er(400,0.25)", Some(1), 100.0, 8.0)];
+        let trajectory = consolidate(&sweep(), &baseline, &[], "base-rev");
+        // A changed clique count is a correctness regression regardless of
+        // how fast it ran.
+        let mut broken = vec![record("er(400,0.25)", Some(1), 99.0, 1.0)];
+        broken[0].git_rev = "new-rev".into();
+        let violations = check(&trajectory, &broken, None);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "cliques");
+    }
+
+    #[test]
+    fn check_fails_on_timing_cliff_but_tolerates_noise() {
+        let baseline = vec![record("er(400,0.25)", Some(1), 100.0, 8.0)];
+        let trajectory = consolidate(&sweep(), &baseline, &[], "base-rev");
+        // 2x slower: inside the 10x budget.
+        let noisy = vec![record("er(400,0.25)", Some(1), 100.0, 16.0)];
+        assert!(check(&trajectory, &noisy, None).is_empty());
+        // 20x slower: a cliff.
+        let cliff = vec![record("er(400,0.25)", Some(1), 100.0, 160.0)];
+        let violations = check(&trajectory, &cliff, None);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "best_ms");
+        // A tighter explicit factor catches the 2x case too.
+        assert_eq!(check(&trajectory, &noisy, Some(1.5)).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_gate_matches_across_thread_counts() {
+        // Baseline ran on a 1-core host; fresh run uses 4 threads. The
+        // deterministic identity strips the grant, so a wrong count is still
+        // caught; timing is not compared (different full configs).
+        let baseline = vec![record("er(400,0.25)", Some(1), 100.0, 8.0)];
+        let trajectory = consolidate(&sweep(), &baseline, &[], "base-rev");
+        let fresh = vec![record("er(400,0.25)", Some(4), 123.0, 1000.0)];
+        let violations = check(&trajectory, &fresh, None);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "cliques");
+    }
+
+    #[test]
+    fn missing_fresh_cells_do_not_fail_the_gate() {
+        let baseline = vec![
+            record("er(400,0.25)", Some(1), 100.0, 8.0),
+            record("er(600,0.18)", Some(1), 500.0, 80.0),
+        ];
+        let trajectory = consolidate(&sweep(), &baseline, &[], "base-rev");
+        let fresh = vec![record("er(400,0.25)", Some(1), 100.0, 8.0)];
+        assert!(check(&trajectory, &fresh, None).is_empty());
+    }
+}

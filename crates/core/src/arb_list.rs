@@ -80,6 +80,11 @@ pub struct ArbListOutcome {
     pub rounds: Rounds,
     /// Diagnostics of this invocation.
     pub diagnostics: Diagnostics,
+    /// Worker threads the cluster fan-out actually used (1 = the clusters ran
+    /// inline on the calling thread). Never exceeds the number of cluster
+    /// tasks, so a large grant over few clusters is not misreported as real
+    /// fan-out.
+    pub threads_used: usize,
 }
 
 /// Everything one cluster contributes back to its ARB-LIST invocation: the
@@ -313,6 +318,8 @@ pub fn arb_list(
     // consumption is strictly ascending and never stops early (every
     // cluster's rounds count), so the merged outcome is byte-identical to the
     // inline loop below at any thread count.
+    // `fanned_out` records the worker count the fan-out actually reached
+    // (None = the inline loop below ran) for the report's `threads_used`.
     let fanned_out = {
         #[cfg(feature = "parallel")]
         {
@@ -339,21 +346,22 @@ pub fn arb_list(
                         true
                     },
                 );
-                true
+                Some(threads.min(tasks.len()))
             } else {
-                false
+                None
             }
         }
         #[cfg(not(feature = "parallel"))]
         {
-            false
+            None::<usize>
         }
     };
-    if !fanned_out {
+    if fanned_out.is_none() {
         for index in 0..clusters.len() {
             consume(run_cluster(index));
         }
     }
+    outcome.threads_used = fanned_out.unwrap_or(1);
 
     outcome.rounds.add(phase::HEAVY_UPLOAD, max_heavy);
     outcome.rounds.add(phase::LIGHT_PROBES, max_probe);

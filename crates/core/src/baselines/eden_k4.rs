@@ -25,18 +25,18 @@ use graphcore::{Graph, Orientation};
 
 /// Runs the Eden-style baseline, emitting every listed `K_4` into `sink`
 /// exactly once (the light-node listing and the final broadcast can overlap,
-/// so the whole run is deduplicated), and returns the measured rounds and
-/// diagnostics.
+/// so the whole run is deduplicated), and returns the measured rounds,
+/// diagnostics, and the largest worker fan-out any stage actually reached.
 pub(crate) fn run_streaming(
     graph: &Graph,
     config: &ListingConfig,
     sink: &mut dyn CliqueSink,
-) -> (Rounds, Diagnostics) {
+) -> (Rounds, Diagnostics, usize) {
     let mut rounds = Rounds::new();
     let mut diagnostics = Diagnostics::default();
     let n = graph.num_vertices();
     if n < 4 || graph.num_edges() == 0 {
-        return (rounds, diagnostics);
+        return (rounds, diagnostics, 1);
     }
     let mut sink = Dedup::new(sink);
 
@@ -47,6 +47,7 @@ pub(crate) fn run_streaming(
     let step = list_once(graph, &orientation, a, config, config.seed, &mut sink);
     rounds.absorb(&step.rounds);
     diagnostics.absorb(&step.diagnostics);
+    let mut threads_used = step.threads_used.max(1);
 
     // No further iterations: finish with the naive broadcast on the remaining
     // graph.
@@ -57,9 +58,10 @@ pub(crate) fn run_streaming(
             (remaining.max_degree() as u64).max(1),
         );
         // Dense local pass over the remainder: shared sharded path.
-        crate::local::stream_cliques(&remaining, config, &mut sink);
+        threads_used =
+            threads_used.max(crate::local::stream_cliques(&remaining, config, &mut sink));
     }
-    (rounds, diagnostics)
+    (rounds, diagnostics, threads_used)
 }
 
 #[cfg(test)]

@@ -24,22 +24,23 @@ pub fn naive_broadcast_rounds(graph: &Graph) -> u64 {
 
 /// Runs the naive baseline analytically: charges `Δ` rounds and emits the
 /// full listing into `sink` (every clique is seen by each of its members,
-/// since a member learns all edges among its neighbours).
+/// since a member learns all edges among its neighbours). Also returns the
+/// worker fan-out the local enumeration actually reached.
 pub(crate) fn run_streaming(
     graph: &Graph,
     config: &ListingConfig,
     sink: &mut dyn CliqueSink,
-) -> Rounds {
+) -> (Rounds, usize) {
     let mut rounds = Rounds::new();
     if graph.num_edges() == 0 {
-        return rounds;
+        return (rounds, 1);
     }
     rounds.add(phase::FINAL_BROADCAST, naive_broadcast_rounds(graph));
     // After the broadcast every node knows its closed neighbourhood's edges,
     // so the union of node outputs is one dense local enumeration — the
     // engine may shard it across threads without changing the output.
-    crate::local::stream_cliques(graph, config, sink);
-    rounds
+    let threads_used = crate::local::stream_cliques(graph, config, sink);
+    (rounds, threads_used)
 }
 
 /// Runs the message-level naive broadcast ([`NaiveBroadcastProgram`]) on the

@@ -26,8 +26,8 @@ use graphcore::partition::VertexPartition;
 use graphcore::{Graph, Orientation};
 
 /// Runs the CONGESTED CLIQUE algorithm, emitting every `K_p` of `graph` into
-/// `sink` exactly once, and returns the measured rounds plus the load
-/// statistics.
+/// `sink` exactly once, and returns the measured rounds, the load statistics,
+/// and the worker fan-out the local enumeration actually reached.
 ///
 /// The caller is responsible for validating `config` (`p ≥ 3`); the
 /// [`Engine`](crate::Engine) builder does this. Graphs with fewer than two
@@ -36,7 +36,7 @@ pub(crate) fn run_streaming(
     graph: &Graph,
     config: &ListingConfig,
     sink: &mut dyn CliqueSink,
-) -> (Rounds, CongestedCliqueStats) {
+) -> (Rounds, CongestedCliqueStats, usize) {
     let n = graph.num_vertices();
     let p = config.p;
     let m = graph.num_edges();
@@ -51,7 +51,7 @@ pub(crate) fn run_streaming(
     };
 
     if m == 0 || n < 2 {
-        return (rounds, stats);
+        return (rounds, stats, 1);
     }
     let clique = CongestedClique::new(n);
 
@@ -106,8 +106,8 @@ pub(crate) fn run_streaming(
     // node-local listings are independent, so this is a dense local
     // enumeration the engine may shard across threads — output is identical
     // at any `Parallelism` setting.
-    crate::local::stream_cliques(graph, config, sink);
-    (rounds, stats)
+    let threads_used = crate::local::stream_cliques(graph, config, sink);
+    (rounds, stats, threads_used)
 }
 
 #[cfg(test)]

@@ -21,7 +21,8 @@ use graphcore::{Graph, Orientation};
 
 /// Runs the CONGEST driver (general or fast-`K_4`, per `config.variant`),
 /// emitting every listed clique into `sink` exactly once, and returns the
-/// measured rounds and diagnostics.
+/// measured rounds, diagnostics, and the largest worker fan-out any stage
+/// actually reached (for `RunReport.parallelism.threads_used`).
 ///
 /// The caller is responsible for validating `config`
 /// ([`ListingConfig::validate`]); the [`Engine`](crate::Engine) builder does
@@ -30,7 +31,7 @@ pub(crate) fn run_congest(
     graph: &Graph,
     config: &ListingConfig,
     sink: &mut dyn CliqueSink,
-) -> (Rounds, Diagnostics) {
+) -> (Rounds, Diagnostics, usize) {
     match config.variant {
         // The fast-K4 light-node listing can emit cliques that do not contain
         // a goal edge and therefore survive into later iterations or the
@@ -52,12 +53,13 @@ fn run_congest_inner(
     graph: &Graph,
     config: &ListingConfig,
     mut sink: impl CliqueSink,
-) -> (Rounds, Diagnostics) {
+) -> (Rounds, Diagnostics, usize) {
     let n = graph.num_vertices();
     let mut rounds = Rounds::new();
     let mut diagnostics = Diagnostics::default();
+    let mut threads_used = 1usize;
     if n < config.p || graph.num_edges() == 0 {
-        return (rounds, diagnostics);
+        return (rounds, diagnostics, threads_used);
     }
 
     let mut current = graph.clone();
@@ -82,6 +84,7 @@ fn run_congest_inner(
         );
         rounds.absorb(&step.rounds);
         diagnostics.absorb(&step.diagnostics);
+        threads_used = threads_used.max(step.threads_used);
         diagnostics.list_iterations += 1;
 
         let new_a = step.remaining_orientation.max_out_degree().max(1);
@@ -109,9 +112,9 @@ fn run_congest_inner(
         // one dense local pass over the surviving graph, so it runs through
         // the shared `local::stream_cliques` path — sharded across worker
         // threads under a `Parallelism` grant, byte-identical either way.
-        crate::local::stream_cliques(&current, config, &mut sink);
+        threads_used = threads_used.max(crate::local::stream_cliques(&current, config, &mut sink));
     }
-    (rounds, diagnostics)
+    (rounds, diagnostics, threads_used)
 }
 
 #[cfg(test)]

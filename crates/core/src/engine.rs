@@ -140,7 +140,11 @@ impl ListingAlgorithm for GeneralListing {
 
     fn run(&self, graph: &Graph, config: &ListingConfig, sink: &mut dyn CliqueSink) -> RunReport {
         let mut report = RunReport::new(names::GENERAL, Model::Congest, config.p);
-        (report.rounds, report.diagnostics) = driver::run_congest(graph, config, sink);
+        (
+            report.rounds,
+            report.diagnostics,
+            report.parallelism.threads_used,
+        ) = driver::run_congest(graph, config, sink);
         report
     }
 }
@@ -168,7 +172,11 @@ impl ListingAlgorithm for FastK4Listing {
 
     fn run(&self, graph: &Graph, config: &ListingConfig, sink: &mut dyn CliqueSink) -> RunReport {
         let mut report = RunReport::new(names::FAST_K4, Model::Congest, config.p);
-        (report.rounds, report.diagnostics) = driver::run_congest(graph, config, sink);
+        (
+            report.rounds,
+            report.diagnostics,
+            report.parallelism.threads_used,
+        ) = driver::run_congest(graph, config, sink);
         report
     }
 }
@@ -191,9 +199,10 @@ impl ListingAlgorithm for CongestedCliqueListing {
 
     fn run(&self, graph: &Graph, config: &ListingConfig, sink: &mut dyn CliqueSink) -> RunReport {
         let mut report = RunReport::new(names::CONGESTED_CLIQUE, Model::CongestedClique, config.p);
-        let (rounds, stats) = congested_clique::run_streaming(graph, config, sink);
+        let (rounds, stats, threads_used) = congested_clique::run_streaming(graph, config, sink);
         report.rounds = rounds;
         report.congested_clique = Some(stats);
+        report.parallelism.threads_used = threads_used;
         report
     }
 }
@@ -216,7 +225,8 @@ impl ListingAlgorithm for NaiveBroadcastListing {
 
     fn run(&self, graph: &Graph, config: &ListingConfig, sink: &mut dyn CliqueSink) -> RunReport {
         let mut report = RunReport::new(names::NAIVE_BROADCAST, Model::Congest, config.p);
-        report.rounds = naive::run_streaming(graph, config, sink);
+        (report.rounds, report.parallelism.threads_used) =
+            naive::run_streaming(graph, config, sink);
         report
     }
 }
@@ -250,7 +260,11 @@ impl ListingAlgorithm for EdenK4Listing {
 
     fn run(&self, graph: &Graph, config: &ListingConfig, sink: &mut dyn CliqueSink) -> RunReport {
         let mut report = RunReport::new(names::EDEN_K4, Model::Congest, config.p);
-        (report.rounds, report.diagnostics) = eden_k4::run_streaming(graph, config, sink);
+        (
+            report.rounds,
+            report.diagnostics,
+            report.parallelism.threads_used,
+        ) = eden_k4::run_streaming(graph, config, sink);
         report
     }
 }
@@ -338,7 +352,10 @@ impl Engine {
         };
         // Capability + build only — never the requested thread count — so the
         // serialised report stays byte-identical across parallelism settings.
+        // `threads_used` is whatever fan-out the algorithm recorded while it
+        // ran (clamped to the grant; 1 when it recorded nothing).
         let sharded = matches!(info.parallel, ParallelSupport::Sharded);
+        let threads_granted = self.config.effective_threads(sharded);
         report.parallelism = ParallelismSummary {
             supported: sharded && cfg!(feature = "parallel"),
             sequential_reason: match info.parallel {
@@ -348,7 +365,11 @@ impl Engine {
                 }
                 ParallelSupport::Sharded => None,
             },
-            threads_granted: self.config.effective_threads(sharded),
+            threads_granted,
+            threads_used: report
+                .parallelism
+                .threads_used
+                .clamp(1, threads_granted.max(1)),
         };
         report
     }
@@ -836,6 +857,39 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threads_used_records_actual_fanout_not_the_grant() {
+        // A tiny graph cannot feed 8 workers: the shard plan has at most one
+        // shard per root vertex, so the recorded fan-out must stay strictly
+        // below the grant (that is the point of `threads_used` — the grant is
+        // an upper bound, not what happened).
+        let tiny = gen::complete_graph(5);
+        let engine = Engine::builder()
+            .p(4)
+            .algorithm("naive-broadcast")
+            .parallelism(Parallelism::Threads(8))
+            .build()
+            .unwrap();
+        let (report, count) = engine.count(&tiny);
+        assert_eq!(count, 5);
+        assert_eq!(report.parallelism.threads_granted, 8);
+        assert!(report.parallelism.threads_used >= 1);
+        assert!(
+            report.parallelism.threads_used < 8,
+            "5 roots cannot use an 8-thread grant (used {})",
+            report.parallelism.threads_used
+        );
+        // Parallelism::Off pins the recorded fan-out to 1.
+        let off = Engine::builder()
+            .p(4)
+            .algorithm("naive-broadcast")
+            .build()
+            .unwrap();
+        let (report, _) = off.count(&tiny);
+        assert_eq!(report.parallelism.threads_used, 1);
+    }
+
     #[test]
     fn builder_rejects_zero_threads() {
         assert_eq!(
@@ -900,9 +954,13 @@ mod tests {
             assert!(report.parallelism.supported);
             assert_eq!(report.parallelism.sequential_reason, None);
             assert_eq!(report.parallelism.threads_granted, 3);
+            // A 30-vertex dense graph yields well over 3 shards, so the grant
+            // is fully used — and `threads_used` never exceeds the grant.
+            assert_eq!(report.parallelism.threads_used, 3);
         } else {
             assert!(!report.parallelism.supported);
             assert_eq!(report.parallelism.threads_granted, 1);
+            assert_eq!(report.parallelism.threads_used, 1);
             let reason = report.parallelism.sequential_reason.expect("reason");
             assert!(reason.contains("parallel"));
         }

@@ -35,6 +35,9 @@ pub struct ListOutcome {
     pub rounds: Rounds,
     /// Diagnostics.
     pub diagnostics: Diagnostics,
+    /// Largest worker fan-out any ARB-LIST invocation actually reached
+    /// (0 when no invocation ran; callers clamp to at least 1).
+    pub threads_used: usize,
 }
 
 /// Runs LIST once on `graph` with the given orientation and arboricity bound,
@@ -93,6 +96,7 @@ pub fn list_once(
         );
         outcome.rounds.absorb(&step.rounds);
         outcome.diagnostics.absorb(&step.diagnostics);
+        outcome.threads_used = outcome.threads_used.max(step.threads_used);
 
         // Merge E'_s and its orientation.
         for e in step.es_added.iter() {

@@ -28,22 +28,32 @@ use graphcore::{cliques, Graph};
 /// [`ListingConfig::effective_threads`] to decide between the sequential and
 /// the sharded parallel path; callers are algorithms that opted into sharded
 /// local enumeration.
-pub(crate) fn stream_cliques(graph: &Graph, config: &ListingConfig, sink: &mut dyn CliqueSink) {
+///
+/// Returns the worker count the enumeration **actually** fanned out to
+/// (1 = sequential). This is what `RunReport.parallelism.threads_used`
+/// records: a grant can exceed it on degenerate inputs (single-shard plans,
+/// already-saturated sinks), and scaling reports must not attribute such runs
+/// to the granted thread count.
+pub(crate) fn stream_cliques(
+    graph: &Graph,
+    config: &ListingConfig,
+    sink: &mut dyn CliqueSink,
+) -> usize {
     if sink.is_saturated() {
-        return;
+        return 1;
     }
     #[cfg(feature = "parallel")]
     {
         let threads = config.effective_threads(true);
         if threads > 1 && config.p >= 3 {
-            parallel_stream(graph, config.p, threads, sink);
-            return;
+            return parallel_stream(graph, config.p, threads, sink);
         }
     }
     cliques::for_each_clique_while(graph, config.p, |c| {
         sink.accept(c);
         !sink.is_saturated()
     });
+    1
 }
 
 /// The sharded path: fan shards out over scoped worker threads through
@@ -51,9 +61,11 @@ pub(crate) fn stream_cliques(graph: &Graph, config: &ListingConfig, sink: &mut d
 /// shared with the graph-level drivers and the cluster fan-out of
 /// `arb_list` — stop flag, ordered replay and backpressure live there), with
 /// one [`ShardBuffer`] per shard bridging the enumeration to the
-/// `dyn CliqueSink`. Only this thread ever touches `sink`.
+/// `dyn CliqueSink`. Only this thread ever touches `sink`. Returns the worker
+/// count actually spawned (`threads` capped by the shard count; 1 when the
+/// plan degenerates to a single shard and the enumeration runs inline).
 #[cfg(feature = "parallel")]
-fn parallel_stream(graph: &Graph, p: usize, threads: usize, sink: &mut dyn CliqueSink) {
+fn parallel_stream(graph: &Graph, p: usize, threads: usize, sink: &mut dyn CliqueSink) -> usize {
     use crate::sink::ShardBuffer;
     use graphcore::cliques::{ShardedEnumerator, SHARDS_PER_THREAD};
     use graphcore::ordered_merge::ordered_merge as merge_shards;
@@ -65,7 +77,7 @@ fn parallel_stream(graph: &Graph, p: usize, threads: usize, sink: &mut dyn Cliqu
             sink.accept(c);
             !sink.is_saturated()
         });
-        return;
+        return 1;
     }
     merge_shards(
         shards,
@@ -77,6 +89,7 @@ fn parallel_stream(graph: &Graph, p: usize, threads: usize, sink: &mut dyn Cliqu
         },
         |buffer| buffer.replay_into(sink),
     );
+    threads.min(shards)
 }
 
 #[cfg(test)]

@@ -54,8 +54,9 @@ pub struct SinkSummary {
 /// and the build (never of the requested thread count or the host), so the
 /// JSON rendered by [`RunReport::to_json`] is byte-identical across every
 /// parallelism setting — the report artifact stays diffable.
-/// `threads_granted` is the one host-dependent execution detail and is
-/// deliberately **not** serialised, for the same reason timings are not.
+/// `threads_granted` and `threads_used` are the host-dependent execution
+/// details and are deliberately **not** serialised, for the same reason
+/// timings are not.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParallelismSummary {
     /// Whether this algorithm in this build can shard its local enumeration.
@@ -70,6 +71,13 @@ pub struct ParallelismSummary {
     /// sequentially under a grant. Execution detail, excluded from
     /// [`RunReport::to_json`].
     pub threads_granted: usize,
+    /// The largest worker fan-out any stage of the run actually reached
+    /// (1 = every stage ran sequentially). Unlike `threads_granted` this is
+    /// never an over-statement: a grant of 8 threads on a single-shard plan
+    /// records 1 here, so scaling reports can attribute speedups (or their
+    /// absence) to real fan-out rather than to the requested setting.
+    /// Execution detail, excluded from [`RunReport::to_json`].
+    pub threads_used: usize,
 }
 
 impl Default for ParallelismSummary {
@@ -78,6 +86,7 @@ impl Default for ParallelismSummary {
             supported: false,
             sequential_reason: None,
             threads_granted: 1,
+            threads_used: 1,
         }
     }
 }
@@ -173,9 +182,9 @@ impl RunReport {
             ",\"sink\":{{\"emitted\":{},\"saturated\":{}}}",
             self.sink.emitted, self.sink.saturated
         );
-        // `threads_granted` is deliberately omitted: like wall-clock timings it
-        // is a host/execution detail, and including it would make otherwise
-        // byte-identical runs diff by thread count.
+        // `threads_granted`/`threads_used` are deliberately omitted: like
+        // wall-clock timings they are host/execution details, and including
+        // them would make otherwise byte-identical runs diff by thread count.
         let reason = self
             .parallelism
             .sequential_reason
@@ -282,20 +291,22 @@ mod tests {
             supported: false,
             sequential_reason: Some("CONGEST rounds are simulated sequentially"),
             threads_granted: 8,
+            threads_used: 3,
         };
         let json = report.to_json();
         assert!(json.contains("\"parallel\":{\"supported\":false"));
         assert!(
             json.contains("\"sequential_reason\":\"CONGEST rounds are simulated sequentially\"")
         );
-        // The thread count is an execution detail and must stay out of the
-        // diffable artifact.
+        // The thread counts (granted and used) are execution details and must
+        // stay out of the diffable artifact.
         assert!(!json.contains("threads"));
 
         report.parallelism = ParallelismSummary {
             supported: true,
             sequential_reason: None,
             threads_granted: 4,
+            threads_used: 4,
         };
         let json = report.to_json();
         assert!(json.contains("\"parallel\":{\"supported\":true,\"sequential_reason\":null}"));
