@@ -1,9 +1,10 @@
 //! The committed sweep definitions and the real cell executor.
 //!
 //! [`perf_sweep`] is the bench-trajectory grid: the enumeration, thread-
-//! scaling, cluster-scaling and per-algorithm engine cells that earlier PRs
-//! measured ad hoc inside the `experiments` binary, declared here as data so
-//! the runner can cache, resume and consolidate them. The grid also grows
+//! scaling, cluster-scaling, per-algorithm engine and query-throughput cells
+//! that earlier PRs measured ad hoc inside the `experiments` binary,
+//! declared here as data so the runner can cache, resume and consolidate
+//! them. The grid also grows
 //! past the historical `n ≈ 400` ceiling (`er(600, 0.18)`, a 1024-vertex
 //! RMAT graph, and a larger engine workload) now that completed cells are
 //! cached — an interrupted sweep no longer throws away the big cells.
@@ -157,6 +158,28 @@ pub fn perf_sweep() -> Sweep {
             );
         }
     }
+
+    // Query throughput over an immutable snapshot (PR 7): build the snapshot
+    // once, then time mixed batches through the `QueryService`, cold and
+    // warm. The resolved `Parallelism::Auto` grant is the batch fan-out
+    // width, so it is part of the cell identity exactly like engine cells;
+    // the batch payloads themselves are byte-identical at any grant and are
+    // gated exactly (the `responses` metric).
+    let query_cells: &[(&str, &str, usize, f64, u64)] = &[
+        ("er(300,0.2)", "er", 300, 0.2, 19),
+        ("turan(240,3,0.7)", "turan", 240, 0.7, 23),
+    ];
+    for &(label, generator, n, param, graph_seed) in query_cells {
+        let mut config = base("query-throughput");
+        config.extend([
+            ("gen", Json::Str(generator.to_string())),
+            ("n", num(n)),
+            ("param", Json::Num(param)),
+            ("p", num(4)),
+            ("auto_threads", num(auto)),
+        ]);
+        sweep.cell("query-throughput", label, Json::obj(config), graph_seed);
+    }
     sweep
 }
 
@@ -225,6 +248,62 @@ fn build_graph(config: &Json, seed: u64) -> Graph {
 
 fn usize_field(config: &Json, key: &str) -> usize {
     config.get(key).and_then(Json::as_f64).unwrap_or(0.0) as usize
+}
+
+/// The deterministic mixed batch of a `query-throughput` cell: census
+/// counts for every default-prepared clique size, a bounded prefix, spread
+/// per-vertex membership probes, per-edge probes over the first CSR edges,
+/// and an existence check. Depends only on the snapshot's graph.
+fn query_batch(snapshot: &query::GraphSnapshot) -> Vec<query::Query> {
+    use query::QueryBuilder;
+    let graph = snapshot.graph();
+    let n = graph.num_vertices() as u32;
+    let mut batch = vec![
+        QueryBuilder::new()
+            .p(3)
+            .count()
+            .build(snapshot)
+            .expect("valid"),
+        QueryBuilder::new()
+            .p(4)
+            .count()
+            .build(snapshot)
+            .expect("valid"),
+        QueryBuilder::new()
+            .p(5)
+            .count()
+            .build(snapshot)
+            .expect("valid"),
+        QueryBuilder::new()
+            .p(4)
+            .first(10)
+            .build(snapshot)
+            .expect("valid"),
+        QueryBuilder::new()
+            .p(5)
+            .exists()
+            .build(snapshot)
+            .expect("valid"),
+    ];
+    for vertex in [0, n / 3, 2 * n / 3, n - 1] {
+        batch.push(
+            QueryBuilder::new()
+                .p(3)
+                .containing_vertex(vertex)
+                .build(snapshot)
+                .expect("valid"),
+        );
+    }
+    for (u, v) in graph.edges().take(8) {
+        batch.push(
+            QueryBuilder::new()
+                .p(4)
+                .containing_edge(u, v)
+                .build(snapshot)
+                .expect("valid"),
+        );
+    }
+    batch
 }
 
 /// Executes one real cell of [`perf_sweep`] and returns its metrics object.
@@ -335,6 +414,48 @@ pub fn execute_perf_cell(spec: &CellSpec) -> Result<Json, Interrupted> {
                 ("report".to_string(), report_json),
             ]);
         }
+        "query-throughput" => {
+            let graph = build_graph(&spec.config, spec.seed);
+            let snapshot = query::GraphSnapshot::build(graph).into_shared();
+            let batch = query_batch(&snapshot);
+            let service = query::QueryService::new(snapshot.clone());
+            let mut responses = Vec::new();
+            // Cold: every rep recomputes from the snapshot artifacts.
+            let (best, mean) = time_reps(REPS, || {
+                service.clear_cache();
+                responses = service.execute_batch(&batch).expect("pre-validated batch");
+            });
+            // Warm: the cache short-circuits every enumeration.
+            let (warm_best, _) = time_reps(REPS, || {
+                responses = service.execute_batch(&batch).expect("pre-validated batch");
+            });
+            assert!(
+                responses.iter().all(|r| r.report.cache_hit),
+                "warm batch must be served from cache"
+            );
+            // The deterministic payloads (request order) and the summed
+            // census counts — both gated exactly by `trajectory::check`.
+            let payloads: Vec<Json> = responses
+                .iter()
+                .map(|r| Json::parse(&r.to_json()).expect("response payload is valid JSON"))
+                .collect();
+            let cliques: f64 = responses
+                .iter()
+                .filter_map(|r| match r.outcome {
+                    query::QueryOutcome::Count(count) => Some(count as f64),
+                    _ => None,
+                })
+                .sum();
+            metrics.extend([
+                ("queries".to_string(), num(batch.len())),
+                ("cliques".to_string(), Json::Num(cliques)),
+                ("responses".to_string(), Json::Arr(payloads)),
+                ("best_ms".to_string(), Json::Num(best)),
+                ("mean_ms".to_string(), Json::Num(mean)),
+                ("warm_best_ms".to_string(), Json::Num(warm_best)),
+                ("batch_fanout".to_string(), num(service.threads())),
+            ]);
+        }
         other => panic!("unknown cell kind in perf sweep: {other:?}"),
     }
     Ok(Json::Obj(metrics))
@@ -351,7 +472,13 @@ mod tests {
             sweep.cells.iter().map(|c| c.experiment.as_str()).collect();
         assert_eq!(
             experiments.into_iter().collect::<Vec<_>>(),
-            vec!["cluster-scaling", "engine", "enumeration", "thread-scaling"]
+            vec![
+                "cluster-scaling",
+                "engine",
+                "enumeration",
+                "query-throughput",
+                "thread-scaling"
+            ]
         );
         // The grid grew past the historical n ≈ 400 ceiling.
         assert!(sweep
@@ -390,6 +517,42 @@ mod tests {
         assert!(metrics.get("best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(metrics.get("threads_used").and_then(Json::as_f64).unwrap() >= 1.0);
         assert!(metrics.get("report").is_some());
+    }
+
+    #[test]
+    fn executor_runs_a_query_throughput_cell_deterministically() {
+        let spec = CellSpec {
+            experiment: "query-throughput".into(),
+            workload: "er(50,0.3)".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("query-throughput".into())),
+                ("gen", Json::Str("er".into())),
+                ("n", num(50)),
+                ("param", Json::Num(0.3)),
+                ("p", num(4)),
+            ]),
+            seed: 19,
+        };
+        let metrics = execute_perf_cell(&spec).expect("executor never interrupts");
+        let responses = metrics.get("responses").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            responses.len(),
+            metrics.get("queries").and_then(Json::as_f64).unwrap() as usize
+        );
+        // The census sum matches the exact enumeration.
+        let graph = gen::erdos_renyi(50, 0.3, 19);
+        let expected: usize = (3..=5).map(|p| cliques::count_cliques(&graph, p)).sum();
+        assert_eq!(
+            metrics.get("cliques").and_then(Json::as_f64).unwrap() as usize,
+            expected
+        );
+        // The deterministic payloads reproduce byte for byte across runs.
+        let again = execute_perf_cell(&spec).expect("executor never interrupts");
+        assert_eq!(
+            metrics.get("responses").unwrap().canonical(),
+            again.get("responses").unwrap().canonical()
+        );
+        assert!(metrics.get("warm_best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
     }
 
     #[test]

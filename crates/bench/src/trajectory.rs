@@ -8,13 +8,14 @@
 //! a warm `results/` directory makes it cheap) and compares against the
 //! committed trajectory:
 //!
-//! * **Deterministic metrics are gated exactly.** Clique counts and the
-//!   embedded engine [`RunReport`](cliquelist::RunReport) JSON must match
-//!   byte-for-byte — the engine's headline invariant is that its report is
-//!   identical across thread counts, so baseline cells produced on a 1-core
-//!   host gate runs on any host. Cells are matched on their identity with
-//!   the host/build-dependent knobs (`threads`, `auto_threads`,
-//!   `parallel_build`) stripped.
+//! * **Deterministic metrics are gated exactly.** Clique counts, the
+//!   embedded engine [`RunReport`](cliquelist::RunReport) JSON and the
+//!   query-service batch payloads (`responses`) must match byte-for-byte —
+//!   the headline invariant is that reports and query payloads are
+//!   identical across thread counts and cache states, so baseline cells
+//!   produced on a 1-core host gate runs on any host. Cells are matched on
+//!   their identity with the host/build-dependent knobs (`threads`,
+//!   `auto_threads`, `parallel_build`) stripped.
 //! * **Timing metrics are gated by a generous ratio** (`best_ms` may grow by
 //!   at most `time_factor`, default [`DEFAULT_TIME_FACTOR`]), and only
 //!   between cells whose *full* config matches (same thread grant, same
@@ -40,6 +41,11 @@ pub const DEFAULT_TIME_FACTOR: f64 = 10.0;
 /// Config keys that are host- or build-dependent and therefore excluded
 /// from the identity used for deterministic-metric matching.
 const HOST_KEYS: &[&str] = &["threads", "auto_threads", "parallel_build"];
+
+/// Metrics gated byte-exactly: clique counts, the embedded engine reports,
+/// and the query-service batch payloads (which exclude their execution
+/// reports, so they too are thread- and cache-independent).
+const DETERMINISTIC_METRICS: &[&str] = &["cliques", "report", "responses"];
 
 /// The historical ad-hoc artifacts consolidated into the trajectory.
 pub const HISTORY_FILES: &[&str] = &["BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json"];
@@ -163,11 +169,24 @@ pub fn consolidate(sweep: &Sweep, records: &[CellRecord], history: &[Json], git_
         ("claim", Json::Str(sweep.claim.clone())),
         ("git_rev", Json::Str(git_rev.to_string())),
         (
+            "provenance",
+            Json::Str(
+                "committed baselines are recorded on a 1-core container: timings and \
+                 speedup_vs_1_thread carry 1-thread provenance (the query-throughput batch \
+                 fan-out included); deterministic metrics gate any host"
+                    .into(),
+            ),
+        ),
+        (
             "thresholds",
             Json::obj(vec![
                 (
                     "deterministic",
-                    Json::Str("exact: cliques and engine reports must match baseline".into()),
+                    Json::Str(
+                        "exact: cliques, engine reports and query-batch payloads must match \
+                         baseline"
+                            .into(),
+                    ),
                 ),
                 ("time_factor", Json::Num(DEFAULT_TIME_FACTOR)),
                 (
@@ -257,7 +276,7 @@ pub fn check(trajectory: &Json, fresh: &[CellRecord], time_factor: Option<f64>) 
             // Feature-gated or removed cell: reported by the CLI, not a failure.
             continue;
         };
-        for metric in ["cliques", "report"] {
+        for metric in DETERMINISTIC_METRICS {
             let (Some(b), Some(n)) = (base.metrics.get(metric), new.metrics.get(metric)) else {
                 continue;
             };
@@ -369,6 +388,42 @@ mod tests {
         let violations = check(&trajectory, &broken, None);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].metric, "cliques");
+    }
+
+    fn query_record(responses: &str, auto_threads: usize) -> CellRecord {
+        CellRecord {
+            spec: CellSpec {
+                experiment: "query-throughput".into(),
+                workload: "er(300,0.2)".into(),
+                config: Json::obj(vec![
+                    ("kind", Json::Str("query-throughput".into())),
+                    ("p", Json::Num(4.0)),
+                    ("auto_threads", Json::Num(auto_threads as f64)),
+                ]),
+                seed: 19,
+            },
+            git_rev: "base-rev".into(),
+            metrics: Json::obj(vec![
+                ("cliques", Json::Num(50.0)),
+                ("responses", Json::parse(responses).unwrap()),
+                ("best_ms", Json::Num(3.0)),
+            ]),
+        }
+    }
+
+    #[test]
+    fn check_gates_query_payloads_exactly_across_thread_grants() {
+        let baseline = vec![query_record("[{\"outcome\":{\"count\":50}}]", 1)];
+        let trajectory = consolidate(&sweep(), &baseline, &[], "base-rev");
+        // Same payloads from a 4-thread host: the deterministic identity
+        // strips `auto_threads`, so the 1-core baseline still gates it.
+        let same = vec![query_record("[{\"outcome\":{\"count\":50}}]", 4)];
+        assert!(check(&trajectory, &same, None).is_empty());
+        // A changed payload is a regression even when the counts agree.
+        let changed = vec![query_record("[{\"outcome\":{\"count\":50},\"x\":1}]", 4)];
+        let violations = check(&trajectory, &changed, None);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "responses");
     }
 
     #[test]

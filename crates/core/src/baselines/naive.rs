@@ -212,7 +212,9 @@ mod tests {
         let (report, result) = simulate_naive_broadcast(&g, 4, 10_000);
         assert!(report.terminated);
         let (_, analytic) = naive_engine(4).collect(&g);
-        assert_eq!(result.cliques, analytic);
+        let mut simulated: Vec<Vec<u32>> = result.cliques.iter().cloned().collect();
+        simulated.sort_unstable();
+        assert_eq!(simulated, analytic);
         assert!(report.simulated_rounds >= naive_broadcast_rounds(&g));
     }
 

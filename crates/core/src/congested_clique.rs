@@ -117,9 +117,8 @@ mod tests {
     use crate::report::RunReport;
     use crate::verify::verify_cliques;
     use graphcore::gen;
-    use std::collections::HashSet;
 
-    fn run(graph: &Graph, p: usize, seed: u64) -> (RunReport, HashSet<graphcore::Clique>) {
+    fn run(graph: &Graph, p: usize, seed: u64) -> (RunReport, Vec<graphcore::Clique>) {
         Engine::builder()
             .p(p)
             .algorithm("congested-clique")

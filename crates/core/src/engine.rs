@@ -32,7 +32,6 @@ use crate::sink::{CliqueSink, CollectSink, CountSink, Counted};
 use congest::ChargePolicy;
 use expander::DecompositionConfig;
 use graphcore::{Clique, Graph};
-use std::collections::HashSet;
 use std::fmt;
 
 /// Registry names of the built-in algorithms.
@@ -375,11 +374,13 @@ impl Engine {
     }
 
     /// Convenience: runs with a [`CollectSink`] and returns the report plus
-    /// the set of listed cliques.
-    pub fn collect(&self, graph: &Graph) -> (RunReport, HashSet<Clique>) {
+    /// the listed cliques in canonical sorted order — never the sink's
+    /// internal (hash-ordered, nondeterministic) iteration order, so callers
+    /// can compare, diff and serialise the listing directly.
+    pub fn collect(&self, graph: &Graph) -> (RunReport, Vec<Clique>) {
         let mut sink = CollectSink::new();
         let report = self.run(graph, &mut sink);
-        (report, sink.into_cliques())
+        (report, sink.sorted())
     }
 
     /// Convenience: runs with a [`CountSink`] (no per-clique storage) and

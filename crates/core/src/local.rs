@@ -46,7 +46,11 @@ pub(crate) fn stream_cliques(
     {
         let threads = config.effective_threads(true);
         if threads > 1 && config.p >= 3 {
-            return parallel_stream(graph, config.p, threads, sink);
+            // Build the snapshot artifact (ordering + DAG + bitsets) once and
+            // hand it to the sharded path — the same build/query split the
+            // `query` crate's GraphSnapshot amortises across whole batches.
+            let index = cliques::CliqueIndex::build(graph);
+            return parallel_stream(graph, &index, config.p, threads, sink);
         }
     }
     cliques::for_each_clique_while(graph, config.p, |c| {
@@ -65,15 +69,22 @@ pub(crate) fn stream_cliques(
 /// count actually spawned (`threads` capped by the shard count; 1 when the
 /// plan degenerates to a single shard and the enumeration runs inline).
 #[cfg(feature = "parallel")]
-fn parallel_stream(graph: &Graph, p: usize, threads: usize, sink: &mut dyn CliqueSink) -> usize {
+fn parallel_stream(
+    graph: &Graph,
+    index: &cliques::CliqueIndex,
+    p: usize,
+    threads: usize,
+    sink: &mut dyn CliqueSink,
+) -> usize {
     use crate::sink::ShardBuffer;
     use graphcore::cliques::{ShardedEnumerator, SHARDS_PER_THREAD};
     use graphcore::ordered_merge::ordered_merge as merge_shards;
 
-    let enumerator = ShardedEnumerator::new(graph, p, threads.saturating_mul(SHARDS_PER_THREAD));
+    let enumerator =
+        ShardedEnumerator::with_index(graph, index, p, threads.saturating_mul(SHARDS_PER_THREAD));
     let shards = enumerator.num_shards();
     if shards <= 1 {
-        cliques::for_each_clique_while(graph, p, |c| {
+        index.for_each_clique_while(graph, p, |c| {
             sink.accept(c);
             !sink.is_saturated()
         });

@@ -51,21 +51,22 @@ pub fn verify_against_ground_truth(
     verify_cliques(graph, p, &result.cliques)
 }
 
-/// Checks that `listed` (e.g. the contents of a
-/// [`CollectSink`](crate::CollectSink)) is exactly the set of `p`-cliques of
-/// `graph`.
+/// Checks that `listed` — any collection of cliques: a
+/// [`CollectSink`](crate::CollectSink)'s set, the sorted vector returned by
+/// [`Engine::collect`](crate::Engine::collect), a slice — is exactly the set
+/// of `p`-cliques of `graph`.
 ///
 /// # Errors
 ///
 /// Returns a [`VerificationError`] describing the missing and spurious cliques
 /// if the output is not exactly the ground truth.
-pub fn verify_cliques(
-    graph: &Graph,
-    p: usize,
-    listed: &HashSet<Clique>,
-) -> Result<(), VerificationError> {
+pub fn verify_cliques<'a, I>(graph: &Graph, p: usize, listed: I) -> Result<(), VerificationError>
+where
+    I: IntoIterator<Item = &'a Clique>,
+{
+    let listed: HashSet<Clique> = listed.into_iter().cloned().collect();
     let truth: HashSet<Clique> = cliques::list_cliques(graph, p).into_iter().collect();
-    let missing: Vec<Clique> = truth.difference(listed).cloned().collect();
+    let missing: Vec<Clique> = truth.difference(&listed).cloned().collect();
     let spurious: Vec<Clique> = listed.difference(&truth).cloned().collect();
     if missing.is_empty() && spurious.is_empty() {
         Ok(())

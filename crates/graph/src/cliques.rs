@@ -23,6 +23,15 @@
 //! [`std::thread::scope`] workers and replays the per-shard results in
 //! ascending shard order, so the emission order is **byte-identical** to the
 //! sequential enumeration regardless of thread count (see `DESIGN.md` §8).
+//!
+//! All of the search's build-once state — the degeneracy ordering, the
+//! oriented DAG and the adjacency bitsets — lives in [`CliqueIndex`], an
+//! owned, `Sync` artifact decoupled from any particular traversal. The
+//! one-shot entry points build a private index per call; callers that answer
+//! many queries against the same graph (the snapshot layer in the `query`
+//! crate, the sharded engine path in `cliquelist`) build the index once and
+//! share it across concurrent full, per-vertex and per-edge enumerations by
+//! `&self` (see `DESIGN.md` §11).
 
 use crate::orientation::{degeneracy_ordering, DegeneracyOrdering, OrientedDag};
 use crate::{Clique, Graph};
@@ -126,6 +135,206 @@ fn intersect_candidates(
     }
 }
 
+/// The build-once, query-many state of the ordered clique search: the
+/// degeneracy ordering, its [`OrientedDag`] of later neighbours and the
+/// high-degree adjacency bitsets, all owned and immutable.
+///
+/// An index is built from one graph and is only meaningful against that
+/// graph: every query method takes the graph by reference so the index itself
+/// stays free of lifetimes and can be stored next to the graph it describes
+/// (the `query` crate's `GraphSnapshot` holds exactly that pair behind an
+/// `Arc`). All state is read-only after construction, so one index serves any
+/// number of concurrent enumerations — full listings, shards, per-vertex and
+/// per-edge queries — by shared reference; each call allocates its own
+/// candidate arena and scratch.
+///
+/// The index is `p`-independent: one build answers queries for every clique
+/// size. Only [`ShardPlan`]s are per-`p`, and those are planned from the
+/// index's DAG via [`ShardPlan::balanced`].
+pub struct CliqueIndex {
+    ordering: DegeneracyOrdering,
+    dag: OrientedDag,
+    bitsets: NeighborBitsets,
+    max_out: usize,
+}
+
+impl CliqueIndex {
+    /// Builds the index of `graph`: degeneracy ordering, oriented DAG and
+    /// adjacency bitsets, in `O(n + m)` time plus the bounded bitset table.
+    pub fn build(graph: &Graph) -> CliqueIndex {
+        let ordering = degeneracy_ordering(graph);
+        let dag = OrientedDag::from_ordering(graph, &ordering);
+        let bitsets = NeighborBitsets::build(graph, BITSET_DEGREE_THRESHOLD);
+        let max_out = dag.max_out_degree();
+        CliqueIndex {
+            ordering,
+            dag,
+            bitsets,
+            max_out,
+        }
+    }
+
+    /// The degeneracy ordering the search roots follow.
+    pub fn ordering(&self) -> &DegeneracyOrdering {
+        &self.ordering
+    }
+
+    /// The DAG of later neighbours under the degeneracy ordering.
+    pub fn dag(&self) -> &OrientedDag {
+        &self.dag
+    }
+
+    /// The degeneracy of the indexed graph (bounds every candidate set).
+    pub fn degeneracy(&self) -> usize {
+        self.ordering.degeneracy
+    }
+
+    /// A fresh per-call candidate arena: one pre-sized buffer per recursion
+    /// depth. Capacities are hints (per-vertex/per-edge candidate sets may
+    /// exceed the DAG out-degree bound and simply grow).
+    fn arena(&self, p: usize) -> Vec<Vec<u32>> {
+        (0..p.saturating_sub(1))
+            .map(|_| Vec::with_capacity(self.max_out))
+            .collect()
+    }
+
+    /// [`for_each_clique_while`] against a prebuilt index: calls `visit` for
+    /// every `p`-clique of `graph` in the deterministic sequential order
+    /// until it declines; returns whether the enumeration completed.
+    ///
+    /// `graph` must be the graph this index was built from.
+    pub fn for_each_clique_while(
+        &self,
+        graph: &Graph,
+        p: usize,
+        mut visit: impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        if p < 3 {
+            return small_p_while(graph, p, visit);
+        }
+        let mut arena = self.arena(p);
+        let mut stack: Vec<u32> = Vec::with_capacity(p);
+        let mut scratch: Vec<u32> = Vec::with_capacity(p);
+        enumerate_roots(
+            graph,
+            &self.bitsets,
+            &self.dag,
+            p,
+            &self.ordering.order,
+            &mut arena,
+            &mut stack,
+            &mut scratch,
+            &mut visit,
+        )
+    }
+
+    /// Streams every `p`-clique of `graph` containing the vertex `v`
+    /// (canonical sorted form, each exactly once, deterministic order) until
+    /// `visit` declines; returns whether the query completed. An out-of-range
+    /// vertex visits nothing and completes.
+    ///
+    /// `graph` must be the graph this index was built from.
+    pub fn for_each_containing_vertex_while(
+        &self,
+        graph: &Graph,
+        p: usize,
+        v: u32,
+        mut visit: impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        if p == 0 || (v as usize) >= graph.num_vertices() {
+            return true;
+        }
+        if p == 1 {
+            return visit(&[v]);
+        }
+        if p == 2 {
+            for &w in graph.neighbors(v) {
+                if !visit(&[v.min(w), v.max(w)]) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        // Candidates: the whole (sorted) neighbourhood of v. Each clique
+        // containing v is its other p-1 vertices chosen from N(v) in
+        // increasing id order, so it is visited exactly once.
+        let mut arena = self.arena(p);
+        arena[0].extend_from_slice(graph.neighbors(v));
+        let mut stack = vec![v];
+        let mut scratch: Vec<u32> = Vec::with_capacity(p);
+        extend_clique(
+            graph,
+            &self.bitsets,
+            p,
+            &mut arena,
+            &mut stack,
+            &mut scratch,
+            &mut visit,
+        )
+    }
+
+    /// Streams every `p`-clique of `graph` containing the edge `{a, b}`
+    /// (canonical sorted form, ascending canonical order, each exactly once)
+    /// until `visit` declines; returns whether the query completed. An absent
+    /// edge visits nothing and completes. Unlike [`EdgeCliqueEnumerator`]
+    /// this takes `&self` — scratch state is per call — so one index answers
+    /// concurrent per-edge queries.
+    ///
+    /// `graph` must be the graph this index was built from.
+    pub fn for_each_containing_edge_while(
+        &self,
+        graph: &Graph,
+        p: usize,
+        a: u32,
+        b: u32,
+        mut visit: impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        if p < 2 || !graph.has_edge(a, b) {
+            return true;
+        }
+        if p == 2 {
+            return visit(&[a.min(b), a.max(b)]);
+        }
+        let mut arena = self.arena(p);
+        graph.common_neighbors_into(a, b, &mut arena[0]);
+        let mut stack = vec![a.min(b), a.max(b)];
+        let mut scratch: Vec<u32> = Vec::with_capacity(p);
+        extend_clique(
+            graph,
+            &self.bitsets,
+            p,
+            &mut arena,
+            &mut stack,
+            &mut scratch,
+            &mut visit,
+        )
+    }
+}
+
+/// The trivial `p ≤ 2` enumerations (empty clique, vertices, edges), shared
+/// by the one-shot and the index-backed entry points.
+fn small_p_while(graph: &Graph, p: usize, mut visit: impl FnMut(&[u32]) -> bool) -> bool {
+    match p {
+        0 => visit(&[]),
+        1 => {
+            for v in 0..graph.num_vertices() as u32 {
+                if !visit(&[v]) {
+                    return false;
+                }
+            }
+            true
+        }
+        _ => {
+            for (u, v) in graph.edges() {
+                if !visit(&[u, v]) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
 /// Lists every clique on exactly `p` vertices, each exactly once, in
 /// canonical (sorted) form.
 ///
@@ -167,56 +376,11 @@ pub fn for_each_clique(graph: &Graph, p: usize, mut visit: impl FnMut(&[u32])) {
 /// DAG, per-depth candidate arena, adjacency bitsets) once up front and
 /// nothing afterwards: no allocation per visited clique, no allocation per
 /// recursion node.
-pub fn for_each_clique_while(
-    graph: &Graph,
-    p: usize,
-    mut visit: impl FnMut(&[u32]) -> bool,
-) -> bool {
-    let n = graph.num_vertices();
-    if p == 0 {
-        return visit(&[]);
+pub fn for_each_clique_while(graph: &Graph, p: usize, visit: impl FnMut(&[u32]) -> bool) -> bool {
+    if p < 3 {
+        return small_p_while(graph, p, visit);
     }
-    if p == 1 {
-        for v in 0..n as u32 {
-            if !visit(&[v]) {
-                return false;
-            }
-        }
-        return true;
-    }
-    if p == 2 {
-        for (u, v) in graph.edges() {
-            if !visit(&[u, v]) {
-                return false;
-            }
-        }
-        return true;
-    }
-
-    let ordering = degeneracy_ordering(graph);
-    let dag = OrientedDag::from_ordering(graph, &ordering);
-    let bitsets = NeighborBitsets::build(graph, BITSET_DEGREE_THRESHOLD);
-    // Candidate arena: one pre-sized buffer per recursion depth, reused for
-    // the whole enumeration. Depth d holds candidate sets after d choices
-    // beyond the root; every set is a subset of a DAG row, so max_out_degree
-    // bounds the needed capacity once and for all.
-    let max_out = dag.max_out_degree();
-    let mut arena: Vec<Vec<u32>> = (0..p - 1).map(|_| Vec::with_capacity(max_out)).collect();
-    let mut stack: Vec<u32> = Vec::with_capacity(p);
-    // Scratch buffer for the sorted copy handed to the visitor, reused across
-    // visits so the enumeration allocates nothing per clique.
-    let mut scratch: Vec<u32> = Vec::with_capacity(p);
-    enumerate_roots(
-        graph,
-        &bitsets,
-        &dag,
-        p,
-        &ordering.order,
-        &mut arena,
-        &mut stack,
-        &mut scratch,
-        &mut visit,
-    )
+    CliqueIndex::build(graph).for_each_clique_while(graph, p, visit)
 }
 
 /// Runs the ordered search from every root in `roots` (a slice of the
@@ -372,11 +536,11 @@ impl ShardPlan {
     }
 }
 
-/// The sharable state of a sharded `p`-clique enumeration: the degeneracy
-/// ordering, its [`OrientedDag`], the high-degree adjacency bitsets and a
-/// [`ShardPlan`] — everything built exactly once, all of it read-only during
-/// enumeration so one instance can serve any number of worker threads by
-/// shared reference.
+/// The sharable state of a sharded `p`-clique enumeration: a [`CliqueIndex`]
+/// (owned, or borrowed from a caller that amortises one index across many
+/// enumerations) plus a [`ShardPlan`] — everything built exactly once, all of
+/// it read-only during enumeration so one instance can serve any number of
+/// worker threads by shared reference.
 ///
 /// [`ShardedEnumerator::for_each_in_shard_while`] runs the same arena-based
 /// ordered search as [`for_each_clique_while`], restricted to one shard's
@@ -385,36 +549,75 @@ impl ShardPlan {
 pub struct ShardedEnumerator<'g> {
     graph: &'g Graph,
     p: usize,
-    ordering: DegeneracyOrdering,
-    dag: OrientedDag,
-    bitsets: NeighborBitsets,
+    index: IndexHandle<'g>,
     plan: ShardPlan,
-    max_out: usize,
+}
+
+/// How a [`ShardedEnumerator`] holds its [`CliqueIndex`]: built and owned by
+/// [`ShardedEnumerator::new`], or borrowed from a caller that amortises one
+/// index across many enumerations (the snapshot layer).
+enum IndexHandle<'g> {
+    Owned(CliqueIndex),
+    Shared(&'g CliqueIndex),
 }
 
 impl<'g> ShardedEnumerator<'g> {
     /// Prepares a sharded enumeration of the `p`-cliques of `graph` with at
-    /// most `target_shards` shards.
+    /// most `target_shards` shards, building a private [`CliqueIndex`].
     ///
     /// # Panics
     ///
     /// Panics if `p < 3`; the `p ≤ 2` cases are trivial linear scans with
     /// nothing to shard (use [`for_each_clique_while`]).
     pub fn new(graph: &'g Graph, p: usize, target_shards: usize) -> Self {
+        let index = CliqueIndex::build(graph);
+        let plan = ShardPlan::balanced(&index.dag, &index.ordering, p, target_shards);
+        Self::assemble(graph, p, IndexHandle::Owned(index), plan)
+    }
+
+    /// Like [`ShardedEnumerator::new`], but over a prebuilt shared index
+    /// (which must have been built from `graph`) — the build-once path of the
+    /// snapshot layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 3`.
+    pub fn with_index(
+        graph: &'g Graph,
+        index: &'g CliqueIndex,
+        p: usize,
+        target_shards: usize,
+    ) -> Self {
+        let plan = ShardPlan::balanced(&index.dag, &index.ordering, p, target_shards);
+        Self::assemble(graph, p, IndexHandle::Shared(index), plan)
+    }
+
+    /// Like [`ShardedEnumerator::with_index`], but with a caller-provided
+    /// [`ShardPlan`] (which must have been planned over `index` for this `p`)
+    /// — for callers that precompute one plan per clique size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 3`.
+    pub fn from_plan(graph: &'g Graph, index: &'g CliqueIndex, p: usize, plan: ShardPlan) -> Self {
+        Self::assemble(graph, p, IndexHandle::Shared(index), plan)
+    }
+
+    fn assemble(graph: &'g Graph, p: usize, index: IndexHandle<'g>, plan: ShardPlan) -> Self {
         assert!(p >= 3, "sharded enumeration requires p >= 3 (got {p})");
-        let ordering = degeneracy_ordering(graph);
-        let dag = OrientedDag::from_ordering(graph, &ordering);
-        let bitsets = NeighborBitsets::build(graph, BITSET_DEGREE_THRESHOLD);
-        let plan = ShardPlan::balanced(&dag, &ordering, p, target_shards);
-        let max_out = dag.max_out_degree();
         ShardedEnumerator {
             graph,
             p,
-            ordering,
-            dag,
-            bitsets,
+            index,
             plan,
-            max_out,
+        }
+    }
+
+    /// The index backing this enumeration (owned or shared).
+    fn index(&self) -> &CliqueIndex {
+        match &self.index {
+            IndexHandle::Owned(index) => index,
+            IndexHandle::Shared(index) => index,
         }
     }
 
@@ -447,16 +650,15 @@ impl<'g> ShardedEnumerator<'g> {
         shard: usize,
         mut visit: impl FnMut(&[u32]) -> bool,
     ) -> bool {
-        let mut arena: Vec<Vec<u32>> = (0..self.p - 1)
-            .map(|_| Vec::with_capacity(self.max_out))
-            .collect();
+        let index = self.index();
+        let mut arena = index.arena(self.p);
         let mut stack: Vec<u32> = Vec::with_capacity(self.p);
         let mut scratch: Vec<u32> = Vec::with_capacity(self.p);
-        let roots = &self.ordering.order[self.plan.range(shard)];
+        let roots = &index.ordering.order[self.plan.range(shard)];
         enumerate_roots(
             self.graph,
-            &self.bitsets,
-            &self.dag,
+            &index.bitsets,
+            &index.dag,
             self.p,
             roots,
             &mut arena,
@@ -1078,6 +1280,125 @@ mod tests {
             true
         }));
         assert_eq!(all, sequential);
+    }
+
+    #[test]
+    fn clique_index_is_shared_across_query_kinds() {
+        let g = gen::erdos_renyi(55, 0.3, 13);
+        let index = CliqueIndex::build(&g);
+        for p in [3usize, 4, 5] {
+            // Full enumeration matches the one-shot path, order included.
+            let mut via_index = Vec::new();
+            assert!(index.for_each_clique_while(&g, p, |c| {
+                via_index.push(c.to_vec());
+                true
+            }));
+            let mut one_shot = Vec::new();
+            for_each_clique(&g, p, |c| one_shot.push(c.to_vec()));
+            assert_eq!(via_index, one_shot, "p={p}");
+            // Per-vertex queries match the filtered full listing.
+            let all = list_cliques(&g, p);
+            for v in [0u32, 7, 54] {
+                let mut through_v = Vec::new();
+                index.for_each_containing_vertex_while(&g, p, v, |c| {
+                    through_v.push(c.to_vec());
+                    true
+                });
+                through_v.sort_unstable();
+                let expected: Vec<Clique> =
+                    all.iter().filter(|c| c.contains(&v)).cloned().collect();
+                assert_eq!(through_v, expected, "p={p} v={v}");
+            }
+            // Per-edge queries match the one-shot function.
+            for (a, b) in g.edges().take(25) {
+                let mut through_e = Vec::new();
+                index.for_each_containing_edge_while(&g, p, a, b, |c| {
+                    through_e.push(c.to_vec());
+                    true
+                });
+                assert_eq!(
+                    through_e,
+                    cliques_containing_edge(&g, p, a, b),
+                    "p={p} {a}-{b}"
+                );
+            }
+        }
+        // Out-of-range vertices and absent edges visit nothing and complete.
+        assert!(index.for_each_containing_vertex_while(&g, 3, 999, |_| false));
+        assert!(index.for_each_containing_edge_while(&g, 3, 0, 0, |_| false));
+        assert!(index.degeneracy() >= 3);
+    }
+
+    #[test]
+    fn shared_index_enumerators_reproduce_the_sequential_order() {
+        let g = gen::erdos_renyi(60, 0.3, 19);
+        let index = CliqueIndex::build(&g);
+        for p in [3usize, 4] {
+            let mut sequential = Vec::new();
+            for_each_clique(&g, p, |c| sequential.push(c.to_vec()));
+            for target in [2usize, 7] {
+                let shared = ShardedEnumerator::with_index(&g, &index, p, target);
+                let mut merged = Vec::new();
+                for shard in 0..shared.num_shards() {
+                    shared.for_each_in_shard(shard, |c| merged.push(c.to_vec()));
+                }
+                assert_eq!(merged, sequential, "with_index p={p} target={target}");
+                let planned = ShardedEnumerator::from_plan(&g, &index, p, shared.plan().clone());
+                let mut replanned = Vec::new();
+                for shard in 0..planned.num_shards() {
+                    planned.for_each_in_shard(shard, |c| replanned.push(c.to_vec()));
+                }
+                assert_eq!(replanned, sequential, "from_plan p={p} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_small_p_and_early_stop_behave_like_the_one_shot_path() {
+        let g = gen::path_graph(5);
+        let index = CliqueIndex::build(&g);
+        for p in [0usize, 1, 2] {
+            let mut via_index = Vec::new();
+            index.for_each_clique_while(&g, p, |c| {
+                via_index.push(c.to_vec());
+                true
+            });
+            via_index.sort_unstable();
+            assert_eq!(via_index, list_cliques(&g, p), "p={p}");
+        }
+        let mut through_v = Vec::new();
+        index.for_each_containing_vertex_while(&g, 2, 1, |c| {
+            through_v.push(c.to_vec());
+            true
+        });
+        assert_eq!(through_v, vec![vec![0, 1], vec![1, 2]]);
+        assert!(index.for_each_containing_vertex_while(&g, 0, 1, |_| false));
+        let mut single = Vec::new();
+        index.for_each_containing_vertex_while(&g, 1, 3, |c| {
+            single.push(c.to_vec());
+            true
+        });
+        assert_eq!(single, vec![vec![3]]);
+        // Early stops propagate through every index-backed query kind.
+        let k = gen::complete_graph(10);
+        let ki = CliqueIndex::build(&k);
+        let mut seen = 0usize;
+        assert!(!ki.for_each_clique_while(&k, 3, |_| {
+            seen += 1;
+            seen < 4
+        }));
+        assert_eq!(seen, 4);
+        let mut ve = 0usize;
+        assert!(!ki.for_each_containing_vertex_while(&k, 3, 0, |_| {
+            ve += 1;
+            false
+        }));
+        let mut ee = 0usize;
+        assert!(!ki.for_each_containing_edge_while(&k, 3, 0, 1, |_| {
+            ee += 1;
+            false
+        }));
+        assert_eq!((ve, ee), (1, 1));
     }
 
     #[test]

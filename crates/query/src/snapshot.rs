@@ -1,0 +1,273 @@
+//! Immutable, shareable graph snapshots: the build-once half of the
+//! build-once/query-many split.
+//!
+//! A [`GraphSnapshot`] owns the graph (CSR form) together with every artifact
+//! the ordered clique search needs — the degeneracy ordering, the oriented
+//! DAG and the adjacency bitsets, bundled as a
+//! [`CliqueIndex`] — plus one balanced
+//! [`ShardPlan`] per prepared clique size. Everything is built exactly once
+//! by [`SnapshotBuilder::build`] and never mutated afterwards, so a snapshot
+//! behind an [`Arc`] serves any number of concurrent queries through `&self`.
+//!
+//! Snapshots are content-addressed: [`GraphSnapshot::id`] is the FNV-1a hash
+//! of the graph's vertex count and edge list, so two snapshots of identical
+//! graphs share cached results and any structural change produces a fresh
+//! identity (see `DESIGN.md` §11).
+
+use crate::cache::Fnv1a;
+use graphcore::cliques::{CliqueIndex, ShardPlan};
+use graphcore::Graph;
+use std::fmt;
+use std::sync::Arc;
+
+/// Clique sizes a snapshot prepares shard plans for when the builder names
+/// none explicitly.
+pub const DEFAULT_PREPARED_PS: &[usize] = &[3, 4, 5];
+
+/// Default number of shards planned per prepared clique size. A fixed target
+/// (rather than one derived from the thread count) keeps the plans — and
+/// everything downstream of them — independent of the host's parallelism.
+pub const DEFAULT_TARGET_SHARDS: usize = 64;
+
+/// Why a [`SnapshotBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A prepared clique size was below 3; the `p ≤ 2` queries are trivial
+    /// scans that need no shard plan, so preparing them is a misuse.
+    CliqueSizeTooSmall {
+        /// The offending clique size.
+        p: usize,
+    },
+    /// The shard target was zero.
+    ZeroShards,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::CliqueSizeTooSmall { p } => {
+                write!(f, "prepared clique size must be at least 3, got {p}")
+            }
+            SnapshotError::ZeroShards => write!(f, "shard target must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Validating builder for [`GraphSnapshot`] — misconfiguration surfaces as a
+/// typed [`SnapshotError`] before any index work happens.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    graph: Graph,
+    ps: Vec<usize>,
+    target_shards: usize,
+}
+
+impl SnapshotBuilder {
+    /// Declares a clique size the snapshot will serve. Repeated declarations
+    /// are deduplicated; when none are made, [`DEFAULT_PREPARED_PS`] applies.
+    #[must_use]
+    pub fn prepare_p(mut self, p: usize) -> Self {
+        self.ps.push(p);
+        self
+    }
+
+    /// Overrides the per-`p` shard target (default
+    /// [`DEFAULT_TARGET_SHARDS`]).
+    #[must_use]
+    pub fn target_shards(mut self, target_shards: usize) -> Self {
+        self.target_shards = target_shards;
+        self
+    }
+
+    /// Builds the snapshot: validates the configuration, then constructs the
+    /// clique index and one shard plan per prepared size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when a prepared size is below 3 or the
+    /// shard target is zero.
+    pub fn build(self) -> Result<GraphSnapshot, SnapshotError> {
+        if self.target_shards == 0 {
+            return Err(SnapshotError::ZeroShards);
+        }
+        let mut ps = self.ps;
+        if let Some(&p) = ps.iter().find(|&&p| p < 3) {
+            return Err(SnapshotError::CliqueSizeTooSmall { p });
+        }
+        if ps.is_empty() {
+            ps.extend_from_slice(DEFAULT_PREPARED_PS);
+        }
+        ps.sort_unstable();
+        ps.dedup();
+        let id = content_id(&self.graph);
+        let index = CliqueIndex::build(&self.graph);
+        let plans = ps
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    ShardPlan::balanced(index.dag(), index.ordering(), p, self.target_shards),
+                )
+            })
+            .collect();
+        Ok(GraphSnapshot {
+            graph: self.graph,
+            index,
+            plans,
+            id,
+        })
+    }
+}
+
+/// An immutable graph plus every build-once artifact of the ordered clique
+/// search, shareable across threads behind an [`Arc`].
+///
+/// All state is read-only after [`SnapshotBuilder::build`]; queries against
+/// the snapshot (see [`QueryService`](crate::QueryService)) allocate their
+/// own scratch per call, so `&self` access is safely concurrent.
+pub struct GraphSnapshot {
+    graph: Graph,
+    index: CliqueIndex,
+    /// `(p, plan)` pairs, ascending in `p`.
+    plans: Vec<(usize, ShardPlan)>,
+    id: u64,
+}
+
+impl GraphSnapshot {
+    /// Starts a validating builder over `graph` (consumed: the snapshot owns
+    /// its graph so the pair can live behind one `Arc`).
+    pub fn builder(graph: Graph) -> SnapshotBuilder {
+        SnapshotBuilder {
+            graph,
+            ps: Vec::new(),
+            target_shards: DEFAULT_TARGET_SHARDS,
+        }
+    }
+
+    /// Builds a snapshot with the default configuration
+    /// ([`DEFAULT_PREPARED_PS`], [`DEFAULT_TARGET_SHARDS`]), which cannot
+    /// fail validation.
+    pub fn build(graph: Graph) -> GraphSnapshot {
+        GraphSnapshot::builder(graph)
+            .build()
+            .expect("default snapshot configuration is valid")
+    }
+
+    /// Wraps the snapshot for sharing across threads and services.
+    pub fn into_shared(self) -> Arc<GraphSnapshot> {
+        Arc::new(self)
+    }
+
+    /// The content identity: FNV-1a over the vertex count and the sorted edge
+    /// list. Equal for structurally identical graphs, different after any
+    /// edge/vertex change — the first half of every cache key.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The snapshotted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared clique index (ordering + DAG + bitsets).
+    pub fn index(&self) -> &CliqueIndex {
+        &self.index
+    }
+
+    /// The clique sizes this snapshot prepared shard plans for, ascending.
+    pub fn prepared_ps(&self) -> Vec<usize> {
+        self.plans.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Whether queries for clique size `p` can be built against this
+    /// snapshot.
+    pub fn is_prepared(&self, p: usize) -> bool {
+        self.plan_for(p).is_some()
+    }
+
+    /// The prebuilt shard plan for `p`, if prepared.
+    pub(crate) fn plan_for(&self, p: usize) -> Option<&ShardPlan> {
+        self.plans
+            .iter()
+            .find(|&&(prepared, _)| prepared == p)
+            .map(|(_, plan)| plan)
+    }
+}
+
+impl fmt::Debug for GraphSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraphSnapshot")
+            .field("id", &format_args!("{:016x}", self.id))
+            .field("num_vertices", &self.graph.num_vertices())
+            .field("num_edges", &self.graph.num_edges())
+            .field("prepared_ps", &self.prepared_ps())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The content identity of a graph: vertex count, edge count, then every
+/// edge in the (deterministic, sorted) CSR traversal order.
+fn content_id(graph: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(graph.num_vertices() as u64);
+    h.write_u64(graph.num_edges() as u64);
+    for (u, v) in graph.edges() {
+        h.write_u32(u);
+        h.write_u32(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::gen;
+
+    #[test]
+    fn builder_validates_sizes_and_shards() {
+        let err = GraphSnapshot::builder(gen::path_graph(4))
+            .prepare_p(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SnapshotError::CliqueSizeTooSmall { p: 2 });
+        let err = GraphSnapshot::builder(gen::path_graph(4))
+            .target_shards(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SnapshotError::ZeroShards);
+        assert!(format!("{err}").contains("shard target"));
+    }
+
+    #[test]
+    fn prepared_sizes_default_sort_and_dedup() {
+        let snapshot = GraphSnapshot::build(gen::path_graph(4));
+        assert_eq!(snapshot.prepared_ps(), DEFAULT_PREPARED_PS);
+        let snapshot = GraphSnapshot::builder(gen::path_graph(4))
+            .prepare_p(5)
+            .prepare_p(3)
+            .prepare_p(5)
+            .build()
+            .expect("valid");
+        assert_eq!(snapshot.prepared_ps(), vec![3, 5]);
+        assert!(snapshot.is_prepared(3));
+        assert!(!snapshot.is_prepared(4));
+    }
+
+    #[test]
+    fn content_id_tracks_graph_structure() {
+        let a = GraphSnapshot::build(gen::erdos_renyi(40, 0.2, 7));
+        let same = GraphSnapshot::build(gen::erdos_renyi(40, 0.2, 7));
+        let reseeded = GraphSnapshot::build(gen::erdos_renyi(40, 0.2, 8));
+        assert_eq!(a.id(), same.id(), "identical graphs share an identity");
+        assert_ne!(a.id(), reseeded.id(), "different edges, different identity");
+        // Adding one edge changes the identity.
+        let path = GraphSnapshot::build(gen::path_graph(4));
+        let grown = gen::path_graph(4)
+            .with_edges_added(&[(0, 3)])
+            .expect("edge fits");
+        assert_ne!(path.id(), GraphSnapshot::build(grown).id());
+    }
+}

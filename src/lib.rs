@@ -1,12 +1,13 @@
 //! Umbrella crate of the *On Distributed Listing of Cliques* reproduction.
 //!
-//! Re-exports the four member crates so that examples, integration tests and
+//! Re-exports the five member crates so that examples, integration tests and
 //! downstream users can depend on a single package:
 //!
 //! * [`congest`] — synchronous CONGEST / CONGESTED CLIQUE simulator;
 //! * [`graphcore`] — graph substrate, workload generators, exact enumeration;
 //! * [`expander`] — expander decomposition, cluster routing, ID assignment;
-//! * [`cliquelist`] — the paper's listing algorithms and baselines.
+//! * [`cliquelist`] — the paper's listing algorithms and baselines;
+//! * [`query`] — concurrent clique queries over immutable graph snapshots.
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the
 //! architecture and the reproduction methodology.
@@ -17,3 +18,4 @@ pub use cliquelist;
 pub use congest;
 pub use expander;
 pub use graphcore;
+pub use query;

@@ -169,6 +169,49 @@ fn parallelism_settings_are_byte_identical_for_every_algorithm() {
     }
 }
 
+/// [`Engine::collect`] promises the canonical sorted order (each clique's
+/// vertices ascending, cliques in lexicographic order) for every algorithm —
+/// the order the query service and the JSON artifacts rely on.
+#[test]
+fn collect_returns_canonical_sorted_order_for_every_algorithm() {
+    for algorithm in algorithms() {
+        let info = algorithm.info();
+        for p in [3usize, 4] {
+            if !info.supports_p(p) {
+                continue;
+            }
+            let engine = Engine::builder()
+                .p(p)
+                .algorithm(info.name)
+                .seed(5)
+                .build()
+                .unwrap_or_else(|e| panic!("{} p={p}: {e}", info.name));
+            for (label, graph) in workloads(p).into_iter().take(2) {
+                let (_, cliques) = engine.collect(&graph);
+                assert!(
+                    !cliques.is_empty(),
+                    "{}, p={p}, {label}: workload lost its cliques",
+                    info.name
+                );
+                let mut sorted = cliques.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    cliques, sorted,
+                    "{}, p={p}, {label}: collect output is not canonically sorted",
+                    info.name
+                );
+                for clique in &cliques {
+                    assert!(
+                        clique.windows(2).all(|w| w[0] < w[1]),
+                        "{}, p={p}, {label}: clique {clique:?} not ascending",
+                        info.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn first_k_prefixes_are_deterministic_for_every_algorithm() {
     let graph = gen::erdos_renyi(60, 0.4, 3);

@@ -23,7 +23,8 @@ fn check_planted(n: usize, p: usize, num_planted: usize, seed: u64) {
         .expect("valid engine");
     let (report, listed) = engine.collect(&graph);
 
-    let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, p).into_iter().collect();
+    let mut exact: Vec<Vec<u32>> = cliques::list_cliques(&graph, p);
+    exact.sort_unstable();
     assert_eq!(
         listed, exact,
         "n={n} p={p} seed={seed}: distributed listing != exact enumeration"
@@ -61,7 +62,8 @@ fn fast_k4_matches_exact_enumeration_on_planted_workload() {
         .build()
         .expect("valid engine");
     let (_, listed) = engine.collect(&graph);
-    let exact: HashSet<Vec<u32>> = cliques::list_cliques(&graph, 4).into_iter().collect();
+    let mut exact: Vec<Vec<u32>> = cliques::list_cliques(&graph, 4);
+    exact.sort_unstable();
     assert_eq!(listed, exact);
 }
 
