@@ -180,6 +180,31 @@ pub fn perf_sweep() -> Sweep {
         ]);
         sweep.cell("query-throughput", label, Json::obj(config), graph_seed);
     }
+
+    // Fault sweep (PR 8): the message-level naive-broadcast testbed under
+    // seeded loss, masked by the reliable ack/retransmit transport. The drop
+    // probability is carried in parts-per-million so the config stays
+    // integral; the retransmit overhead cells (`retransmits`,
+    // `simulated_rounds`) are deterministic in `(graph, p, plan)` and gated
+    // byte-exactly, pinning the fault replay contract in the trajectory.
+    for &drop_ppm in &[0usize, 10_000, 50_000] {
+        let mut config = base("fault-sweep");
+        config.extend([
+            ("gen", Json::Str("er".to_string())),
+            ("n", num(20)),
+            ("param", Json::Num(0.4)),
+            ("p", num(3)),
+            ("drop_ppm", num(drop_ppm)),
+            ("fault_seed", num(0xFA17)),
+            ("max_rounds", num(10_000)),
+        ]);
+        sweep.cell(
+            "fault-sweep",
+            "er(20,0.4) reliable naive",
+            Json::obj(config),
+            29,
+        );
+    }
     sweep
 }
 
@@ -456,6 +481,58 @@ pub fn execute_perf_cell(spec: &CellSpec) -> Result<Json, Interrupted> {
                 ("batch_fanout".to_string(), num(service.threads())),
             ]);
         }
+        "fault-sweep" => {
+            let graph = build_graph(&spec.config, spec.seed);
+            let drop_ppm = usize_field(&spec.config, "drop_ppm");
+            let fault_seed = usize_field(&spec.config, "fault_seed") as u64;
+            let max_rounds = usize_field(&spec.config, "max_rounds") as u64;
+            let plan = if drop_ppm == 0 {
+                congest::FaultPlan::fault_free()
+            } else {
+                congest::FaultPlan::builder(fault_seed)
+                    .drop_probability(drop_ppm as f64 / 1e6)
+                    .build()
+                    .expect("sweep fault plan is valid")
+            };
+            let mut sim = None;
+            let (best, mean) = time_reps(REPS, || {
+                sim = Some(cliquelist::baselines::simulate_naive_broadcast_with_faults(
+                    &graph,
+                    p,
+                    max_rounds,
+                    plan.clone(),
+                ));
+            });
+            let sim = sim.expect("at least one rep ran");
+            // The headline robustness claim, checked at measurement time:
+            // the transport masks the seeded loss completely.
+            assert_eq!(
+                sim.result.cliques.len(),
+                cliques::count_cliques(&graph, p),
+                "reliable transport must mask the seeded loss"
+            );
+            metrics.extend([
+                ("cliques".to_string(), num(sim.result.cliques.len())),
+                (
+                    "simulated_rounds".to_string(),
+                    Json::Num(sim.report.simulated_rounds as f64),
+                ),
+                (
+                    "retransmits".to_string(),
+                    Json::Num(sim.transport.retransmits as f64),
+                ),
+                (
+                    "acks_sent".to_string(),
+                    Json::Num(sim.transport.acks_sent as f64),
+                ),
+                (
+                    "dropped_messages".to_string(),
+                    Json::Num(sim.dropped_messages as f64),
+                ),
+                ("best_ms".to_string(), Json::Num(best)),
+                ("mean_ms".to_string(), Json::Num(mean)),
+            ]);
+        }
         other => panic!("unknown cell kind in perf sweep: {other:?}"),
     }
     Ok(Json::Obj(metrics))
@@ -476,9 +553,19 @@ mod tests {
                 "cluster-scaling",
                 "engine",
                 "enumeration",
+                "fault-sweep",
                 "query-throughput",
                 "thread-scaling"
             ]
+        );
+        // The fault sweep covers a fault-free control and two loss rates.
+        assert_eq!(
+            sweep
+                .cells
+                .iter()
+                .filter(|c| c.experiment == "fault-sweep")
+                .count(),
+            3
         );
         // The grid grew past the historical n ≈ 400 ceiling.
         assert!(sweep
@@ -553,6 +640,66 @@ mod tests {
             again.get("responses").unwrap().canonical()
         );
         assert!(metrics.get("warm_best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn executor_runs_fault_cells_deterministically() {
+        let cell = |drop_ppm: usize| CellSpec {
+            experiment: "fault-sweep".into(),
+            workload: "er(20,0.4) reliable naive".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("fault-sweep".into())),
+                ("gen", Json::Str("er".into())),
+                ("n", num(20)),
+                ("param", Json::Num(0.4)),
+                ("p", num(3)),
+                ("drop_ppm", num(drop_ppm)),
+                ("fault_seed", num(0xFA17)),
+                ("max_rounds", num(10_000)),
+            ]),
+            seed: 29,
+        };
+        // Fault-free control: nothing dropped, nothing retransmitted, and
+        // the listing matches the exact enumeration.
+        let clean = execute_perf_cell(&cell(0)).expect("executor never interrupts");
+        let truth = cliques::count_cliques(&gen::erdos_renyi(20, 0.4, 29), 3);
+        assert_eq!(
+            clean.get("cliques").and_then(Json::as_f64).unwrap() as usize,
+            truth
+        );
+        assert_eq!(
+            clean.get("retransmits").and_then(Json::as_f64).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            clean
+                .get("dropped_messages")
+                .and_then(Json::as_f64)
+                .unwrap(),
+            0.0
+        );
+        // Lossy: the transport masks the loss (same cliques), pays for it in
+        // retransmissions, and replays byte-identically.
+        let lossy = execute_perf_cell(&cell(50_000)).expect("executor never interrupts");
+        assert_eq!(
+            lossy.get("cliques").and_then(Json::as_f64).unwrap() as usize,
+            truth
+        );
+        assert!(
+            lossy
+                .get("dropped_messages")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let again = execute_perf_cell(&cell(50_000)).expect("executor never interrupts");
+        for metric in ["cliques", "simulated_rounds", "retransmits", "acks_sent"] {
+            assert_eq!(
+                lossy.get(metric).unwrap().canonical(),
+                again.get(metric).unwrap().canonical(),
+                "{metric} must replay identically"
+            );
+        }
     }
 
     #[test]

@@ -43,9 +43,19 @@ pub const DEFAULT_TIME_FACTOR: f64 = 10.0;
 const HOST_KEYS: &[&str] = &["threads", "auto_threads", "parallel_build"];
 
 /// Metrics gated byte-exactly: clique counts, the embedded engine reports,
-/// and the query-service batch payloads (which exclude their execution
-/// reports, so they too are thread- and cache-independent).
-const DETERMINISTIC_METRICS: &[&str] = &["cliques", "report", "responses"];
+/// the query-service batch payloads (which exclude their execution reports,
+/// so they too are thread- and cache-independent), and the fault-sweep
+/// retransmit-overhead counters (deterministic in `(graph, p, fault plan)`
+/// by the fault replay contract). Metrics absent from a baseline cell are
+/// skipped, so growing this list never fails the gate against an older
+/// trajectory.
+const DETERMINISTIC_METRICS: &[&str] = &[
+    "cliques",
+    "report",
+    "responses",
+    "retransmits",
+    "simulated_rounds",
+];
 
 /// The historical ad-hoc artifacts consolidated into the trajectory.
 pub const HISTORY_FILES: &[&str] = &["BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json"];
@@ -183,8 +193,8 @@ pub fn consolidate(sweep: &Sweep, records: &[CellRecord], history: &[Json], git_
                 (
                     "deterministic",
                     Json::Str(
-                        "exact: cliques, engine reports and query-batch payloads must match \
-                         baseline"
+                        "exact: cliques, engine reports, query-batch payloads and fault-sweep \
+                         retransmit counters must match baseline"
                             .into(),
                     ),
                 ),

@@ -33,6 +33,10 @@ pub enum PrimitiveKind {
     /// phases whose load is uniform and therefore not worth simulating
     /// message-by-message).
     DirectExchange,
+    /// Acknowledgement and retransmission overhead of the reliable transport
+    /// ([`crate::reliable`]) — the extra words a lossy link costs on top of
+    /// the fault-free schedule.
+    ReliableTransport,
 }
 
 impl PrimitiveKind {
@@ -43,6 +47,7 @@ impl PrimitiveKind {
             PrimitiveKind::IntraClusterRouting => "intra-cluster-routing",
             PrimitiveKind::ClusterIdAssignment => "cluster-id-assignment",
             PrimitiveKind::DirectExchange => "direct-exchange",
+            PrimitiveKind::ReliableTransport => "reliable-transport",
         }
     }
 }
@@ -223,6 +228,7 @@ mod tests {
             PrimitiveKind::IntraClusterRouting,
             PrimitiveKind::ClusterIdAssignment,
             PrimitiveKind::DirectExchange,
+            PrimitiveKind::ReliableTransport,
         ];
         let names: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -1,0 +1,429 @@
+//! Deterministic, content-addressed fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes every fault the network will experience before
+//! the run starts: a per-(round, link) message drop probability, link outage
+//! windows, crash-stop node schedules and bandwidth throttling windows. All
+//! decisions are **content-addressed** — the drop decision for `(round,
+//! link)` is a pure function of the plan seed, the round number and the link
+//! index, computed through [`DeterministicRng::for_decision`], never by
+//! consuming a sequential random stream. Consequently the same `(seed,
+//! plan)` pair reproduces the same faults byte for byte regardless of queue
+//! backlogs, executor choice (sequential vs parallel) or thread grant, which
+//! is what extends the workspace determinism contract to faulty runs.
+//!
+//! Plans are built through [`FaultPlanBuilder`], which validates every knob
+//! and returns a typed [`FaultError`] on misuse; a successfully built plan
+//! is valid by construction. Install a plan on a network with
+//! [`crate::Network::set_fault_plan`]; injected faults surface as
+//! [`crate::TraceEvent::Dropped`] and [`crate::TraceEvent::NodeCrashed`]
+//! events in the trace sink.
+
+use crate::rng::DeterministicRng;
+use std::fmt;
+
+/// A rejected [`FaultPlanBuilder`] knob.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The drop probability is not a finite value in `[0, 1]`.
+    BadDropProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An outage window ends before it starts.
+    EmptyOutageWindow {
+        /// Directed link index of the window.
+        link: usize,
+        /// First round of the window.
+        start: u64,
+        /// Last round of the window (exclusive bound below `start`).
+        end: u64,
+    },
+    /// A throttle window ends before it starts.
+    EmptyThrottleWindow {
+        /// First round of the window.
+        start: u64,
+        /// Last round of the window (exclusive bound below `start`).
+        end: u64,
+    },
+    /// A throttle window grants zero bandwidth; model a dead link as an
+    /// outage window instead.
+    ZeroThrottleBandwidth,
+    /// A crash is scheduled for round 0; the earliest observable crash round
+    /// is 1 (round 0 is `on_start`).
+    CrashAtRoundZero {
+        /// The node whose crash was scheduled.
+        node: usize,
+    },
+    /// Two crash rounds were scheduled for the same node.
+    DuplicateCrash {
+        /// The node with conflicting schedules.
+        node: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::BadDropProbability { value } => {
+                write!(
+                    f,
+                    "drop probability {value} must be a finite value in [0, 1]"
+                )
+            }
+            FaultError::EmptyOutageWindow { link, start, end } => write!(
+                f,
+                "outage window [{start}, {end}] on link {link} is empty (end < start)"
+            ),
+            FaultError::EmptyThrottleWindow { start, end } => {
+                write!(f, "throttle window [{start}, {end}] is empty (end < start)")
+            }
+            FaultError::ZeroThrottleBandwidth => write!(
+                f,
+                "throttle bandwidth must be at least one word per round; use an outage window \
+                 for a dead link"
+            ),
+            FaultError::CrashAtRoundZero { node } => write!(
+                f,
+                "node {node} cannot crash at round 0; the earliest crash round is 1"
+            ),
+            FaultError::DuplicateCrash { node } => {
+                write!(f, "node {node} has two crash rounds scheduled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// An inclusive round window during which a directed link delivers nothing.
+/// Queued messages wait out the outage rather than being lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OutageWindow {
+    link: usize,
+    start: u64,
+    end: u64,
+}
+
+/// An inclusive round window during which every link's bandwidth is capped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ThrottleWindow {
+    start: u64,
+    end: u64,
+    bandwidth_words: u32,
+}
+
+/// A validated, immutable fault schedule. See the module docs for the
+/// decision model; build plans with [`FaultPlan::builder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_probability: f64,
+    outages: Vec<OutageWindow>,
+    throttles: Vec<ThrottleWindow>,
+    /// `(node, crash round)` pairs, sorted by node, at most one per node.
+    crashes: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// Starts building a plan whose content-addressed decisions derive from
+    /// `seed`.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            drop_probability: 0.0,
+            outages: Vec::new(),
+            throttles: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The plan that injects nothing. Running under it is byte-identical to
+    /// running without a plan at all.
+    pub fn fault_free() -> Self {
+        FaultPlan::builder(0)
+            .build()
+            .expect("the empty plan is valid")
+    }
+
+    /// The seed the plan's content-addressed decisions derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-(round, link) drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_probability <= 0.0
+            && self.outages.is_empty()
+            && self.throttles.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Whether `link` is inside an outage window at `round`.
+    pub fn link_down(&self, round: u64, link: usize) -> bool {
+        self.outages
+            .iter()
+            .any(|w| w.link == link && w.start <= round && round <= w.end)
+    }
+
+    /// Content-addressed drop decision: whether messages crossing `link` at
+    /// `round` are lost in flight. One decision covers the whole
+    /// (round, link) pair — a lossy round drops every message the link
+    /// carries that round, modelling burst loss.
+    pub fn drops(&self, round: u64, link: usize) -> bool {
+        if self.drop_probability <= 0.0 {
+            return false;
+        }
+        if self.drop_probability >= 1.0 {
+            return true;
+        }
+        DeterministicRng::for_decision(self.seed, round, link).unit() < self.drop_probability
+    }
+
+    /// The bandwidth cap active at `round`, if any throttle window covers it
+    /// (the tightest cap wins when windows overlap).
+    pub fn bandwidth_cap(&self, round: u64) -> Option<u32> {
+        self.throttles
+            .iter()
+            .filter(|w| w.start <= round && round <= w.end)
+            .map(|w| w.bandwidth_words)
+            .min()
+    }
+
+    /// The round at which `node` crash-stops, if one is scheduled.
+    pub fn crash_round(&self, node: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|&&(v, _)| v == node)
+            .map(|&(_, round)| round)
+    }
+
+    /// The scheduled `(node, crash round)` pairs, sorted by node.
+    pub fn crashes(&self) -> &[(usize, u64)] {
+        &self.crashes
+    }
+
+    /// The largest directed link index any outage window references, used by
+    /// the network to validate a plan against its topology.
+    pub fn max_referenced_link(&self) -> Option<usize> {
+        self.outages.iter().map(|w| w.link).max()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::fault_free()
+    }
+}
+
+/// Builder for [`FaultPlan`]; every knob is validated in
+/// [`FaultPlanBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    drop_probability: f64,
+    outages: Vec<OutageWindow>,
+    throttles: Vec<ThrottleWindow>,
+    crashes: Vec<(usize, u64)>,
+}
+
+impl FaultPlanBuilder {
+    /// Sets the per-(round, link) drop probability (must be in `[0, 1]`).
+    pub fn drop_probability(mut self, probability: f64) -> Self {
+        self.drop_probability = probability;
+        self
+    }
+
+    /// Adds an outage window: directed link `link` delivers nothing during
+    /// rounds `start..=end` (queued messages wait, they are not lost).
+    pub fn outage(mut self, link: usize, start: u64, end: u64) -> Self {
+        self.outages.push(OutageWindow { link, start, end });
+        self
+    }
+
+    /// Adds a throttle window: during rounds `start..=end` every link's
+    /// bandwidth is capped at `bandwidth_words` words per round.
+    pub fn throttle(mut self, start: u64, end: u64, bandwidth_words: u32) -> Self {
+        self.throttles.push(ThrottleWindow {
+            start,
+            end,
+            bandwidth_words,
+        });
+        self
+    }
+
+    /// Schedules node `node` to crash-stop at `round` (≥ 1). From that round
+    /// on the node computes nothing, its queued outgoing messages are
+    /// discarded and messages addressed to it are dropped on delivery.
+    pub fn crash(mut self, node: usize, round: u64) -> Self {
+        self.crashes.push((node, round));
+        self
+    }
+
+    /// Validates the accumulated knobs and produces the immutable plan.
+    pub fn build(self) -> Result<FaultPlan, FaultError> {
+        if !self.drop_probability.is_finite() || !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err(FaultError::BadDropProbability {
+                value: self.drop_probability,
+            });
+        }
+        for w in &self.outages {
+            if w.end < w.start {
+                return Err(FaultError::EmptyOutageWindow {
+                    link: w.link,
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+        }
+        for w in &self.throttles {
+            if w.end < w.start {
+                return Err(FaultError::EmptyThrottleWindow {
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+            if w.bandwidth_words == 0 {
+                return Err(FaultError::ZeroThrottleBandwidth);
+            }
+        }
+        let mut crashes = self.crashes;
+        crashes.sort_unstable();
+        for &(node, round) in &crashes {
+            if round == 0 {
+                return Err(FaultError::CrashAtRoundZero { node });
+            }
+        }
+        for pair in crashes.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(FaultError::DuplicateCrash { node: pair[0].0 });
+            }
+        }
+        Ok(FaultPlan {
+            seed: self.seed,
+            drop_probability: self.drop_probability,
+            outages: self.outages,
+            throttles: self.throttles,
+            crashes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_empty_plan_is_fault_free() {
+        let plan = FaultPlan::fault_free();
+        assert!(plan.is_fault_free());
+        assert!(!plan.drops(3, 7));
+        assert!(!plan.link_down(3, 7));
+        assert_eq!(plan.bandwidth_cap(3), None);
+        assert_eq!(plan.crash_round(0), None);
+        assert_eq!(FaultPlan::default(), plan);
+    }
+
+    #[test]
+    fn drop_decisions_are_content_addressed_and_seed_sensitive() {
+        let plan = FaultPlan::builder(42)
+            .drop_probability(0.5)
+            .build()
+            .unwrap();
+        let grid: Vec<bool> = (0..64)
+            .flat_map(|round| (0..8).map(move |link| (round, link)))
+            .map(|(round, link)| plan.drops(round, link))
+            .collect();
+        // Repeated evaluation is stateless: same answers in any order.
+        let again: Vec<bool> = (0..64)
+            .flat_map(|round| (0..8).map(move |link| (round, link)))
+            .map(|(round, link)| plan.drops(round, link))
+            .collect();
+        assert_eq!(grid, again);
+        assert!(grid.iter().any(|&d| d) && grid.iter().any(|&d| !d));
+        let other = FaultPlan::builder(43)
+            .drop_probability(0.5)
+            .build()
+            .unwrap();
+        let shifted: Vec<bool> = (0..64)
+            .flat_map(|round| (0..8).map(move |link| (round, link)))
+            .map(|(round, link)| other.drops(round, link))
+            .collect();
+        assert_ne!(grid, shifted, "a different seed must reshuffle decisions");
+    }
+
+    #[test]
+    fn extreme_probabilities_short_circuit() {
+        let never = FaultPlan::builder(1).drop_probability(0.0).build().unwrap();
+        let always = FaultPlan::builder(1).drop_probability(1.0).build().unwrap();
+        for round in 0..32 {
+            assert!(!never.drops(round, 0));
+            assert!(always.drops(round, 0));
+        }
+    }
+
+    #[test]
+    fn windows_and_crashes_answer_point_queries() {
+        let plan = FaultPlan::builder(7)
+            .outage(3, 5, 9)
+            .throttle(2, 4, 2)
+            .throttle(3, 6, 1)
+            .crash(1, 4)
+            .crash(0, 2)
+            .build()
+            .unwrap();
+        assert!(!plan.link_down(4, 3));
+        assert!(plan.link_down(5, 3) && plan.link_down(9, 3));
+        assert!(!plan.link_down(10, 3));
+        assert!(!plan.link_down(5, 2), "outages are per-link");
+        assert_eq!(plan.bandwidth_cap(1), None);
+        assert_eq!(plan.bandwidth_cap(2), Some(2));
+        assert_eq!(plan.bandwidth_cap(3), Some(1), "tightest cap wins");
+        assert_eq!(plan.bandwidth_cap(7), None);
+        assert_eq!(plan.crash_round(0), Some(2));
+        assert_eq!(plan.crash_round(1), Some(4));
+        assert_eq!(plan.crash_round(2), None);
+        assert_eq!(plan.crashes(), &[(0, 2), (1, 4)]);
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_knob() {
+        assert_eq!(
+            FaultPlan::builder(0).drop_probability(1.5).build(),
+            Err(FaultError::BadDropProbability { value: 1.5 })
+        );
+        assert!(matches!(
+            FaultPlan::builder(0).drop_probability(f64::NAN).build(),
+            Err(FaultError::BadDropProbability { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            FaultPlan::builder(0).outage(2, 9, 3).build(),
+            Err(FaultError::EmptyOutageWindow {
+                link: 2,
+                start: 9,
+                end: 3
+            })
+        );
+        assert_eq!(
+            FaultPlan::builder(0).throttle(9, 3, 1).build(),
+            Err(FaultError::EmptyThrottleWindow { start: 9, end: 3 })
+        );
+        assert_eq!(
+            FaultPlan::builder(0).throttle(1, 2, 0).build(),
+            Err(FaultError::ZeroThrottleBandwidth)
+        );
+        assert_eq!(
+            FaultPlan::builder(0).crash(5, 0).build(),
+            Err(FaultError::CrashAtRoundZero { node: 5 })
+        );
+        assert_eq!(
+            FaultPlan::builder(0).crash(5, 1).crash(5, 2).build(),
+            Err(FaultError::DuplicateCrash { node: 5 })
+        );
+    }
+}

@@ -74,20 +74,24 @@
 
 pub mod clique;
 pub mod cost;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod reliable;
 pub mod rng;
 pub mod topology;
 pub mod trace;
 
 pub use clique::CongestedClique;
 pub use cost::{ChargePolicy, CostLedger, PrimitiveKind};
+pub use faults::{FaultError, FaultPlan, FaultPlanBuilder};
 pub use metrics::{LinkStats, Metrics, RoundReport};
-pub use network::{Network, NetworkConfig};
+pub use network::{Network, NetworkConfig, NetworkError};
 pub use node::{Context, NodeId, NodeProgram, Status};
+pub use reliable::{Packet, ReliableConfig, ReliableTransport, TransportStats};
 pub use rng::DeterministicRng;
-pub use topology::Topology;
+pub use topology::{Topology, TopologyError};
 pub use trace::{MemorySink, NullSink, TraceEvent, TraceSink};
 
 /// Number of bits assumed to fit into a single CONGEST message word.

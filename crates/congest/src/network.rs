@@ -1,20 +1,67 @@
 //! The synchronous round executor.
 
 use crate::cost::{ChargePolicy, CostLedger, PrimitiveKind};
+use crate::faults::FaultPlan;
 use crate::metrics::{Metrics, RoundReport};
 use crate::node::{Context, NodeId, NodeProgram, Status};
 use crate::rng::DeterministicRng;
 use crate::topology::Topology;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
 /// Messages addressed to (or received from) specific nodes.
 type Mailbox<M> = Vec<(NodeId, M)>;
 
-/// Outcome of stepping one node: `(node index, new status, produced outbox)`.
+/// Outcome of stepping one node: `(node index, new status, produced outbox,
+/// emitted trace events)`.
 #[cfg(feature = "parallel")]
-type NodeOutcome<M> = (usize, Status, Mailbox<M>);
+type NodeOutcome<M> = (usize, Status, Mailbox<M>, Vec<TraceEvent>);
+
+/// A rejected network construction or configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// The configured per-link bandwidth is zero.
+    ZeroBandwidth,
+    /// A fault plan schedules a crash for a node outside the topology.
+    CrashNodeOutOfRange {
+        /// The out-of-range node index.
+        node: usize,
+        /// Number of nodes in the topology.
+        num_nodes: usize,
+    },
+    /// A fault plan references a directed link index outside the topology.
+    OutageLinkOutOfRange {
+        /// The out-of-range link index.
+        link: usize,
+        /// Number of directed links in the topology.
+        num_links: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::ZeroBandwidth => {
+                write!(f, "bandwidth must be at least one word per round")
+            }
+            NetworkError::CrashNodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "fault plan schedules a crash for node {node}, but the topology has {num_nodes} \
+                 nodes"
+            ),
+            NetworkError::OutageLinkOutOfRange { link, num_links } => write!(
+                f,
+                "fault plan references directed link {link}, but the topology has {num_links} \
+                 directed links"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
 
 /// Configuration of a simulated network.
 #[derive(Clone, Copy, Debug)]
@@ -78,16 +125,39 @@ pub struct Network<P: NodeProgram> {
     metrics: Metrics,
     round: u64,
     sink: Arc<dyn TraceSink>,
+    /// The installed fault schedule, if any. `None` behaves exactly like
+    /// [`FaultPlan::fault_free`] without paying any per-round plan queries.
+    fault_plan: Option<FaultPlan>,
+    /// Crash-stop flags, set when the plan's crash round arrives.
+    crashed: Vec<bool>,
 }
 
 impl<P: NodeProgram> Network<P> {
     /// Creates a network over `topology`, instantiating one program per node
     /// through `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero bandwidth); use
+    /// [`Network::try_new`] for a typed rejection.
     pub fn new(
         topology: Topology,
         config: NetworkConfig,
         factory: impl FnMut(NodeId) -> P,
     ) -> Self {
+        Self::try_new(topology, config, factory).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a network over `topology`, validating the configuration and
+    /// returning a typed [`NetworkError`] instead of panicking on bad input.
+    pub fn try_new(
+        topology: Topology,
+        config: NetworkConfig,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Result<Self, NetworkError> {
+        if config.bandwidth_words == 0 {
+            return Err(NetworkError::ZeroBandwidth);
+        }
         let n = topology.num_nodes();
         let mut factory = factory;
         let programs: Vec<P> = (0..n).map(|i| factory(NodeId::new(i))).collect();
@@ -97,7 +167,7 @@ impl<P: NodeProgram> Network<P> {
         let queues = (0..topology.num_directed_links())
             .map(|_| VecDeque::new())
             .collect();
-        Network {
+        Ok(Network {
             topology,
             config,
             programs,
@@ -109,12 +179,40 @@ impl<P: NodeProgram> Network<P> {
             metrics: Metrics::default(),
             round: 0,
             sink: Arc::new(NullSink),
-        }
+            fault_plan: None,
+            crashed: vec![false; n],
+        })
     }
 
     /// Installs a trace sink receiving [`TraceEvent`]s.
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.sink = sink;
+    }
+
+    /// Installs a fault schedule, validating it against the topology. Faults
+    /// injected by the plan surface as [`TraceEvent::Dropped`] and
+    /// [`TraceEvent::NodeCrashed`] events in the trace sink.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), NetworkError> {
+        let num_nodes = self.topology.num_nodes();
+        let num_links = self.topology.num_directed_links();
+        if let Some(&(node, _)) = plan.crashes().iter().find(|&&(v, _)| v >= num_nodes) {
+            return Err(NetworkError::CrashNodeOutOfRange { node, num_nodes });
+        }
+        if let Some(link) = plan.max_referenced_link().filter(|&l| l >= num_links) {
+            return Err(NetworkError::OutageLinkOutOfRange { link, num_links });
+        }
+        self.fault_plan = Some(plan);
+        Ok(())
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Whether `node` has crash-stopped under the installed fault plan.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
     }
 
     /// The communication topology.
@@ -191,14 +289,17 @@ impl<P: NodeProgram> Network<P> {
         }
         for i in 0..self.programs.len() {
             let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+            let mut events: Vec<TraceEvent> = Vec::new();
             let mut ctx = Context {
                 id: NodeId::new(i),
                 round: 0,
                 topology: &self.topology,
                 rng: &mut self.rngs[i],
                 outbox: &mut outbox,
+                events: &mut events,
             };
             self.programs[i].on_start(&mut ctx);
+            self.record_events(events);
             self.enqueue_from(NodeId::new(i), outbox);
         }
     }
@@ -220,15 +321,17 @@ impl<P: NodeProgram> Network<P> {
                 continue;
             }
             let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+            let mut events: Vec<TraceEvent> = Vec::new();
             let mut ctx = Context {
                 id: NodeId::new(i),
                 round: self.round,
                 topology: &self.topology,
                 rng: &mut self.rngs[i],
                 outbox: &mut outbox,
+                events: &mut events,
             };
             let status = self.programs[i].on_round(&mut ctx, inbox);
-            self.integrate_node_round(i, status, outbox);
+            self.integrate_node_round(i, status, outbox, events);
         }
 
         self.sink.record(TraceEvent::RoundCompleted {
@@ -243,7 +346,15 @@ impl<P: NodeProgram> Network<P> {
     /// that order) and the number of words delivered.
     fn deliver(&mut self) -> (Vec<Mailbox<P::Message>>, u64) {
         let n = self.programs.len();
-        let bandwidth = self.config.bandwidth_words as u64;
+        self.apply_crashes();
+        let bandwidth = match self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.bandwidth_cap(self.round))
+        {
+            Some(cap) => u64::from(cap.min(self.config.bandwidth_words)),
+            None => u64::from(self.config.bandwidth_words),
+        };
         let mut inboxes: Vec<Mailbox<P::Message>> = vec![Vec::new(); n];
         // Nothing in flight: skip the link scan entirely (common on the
         // quiescence-detection tail, where nodes still compute but no
@@ -253,25 +364,69 @@ impl<P: NodeProgram> Network<P> {
         }
         let mut recv_words: Vec<u64> = vec![0; n];
         let mut words_delivered = 0u64;
-        let mut delivered = 0usize;
+        let mut popped = 0usize;
+        let mut delivered = 0u64;
         for src in 0..n {
             let source = NodeId::new(src);
             let range = self.topology.link_range(source);
             let neighbors = self.topology.neighbors(source);
-            for (queue, &dst) in self.queues[range].iter_mut().zip(neighbors) {
+            for (offset, (queue, &dst)) in self.queues[range.clone()]
+                .iter_mut()
+                .zip(neighbors)
+                .enumerate()
+            {
                 if queue.is_empty() {
                     continue;
                 }
+                let link = range.start + offset;
+                // A crashed destination consumes nothing: its link drains in
+                // one round (the receiver is gone, bandwidth is moot).
+                if self.crashed[dst.index()] {
+                    let (messages, words) = drain_queue(queue);
+                    popped += messages as usize;
+                    self.sink.record(TraceEvent::Dropped {
+                        round: self.round,
+                        link,
+                        messages,
+                        words,
+                    });
+                    continue;
+                }
+                // During an outage the link transmits nothing; queued
+                // messages wait out the window rather than being lost.
+                if self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.link_down(self.round, link))
+                {
+                    continue;
+                }
+                // One content-addressed decision per (round, link): a lossy
+                // round loses every message the link carries this round
+                // (burst loss). Lost messages still consume bandwidth — they
+                // were transmitted, then lost in flight.
+                let lossy = self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.drops(self.round, link));
+                let mut lost_messages = 0u64;
+                let mut lost_words = 0u64;
                 let mut budget = bandwidth;
                 while budget > 0 {
                     match queue.front() {
                         Some((_, words)) if u64::from(*words) <= budget => {
                             let (msg, words) = queue.pop_front().expect("front checked above");
-                            delivered += 1;
+                            popped += 1;
                             budget -= u64::from(words);
-                            words_delivered += u64::from(words);
-                            recv_words[dst.index()] += u64::from(words);
-                            inboxes[dst.index()].push((source, msg));
+                            if lossy {
+                                lost_messages += 1;
+                                lost_words += u64::from(words);
+                            } else {
+                                delivered += 1;
+                                words_delivered += u64::from(words);
+                                recv_words[dst.index()] += u64::from(words);
+                                inboxes[dst.index()].push((source, msg));
+                            }
                         }
                         // A message wider than the remaining budget waits for
                         // the next round (no fragmentation), unless it is
@@ -283,35 +438,104 @@ impl<P: NodeProgram> Network<P> {
                             if u64::from(*words) > bandwidth && budget == bandwidth =>
                         {
                             let (msg, words) = queue.pop_front().expect("front checked above");
-                            delivered += 1;
-                            words_delivered += u64::from(words);
-                            recv_words[dst.index()] += u64::from(words);
-                            inboxes[dst.index()].push((source, msg));
+                            popped += 1;
+                            if lossy {
+                                lost_messages += 1;
+                                lost_words += u64::from(words);
+                            } else {
+                                delivered += 1;
+                                words_delivered += u64::from(words);
+                                recv_words[dst.index()] += u64::from(words);
+                                inboxes[dst.index()].push((source, msg));
+                            }
                             budget = 0;
                         }
                         _ => break,
                     }
                 }
+                if lost_messages > 0 {
+                    self.sink.record(TraceEvent::Dropped {
+                        round: self.round,
+                        link,
+                        messages: lost_messages,
+                        words: lost_words,
+                    });
+                }
             }
         }
-        self.queued_messages -= delivered;
-        self.metrics.messages_delivered += delivered as u64;
+        self.queued_messages -= popped;
+        self.metrics.messages_delivered += delivered;
         for &w in &recv_words {
             self.metrics.max_node_recv_per_round = self.metrics.max_node_recv_per_round.max(w);
         }
         (inboxes, words_delivered)
     }
 
+    /// Applies the fault plan's crash schedule for the current round: the
+    /// crashing node computes nothing from this round on, its outgoing
+    /// backlog is discarded and its status becomes [`Status::Done`] so the
+    /// network can still reach quiescence. Runs on the main thread in both
+    /// executors, in ascending node order (the plan keeps crashes sorted).
+    fn apply_crashes(&mut self) {
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return;
+        };
+        if plan.crashes().is_empty() {
+            return;
+        }
+        let due: Vec<usize> = plan
+            .crashes()
+            .iter()
+            .filter(|&&(_, round)| round == self.round)
+            .map(|&(node, _)| node)
+            .collect();
+        for node in due {
+            self.crashed[node] = true;
+            self.statuses[node] = Status::Done;
+            self.sink.record(TraceEvent::NodeCrashed {
+                node: NodeId::new(node),
+                round: self.round,
+            });
+            // Discard the crashed node's outgoing backlog: messages it
+            // queued but had not yet transmitted die with it.
+            let range = self.topology.link_range(NodeId::new(node));
+            for (offset, queue) in self.queues[range.clone()].iter_mut().enumerate() {
+                if queue.is_empty() {
+                    continue;
+                }
+                let (messages, words) = drain_queue(queue);
+                self.queued_messages -= messages as usize;
+                self.sink.record(TraceEvent::Dropped {
+                    round: self.round,
+                    link: range.start + offset,
+                    messages,
+                    words,
+                });
+            }
+        }
+    }
+
+    /// Records node-program-emitted trace events (buffered through
+    /// [`Context::emit`]) into the sink.
+    fn record_events(&self, events: Vec<TraceEvent>) {
+        for event in events {
+            self.sink.record(event);
+        }
+    }
+
     /// Applies the outcome of one node's `on_round` call: records the
-    /// done-transition trace event, stores the new status and enqueues the
-    /// produced messages. Both executors call this in ascending node order,
-    /// which keeps traces and metrics identical between them.
+    /// events the program emitted and the done-transition trace event,
+    /// stores the new status and enqueues the produced messages. Both
+    /// executors call this in ascending node order, which keeps traces and
+    /// metrics identical between them.
     fn integrate_node_round(
         &mut self,
         i: usize,
         status: Status,
         outbox: Vec<(NodeId, P::Message)>,
+        events: Vec<TraceEvent>,
     ) {
+        self.record_events(events);
         if status == Status::Done && self.statuses[i] == Status::Running {
             self.sink.record(TraceEvent::NodeDone {
                 node: NodeId::new(i),
@@ -350,6 +574,14 @@ impl<P: NodeProgram> Network<P> {
             terminated,
         }
     }
+}
+
+/// Empties a link queue, returning `(messages, words)` discarded.
+fn drain_queue<M>(queue: &mut VecDeque<(M, u32)>) -> (u64, u64) {
+    let messages = queue.len() as u64;
+    let words = queue.iter().map(|(_, w)| u64::from(*w)).sum();
+    queue.clear();
+    (messages, words)
 }
 
 /// The deterministic multi-threaded round executor (feature `parallel`).
@@ -418,7 +650,8 @@ where
             threads,
             true,
         );
-        for (i, _, outbox) in outputs {
+        for (i, _, outbox, events) in outputs {
+            self.record_events(events);
             self.enqueue_from(NodeId::new(i), outbox);
         }
     }
@@ -437,8 +670,8 @@ where
             threads,
             false,
         );
-        for (i, status, outbox) in outputs {
-            self.integrate_node_round(i, status, outbox);
+        for (i, status, outbox, events) in outputs {
+            self.integrate_node_round(i, status, outbox, events);
         }
         self.sink.record(TraceEvent::RoundCompleted {
             round: self.round,
@@ -483,12 +716,14 @@ where
                             continue;
                         }
                         let mut outbox = Vec::new();
+                        let mut events = Vec::new();
                         let mut ctx = Context {
                             id: NodeId::new(base + j),
                             round,
                             topology,
                             rng: &mut rngs[j],
                             outbox: &mut outbox,
+                            events: &mut events,
                         };
                         let status = if starting {
                             program.on_start(&mut ctx);
@@ -496,7 +731,7 @@ where
                         } else {
                             program.on_round(&mut ctx, inbox)
                         };
-                        out.push((base + j, status, outbox));
+                        out.push((base + j, status, outbox, events));
                     }
                     out
                 }));

@@ -2,6 +2,7 @@
 
 use crate::rng::DeterministicRng;
 use crate::topology::Topology;
+use crate::trace::TraceEvent;
 use std::fmt;
 
 /// Identifier of a node in the communication graph.
@@ -101,6 +102,12 @@ pub struct Context<'a, M> {
     pub(crate) topology: &'a Topology,
     pub(crate) rng: &'a mut DeterministicRng,
     pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    /// Trace events emitted by the node program this round. Buffered like
+    /// the outbox and recorded by the network after the node's round, in
+    /// ascending node order — so program-emitted events (e.g. reliable-
+    /// transport retransmissions) land in the trace sink deterministically
+    /// even when node rounds run on worker threads.
+    pub(crate) events: &'a mut Vec<TraceEvent>,
 }
 
 impl<'a, M: Clone> Context<'a, M> {
@@ -159,6 +166,15 @@ impl<'a, M: Clone> Context<'a, M> {
         for v in neighbors {
             self.outbox.push((v, message.clone()));
         }
+    }
+
+    /// Emits a trace event from the node program (e.g.
+    /// [`TraceEvent::Retransmit`] from the reliable transport). Events are
+    /// buffered with the round's outbox and recorded by the network in
+    /// ascending node order, so traces stay byte-identical between the
+    /// sequential and parallel executors.
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
     }
 }
 

@@ -1,0 +1,514 @@
+//! Ack/sequence-number reliable transport over lossy links.
+//!
+//! [`ReliableTransport`] wraps a node program's sends in [`Packet`]s carrying
+//! sequence numbers, acknowledges every received data packet, deduplicates
+//! replayed deliveries, and retransmits unacknowledged packets with bounded
+//! retries and exponential backoff **measured in rounds**. It is a helper a
+//! [`crate::NodeProgram`] owns — one instance per node — not a separate
+//! program: the program calls [`ReliableTransport::send`] /
+//! [`ReliableTransport::broadcast`] instead of [`crate::Context::send`] /
+//! [`crate::Context::broadcast`], and funnels each round's incoming packets
+//! through [`ReliableTransport::poll`], which returns the deduplicated
+//! application payloads.
+//!
+//! The ARQ discipline is **per-destination stop-and-wait**: at most one data
+//! packet per destination is in flight at a time; further sends to the same
+//! destination queue inside the transport and are released by the ack of
+//! their predecessor. Self-clocking like this keeps the number of in-flight
+//! words bounded by the node's degree, so round-trip times stay close to the
+//! uncontended 2-round minimum and a timeout almost always means genuine
+//! loss rather than queueing delay — which is what makes bounded retries
+//! safe: on a lossless link the transport never retransmits spuriously, and
+//! on a lossy link the chance of exhausting `max_retries` independent
+//! per-(round, link) loss decisions is negligible.
+//!
+//! Every retransmission is surfaced as a [`TraceEvent::Retransmit`] through
+//! [`Context::emit`] (deterministically ordered by the network), and the
+//! transport's overhead can be charged to a [`CostLedger`] under
+//! [`PrimitiveKind::ReliableTransport`] so round accounting stays honest.
+//!
+//! Determinism: the transport holds no randomness. Its behaviour is a pure
+//! function of the packets it sees and the round numbers at which it sees
+//! them — both byte-identical across executors and thread grants — so runs
+//! under a seeded [`crate::FaultPlan`] replay exactly.
+
+use crate::cost::{CostLedger, PrimitiveKind};
+use crate::node::{Context, NodeId};
+use crate::trace::TraceEvent;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Retry/backoff policy of a [`ReliableTransport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Rounds to wait for an ack before the first retransmission.
+    pub base_timeout_rounds: u64,
+    /// Multiplicative backoff applied per retry: retry `k` waits
+    /// `base_timeout_rounds * backoff_factor^k` rounds.
+    pub backoff_factor: u64,
+    /// Maximum number of retransmissions per packet before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            // The uncontended round trip is 2 rounds (data out, ack back);
+            // the slack absorbs acks queueing behind reverse-direction data.
+            base_timeout_rounds: 4,
+            backoff_factor: 2,
+            max_retries: 8,
+        }
+    }
+}
+
+/// Wire format of the reliable transport: data packets carry a per-sender
+/// sequence number, acks echo it back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Packet<M> {
+    /// An application payload with its sequence number.
+    Data {
+        /// Per-sender sequence number.
+        seq: u64,
+        /// The wrapped application message.
+        payload: M,
+    },
+    /// Acknowledgement of a received data packet.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+impl<M> Packet<M> {
+    /// Width of the packet on the wire when the wrapped payload occupies
+    /// `payload_words` words: data packets pay one extra word for the
+    /// sequence number, acks are a single word. Programs should return this
+    /// from [`crate::NodeProgram::message_words`] so bandwidth accounting
+    /// charges the transport's framing honestly.
+    pub fn words(&self, payload_words: u32) -> u32 {
+        match self {
+            Packet::Data { .. } => payload_words.saturating_add(1),
+            Packet::Ack { .. } => 1,
+        }
+    }
+}
+
+/// Counters describing what a transport endpoint did; aggregate them across
+/// nodes for run-level overhead numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// First transmissions of data packets.
+    pub data_sent: u64,
+    /// Retransmissions of unacknowledged data packets.
+    pub retransmits: u64,
+    /// Acknowledgements sent.
+    pub acks_sent: u64,
+    /// Received data packets discarded as duplicates.
+    pub duplicates_discarded: u64,
+    /// Packets abandoned after `max_retries` retransmissions.
+    pub gave_up: u64,
+}
+
+impl TransportStats {
+    /// Words of pure overhead this endpoint added to the fault-free
+    /// schedule: one word per ack plus the full frame of every
+    /// retransmission (`payload_words + 1` each).
+    pub fn overhead_words(&self, payload_words: u32) -> u64 {
+        self.acks_sent + self.retransmits * u64::from(payload_words.saturating_add(1))
+    }
+
+    /// Accumulates another endpoint's counters into this one.
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.data_sent += other.data_sent;
+        self.retransmits += other.retransmits;
+        self.acks_sent += other.acks_sent;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.gave_up += other.gave_up;
+    }
+}
+
+/// An unacknowledged data packet awaiting its ack or its next timeout.
+#[derive(Clone, Debug)]
+struct Pending<M> {
+    to: NodeId,
+    seq: u64,
+    payload: M,
+    sent_round: u64,
+    attempt: u32,
+}
+
+/// One node's endpoint of the reliable transport. See the module docs.
+#[derive(Clone, Debug)]
+pub struct ReliableTransport<M> {
+    config: ReliableConfig,
+    next_seq: u64,
+    /// In-flight packets: at most one per destination (stop-and-wait).
+    pending: Vec<Pending<M>>,
+    /// Payloads accepted by [`ReliableTransport::send`] but not yet
+    /// transmitted, per destination; released by the predecessor's ack.
+    backlog: BTreeMap<usize, std::collections::VecDeque<(u64, M)>>,
+    /// Sequence numbers already delivered, per source node — retransmits can
+    /// arrive out of order, so a cumulative watermark is not enough.
+    seen: BTreeMap<usize, BTreeSet<u64>>,
+    stats: TransportStats,
+}
+
+impl<M: Clone> ReliableTransport<M> {
+    /// Creates an endpoint with the given retry policy.
+    pub fn new(config: ReliableConfig) -> Self {
+        ReliableTransport {
+            config,
+            next_seq: 0,
+            pending: Vec::new(),
+            backlog: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Creates an endpoint with [`ReliableConfig::default`].
+    pub fn with_defaults() -> Self {
+        ReliableTransport::new(ReliableConfig::default())
+    }
+
+    /// Sends `payload` reliably to neighbour `to`: the packet is tracked
+    /// until acked, retransmitted on timeout, abandoned after `max_retries`.
+    /// If a packet to `to` is already in flight, the payload queues inside
+    /// the transport and is transmitted once the predecessor is acked.
+    pub fn send(&mut self, ctx: &mut Context<'_, Packet<M>>, to: NodeId, payload: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.pending.iter().any(|p| p.to == to) {
+            self.backlog
+                .entry(to.index())
+                .or_default()
+                .push_back((seq, payload));
+            return;
+        }
+        self.transmit(ctx, to, seq, payload);
+    }
+
+    /// Sends `payload` reliably to every neighbour.
+    pub fn broadcast(&mut self, ctx: &mut Context<'_, Packet<M>>, payload: M) {
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        for to in neighbors {
+            self.send(ctx, to, payload.clone());
+        }
+    }
+
+    /// First transmission of a tracked packet.
+    fn transmit(&mut self, ctx: &mut Context<'_, Packet<M>>, to: NodeId, seq: u64, payload: M) {
+        self.pending.push(Pending {
+            to,
+            seq,
+            payload: payload.clone(),
+            sent_round: ctx.round(),
+            attempt: 0,
+        });
+        self.stats.data_sent += 1;
+        ctx.send(to, Packet::Data { seq, payload });
+    }
+
+    /// Releases the next backlogged payload for `to`, if any.
+    fn release_next(&mut self, ctx: &mut Context<'_, Packet<M>>, to: NodeId) {
+        let Some(queue) = self.backlog.get_mut(&to.index()) else {
+            return;
+        };
+        let Some((seq, payload)) = queue.pop_front() else {
+            return;
+        };
+        if queue.is_empty() {
+            self.backlog.remove(&to.index());
+        }
+        self.transmit(ctx, to, seq, payload);
+    }
+
+    /// Processes one round's incoming packets and timeouts. Acks retire
+    /// in-flight packets and release their successors from the backlog; data
+    /// packets are acked and deduplicated; overdue in-flight packets are
+    /// retransmitted (emitting [`TraceEvent::Retransmit`]) or abandoned once
+    /// `max_retries` is exhausted. Returns the newly delivered
+    /// `(source, payload)` pairs in arrival order.
+    pub fn poll(
+        &mut self,
+        ctx: &mut Context<'_, Packet<M>>,
+        incoming: &[(NodeId, Packet<M>)],
+    ) -> Vec<(NodeId, M)> {
+        let mut delivered = Vec::new();
+        for (src, packet) in incoming {
+            match packet {
+                Packet::Ack { seq } => {
+                    let before = self.pending.len();
+                    self.pending.retain(|p| !(p.to == *src && p.seq == *seq));
+                    if self.pending.len() < before {
+                        self.release_next(ctx, *src);
+                    }
+                }
+                Packet::Data { seq, payload } => {
+                    ctx.send(*src, Packet::Ack { seq: *seq });
+                    self.stats.acks_sent += 1;
+                    if self.seen.entry(src.index()).or_default().insert(*seq) {
+                        delivered.push((*src, payload.clone()));
+                    } else {
+                        self.stats.duplicates_discarded += 1;
+                    }
+                }
+            }
+        }
+        let round = ctx.round();
+        let config = self.config;
+        let mut keep = Vec::with_capacity(self.pending.len());
+        let mut abandoned: Vec<NodeId> = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            if round < p.sent_round + timeout_rounds(&config, p.attempt) {
+                keep.push(p);
+                continue;
+            }
+            if p.attempt >= config.max_retries {
+                self.stats.gave_up += 1;
+                abandoned.push(p.to);
+                continue;
+            }
+            p.attempt += 1;
+            p.sent_round = round;
+            self.stats.retransmits += 1;
+            ctx.emit(TraceEvent::Retransmit {
+                node: ctx.id(),
+                round,
+                seq: p.seq,
+            });
+            ctx.send(
+                p.to,
+                Packet::Data {
+                    seq: p.seq,
+                    payload: p.payload.clone(),
+                },
+            );
+            keep.push(p);
+        }
+        self.pending = keep;
+        // A destination whose packet was abandoned is treated as gone: its
+        // queued successors would only repeat the failure, so they are
+        // abandoned with it (counted per packet, so overhead stays honest).
+        for to in abandoned {
+            if let Some(queue) = self.backlog.remove(&to.index()) {
+                self.stats.gave_up += queue.len() as u64;
+            }
+        }
+        delivered
+    }
+
+    /// Whether no packets are in flight or queued. A program should stay
+    /// [`crate::Status::Running`] until its transport is idle, so
+    /// retransmissions keep flowing.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty() && self.backlog.is_empty()
+    }
+
+    /// The endpoint's counters so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Charges this endpoint's overhead words to `ledger` under
+    /// [`PrimitiveKind::ReliableTransport`].
+    pub fn charge_overhead(&self, ledger: &mut CostLedger, payload_words: u32) {
+        let words = self.stats.overhead_words(payload_words);
+        if words > 0 {
+            ledger.charge(PrimitiveKind::ReliableTransport, words);
+        }
+    }
+}
+
+/// Rounds to wait before retransmission attempt `attempt + 1`:
+/// `base * factor^attempt`, saturating.
+fn timeout_rounds(config: &ReliableConfig, attempt: u32) -> u64 {
+    config
+        .base_timeout_rounds
+        .max(1)
+        .saturating_mul(config.backoff_factor.max(1).saturating_pow(attempt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::network::{Network, NetworkConfig};
+    use crate::node::{NodeProgram, Status};
+    use crate::topology::Topology;
+    use crate::trace::MemorySink;
+    use std::sync::Arc;
+
+    /// Node 0 reliably sends `count` tokens to node 1; both sides run the
+    /// transport. Used to exercise ack/retransmit behaviour under a lossy
+    /// plan end to end.
+    struct Courier {
+        transport: ReliableTransport<u64>,
+        count: u64,
+        received: Vec<u64>,
+        started: bool,
+    }
+
+    impl Courier {
+        fn new(count: u64) -> Self {
+            Courier {
+                transport: ReliableTransport::with_defaults(),
+                count,
+                received: Vec::new(),
+                started: false,
+            }
+        }
+    }
+
+    impl NodeProgram for Courier {
+        type Message = Packet<u64>;
+
+        fn on_round(
+            &mut self,
+            ctx: &mut Context<'_, Packet<u64>>,
+            incoming: &[(NodeId, Packet<u64>)],
+        ) -> Status {
+            for (_, token) in self.transport.poll(ctx, incoming) {
+                self.received.push(token);
+            }
+            if ctx.id().index() == 0 && !self.started {
+                self.started = true;
+                for token in 0..self.count {
+                    self.transport.send(ctx, NodeId::new(1), token);
+                }
+            }
+            if self.transport.idle() && (ctx.id().index() != 0 || self.started) {
+                Status::Done
+            } else {
+                Status::Running
+            }
+        }
+
+        fn message_words(&self, message: &Packet<u64>) -> u32 {
+            message.words(1)
+        }
+    }
+
+    fn run_courier(plan: Option<FaultPlan>, count: u64) -> (Vec<u64>, TransportStats, u64) {
+        let topology = Topology::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(topology, NetworkConfig::default().with_bandwidth(4), |_| {
+            Courier::new(count)
+        });
+        if let Some(plan) = plan {
+            net.set_fault_plan(plan).unwrap();
+        }
+        let report = net.run(10_000);
+        assert!(report.terminated, "courier run must reach quiescence");
+        let mut stats = TransportStats::default();
+        for (_, p) in net.programs() {
+            stats.absorb(&p.transport.stats());
+        }
+        let received = net.program(NodeId::new(1)).received.clone();
+        (received, stats, report.simulated_rounds)
+    }
+
+    #[test]
+    fn lossless_links_deliver_without_retransmission() {
+        let (received, stats, _) = run_courier(None, 5);
+        assert_eq!(received, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.retransmits, 0);
+        assert_eq!(stats.duplicates_discarded, 0);
+        assert_eq!(stats.acks_sent, 5);
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn lossy_links_deliver_the_same_payloads_with_recorded_overhead() {
+        let reference = run_courier(None, 8);
+        let plan = FaultPlan::builder(0xFA17)
+            .drop_probability(0.3)
+            .build()
+            .unwrap();
+        let lossy = run_courier(Some(plan), 8);
+        // Retransmissions may reorder arrivals; the delivered *set* must
+        // match the fault-free run exactly.
+        let mut expected = reference.0.clone();
+        expected.sort_unstable();
+        let mut got = lossy.0.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected, "payloads must survive loss");
+        assert!(
+            lossy.1.retransmits > 0,
+            "a 30% lossy link must force retransmissions"
+        );
+        assert!(
+            lossy.2 >= reference.2,
+            "recovery cannot be faster than the fault-free run"
+        );
+    }
+
+    #[test]
+    fn retransmissions_surface_in_the_trace() {
+        let plan = FaultPlan::builder(0xFA17)
+            .drop_probability(0.3)
+            .build()
+            .unwrap();
+        let topology = Topology::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(topology, NetworkConfig::default(), |_| Courier::new(4));
+        net.set_fault_plan(plan).unwrap();
+        let sink = Arc::new(MemorySink::new());
+        net.set_trace_sink(sink.clone());
+        assert!(net.run(10_000).terminated);
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Retransmit { .. })));
+    }
+
+    #[test]
+    fn a_dead_link_exhausts_retries_and_gives_up() {
+        let plan = FaultPlan::builder(1).drop_probability(1.0).build().unwrap();
+        let (received, stats, _) = run_courier(Some(plan), 3);
+        assert!(received.is_empty());
+        // Stop-and-wait: only the head packet is ever transmitted; once it
+        // exhausts its retries the backlogged successors are abandoned too.
+        assert_eq!(stats.gave_up, 3);
+        assert_eq!(stats.data_sent, 1);
+        assert_eq!(
+            stats.retransmits,
+            u64::from(ReliableConfig::default().max_retries)
+        );
+    }
+
+    #[test]
+    fn overhead_accounting_charges_the_ledger() {
+        let stats = TransportStats {
+            data_sent: 10,
+            retransmits: 3,
+            acks_sent: 10,
+            duplicates_discarded: 1,
+            gave_up: 0,
+        };
+        assert_eq!(stats.overhead_words(1), 10 + 3 * 2);
+        let mut transport: ReliableTransport<u64> = ReliableTransport::with_defaults();
+        transport.stats = stats;
+        let mut ledger = CostLedger::new();
+        transport.charge_overhead(&mut ledger, 1);
+        assert_eq!(ledger.for_kind(PrimitiveKind::ReliableTransport), 16);
+    }
+
+    #[test]
+    fn packet_framing_widths() {
+        let data: Packet<u64> = Packet::Data { seq: 0, payload: 9 };
+        let ack: Packet<u64> = Packet::Ack { seq: 0 };
+        assert_eq!(data.words(1), 2);
+        assert_eq!(data.words(3), 4);
+        assert_eq!(ack.words(3), 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let config = ReliableConfig::default();
+        assert_eq!(timeout_rounds(&config, 0), 4);
+        assert_eq!(timeout_rounds(&config, 1), 8);
+        assert_eq!(timeout_rounds(&config, 3), 32);
+    }
+}

@@ -35,6 +35,17 @@ impl DeterministicRng {
         }
     }
 
+    /// Creates a generator for a **content-addressed decision**: a pure
+    /// function of `(seed, round, index)` with no sequential state, so the
+    /// decision for one coordinate is independent of how many other
+    /// coordinates were sampled and in which order. The fault layer keys its
+    /// per-(round, link) drop decisions through this, which is what keeps
+    /// injected faults identical across executors and thread grants.
+    pub fn for_decision(seed: u64, round: u64, index: usize) -> Self {
+        let round_seed = seed ^ round.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        DeterministicRng::for_node(round_seed, index)
+    }
+
     /// Uniform integer in `[0, bound)`.
     ///
     /// # Panics
@@ -93,6 +104,18 @@ mod tests {
         let mut b = DeterministicRng::for_node(7, 4);
         let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 4, "streams should not be identical");
+    }
+
+    #[test]
+    fn decision_streams_are_stateless_and_coordinate_sensitive() {
+        assert_eq!(
+            DeterministicRng::for_decision(7, 3, 5).next_u64(),
+            DeterministicRng::for_decision(7, 3, 5).next_u64(),
+        );
+        let base = DeterministicRng::for_decision(7, 3, 5).next_u64();
+        assert_ne!(base, DeterministicRng::for_decision(8, 3, 5).next_u64());
+        assert_ne!(base, DeterministicRng::for_decision(7, 4, 5).next_u64());
+        assert_ne!(base, DeterministicRng::for_decision(7, 3, 6).next_u64());
     }
 
     #[test]

@@ -2,6 +2,34 @@
 
 use crate::node::NodeId;
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// A rejected topology construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// An edge endpoint does not fit in the declared node count.
+    EdgeOutOfRange {
+        /// First endpoint of the offending edge.
+        u: usize,
+        /// Second endpoint of the offending edge.
+        v: usize,
+        /// The declared node count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EdgeOutOfRange { u, v, n } => {
+                write!(f, "edge ({u}, {v}) out of range for n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// An undirected communication topology over `n` nodes.
 ///
@@ -42,11 +70,23 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is `>= n`.
+    /// Panics if an endpoint is `>= n`; use [`Topology::try_from_edges`] for
+    /// a typed rejection.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        Topology::try_from_edges(n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a topology from an undirected edge list over `n` nodes,
+    /// returning a typed [`TopologyError`] instead of panicking on an
+    /// out-of-range endpoint.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    pub fn try_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, TopologyError> {
         let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
         for &(u, v) in edges {
-            assert!(u < n && v < n, "edge ({u}, {v}) out of range for n = {n}");
+            if u >= n || v >= n {
+                return Err(TopologyError::EdgeOutOfRange { u, v, n });
+            }
             if u == v {
                 continue;
             }
@@ -62,13 +102,13 @@ impl Topology {
             sorted.push(set.into_iter().collect());
         }
         let link_offsets = link_offsets_of(&sorted);
-        Topology {
+        Ok(Topology {
             adjacency,
             sorted,
             link_offsets,
             num_edges: num_edges / 2,
             complete: false,
-        }
+        })
     }
 
     /// Builds a topology from an iterator of undirected `u32` edge endpoints,
@@ -78,13 +118,24 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is `>= n`.
+    /// Panics if an endpoint is `>= n`; use [`Topology::try_from_edge_list`]
+    /// for a typed rejection.
     pub fn from_edge_list(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        Topology::try_from_edge_list(n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a topology from an iterator of undirected `u32` edge
+    /// endpoints, returning a typed [`TopologyError`] instead of panicking
+    /// on an out-of-range endpoint.
+    pub fn try_from_edge_list(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Self, TopologyError> {
         let edges: Vec<(usize, usize)> = edges
             .into_iter()
             .map(|(u, v)| (u as usize, v as usize))
             .collect();
-        Topology::from_edges(n, &edges)
+        Topology::try_from_edges(n, &edges)
     }
 
     /// Builds the complete topology on `n` nodes (CONGESTED CLIQUE).
@@ -238,6 +289,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn try_constructors_reject_out_of_range_edges_with_typed_errors() {
+        assert_eq!(
+            Topology::try_from_edges(2, &[(0, 5)]).unwrap_err(),
+            TopologyError::EdgeOutOfRange { u: 0, v: 5, n: 2 }
+        );
+        assert_eq!(
+            Topology::try_from_edge_list(3, [(0u32, 1u32), (7, 1)]).unwrap_err(),
+            TopologyError::EdgeOutOfRange { u: 7, v: 1, n: 3 }
+        );
+        assert_eq!(
+            TopologyError::EdgeOutOfRange { u: 0, v: 5, n: 2 }.to_string(),
+            "edge (0, 5) out of range for n = 2"
+        );
+        // Valid input still round-trips through the fallible path.
+        let t = Topology::try_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(t.num_edges(), 2);
     }
 
     #[test]

@@ -32,6 +32,38 @@ pub enum TraceEvent {
         /// Total rounds elapsed (simulated + charged) when the phase started.
         rounds_so_far: u64,
     },
+    /// The fault plan dropped in-flight messages on a link: a lossy
+    /// (round, link) decision, a crashed destination, or a crashed source's
+    /// discarded backlog.
+    Dropped {
+        /// Round in which the messages were lost.
+        round: u64,
+        /// Directed link index ([`crate::Topology::link_index`]) they were
+        /// crossing.
+        link: usize,
+        /// Number of messages lost.
+        messages: u64,
+        /// Number of words lost.
+        words: u64,
+    },
+    /// A reliable-transport endpoint re-sent an unacknowledged message.
+    /// Emitted through [`crate::Context::emit`]; the network records it
+    /// after the node's round, in ascending node order.
+    Retransmit {
+        /// The retransmitting node.
+        node: NodeId,
+        /// Round of the retransmission.
+        round: u64,
+        /// Sequence number of the re-sent message.
+        seq: u64,
+    },
+    /// A node crash-stopped according to the fault plan.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// Round from which it no longer participates.
+        round: u64,
+    },
 }
 
 /// Destination of trace events.

@@ -22,4 +22,7 @@
 pub mod eden_k4;
 pub mod naive;
 
-pub use naive::{naive_broadcast_rounds, simulate_naive_broadcast, NaiveBroadcastProgram};
+pub use naive::{
+    naive_broadcast_rounds, simulate_naive_broadcast, simulate_naive_broadcast_with_faults,
+    FaultySimulation, NaiveBroadcastProgram, ReliableNaiveBroadcastProgram,
+};

@@ -10,10 +10,12 @@ use crate::config::ListingConfig;
 use crate::result::{phase, ListingResult, Rounds};
 use crate::sink::CliqueSink;
 use congest::{
-    Context, Network, NetworkConfig, NodeId, NodeProgram, RoundReport, Status, Topology,
+    Context, FaultPlan, MemorySink, Network, NetworkConfig, NodeId, NodeProgram, Packet,
+    ReliableTransport, RoundReport, Status, Topology, TraceEvent, TransportStats,
 };
 use graphcore::{cliques, Graph};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Number of CONGEST rounds the naive broadcast takes on `graph`: the maximum
 /// degree (each edge must carry one identifier per neighbour of its endpoint,
@@ -77,6 +79,172 @@ pub fn simulate_naive_broadcast(
         }
     }
     (report, result)
+}
+
+/// Everything a fault-injected message-level run produced: the simulator
+/// report, the (possibly partial) listing, the aggregated transport counters
+/// and the number of messages the fault plan destroyed in flight.
+#[derive(Clone, Debug)]
+pub struct FaultySimulation {
+    /// The simulator's round report.
+    pub report: RoundReport,
+    /// Rounds plus the union of node listings (partial if transports gave up
+    /// or nodes crash-stopped).
+    pub result: ListingResult,
+    /// Transport counters summed across every node.
+    pub transport: TransportStats,
+    /// Messages destroyed in flight by the fault plan (sum of the
+    /// [`TraceEvent::Dropped`] events).
+    pub dropped_messages: u64,
+}
+
+/// Runs the naive broadcast message-by-message under `plan`, with every node
+/// wrapping its sends in a [`ReliableTransport`] endpoint.
+///
+/// This is the fault-model counterpart of [`simulate_naive_broadcast`]: the
+/// same protocol, but each neighbour-identifier broadcast goes through the
+/// ack/retransmit transport, so listings survive seeded message loss —
+/// byte-identical to the fault-free listing, at the cost of the extra rounds
+/// and overhead words recorded in the returned [`FaultySimulation`]. The run
+/// is deterministic in `(graph, p, plan)`: the fault decisions are
+/// content-addressed by `(round, link)` and the transport holds no
+/// randomness, so repeated runs (and parallel-executor runs) replay exactly.
+///
+/// # Panics
+///
+/// Panics if `plan` references nodes or links outside the graph's topology.
+pub fn simulate_naive_broadcast_with_faults(
+    graph: &Graph,
+    p: usize,
+    max_rounds: u64,
+    plan: FaultPlan,
+) -> FaultySimulation {
+    let topology = Topology::from_edge_list(graph.num_vertices(), graph.edges());
+    let mut net = Network::new(topology, NetworkConfig::default(), |_| {
+        ReliableNaiveBroadcastProgram::new(p)
+    });
+    net.set_fault_plan(plan)
+        .unwrap_or_else(|e| panic!("fault plan does not fit the topology: {e}"));
+    let sink = Arc::new(MemorySink::new());
+    net.set_trace_sink(sink.clone());
+    #[cfg(feature = "parallel")]
+    let report = net.run_parallel(max_rounds);
+    #[cfg(not(feature = "parallel"))]
+    let report = net.run(max_rounds);
+
+    let mut result = ListingResult::new();
+    result
+        .rounds
+        .add(phase::FINAL_BROADCAST, report.simulated_rounds);
+    let mut transport = TransportStats::default();
+    for program in net.into_programs() {
+        transport.absorb(&program.transport.stats());
+        for clique in program.listed {
+            result.cliques.insert(clique);
+        }
+    }
+    let dropped_messages = sink
+        .events()
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Dropped { messages, .. } => *messages,
+            _ => 0,
+        })
+        .sum();
+    FaultySimulation {
+        report,
+        result,
+        transport,
+        dropped_messages,
+    }
+}
+
+/// The message-level naive broadcast with every send wrapped in a
+/// [`ReliableTransport`] endpoint: the fault-tolerant twin of
+/// [`NaiveBroadcastProgram`], used by [`simulate_naive_broadcast_with_faults`].
+pub struct ReliableNaiveBroadcastProgram {
+    /// Clique size to list.
+    pub p: usize,
+    /// Adjacency knowledge accumulated so far: `(a, b)` pairs with `a < b`.
+    pub known: HashSet<(u32, u32)>,
+    /// Neighbour identifiers left to broadcast.
+    pending: Vec<u32>,
+    /// The cliques this node has listed (computed when it finishes).
+    pub listed: Vec<Vec<u32>>,
+    /// This node's transport endpoint.
+    pub transport: ReliableTransport<u32>,
+    done_broadcasting: bool,
+}
+
+impl ReliableNaiveBroadcastProgram {
+    /// Creates the program for one node.
+    pub fn new(p: usize) -> Self {
+        ReliableNaiveBroadcastProgram {
+            p,
+            known: HashSet::new(),
+            pending: Vec::new(),
+            listed: Vec::new(),
+            transport: ReliableTransport::with_defaults(),
+            done_broadcasting: false,
+        }
+    }
+
+    fn list_local(&mut self, me: u32, n: usize) {
+        let edges: Vec<(u32, u32)> = self.known.iter().copied().collect();
+        if let Ok(local) = Graph::from_edges(n, &edges) {
+            for clique in cliques::list_cliques(&local, self.p) {
+                if clique.contains(&me) {
+                    self.listed.push(clique);
+                }
+            }
+        }
+    }
+}
+
+impl NodeProgram for ReliableNaiveBroadcastProgram {
+    type Message = Packet<u32>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet<u32>>) {
+        let me = ctx.id().index() as u32;
+        self.pending = ctx.neighbors().iter().map(|v| v.index() as u32).collect();
+        for &w in &self.pending {
+            self.known.insert((me.min(w), me.max(w)));
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut Context<'_, Packet<u32>>,
+        incoming: &[(NodeId, Packet<u32>)],
+    ) -> Status {
+        let me = ctx.id().index() as u32;
+        for (sender, w) in self.transport.poll(ctx, incoming) {
+            let s = sender.index() as u32;
+            if s != w {
+                self.known.insert((s.min(w), s.max(w)));
+            }
+        }
+        // One neighbour identifier per round, like the unreliable program —
+        // but through the transport, which paces, acks and retransmits.
+        if let Some(w) = self.pending.pop() {
+            self.transport.broadcast(ctx, w);
+            return Status::Running;
+        }
+        if !self.transport.idle() {
+            return Status::Running;
+        }
+        if !self.done_broadcasting {
+            self.done_broadcasting = true;
+            self.list_local(me, ctx.num_nodes());
+        }
+        // Done nodes are still stepped whenever their inbox is non-empty, so
+        // late retransmissions from slower neighbours keep getting acked.
+        Status::Done
+    }
+
+    fn message_words(&self, message: &Packet<u32>) -> u32 {
+        message.words(1)
+    }
 }
 
 /// A message-level implementation of the naive baseline for the CONGEST
@@ -223,5 +391,41 @@ mod tests {
         let (report, count) = naive_engine(4).count(&Graph::new(10));
         assert_eq!(count, 0);
         assert_eq!(report.total_rounds(), 0);
+    }
+
+    #[test]
+    fn reliable_simulation_matches_the_plain_one_when_fault_free() {
+        let g = gen::erdos_renyi(20, 0.4, 13);
+        let (_, plain) = simulate_naive_broadcast(&g, 3, 10_000);
+        let faulty = simulate_naive_broadcast_with_faults(&g, 3, 10_000, FaultPlan::fault_free());
+        assert!(faulty.report.terminated);
+        assert_eq!(faulty.result.cliques, plain.cliques);
+        assert_eq!(faulty.transport.retransmits, 0);
+        assert_eq!(faulty.dropped_messages, 0);
+    }
+
+    #[test]
+    fn reliable_simulation_survives_seeded_loss_with_the_same_listing() {
+        let g = gen::erdos_renyi(20, 0.4, 13);
+        let reference =
+            simulate_naive_broadcast_with_faults(&g, 3, 10_000, FaultPlan::fault_free());
+        let plan = FaultPlan::builder(0xBEEF)
+            .drop_probability(0.05)
+            .build()
+            .unwrap();
+        let lossy = simulate_naive_broadcast_with_faults(&g, 3, 20_000, plan.clone());
+        assert!(lossy.report.terminated);
+        assert_eq!(
+            lossy.result.cliques, reference.result.cliques,
+            "reliable transport must mask seeded loss"
+        );
+        assert!(lossy.dropped_messages > 0, "the plan must actually drop");
+        assert!(lossy.transport.retransmits > 0);
+        assert!(lossy.report.simulated_rounds >= reference.report.simulated_rounds);
+        // Determinism: the same (graph, p, plan) replays byte-identically.
+        let again = simulate_naive_broadcast_with_faults(&g, 3, 20_000, plan);
+        assert_eq!(again.result.cliques, lossy.result.cliques);
+        assert_eq!(again.transport, lossy.transport);
+        assert_eq!(again.report.simulated_rounds, lossy.report.simulated_rounds);
     }
 }

@@ -1,7 +1,7 @@
 //! Configuration of the distributed listing algorithms.
 
 use crate::error::ConfigError;
-use congest::ChargePolicy;
+use congest::{ChargePolicy, FaultPlan};
 use expander::DecompositionConfig;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +89,79 @@ pub fn resolve_auto_threads(env_value: Option<&str>) -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The fault and degradation envelope of a run.
+///
+/// `Resilience` is deliberately **not** part of [`ListingConfig`] (which is
+/// `Copy` and describes the algorithm, not its environment): it is attached
+/// to the [`Engine`](crate::Engine) through
+/// [`EngineBuilder::resilience`](crate::EngineBuilder::resilience) and
+/// describes the adversary the run must survive — a deterministic
+/// [`FaultPlan`] plus an optional round budget — and whether the reliable
+/// transport masks message loss.
+///
+/// The default envelope is fault-free, unbounded and reliable, and produces
+/// reports byte-identical to runs with no envelope at all; see
+/// [`RunOutcome`](crate::RunOutcome) for how deviations are surfaced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Resilience {
+    /// The deterministic fault schedule applied to the run. The same
+    /// `(seed, plan)` pair replays byte-identically at any thread grant.
+    pub fault_plan: FaultPlan,
+    /// Whether message-level simulations wrap their sends in the
+    /// ack/retransmit transport ([`congest::reliable`]). When `false`, any
+    /// plan with a positive drop probability degrades the run instead of
+    /// masking the loss.
+    pub reliable_transport: bool,
+    /// Hard budget on total rounds (simulated + charged). `None` is
+    /// unbounded; `Some(0)` is rejected by [`Resilience::validate`].
+    pub max_rounds: Option<u64>,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            fault_plan: FaultPlan::fault_free(),
+            reliable_transport: true,
+            max_rounds: None,
+        }
+    }
+}
+
+impl Resilience {
+    /// An envelope that injects nothing and bounds nothing — runs under it
+    /// are indistinguishable from runs with no envelope at all.
+    pub fn fault_free() -> Self {
+        Resilience::default()
+    }
+
+    /// An envelope carrying a fault plan with default transport and budget.
+    pub fn with_plan(fault_plan: FaultPlan) -> Self {
+        Resilience {
+            fault_plan,
+            ..Resilience::default()
+        }
+    }
+
+    /// True when the envelope can never alter a run's behaviour.
+    pub fn is_inert(&self) -> bool {
+        self.fault_plan.is_fault_free() && self.max_rounds.is_none()
+    }
+
+    /// Checks the envelope's preconditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroRoundBudget`] when `max_rounds` is
+    /// `Some(0)`. The fault plan itself is valid by construction
+    /// ([`congest::FaultPlanBuilder`] validates on `build`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_rounds == Some(0) {
+            return Err(ConfigError::ZeroRoundBudget);
+        }
+        Ok(())
+    }
 }
 
 /// Configuration of the `K_p` listing pipeline.
@@ -453,6 +526,36 @@ mod tests {
         assert_eq!(cfg.effective_threads(true), expected);
         let off = ListingConfig::for_p(4);
         assert_eq!(off.effective_threads(true), 1);
+    }
+
+    #[test]
+    fn resilience_defaults_are_inert_and_validated() {
+        let default = Resilience::default();
+        assert!(default.is_inert());
+        assert!(default.reliable_transport);
+        assert!(default.validate().is_ok());
+        assert_eq!(default, Resilience::fault_free());
+
+        let zero_budget = Resilience {
+            max_rounds: Some(0),
+            ..Resilience::default()
+        };
+        assert_eq!(zero_budget.validate(), Err(ConfigError::ZeroRoundBudget));
+
+        let plan = congest::FaultPlan::builder(9)
+            .drop_probability(0.05)
+            .build()
+            .unwrap();
+        let lossy = Resilience::with_plan(plan);
+        assert!(!lossy.is_inert());
+        assert!(lossy.validate().is_ok());
+
+        let budgeted = Resilience {
+            max_rounds: Some(100),
+            ..Resilience::default()
+        };
+        assert!(!budgeted.is_inert());
+        assert!(budgeted.validate().is_ok());
     }
 
     #[test]

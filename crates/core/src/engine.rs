@@ -23,12 +23,13 @@
 //! `DESIGN.md` §6 for the trait boundaries.
 
 use crate::baselines::{eden_k4, naive};
-use crate::config::{ExchangeMode, ListingConfig, Parallelism, Variant};
+use crate::config::{ExchangeMode, ListingConfig, Parallelism, Resilience, Variant};
 use crate::congested_clique;
 use crate::driver;
 use crate::error::ConfigError;
-use crate::report::{Model, ParallelismSummary, RunReport, SinkSummary};
-use crate::sink::{CliqueSink, CollectSink, CountSink, Counted};
+use crate::report::{Model, ParallelismSummary, RunOutcome, RunReport, SinkSummary};
+use crate::result::phase;
+use crate::sink::{CliqueSink, CollectSink, CountSink, Counted, CrashFilter};
 use congest::ChargePolicy;
 use expander::DecompositionConfig;
 use graphcore::{Clique, Graph};
@@ -307,6 +308,7 @@ impl AlgorithmHandle {
 pub struct Engine {
     algorithm: AlgorithmHandle,
     config: ListingConfig,
+    resilience: Resilience,
 }
 
 impl fmt::Debug for Engine {
@@ -334,14 +336,27 @@ impl Engine {
         &self.config
     }
 
+    /// The fault and degradation envelope the engine runs under (the default
+    /// is fault-free and unbounded).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
     /// Runs the algorithm on `graph`, streaming every listed clique into
     /// `sink`, and returns the [`RunReport`] (rounds, diagnostics, sink
-    /// summary).
+    /// summary). Under a non-inert [`Resilience`] envelope the listing may be
+    /// partial and the report's [`RunOutcome`] says why; the default envelope
+    /// always reports [`RunOutcome::Complete`] and leaves the report
+    /// byte-identical to an engine built without one.
     pub fn run(&self, graph: &Graph, sink: &mut dyn CliqueSink) -> RunReport {
         let algorithm = self.algorithm.get();
         let info = algorithm.info();
         let mut counted = Counted::new(sink);
-        let mut report = algorithm.run(graph, &self.config, &mut counted);
+        let mut report = if self.resilience.is_inert() {
+            algorithm.run(graph, &self.config, &mut counted)
+        } else {
+            self.run_with_faults(graph, algorithm, &mut counted)
+        };
         report.algorithm = info.name;
         report.model = Some(info.model);
         report.p = self.config.p;
@@ -370,6 +385,96 @@ impl Engine {
                 .threads_used
                 .clamp(1, threads_granted.max(1)),
         };
+        report
+    }
+
+    /// Runs the algorithm under a non-inert [`Resilience`] envelope.
+    ///
+    /// Every decision here is a pure function of the graph, the configuration
+    /// and the envelope — never of thread scheduling — so degraded runs replay
+    /// byte-identically at any thread grant:
+    ///
+    /// * crash-stopped nodes (crash round within the budget horizon) stop
+    ///   reporting: cliques they own are filtered out of the listing and the
+    ///   run is `Degraded` (or `Aborted` when nobody survives);
+    /// * a lossy plan with the reliable transport enabled keeps the listing
+    ///   intact and charges the transport's expected retransmission overhead
+    ///   as an explicit `retransmit` phase; with the transport disabled (or
+    ///   fully lossy links) the loss cannot be masked and the run degrades;
+    /// * a round budget smaller than the rounds the run needed degrades the
+    ///   run, or aborts it when nothing was emitted at all.
+    fn run_with_faults(
+        &self,
+        graph: &Graph,
+        algorithm: &dyn ListingAlgorithm,
+        counted: &mut Counted<&mut dyn CliqueSink>,
+    ) -> RunReport {
+        let res = &self.resilience;
+        let horizon = res.max_rounds.unwrap_or(u64::MAX);
+        let n = graph.num_vertices();
+        let mut crashed = vec![false; n];
+        let mut crash_count = 0usize;
+        for &(node, round) in res.fault_plan.crashes() {
+            if round <= horizon && node < n && !crashed[node] {
+                crashed[node] = true;
+                crash_count += 1;
+            }
+        }
+        let info = algorithm.info();
+        // Unrecoverable: every node crash-stopped, nobody is left to report.
+        if n > 0 && crash_count == n {
+            let mut report = RunReport::new(info.name, info.model, self.config.p);
+            report.outcome = RunOutcome::Aborted;
+            return report;
+        }
+        let mut report = if crash_count > 0 {
+            let mut filter = CrashFilter::new(&mut *counted as &mut dyn CliqueSink, crashed);
+            algorithm.run(graph, &self.config, &mut filter)
+        } else {
+            algorithm.run(graph, &self.config, counted)
+        };
+
+        let mut reasons: Vec<String> = Vec::new();
+        if crash_count > 0 {
+            reasons.push(format!(
+                "{crash_count} node(s) crash-stopped; cliques owned by crashed nodes are missing"
+            ));
+        }
+        let drop_p = res.fault_plan.drop_probability();
+        if drop_p > 0.0 {
+            if !res.reliable_transport {
+                reasons.push(format!(
+                    "message loss (drop probability {drop_p}) without reliable transport"
+                ));
+            } else if drop_p >= 1.0 {
+                reasons.push(
+                    "links are fully lossy; the reliable transport cannot mask total loss"
+                        .to_string(),
+                );
+            } else {
+                // A stop-and-wait schedule over links that lose a `p` fraction
+                // of rounds replays each lost round, costing `p / (1 - p)`
+                // extra rounds per useful round.
+                let base = report.rounds.total();
+                let overhead = ((base as f64) * drop_p / (1.0 - drop_p)).ceil() as u64;
+                report.rounds.add(phase::RETRANSMIT, overhead);
+            }
+        }
+        if let Some(budget) = res.max_rounds {
+            let needed = report.rounds.total();
+            if needed > budget {
+                if counted.emitted() == 0 {
+                    report.outcome = RunOutcome::Aborted;
+                    return report;
+                }
+                reasons.push(format!(
+                    "round budget exhausted: needed {needed} of {budget}"
+                ));
+            }
+        }
+        if !reasons.is_empty() {
+            report.outcome = RunOutcome::Degraded(reasons.join("; "));
+        }
         report
     }
 
@@ -418,6 +523,7 @@ pub struct EngineBuilder {
     arboricity_slack: Option<f64>,
     termination_exponent: Option<f64>,
     experiment_scale: bool,
+    resilience: Option<Resilience>,
 }
 
 impl EngineBuilder {
@@ -536,6 +642,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the fault and degradation envelope of every run (defaults to
+    /// [`Resilience::fault_free`], which never alters behaviour). A
+    /// `max_rounds` of `Some(0)` is rejected by [`EngineBuilder::build`].
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
     /// Validates the configuration and constructs the [`Engine`].
     ///
     /// # Errors
@@ -610,9 +724,12 @@ impl EngineBuilder {
 
         let config = handle.get().prepare(config);
         config.validate()?;
+        let resilience = self.resilience.unwrap_or_default();
+        resilience.validate()?;
         Ok(Engine {
             algorithm: handle,
             config,
+            resilience,
         })
     }
 }

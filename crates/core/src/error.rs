@@ -76,6 +76,10 @@ pub enum ConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// `Resilience::max_rounds` was set to `Some(0)`: a zero round budget
+    /// would abort every run before it starts. Use `None` for an unbounded
+    /// budget.
+    ZeroRoundBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -134,6 +138,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "factor `{field}` must be finite and non-negative: {value}"
+                )
+            }
+            ConfigError::ZeroRoundBudget => {
+                write!(
+                    f,
+                    "resilience.max_rounds must be at least 1; use None for an unbounded budget"
                 )
             }
         }

@@ -86,14 +86,18 @@ pub mod sparse_listing;
 pub mod verify;
 
 pub use config::{
-    auto_threads, ExchangeMode, ListingConfig, Parallelism, Variant, THREADS_ENV_VAR,
+    auto_threads, ExchangeMode, ListingConfig, Parallelism, Resilience, Variant, THREADS_ENV_VAR,
 };
 pub use engine::{
     algorithm_named, algorithms, names, AlgorithmInfo, Engine, EngineBuilder, ListingAlgorithm,
     ParallelSupport,
 };
 pub use error::ConfigError;
-pub use report::{CongestedCliqueStats, Model, ParallelismSummary, RunReport, SinkSummary};
+pub use report::{
+    CongestedCliqueStats, Model, ParallelismSummary, RunOutcome, RunReport, SinkSummary,
+};
 pub use result::{Diagnostics, ListingResult, Rounds};
-pub use sink::{CliqueSink, CollectSink, CountSink, Counted, Dedup, FirstK, ShardBuffer};
+pub use sink::{
+    CliqueSink, CollectSink, CountSink, Counted, CrashFilter, Dedup, FirstK, ShardBuffer,
+};
 pub use verify::{verify_against_ground_truth, verify_cliques, VerificationError};

@@ -103,6 +103,37 @@ pub struct CongestedCliqueStats {
     pub predicted_rounds: f64,
 }
 
+/// How a run terminated with respect to the configured
+/// [`Resilience`](crate::Resilience) envelope.
+///
+/// Fault-free runs (the default) always finish [`RunOutcome::Complete`], and
+/// `Complete` is deliberately **not** serialised by [`RunReport::to_json`] so
+/// that reports from fault-free runs stay byte-identical to reports produced
+/// before the fault model existed. The degraded outcomes carry a
+/// deterministic, host-independent reason string: the same `(seed, fault
+/// plan)` pair reproduces the same outcome byte-for-byte at any thread grant.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The run finished the full listing within its budgets.
+    #[default]
+    Complete,
+    /// The run produced a *partial* listing (or paid extra rounds) and says
+    /// why: crash-stopped nodes whose cliques are missing, message loss with
+    /// the reliable transport disabled, or a round budget that was exhausted
+    /// after some output had been emitted.
+    Degraded(String),
+    /// The run produced no usable listing: every node crash-stopped, or the
+    /// round budget was exhausted before anything was emitted.
+    Aborted,
+}
+
+impl RunOutcome {
+    /// True when the run finished without degradation.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete)
+    }
+}
+
 /// The outcome of one [`Engine`](crate::Engine) run: identity of the
 /// algorithm, measured cost, pipeline diagnostics and the sink summary.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -124,6 +155,10 @@ pub struct RunReport {
     pub parallelism: ParallelismSummary,
     /// CONGESTED CLIQUE load statistics, when applicable.
     pub congested_clique: Option<CongestedCliqueStats>,
+    /// How the run terminated under its [`Resilience`](crate::Resilience)
+    /// envelope. Defaults to [`RunOutcome::Complete`], which is omitted from
+    /// [`RunReport::to_json`] to keep fault-free reports byte-stable.
+    pub outcome: RunOutcome,
 }
 
 impl RunReport {
@@ -206,6 +241,22 @@ impl RunReport {
                 );
             }
             None => out.push_str(",\"congested_clique\":null"),
+        }
+        // `Complete` (the only outcome a fault-free run can have) is omitted
+        // entirely so that pre-fault-model report bytes are reproduced
+        // exactly; only degraded runs grow the extra field.
+        match &self.outcome {
+            RunOutcome::Complete => {}
+            RunOutcome::Degraded(reason) => {
+                let _ = write!(
+                    out,
+                    ",\"outcome\":{{\"status\":\"degraded\",\"reason\":{}}}",
+                    json_string(reason)
+                );
+            }
+            RunOutcome::Aborted => {
+                out.push_str(",\"outcome\":{\"status\":\"aborted\"}");
+            }
         }
         out.push('}');
         out
@@ -310,6 +361,27 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"parallel\":{\"supported\":true,\"sequential_reason\":null}"));
+    }
+
+    #[test]
+    fn complete_outcome_is_invisible_in_json() {
+        let report = RunReport::new("general", Model::Congest, 4);
+        assert!(report.outcome.is_complete());
+        assert!(!report.to_json().contains("outcome"));
+    }
+
+    #[test]
+    fn degraded_and_aborted_outcomes_are_rendered() {
+        let mut report = RunReport::new("general", Model::Congest, 4);
+        report.outcome = RunOutcome::Degraded("2 node(s) crash-stopped".to_string());
+        let json = report.to_json();
+        assert!(json.ends_with(
+            ",\"outcome\":{\"status\":\"degraded\",\"reason\":\"2 node(s) crash-stopped\"}}"
+        ));
+        report.outcome = RunOutcome::Aborted;
+        let json = report.to_json();
+        assert!(json.ends_with(",\"outcome\":{\"status\":\"aborted\"}}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

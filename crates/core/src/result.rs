@@ -28,6 +28,9 @@ pub mod phase {
     /// Final phase of the driver: every node broadcasts its remaining
     /// outgoing edges to its neighbours.
     pub const FINAL_BROADCAST: &str = "final-broadcast";
+    /// Acknowledgement/retransmission overhead of the reliable transport
+    /// under a lossy fault plan (absent from fault-free runs).
+    pub const RETRANSMIT: &str = "retransmit";
 }
 
 /// Rounds accumulated by the pipeline, broken down by phase.

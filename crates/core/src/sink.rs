@@ -267,6 +267,62 @@ impl CliqueSink for ShardBuffer {
     }
 }
 
+/// Suppresses the cliques owned by crash-stopped nodes; used by the engine
+/// to turn a crash schedule in the [`Resilience`](crate::Resilience)
+/// envelope into a deterministic *partial* listing.
+///
+/// A clique's owner is its canonical minimum vertex — in every listing
+/// pipeline that vertex is the node responsible for reporting the instance,
+/// so when it crash-stops the instance goes unreported. Ownership is a pure
+/// function of the clique and the (pre-computed) crash schedule, never of
+/// thread scheduling, so filtered listings stay byte-identical at any thread
+/// grant.
+#[derive(Debug)]
+pub struct CrashFilter<S: CliqueSink> {
+    inner: S,
+    crashed: Vec<bool>,
+    suppressed: u64,
+}
+
+impl<S: CliqueSink> CrashFilter<S> {
+    /// Wraps `inner`, suppressing cliques whose minimum vertex is marked
+    /// crashed in `crashed` (indexed by vertex id; vertices beyond the slice
+    /// are treated as alive).
+    pub fn new(inner: S, crashed: Vec<bool>) -> Self {
+        CrashFilter {
+            inner,
+            crashed,
+            suppressed: 0,
+        }
+    }
+
+    /// Number of cliques suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Consumes the wrapper and returns the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: CliqueSink> CliqueSink for CrashFilter<S> {
+    fn accept(&mut self, clique: &[u32]) {
+        // Canonical form is sorted ascending, so the owner is the first entry.
+        let owner = clique.first().map(|&v| v as usize);
+        if owner.is_some_and(|v| self.crashed.get(v).copied().unwrap_or(false)) {
+            self.suppressed += 1;
+            return;
+        }
+        self.inner.accept(clique);
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
+    }
+}
+
 /// Counts the cliques passing through to an inner sink; used by the engine
 /// to fill the [`SinkSummary`](crate::SinkSummary) of a
 /// [`RunReport`](crate::RunReport).
@@ -390,6 +446,21 @@ mod tests {
         let mut first = FirstK::new(1);
         assert!(!a.replay_into(&mut first));
         assert_eq!(first.cliques, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn crash_filter_suppresses_cliques_owned_by_crashed_nodes() {
+        // Node 2 crashed: cliques whose canonical owner (minimum vertex) is 2
+        // vanish; cliques merely *containing* 2 but owned elsewhere survive
+        // only if their owner is alive.
+        let crashed = vec![false, false, true];
+        let mut sink = CrashFilter::new(CollectSink::new(), crashed);
+        sink.accept(&[2, 3, 4]); // owned by 2 -> suppressed
+        sink.accept(&[1, 2, 3]); // owned by 1 -> kept
+        sink.accept(&[5, 6, 7]); // owner beyond the slice -> alive, kept
+        assert_eq!(sink.suppressed(), 1);
+        assert!(!sink.is_saturated());
+        assert_eq!(sink.into_inner().len(), 2);
     }
 
     #[test]

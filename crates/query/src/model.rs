@@ -64,6 +64,7 @@ pub struct Query {
     snapshot_id: u64,
     p: usize,
     seed: u64,
+    budget: Option<u64>,
     kind: QueryKind,
 }
 
@@ -84,6 +85,12 @@ impl Query {
         self.seed
     }
 
+    /// The per-query work budget — the maximum number of cliques one
+    /// execution may visit — or `None` for an unbounded query.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
     /// What the query asks for.
     pub fn kind(&self) -> QueryKind {
         self.kind
@@ -102,10 +109,14 @@ impl Query {
             QueryKind::ContainingEdge { u, v } => s.push_str(&format!(",\"u\":{u},\"v\":{v}")),
             QueryKind::CountKp | QueryKind::Exists => {}
         }
-        s.push_str(&format!(
-            ",\"p\":{},\"seed\":{},\"snapshot\":\"{:016x}\"}}",
-            self.p, self.seed, self.snapshot_id
-        ));
+        s.push_str(&format!(",\"p\":{},\"seed\":{}", self.p, self.seed));
+        // The budget participates only when set, so every pre-budget
+        // identity (and thus every cache key and recorded response payload)
+        // is unchanged byte for byte.
+        if let Some(budget) = self.budget {
+            s.push_str(&format!(",\"budget\":{budget}"));
+        }
+        s.push_str(&format!(",\"snapshot\":\"{:016x}\"}}", self.snapshot_id));
         s
     }
 
@@ -145,6 +156,15 @@ pub enum QueryError {
     },
     /// A `FirstK` query with `k = 0` (always empty; certainly a bug).
     ZeroLimit,
+    /// A work budget of zero (every execution would be refused; drop the
+    /// budget instead for an unbounded query).
+    ZeroBudget,
+    /// The enumeration hit the query's work budget before completing; the
+    /// partial result is discarded and nothing is cached.
+    BudgetExceeded {
+        /// The budget the query carried.
+        budget: u64,
+    },
     /// A vertex parameter outside the snapshot's vertex range.
     VertexOutOfRange {
         /// The offending vertex.
@@ -184,6 +204,14 @@ impl fmt::Display for QueryError {
                 )
             }
             QueryError::ZeroLimit => write!(f, "first-k limit must be at least 1"),
+            QueryError::ZeroBudget => write!(
+                f,
+                "work budget must be at least 1 (omit the budget for an unbounded query)"
+            ),
+            QueryError::BudgetExceeded { budget } => write!(
+                f,
+                "work budget exhausted: the enumeration would visit more than {budget} cliques"
+            ),
             QueryError::VertexOutOfRange {
                 vertex,
                 num_vertices,
@@ -222,6 +250,7 @@ impl std::error::Error for QueryError {}
 pub struct QueryBuilder {
     p: Option<usize>,
     seed: u64,
+    budget: Option<u64>,
     kind: Option<QueryKind>,
     conflict: Option<(&'static str, &'static str)>,
 }
@@ -245,6 +274,18 @@ impl QueryBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Caps the work one execution may spend on this query: the enumeration
+    /// may visit at most `budget` cliques before the service refuses with
+    /// [`QueryError::BudgetExceeded`] instead of answering. Budgeted queries
+    /// always enumerate sequentially, and the budget joins the canonical
+    /// identity (only when set), so budgeted and unbounded variants of the
+    /// same request never share cache entries.
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -312,6 +353,9 @@ impl QueryBuilder {
                 prepared: snapshot.prepared_ps(),
             });
         }
+        if self.budget == Some(0) {
+            return Err(QueryError::ZeroBudget);
+        }
         let num_vertices = snapshot.graph().num_vertices();
         let check_vertex = |vertex: u32| {
             if (vertex as usize) < num_vertices {
@@ -339,6 +383,7 @@ impl QueryBuilder {
             snapshot_id: snapshot.id(),
             p,
             seed: self.seed,
+            budget: self.budget,
             kind,
         })
     }
@@ -378,6 +423,10 @@ mod tests {
         assert_eq!(
             QueryBuilder::new().p(3).first(0).build(&s),
             Err(QueryError::ZeroLimit)
+        );
+        assert_eq!(
+            QueryBuilder::new().p(3).budget(0).count().build(&s),
+            Err(QueryError::ZeroBudget)
         );
         assert_eq!(
             QueryBuilder::new().p(3).containing_vertex(30).build(&s),
@@ -430,6 +479,12 @@ mod tests {
                 .build(&s)
                 .expect("valid"),
             QueryBuilder::new().p(4).first(2).build(&s).expect("valid"),
+            QueryBuilder::new()
+                .p(4)
+                .budget(100)
+                .count()
+                .build(&s)
+                .expect("valid"),
             QueryBuilder::new().p(4).exists().build(&s).expect("valid"),
             QueryBuilder::new()
                 .p(4)
@@ -450,5 +505,23 @@ mod tests {
         let again = QueryBuilder::new().p(4).count().build(&s).expect("valid");
         assert_eq!(count, again);
         assert_eq!(count.cache_key(), again.cache_key());
+        // A budget renders between the seed and the snapshot — and only when
+        // one was set, so unbounded identities never change.
+        let budgeted = QueryBuilder::new()
+            .p(4)
+            .budget(100)
+            .count()
+            .build(&s)
+            .expect("valid");
+        assert_eq!(budgeted.budget(), Some(100));
+        assert_eq!(
+            budgeted.canonical_identity(),
+            format!(
+                "{{\"kind\":\"count-kp\",\"p\":4,\"seed\":0,\"budget\":100,\"snapshot\":\"{:016x}\"}}",
+                s.id()
+            )
+        );
+        assert_eq!(count.budget(), None);
+        assert!(!count.canonical_identity().contains("budget"));
     }
 }

@@ -165,10 +165,12 @@ impl QueryService {
     /// [`QueryError::SnapshotMismatch`] when the query was built against a
     /// different snapshot, [`QueryError::UnpreparedCliqueSize`] when this
     /// snapshot (despite an identical graph) did not prepare the query's
-    /// clique size.
+    /// clique size, [`QueryError::BudgetExceeded`] when the query carries a
+    /// work budget the enumeration exhausted (the partial result is
+    /// discarded, never cached).
     pub fn execute(&self, query: &Query) -> Result<QueryResponse, QueryError> {
         self.check(query)?;
-        Ok(self.run(query, self.threads))
+        self.run(query, self.threads)
     }
 
     /// Executes a batch, returning responses in request order.
@@ -185,7 +187,11 @@ impl QueryService {
     /// # Errors
     ///
     /// Validates every query up front (see [`QueryService::execute`]) and
-    /// returns the first error before executing anything.
+    /// returns the first error before executing anything. A
+    /// [`QueryError::BudgetExceeded`] surfaces at execution time instead;
+    /// the replay stops at the first exhausted query in *request* order, so
+    /// which error a mixed batch reports is deterministic at any thread
+    /// count (earlier queries may already have been computed and cached).
     pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<QueryResponse>, QueryError> {
         for query in queries {
             self.check(query)?;
@@ -195,20 +201,30 @@ impl QueryService {
         {
             let fanout = self.threads.min(queries.len());
             if fanout > 1 {
+                let mut first_error = None;
                 graphcore::ordered_merge::ordered_merge(
                     queries.len(),
                     fanout,
                     |i| self.run(&queries[i], 1),
-                    |response| {
-                        responses.push(response);
-                        true
+                    |result| match result {
+                        Ok(response) => {
+                            responses.push(response);
+                            true
+                        }
+                        Err(error) => {
+                            first_error = Some(error);
+                            false
+                        }
                     },
                 );
-                return Ok(responses);
+                return match first_error {
+                    Some(error) => Err(error),
+                    None => Ok(responses),
+                };
             }
         }
         for query in queries {
-            responses.push(self.run(query, 1));
+            responses.push(self.run(query, 1)?);
         }
         Ok(responses)
     }
@@ -236,12 +252,13 @@ impl QueryService {
 
     /// Cache-or-compute for one pre-validated query. `inner_threads` is the
     /// grant for this query's own enumeration (1 inside batches, whose
-    /// parallelism is the fan-out across queries).
-    fn run(&self, query: &Query, inner_threads: usize) -> QueryResponse {
+    /// parallelism is the fan-out across queries). Budget-exceeded failures
+    /// are never cached — only completed outcomes enter the cache.
+    fn run(&self, query: &Query, inner_threads: usize) -> Result<QueryResponse, QueryError> {
         let key = query.cache_key();
         let identity = query.canonical_identity();
         if let Some(outcome) = self.cache.lookup(key, &identity) {
-            return QueryResponse {
+            return Ok(QueryResponse {
                 query: query.clone(),
                 outcome,
                 report: QueryReport {
@@ -249,11 +266,11 @@ impl QueryService {
                     shards: 0,
                     threads_used: 1,
                 },
-            };
+            });
         }
-        let (outcome, shards, threads_used) = self.compute(query, inner_threads);
+        let (outcome, shards, threads_used) = self.compute(query, inner_threads)?;
         self.cache.insert(key, identity, outcome.clone());
-        QueryResponse {
+        Ok(QueryResponse {
             query: query.clone(),
             outcome,
             report: QueryReport {
@@ -261,19 +278,28 @@ impl QueryService {
                 shards,
                 threads_used,
             },
-        }
+        })
     }
 
     /// Runs the enumeration for one query against the snapshot artifacts.
-    /// Returns `(outcome, shards, threads_used)`.
-    fn compute(&self, query: &Query, inner_threads: usize) -> (QueryOutcome, usize, usize) {
+    /// Returns `(outcome, shards, threads_used)`, or
+    /// [`QueryError::BudgetExceeded`] when a budgeted enumeration would
+    /// visit more cliques than its budget allows. Budgeted queries always
+    /// take the sequential path, so the visit count the budget meters is the
+    /// deterministic enumeration order — the same at any thread grant.
+    fn compute(
+        &self,
+        query: &Query,
+        inner_threads: usize,
+    ) -> Result<(QueryOutcome, usize, usize), QueryError> {
         let graph = self.snapshot.graph();
         let index = self.snapshot.index();
         let p = query.p();
-        match query.kind() {
+        let mut meter = BudgetMeter::new(query.budget());
+        let outcome = match query.kind() {
             QueryKind::CountKp => {
                 #[cfg(feature = "parallel")]
-                if inner_threads > 1 {
+                if inner_threads > 1 && query.budget().is_none() {
                     let plan = self
                         .snapshot
                         .plan_for(p)
@@ -297,56 +323,113 @@ impl QueryService {
                                 true
                             },
                         );
-                        return (
+                        return Ok((
                             QueryOutcome::Count(total),
                             shards,
                             inner_threads.min(shards),
-                        );
+                        ));
                     }
                 }
                 let _ = inner_threads;
                 let mut total = 0u64;
                 index.for_each_clique_while(graph, p, |_| {
+                    if !meter.admit() {
+                        return false;
+                    }
                     total += 1;
                     true
                 });
-                (QueryOutcome::Count(total), 1, 1)
+                QueryOutcome::Count(total)
             }
             QueryKind::FirstK { k } => {
                 let mut cliques: Vec<Clique> = Vec::with_capacity(k);
                 index.for_each_clique_while(graph, p, |c| {
+                    if !meter.admit() {
+                        return false;
+                    }
                     cliques.push(c.to_vec());
                     cliques.len() < k
                 });
                 cliques.sort_unstable();
-                (QueryOutcome::Cliques(cliques), 1, 1)
+                QueryOutcome::Cliques(cliques)
             }
             QueryKind::ContainingVertex { vertex } => {
                 let mut cliques: Vec<Clique> = Vec::new();
                 index.for_each_containing_vertex_while(graph, p, vertex, |c| {
+                    if !meter.admit() {
+                        return false;
+                    }
                     cliques.push(c.to_vec());
                     true
                 });
                 cliques.sort_unstable();
-                (QueryOutcome::Cliques(cliques), 1, 1)
+                QueryOutcome::Cliques(cliques)
             }
             QueryKind::ContainingEdge { u, v } => {
                 let mut cliques: Vec<Clique> = Vec::new();
                 index.for_each_containing_edge_while(graph, p, u, v, |c| {
+                    if !meter.admit() {
+                        return false;
+                    }
                     cliques.push(c.to_vec());
                     true
                 });
                 cliques.sort_unstable();
-                (QueryOutcome::Cliques(cliques), 1, 1)
+                QueryOutcome::Cliques(cliques)
             }
             QueryKind::Exists => {
                 let mut found = false;
                 index.for_each_clique_while(graph, p, |_| {
+                    if !meter.admit() {
+                        return false;
+                    }
                     found = true;
                     false
                 });
-                (QueryOutcome::Exists(found), 1, 1)
+                QueryOutcome::Exists(found)
             }
+        };
+        meter.finish()?;
+        Ok((outcome, 1, 1))
+    }
+}
+
+/// Meters the cliques a budgeted enumeration visits. Admitting one more
+/// visit than the budget allows trips the meter; [`BudgetMeter::finish`]
+/// turns a tripped meter into [`QueryError::BudgetExceeded`]. Unbudgeted
+/// queries admit everything for free.
+struct BudgetMeter {
+    budget: Option<u64>,
+    visited: u64,
+    exceeded: bool,
+}
+
+impl BudgetMeter {
+    fn new(budget: Option<u64>) -> BudgetMeter {
+        BudgetMeter {
+            budget,
+            visited: 0,
+            exceeded: false,
+        }
+    }
+
+    /// Whether the enumeration may visit one more clique. Once this returns
+    /// `false` the enumeration must stop; the partial result is invalid.
+    fn admit(&mut self) -> bool {
+        if let Some(budget) = self.budget {
+            if self.visited == budget {
+                self.exceeded = true;
+                return false;
+            }
+        }
+        self.visited += 1;
+        true
+    }
+
+    fn finish(&self) -> Result<(), QueryError> {
+        match (self.exceeded, self.budget) {
+            (true, Some(budget)) => Err(QueryError::BudgetExceeded { budget }),
+            _ => Ok(()),
         }
     }
 }

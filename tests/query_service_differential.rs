@@ -20,7 +20,7 @@
 use distributed_clique_listing::cliquelist::Parallelism;
 use distributed_clique_listing::graphcore::{gen, Graph};
 use distributed_clique_listing::query::{
-    GraphSnapshot, Query, QueryBuilder, QueryError, QueryResponse, QueryService,
+    GraphSnapshot, Query, QueryBuilder, QueryError, QueryOutcome, QueryResponse, QueryService,
 };
 use std::sync::Arc;
 
@@ -280,4 +280,167 @@ fn builder_misuse_is_typed_at_the_workspace_surface() {
     assert!(matches!(err, QueryError::SnapshotMismatch { .. }));
     // Nothing from the rejected batch was executed or cached.
     assert_eq!(service.cache_stats().entries, 0);
+}
+
+/// The per-query work budget: exhaustion is a typed error, replayed
+/// identically, and never cached; sufficient budgets answer exactly like
+/// their unbounded twins under a separate cache identity.
+#[test]
+fn work_budgets_are_typed_deterministic_and_uncached() {
+    let snapshot = GraphSnapshot::build(gen::erdos_renyi(50, 0.3, 19)).into_shared();
+    let service = QueryService::new(snapshot.clone());
+    let unbounded = QueryBuilder::new().p(4).count().build(&snapshot).unwrap();
+    let QueryOutcome::Count(total) = service.execute(&unbounded).unwrap().outcome else {
+        panic!("count query must yield a count");
+    };
+    assert!(
+        total >= 3,
+        "workload must have cliques for the budget to meter"
+    );
+
+    // An exactly-sufficient budget answers identically to the unbounded
+    // query — but under its own cache identity, so it misses cold.
+    let sufficient = QueryBuilder::new()
+        .p(4)
+        .budget(total)
+        .count()
+        .build(&snapshot)
+        .unwrap();
+    let cold = service.execute(&sufficient).unwrap();
+    assert!(!cold.report.cache_hit);
+    assert_eq!(cold.outcome, QueryOutcome::Count(total));
+    let entries = service.cache_stats().entries;
+    assert_eq!(entries, 2, "budgeted and unbounded entries are distinct");
+    assert!(service.execute(&sufficient).unwrap().report.cache_hit);
+
+    // One short: a typed error, deterministic on replay, never cached.
+    let short = QueryBuilder::new()
+        .p(4)
+        .budget(total - 1)
+        .count()
+        .build(&snapshot)
+        .unwrap();
+    for attempt in 0..2 {
+        assert_eq!(
+            service.execute(&short).unwrap_err(),
+            QueryError::BudgetExceeded { budget: total - 1 },
+            "attempt {attempt}"
+        );
+    }
+    assert_eq!(
+        service.cache_stats().entries,
+        entries,
+        "failures must not be cached"
+    );
+
+    // Budgets meter *visits*, not matches: `exists` stops at the first
+    // clique, so a budget of 1 always suffices on a populated graph.
+    let exists = QueryBuilder::new()
+        .p(4)
+        .budget(1)
+        .exists()
+        .build(&snapshot)
+        .unwrap();
+    assert_eq!(
+        service.execute(&exists).unwrap().outcome,
+        QueryOutcome::Exists(true)
+    );
+    // Likewise first-k visits at most k cliques, so budget(k) suffices...
+    let budgeted_first = QueryBuilder::new()
+        .p(4)
+        .budget(3)
+        .first(3)
+        .build(&snapshot)
+        .unwrap();
+    let plain_first = QueryBuilder::new().p(4).first(3).build(&snapshot).unwrap();
+    assert_eq!(
+        service.execute(&budgeted_first).unwrap().outcome,
+        service.execute(&plain_first).unwrap().outcome
+    );
+    // ...and one less trips the meter.
+    let tight = QueryBuilder::new()
+        .p(4)
+        .budget(2)
+        .first(3)
+        .build(&snapshot)
+        .unwrap();
+    assert_eq!(
+        service.execute(&tight).unwrap_err(),
+        QueryError::BudgetExceeded { budget: 2 }
+    );
+}
+
+/// Budgeted batches across the full grant matrix: successful payloads are
+/// byte-identical, and an exhausted budget surfaces the same typed error —
+/// for the first exhausted query in *request* order — at every grant.
+#[test]
+fn budget_exhaustion_is_identical_across_grants() {
+    let snapshot = GraphSnapshot::build(gen::erdos_renyi(45, 0.3, 11)).into_shared();
+    let probe = QueryService::new(snapshot.clone());
+    let count_query = QueryBuilder::new().p(3).count().build(&snapshot).unwrap();
+    let QueryOutcome::Count(total) = probe.execute(&count_query).unwrap().outcome else {
+        panic!("count query must yield a count");
+    };
+    assert!(total >= 2, "workload must have at least two triangles");
+
+    // All-sufficient budgets: byte-identical payloads at every grant and
+    // cache temperature, like any other batch.
+    let good = vec![
+        QueryBuilder::new()
+            .p(3)
+            .budget(total)
+            .count()
+            .build(&snapshot)
+            .unwrap(),
+        QueryBuilder::new()
+            .p(3)
+            .budget(5)
+            .first(5)
+            .build(&snapshot)
+            .unwrap(),
+        QueryBuilder::new()
+            .p(3)
+            .budget(1)
+            .exists()
+            .build(&snapshot)
+            .unwrap(),
+    ];
+    let reference = payloads(
+        &QueryService::with_parallelism(snapshot.clone(), Parallelism::Off)
+            .execute_batch(&good)
+            .unwrap(),
+    );
+    for grant in GRANTS {
+        let service = QueryService::with_parallelism(snapshot.clone(), grant);
+        let cold = payloads(&service.execute_batch(&good).unwrap());
+        assert_eq!(cold, reference, "{grant:?}: cold budgeted batch diverged");
+        let warm = payloads(&service.execute_batch(&good).unwrap());
+        assert_eq!(warm, reference, "{grant:?}: warm budgeted batch diverged");
+    }
+
+    // Two exhausted queries with distinct budgets: every grant reports the
+    // earlier one, even though a later worker may finish (and fail) first.
+    let mixed = vec![
+        QueryBuilder::new().p(3).count().build(&snapshot).unwrap(),
+        QueryBuilder::new()
+            .p(3)
+            .budget(total - 1)
+            .count()
+            .build(&snapshot)
+            .unwrap(),
+        QueryBuilder::new()
+            .p(3)
+            .budget(1)
+            .first(2)
+            .build(&snapshot)
+            .unwrap(),
+    ];
+    for grant in GRANTS {
+        let service = QueryService::with_parallelism(snapshot.clone(), grant);
+        assert_eq!(
+            service.execute_batch(&mixed).unwrap_err(),
+            QueryError::BudgetExceeded { budget: total - 1 },
+            "{grant:?}: must report the first exhausted query in request order"
+        );
+    }
 }
