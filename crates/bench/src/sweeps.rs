@@ -20,7 +20,7 @@ use crate::store::CellSpec;
 use crate::sweep::{Interrupted, Sweep};
 use crate::workloads::listing_workload;
 use cliquelist::{CountSink, Engine};
-use graphcore::{cliques, gen, Graph};
+use graphcore::{cliques, gen, EdgeBatch, Graph};
 use std::time::Instant;
 
 /// Timing repetitions per cell (matches the pre-harness perf experiment).
@@ -205,6 +205,24 @@ pub fn perf_sweep() -> Sweep {
             29,
         );
     }
+
+    // Churn sweep (PR 9): incremental vs from-scratch snapshot derivation
+    // over growing batch sizes on the cluster-scaling workload. The two
+    // small batches stay under the rebuild threshold (the incremental
+    // index-patching path); the large one crosses it (the rebuild path) —
+    // the strategy decision, applied-change counts and delta-listing sizes
+    // are deterministic in `(graph, batch_target)` and gated byte-exactly.
+    for &batch_target in &[32usize, 256, 4096] {
+        let mut config = base("churn-sweep");
+        config.extend([
+            ("gen", Json::Str("er".to_string())),
+            ("n", num(260)),
+            ("param", Json::Num(0.12)),
+            ("p", num(3)),
+            ("batch_target", num(batch_target)),
+        ]);
+        sweep.cell("churn-sweep", "er(260,0.12) churn", Json::obj(config), 5);
+    }
     sweep
 }
 
@@ -329,6 +347,24 @@ fn query_batch(snapshot: &query::GraphSnapshot) -> Vec<query::Query> {
         );
     }
     batch
+}
+
+/// The deterministic edge batch of a `churn-sweep` cell: half the target as
+/// deletions spread evenly over the CSR edge stream, half as insertions
+/// drawn from a dense perturbation generator's non-edges. Disjoint by
+/// construction (deletes are edges, inserts are non-edges), so
+/// [`EdgeBatch::new`] cannot reject it. Depends only on `(graph, target,
+/// seed)`.
+fn churn_batch(graph: &Graph, target: usize, seed: u64) -> EdgeBatch {
+    let half = (target / 2).max(1);
+    let step = (graph.num_edges() / half).max(1);
+    let deletes: Vec<(u32, u32)> = graph.edges().step_by(step).take(half).collect();
+    let inserts: Vec<(u32, u32)> = gen::erdos_renyi(graph.num_vertices(), 0.5, seed ^ 0xC0FFEE)
+        .edges()
+        .filter(|&(u, v)| !graph.has_edge(u, v))
+        .take(half)
+        .collect();
+    EdgeBatch::new(&inserts, &deletes).expect("disjoint by construction")
 }
 
 /// Executes one real cell of [`perf_sweep`] and returns its metrics object.
@@ -533,6 +569,57 @@ pub fn execute_perf_cell(spec: &CellSpec) -> Result<Json, Interrupted> {
                 ("mean_ms".to_string(), Json::Num(mean)),
             ]);
         }
+        "churn-sweep" => {
+            let graph = build_graph(&spec.config, spec.seed);
+            let batch_target = usize_field(&spec.config, "batch_target");
+            let old = query::GraphSnapshot::build(graph);
+            let batch = churn_batch(old.graph(), batch_target, spec.seed);
+            // The measured quantity: deriving a snapshot through
+            // `apply_batch` (strategy chosen by the churn fraction) …
+            let mut applied = None;
+            let (best, mean) = time_reps(REPS, || {
+                applied = Some(old.apply_batch(&batch).expect("batch is in range"));
+            });
+            let (derived, report) = applied.expect("at least one rep ran");
+            // … against the from-scratch baseline it must equal byte for
+            // byte — the churn battery's contract (a), re-asserted at
+            // measurement time.
+            let mut scratch = None;
+            let (rebuild_best, rebuild_mean) = time_reps(REPS, || {
+                scratch = Some(query::GraphSnapshot::build(derived.graph().clone()));
+            });
+            assert_eq!(
+                derived,
+                scratch.expect("at least one rep ran"),
+                "incremental churn must equal a from-scratch build"
+            );
+            // The delta listing accounts for the census change exactly.
+            let delta = query::delta_cliques(&old, &derived, p, cliquelist::Parallelism::Auto)
+                .expect("same vertex count");
+            let before = cliques::count_cliques(old.graph(), p);
+            let after = cliques::count_cliques(derived.graph(), p);
+            assert_eq!(
+                after as i64 - before as i64,
+                delta.created.len() as i64 - delta.destroyed.len() as i64,
+                "delta must account for the census change exactly"
+            );
+            metrics.extend([
+                (
+                    "strategy".to_string(),
+                    Json::Str(report.strategy.as_str().to_string()),
+                ),
+                ("inserted".to_string(), num(report.inserted.len())),
+                ("deleted".to_string(), num(report.deleted.len())),
+                ("churn_ppm".to_string(), Json::Num(report.churn_ppm as f64)),
+                ("cliques".to_string(), num(after)),
+                ("created_cliques".to_string(), num(delta.created.len())),
+                ("destroyed_cliques".to_string(), num(delta.destroyed.len())),
+                ("best_ms".to_string(), Json::Num(best)),
+                ("mean_ms".to_string(), Json::Num(mean)),
+                ("rebuild_best_ms".to_string(), Json::Num(rebuild_best)),
+                ("rebuild_mean_ms".to_string(), Json::Num(rebuild_mean)),
+            ]);
+        }
         other => panic!("unknown cell kind in perf sweep: {other:?}"),
     }
     Ok(Json::Obj(metrics))
@@ -550,6 +637,7 @@ mod tests {
         assert_eq!(
             experiments.into_iter().collect::<Vec<_>>(),
             vec![
+                "churn-sweep",
                 "cluster-scaling",
                 "engine",
                 "enumeration",
@@ -564,6 +652,16 @@ mod tests {
                 .cells
                 .iter()
                 .filter(|c| c.experiment == "fault-sweep")
+                .count(),
+            3
+        );
+        // The churn sweep covers two incremental batch sizes and one past
+        // the rebuild threshold.
+        assert_eq!(
+            sweep
+                .cells
+                .iter()
+                .filter(|c| c.experiment == "churn-sweep")
                 .count(),
             3
         );
@@ -700,6 +798,55 @@ mod tests {
                 "{metric} must replay identically"
             );
         }
+    }
+
+    #[test]
+    fn executor_runs_churn_cells_deterministically() {
+        let cell = |batch_target: usize| CellSpec {
+            experiment: "churn-sweep".into(),
+            workload: "er(60,0.2) churn".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("churn-sweep".into())),
+                ("gen", Json::Str("er".into())),
+                ("n", num(60)),
+                ("param", Json::Num(0.2)),
+                ("p", num(3)),
+                ("batch_target", num(batch_target)),
+            ]),
+            seed: 7,
+        };
+        // A small batch stays under the rebuild threshold (incremental);
+        // a batch larger than the edge count crosses it (rebuild). The
+        // executor itself asserts derived == from-scratch either way.
+        let small = execute_perf_cell(&cell(8)).expect("executor never interrupts");
+        assert_eq!(
+            small.get("strategy").and_then(Json::as_str).unwrap(),
+            "incremental"
+        );
+        let large = execute_perf_cell(&cell(1024)).expect("executor never interrupts");
+        assert_eq!(
+            large.get("strategy").and_then(Json::as_str).unwrap(),
+            "rebuild"
+        );
+        // The deterministic metrics replay byte for byte.
+        let again = execute_perf_cell(&cell(8)).expect("executor never interrupts");
+        for metric in [
+            "strategy",
+            "inserted",
+            "deleted",
+            "churn_ppm",
+            "cliques",
+            "created_cliques",
+            "destroyed_cliques",
+        ] {
+            assert_eq!(
+                small.get(metric).unwrap().canonical(),
+                again.get(metric).unwrap().canonical(),
+                "{metric} must replay identically"
+            );
+        }
+        assert!(small.get("best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(small.get("rebuild_best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
     }
 
     #[test]

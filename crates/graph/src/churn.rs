@@ -1,0 +1,436 @@
+//! Edge churn: validated, canonicalised insert/delete batches and their
+//! incremental application to a CSR [`Graph`].
+//!
+//! An [`EdgeBatch`] is the unit of graph mutation in the dynamic-snapshot
+//! layer (the `query` crate's `GraphSnapshot::apply_batch`): a pair of edge
+//! sets to insert and to delete, canonicalised at construction (`u < v`,
+//! sorted, duplicate-free) with the contradictions rejected as typed
+//! [`BatchError`]s instead of silently resolved.
+//!
+//! [`Graph::apply_edge_batch`] applies a batch by merging each *touched*
+//! vertex's sorted CSR row with its sorted per-vertex delta and copying every
+//! untouched row verbatim. Because CSR form is a canonical function of the
+//! edge set — rows sorted by id, duplicates impossible — the merged result is
+//! **exactly equal** to [`Graph::from_edges`] over the mutated edge list,
+//! without re-sorting or re-deduplicating any row. That equivalence is the
+//! incremental-equals-recompute contract the churn differential battery in
+//! `tests/churn_differential.rs` enforces.
+
+use crate::graph::{Graph, GraphError};
+use std::fmt;
+
+/// Why an [`EdgeBatch`] could not be constructed or applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// An endpoint pair with `u == v`; simple graphs have no self-loops.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: u32,
+    },
+    /// The same edge appears in both the insert and the delete set — the
+    /// batch's intent is contradictory, so it is rejected rather than
+    /// resolved by an arbitrary precedence rule.
+    InsertDeleteConflict {
+        /// Smaller endpoint of the conflicting edge.
+        u: u32,
+        /// Larger endpoint of the conflicting edge.
+        v: u32,
+    },
+    /// An endpoint does not exist in the graph the batch is applied to.
+    /// Raised at application time — a batch is graph-independent until then.
+    VertexOutOfRange {
+        /// The offending vertex identifier.
+        vertex: u32,
+        /// The number of vertices of the target graph.
+        n: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::SelfLoop { vertex } => {
+                write!(f, "batch contains a self-loop at vertex {vertex}")
+            }
+            BatchError::InsertDeleteConflict { u, v } => {
+                write!(f, "edge {{{u},{v}}} is both inserted and deleted")
+            }
+            BatchError::VertexOutOfRange { vertex, n } => {
+                write!(
+                    f,
+                    "batch vertex {vertex} out of range for graph with {n} vertices"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A validated, canonicalised set of edge insertions and deletions.
+///
+/// Both edge lists are stored with `u < v`, sorted lexicographically and
+/// duplicate-free, so two batches describing the same mutation compare equal
+/// regardless of how their edges were spelled. Inserting an edge that already
+/// exists, or deleting one that does not, is *not* an error: the effective
+/// churn is resolved against the target graph at application time (see
+/// [`Graph::apply_edge_batch`]), which is what makes a no-op batch
+/// well-defined.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    inserts: Vec<(u32, u32)>,
+    deletes: Vec<(u32, u32)>,
+}
+
+/// Canonicalises one raw edge list: orient every pair as `(min, max)`, sort
+/// lexicographically, drop duplicates. Self-loops are the only per-edge
+/// rejection.
+fn canonicalize(edges: &[(u32, u32)]) -> Result<Vec<(u32, u32)>, BatchError> {
+    let mut out = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        if u == v {
+            return Err(BatchError::SelfLoop { vertex: u });
+        }
+        out.push((u.min(v), u.max(v)));
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+impl EdgeBatch {
+    /// Builds a batch from raw insert and delete lists. Either list may spell
+    /// edges in any orientation and contain duplicates; the stored form is
+    /// canonical (`u < v`, sorted, deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::SelfLoop`] when an edge has `u == v`, and
+    /// [`BatchError::InsertDeleteConflict`] when the canonicalised sets
+    /// intersect.
+    pub fn new(inserts: &[(u32, u32)], deletes: &[(u32, u32)]) -> Result<EdgeBatch, BatchError> {
+        let inserts = canonicalize(inserts)?;
+        let deletes = canonicalize(deletes)?;
+        // Both lists are sorted: one linear merge finds any conflict.
+        let (mut i, mut j) = (0, 0);
+        while i < inserts.len() && j < deletes.len() {
+            match inserts[i].cmp(&deletes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let (u, v) = inserts[i];
+                    return Err(BatchError::InsertDeleteConflict { u, v });
+                }
+            }
+        }
+        Ok(EdgeBatch { inserts, deletes })
+    }
+
+    /// The empty batch (applies as a no-op to any graph).
+    pub fn empty() -> EdgeBatch {
+        EdgeBatch::default()
+    }
+
+    /// The canonicalised edges to insert, sorted with `u < v`.
+    pub fn inserts(&self) -> &[(u32, u32)] {
+        &self.inserts
+    }
+
+    /// The canonicalised edges to delete, sorted with `u < v`.
+    pub fn deletes(&self) -> &[(u32, u32)] {
+        &self.deletes
+    }
+
+    /// Whether the batch requests no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total number of requested edge changes (before resolving against a
+    /// graph).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// The *effective* churn of one batch application: the requested changes
+/// that actually altered the graph. Inserts already present and deletes
+/// already absent are dropped here, which is what makes "apply an
+/// ineffective batch" a structural no-op with an unchanged content identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedBatch {
+    /// Edges newly added (`u < v`, sorted): requested inserts that were
+    /// absent.
+    pub inserted: Vec<(u32, u32)>,
+    /// Edges removed (`u < v`, sorted): requested deletes that were present.
+    pub deleted: Vec<(u32, u32)>,
+}
+
+impl AppliedBatch {
+    /// Whether the application changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Number of effective edge changes.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// Alias of [`AppliedBatch::is_noop`] for the `len`/`is_empty` pair
+    /// clippy expects.
+    pub fn is_empty(&self) -> bool {
+        self.is_noop()
+    }
+}
+
+impl Graph {
+    /// Applies an [`EdgeBatch`], returning the mutated graph and the
+    /// effective churn ([`AppliedBatch`]).
+    ///
+    /// The vertex set is unchanged; inserts that already exist and deletes
+    /// that miss are silently ineffective (reported as such via the returned
+    /// [`AppliedBatch`], never as errors). The construction is incremental:
+    /// every row of a vertex not incident to an effective change is copied
+    /// verbatim, and each touched row is a single sorted merge of the old row
+    /// with its delta — no global sort, no per-row deduplication. The result
+    /// is guaranteed equal to `Graph::from_edges` over the mutated edge list
+    /// because CSR form is canonical in the edge set.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::VertexOutOfRange`] when any batch endpoint is `>= n`.
+    /// The graph is not partially modified on error (the method takes
+    /// `&self`).
+    pub fn apply_edge_batch(&self, batch: &EdgeBatch) -> Result<(Graph, AppliedBatch), BatchError> {
+        let n = self.num_vertices();
+        for &(u, v) in batch.inserts().iter().chain(batch.deletes()) {
+            for vertex in [u, v] {
+                if vertex as usize >= n {
+                    return Err(BatchError::VertexOutOfRange { vertex, n });
+                }
+            }
+        }
+        let applied = AppliedBatch {
+            inserted: batch
+                .inserts()
+                .iter()
+                .copied()
+                .filter(|&(u, v)| !self.has_edge(u, v))
+                .collect(),
+            deleted: batch
+                .deletes()
+                .iter()
+                .copied()
+                .filter(|&(u, v)| self.has_edge(u, v))
+                .collect(),
+        };
+        if applied.is_noop() {
+            return Ok((self.clone(), applied));
+        }
+        // Per-vertex deltas for the touched vertices only.
+        let mut add: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut del: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut touched: Vec<u32> = Vec::with_capacity(2 * applied.len());
+        for &(u, v) in &applied.inserted {
+            add[u as usize].push(v);
+            add[v as usize].push(u);
+            touched.extend([u, v]);
+        }
+        for &(u, v) in &applied.deleted {
+            del[u as usize].push(v);
+            del[v as usize].push(u);
+            touched.extend([u, v]);
+        }
+        for &v in &touched {
+            add[v as usize].sort_unstable();
+            del[v as usize].sort_unstable();
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let new_len =
+            self.neighbor_array_len() + 2 * applied.inserted.len() - 2 * applied.deleted.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut nbrs = Vec::with_capacity(new_len);
+        let mut next_touched = touched.iter().copied().peekable();
+        for v in 0..n as u32 {
+            let row = self.neighbors(v);
+            if next_touched.peek() == Some(&v) {
+                next_touched.next();
+                merge_row(row, &add[v as usize], &del[v as usize], &mut nbrs);
+            } else {
+                nbrs.extend_from_slice(row);
+            }
+            offsets.push(nbrs.len() as u32);
+        }
+        let num_edges = self.num_edges() + applied.inserted.len() - applied.deleted.len();
+        debug_assert_eq!(nbrs.len(), new_len);
+        Ok((Graph::from_csr_parts(offsets, nbrs, num_edges), applied))
+    }
+
+    /// Length of the concatenated neighbour array (`2m`).
+    fn neighbor_array_len(&self) -> usize {
+        2 * self.num_edges()
+    }
+}
+
+/// Merges one sorted CSR row with its sorted delta: emits `(row ∖ del) ∪ add`
+/// in ascending order. `add` is disjoint from `row` and `del ⊆ row` (both
+/// guaranteed by the effective-churn filtering), so the output needs no
+/// deduplication.
+fn merge_row(row: &[u32], add: &[u32], del: &[u32], out: &mut Vec<u32>) {
+    let (mut ai, mut di) = (0usize, 0usize);
+    for &w in row {
+        while ai < add.len() && add[ai] < w {
+            out.push(add[ai]);
+            ai += 1;
+        }
+        if di < del.len() && del[di] == w {
+            di += 1;
+            continue;
+        }
+        out.push(w);
+    }
+    out.extend_from_slice(&add[ai..]);
+    debug_assert_eq!(di, del.len(), "a delete missed the row");
+}
+
+impl From<GraphError> for BatchError {
+    fn from(err: GraphError) -> BatchError {
+        match err {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                BatchError::VertexOutOfRange { vertex, n }
+            }
+            GraphError::SelfLoop { vertex } => BatchError::SelfLoop { vertex },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn batches_canonicalise_orientation_and_duplicates() {
+        let batch = EdgeBatch::new(&[(3, 1), (1, 3), (0, 2)], &[(5, 4)]).unwrap();
+        assert_eq!(batch.inserts(), &[(0, 2), (1, 3)]);
+        assert_eq!(batch.deletes(), &[(4, 5)]);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert!(EdgeBatch::empty().is_empty());
+        // Equal mutations compare equal whatever the spelling.
+        assert_eq!(
+            batch,
+            EdgeBatch::new(&[(0, 2), (3, 1), (3, 1)], &[(4, 5)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_construction_rejects_contradictions() {
+        assert_eq!(
+            EdgeBatch::new(&[(1, 1)], &[]),
+            Err(BatchError::SelfLoop { vertex: 1 })
+        );
+        assert_eq!(
+            EdgeBatch::new(&[], &[(2, 2)]),
+            Err(BatchError::SelfLoop { vertex: 2 })
+        );
+        let err = EdgeBatch::new(&[(0, 1), (2, 3)], &[(3, 2)]).unwrap_err();
+        assert_eq!(err, BatchError::InsertDeleteConflict { u: 2, v: 3 });
+        assert!(format!("{err}").contains("both inserted and deleted"));
+    }
+
+    #[test]
+    fn application_validates_vertex_range() {
+        let g = gen::path_graph(4);
+        let batch = EdgeBatch::new(&[(0, 9)], &[]).unwrap();
+        assert_eq!(
+            g.apply_edge_batch(&batch).unwrap_err(),
+            BatchError::VertexOutOfRange { vertex: 9, n: 4 }
+        );
+        let batch = EdgeBatch::new(&[], &[(7, 1)]).unwrap();
+        assert!(matches!(
+            g.apply_edge_batch(&batch),
+            Err(BatchError::VertexOutOfRange { vertex: 7, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn incremental_application_equals_from_scratch() {
+        // Random graphs × random batches: the merged CSR must equal the
+        // from-scratch build of the mutated edge list, field for field.
+        for seed in 0..6u64 {
+            let g = gen::erdos_renyi(40, 0.2, seed);
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            // Deterministic batch: delete every 3rd edge, insert the
+            // complement pairs of a shifted generator.
+            let deletes: Vec<(u32, u32)> = edges.iter().copied().step_by(3).collect();
+            let other = gen::erdos_renyi(40, 0.1, seed + 100);
+            let inserts: Vec<(u32, u32)> = other
+                .edges()
+                .filter(|&(u, v)| !g.has_edge(u, v))
+                .take(25)
+                .collect();
+            let batch = EdgeBatch::new(&inserts, &deletes).unwrap();
+            let (incremental, applied) = g.apply_edge_batch(&batch).unwrap();
+            assert_eq!(applied.inserted, inserts, "seed {seed}");
+            assert_eq!(applied.deleted, deletes, "seed {seed}");
+            let mut mutated: Vec<(u32, u32)> = edges
+                .iter()
+                .copied()
+                .filter(|e| !deletes.contains(e))
+                .chain(inserts.iter().copied())
+                .collect();
+            mutated.sort_unstable();
+            let scratch = Graph::from_edges(40, &mutated).unwrap();
+            assert_eq!(incremental, scratch, "seed {seed}");
+            assert_eq!(
+                incremental.num_edges(),
+                edges.len() - deletes.len() + inserts.len(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn ineffective_changes_resolve_to_a_noop() {
+        // Path graph edges: 0-1, 1-2, 2-3, 3-4. Insert an existing edge,
+        // delete a missing one: nothing effective.
+        let g = gen::path_graph(5);
+        let batch = EdgeBatch::new(&[(1, 0)], &[(0, 4)]).unwrap();
+        let (same, applied) = g.apply_edge_batch(&batch).unwrap();
+        assert!(applied.is_noop());
+        assert!(applied.is_empty());
+        assert_eq!(applied.len(), 0);
+        assert_eq!(same, g);
+        // The empty batch is likewise a no-op.
+        let (same, applied) = g.apply_edge_batch(&EdgeBatch::empty()).unwrap();
+        assert!(applied.is_noop());
+        assert_eq!(same, g);
+        // A mixed batch only reports its effective half.
+        let batch = EdgeBatch::new(&[(0, 1), (0, 2)], &[(3, 4), (0, 3)]).unwrap();
+        let (changed, applied) = g.apply_edge_batch(&batch).unwrap();
+        assert_eq!(applied.inserted, vec![(0, 2)]);
+        assert_eq!(applied.deleted, vec![(3, 4)]);
+        assert!(changed.has_edge(0, 2));
+        assert!(!changed.has_edge(3, 4));
+        assert_eq!(changed.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn graph_errors_convert_to_batch_errors() {
+        assert_eq!(
+            BatchError::from(GraphError::SelfLoop { vertex: 3 }),
+            BatchError::SelfLoop { vertex: 3 }
+        );
+        assert_eq!(
+            BatchError::from(GraphError::VertexOutOfRange { vertex: 8, n: 2 }),
+            BatchError::VertexOutOfRange { vertex: 8, n: 2 }
+        );
+        let err = BatchError::VertexOutOfRange { vertex: 8, n: 2 };
+        assert!(format!("{err}").contains("out of range"));
+    }
+}

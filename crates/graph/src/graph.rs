@@ -100,6 +100,20 @@ impl Graph {
         }
     }
 
+    /// Assembles a graph from prebuilt CSR arrays. The caller (the batch
+    /// application in [`crate::churn`]) guarantees the invariants: sorted,
+    /// duplicate-free rows, symmetric adjacency, `offsets.len() == n + 1` and
+    /// `num_edges == nbrs.len() / 2`.
+    pub(crate) fn from_csr_parts(offsets: Vec<u32>, nbrs: Vec<u32>, num_edges: usize) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, nbrs.len());
+        debug_assert_eq!(num_edges * 2, nbrs.len());
+        Graph {
+            offsets,
+            nbrs,
+            num_edges,
+        }
+    }
+
     /// Builds a graph from an edge list, ignoring duplicates.
     ///
     /// Single-pass linear construction: count degrees, scatter both directed

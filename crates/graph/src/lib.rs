@@ -8,6 +8,10 @@
 //!   merge-based neighbourhood intersections;
 //! * [`gen`]: synthetic workload generators (Erdős–Rényi, planted cliques,
 //!   random regular, Barabási–Albert, RMAT/Kronecker, classic families);
+//! * [`churn`]: validated, canonicalised edge insert/delete batches and their
+//!   incremental application — touched CSR rows are merged in place, untouched
+//!   rows copied, and the result is guaranteed equal to a from-scratch build
+//!   of the mutated edge list;
 //! * [`orientation`]: degeneracy orderings, bounded out-degree orientations
 //!   and arboricity bounds — the paper's algorithms are parameterised by an
 //!   orientation with bounded out-degree;
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod cliques;
 pub mod edge;
 pub mod gen;
@@ -47,6 +52,7 @@ pub mod partition;
 pub mod spectral;
 pub mod stats;
 
+pub use churn::{AppliedBatch, BatchError, EdgeBatch};
 pub use edge::{Edge, EdgeSet};
 pub use graph::{intersect_sorted_into, Graph, GraphError};
 pub use orientation::{Orientation, OrientedDag};

@@ -14,6 +14,12 @@
 //!    (fan-out over scoped threads through `graphcore::ordered_merge`,
 //!    replayed in request order) with an in-memory content-addressed result
 //!    cache keyed by the canonical `(snapshot id, query)` identity.
+//! 4. [`GraphSnapshot::apply_batch`] / [`delta_cliques`]: dynamic snapshots.
+//!    An `EdgeBatch` derives a *new* content-addressed snapshot (incremental
+//!    index patch below the churn threshold, cold rebuild above it — the
+//!    decision lands in a [`ChurnReport`]), and the delta API lists exactly
+//!    the cliques the batch created and destroyed, byte-identical at any
+//!    thread grant (see `DESIGN.md` §13).
 //!
 //! Determinism contract: a response's payload ([`QueryResponse::to_json`])
 //! depends only on the snapshot contents and the query — never on thread
@@ -52,13 +58,16 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod delta;
 pub mod model;
 pub mod service;
 pub mod snapshot;
 
 pub use cache::CacheStats;
+pub use delta::{delta_cliques, CliqueDelta, DeltaError};
 pub use model::{Query, QueryBuilder, QueryError, QueryKind};
 pub use service::{QueryOutcome, QueryReport, QueryResponse, QueryService};
 pub use snapshot::{
-    GraphSnapshot, SnapshotBuilder, SnapshotError, DEFAULT_PREPARED_PS, DEFAULT_TARGET_SHARDS,
+    ChurnReport, ChurnStrategy, GraphSnapshot, SnapshotBuilder, SnapshotError, DEFAULT_PREPARED_PS,
+    DEFAULT_TARGET_SHARDS, REBUILD_CHURN_PPM,
 };

@@ -435,8 +435,9 @@ impl BudgetMeter {
 }
 
 /// Resolves a [`Parallelism`] setting to a concrete worker count. Without
-/// the `parallel` feature everything runs sequentially.
-fn resolve_threads(parallelism: Parallelism) -> usize {
+/// the `parallel` feature everything runs sequentially. Shared with the
+/// delta-listing fan-out in [`crate::delta`].
+pub(crate) fn resolve_threads(parallelism: Parallelism) -> usize {
     if cfg!(not(feature = "parallel")) {
         return 1;
     }

@@ -16,7 +16,7 @@
 
 use crate::cache::Fnv1a;
 use graphcore::cliques::{CliqueIndex, ShardPlan};
-use graphcore::Graph;
+use graphcore::{BatchError, EdgeBatch, Graph};
 use std::fmt;
 use std::sync::Arc;
 
@@ -29,6 +29,15 @@ pub const DEFAULT_PREPARED_PS: &[usize] = &[3, 4, 5];
 /// everything downstream of them — independent of the host's parallelism.
 pub const DEFAULT_TARGET_SHARDS: usize = 64;
 
+/// Churn fraction (parts per million of the old edge count) at or above
+/// which [`GraphSnapshot::apply_batch`] abandons the incremental index patch
+/// and rebuilds from scratch. At 25% churn the per-row merges and bitset
+/// copies save little over a cold build, and the cold build has better
+/// constants; below it the incremental path wins. Either strategy produces a
+/// byte-identical snapshot — the threshold is purely a performance choice,
+/// which is why it can be a fixed integer rather than a tunable.
+pub const REBUILD_CHURN_PPM: u64 = 250_000;
+
 /// Why a [`SnapshotBuilder`] refused to build.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
@@ -40,6 +49,10 @@ pub enum SnapshotError {
     },
     /// The shard target was zero.
     ZeroShards,
+    /// An [`EdgeBatch`] could not be applied to the snapshot's graph (an
+    /// endpoint out of range — the batch-construction errors are caught
+    /// earlier, by [`EdgeBatch::new`] itself).
+    Batch(BatchError),
 }
 
 impl fmt::Display for SnapshotError {
@@ -49,11 +62,80 @@ impl fmt::Display for SnapshotError {
                 write!(f, "prepared clique size must be at least 3, got {p}")
             }
             SnapshotError::ZeroShards => write!(f, "shard target must be at least 1"),
+            SnapshotError::Batch(err) => write!(f, "edge batch rejected: {err}"),
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
+
+impl From<BatchError> for SnapshotError {
+    fn from(err: BatchError) -> SnapshotError {
+        SnapshotError::Batch(err)
+    }
+}
+
+/// How [`GraphSnapshot::apply_batch`] produced the new snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnStrategy {
+    /// The batch changed nothing effective: the new snapshot is a clone with
+    /// the *same* content identity, so every cached result stays valid.
+    Noop,
+    /// Below [`REBUILD_CHURN_PPM`]: CSR rows merged in place, untouched
+    /// bitset rows copied verbatim, ordering and DAG recomputed.
+    Incremental,
+    /// At or above [`REBUILD_CHURN_PPM`]: full from-scratch index build.
+    Rebuild,
+}
+
+impl ChurnStrategy {
+    /// Stable lower-case name (used in bench metrics and logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChurnStrategy::Noop => "noop",
+            ChurnStrategy::Incremental => "incremental",
+            ChurnStrategy::Rebuild => "rebuild",
+        }
+    }
+}
+
+impl fmt::Display for ChurnStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one [`GraphSnapshot::apply_batch`] call did: the strategy chosen,
+/// the *effective* churn (requested inserts already present and deletes
+/// already absent are excluded), and how much of the index was reused.
+///
+/// Every field is a deterministic function of (old graph, batch), so the
+/// report is itself gated byte-exactly by the bench trajectory check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// How the new snapshot was produced.
+    pub strategy: ChurnStrategy,
+    /// Effectively inserted edges (`u < v`, sorted).
+    pub inserted: Vec<(u32, u32)>,
+    /// Effectively deleted edges (`u < v`, sorted).
+    pub deleted: Vec<(u32, u32)>,
+    /// Effective churn in parts per million of the old edge count:
+    /// `(inserted + deleted) · 10⁶ / max(old m, 1)`.
+    pub churn_ppm: u64,
+    /// Adjacency bitset rows copied verbatim from the old index
+    /// (incremental strategy only; zero otherwise).
+    pub bitset_rows_reused: usize,
+    /// Adjacency bitset rows rebuilt from the mutated CSR (incremental
+    /// strategy only; zero otherwise).
+    pub bitset_rows_rebuilt: usize,
+}
+
+impl ChurnReport {
+    /// Total number of effective edge changes.
+    pub fn num_changes(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
 
 /// Validating builder for [`GraphSnapshot`] — misconfiguration surfaces as a
 /// typed [`SnapshotError`] before any index work happens.
@@ -117,6 +199,7 @@ impl SnapshotBuilder {
             index,
             plans,
             id,
+            target_shards: self.target_shards,
         })
     }
 }
@@ -126,18 +209,40 @@ impl SnapshotBuilder {
 ///
 /// All state is read-only after [`SnapshotBuilder::build`]; queries against
 /// the snapshot (see [`QueryService`](crate::QueryService)) allocate their
-/// own scratch per call, so `&self` access is safely concurrent.
+/// own scratch per call, so `&self` access is safely concurrent. Mutation is
+/// modelled as derivation: [`GraphSnapshot::apply_batch`] leaves `self`
+/// untouched and returns a *new* snapshot with a new content identity.
+///
+/// `PartialEq` compares the full built state — graph bytes, index, plans,
+/// identity, shard target — so `incremental == from-scratch` assertions in
+/// the churn battery mean structural byte-identity, not just equal ids.
+#[derive(Clone, PartialEq, Eq)]
 pub struct GraphSnapshot {
     graph: Graph,
     index: CliqueIndex,
     /// `(p, plan)` pairs, ascending in `p`.
     plans: Vec<(usize, ShardPlan)>,
     id: u64,
+    /// Remembered so derived snapshots ([`GraphSnapshot::apply_batch`]) plan
+    /// their shards with the same target as the original build.
+    target_shards: usize,
 }
 
 impl GraphSnapshot {
     /// Starts a validating builder over `graph` (consumed: the snapshot owns
     /// its graph so the pair can live behind one `Arc`).
+    ///
+    /// # Duplicate edges: the dedup contract
+    ///
+    /// The builder consumes a [`Graph`], and `Graph::from_edges` already
+    /// canonicalises its input — duplicate edges (in either orientation) are
+    /// merged during CSR construction, so a duplicate can never reach the
+    /// builder, there is no `SnapshotError::DuplicateEdge`, and two edge
+    /// lists describing the same simple graph always produce the **same
+    /// content identity**. This is deliberate: the snapshot id must be a
+    /// function of the graph, not of how its edge list was spelled. (The
+    /// churn layer makes the same choice: `EdgeBatch` dedups at
+    /// construction.) Pinned by `duplicate_edges_collapse_to_one_identity`.
     pub fn builder(graph: Graph) -> SnapshotBuilder {
         SnapshotBuilder {
             graph,
@@ -194,6 +299,89 @@ impl GraphSnapshot {
             .iter()
             .find(|&&(prepared, _)| prepared == p)
             .map(|(_, plan)| plan)
+    }
+
+    /// Applies an edge churn batch, deriving a **new** snapshot (same
+    /// prepared sizes and shard target) and a [`ChurnReport`] describing what
+    /// happened. `self` is untouched — existing queries and caches against it
+    /// remain valid.
+    ///
+    /// Strategy selection is by effective churn fraction: a batch that
+    /// changes nothing returns a clone with the *same* content identity
+    /// ([`ChurnStrategy::Noop`] — the cache-reuse guarantee); below
+    /// [`REBUILD_CHURN_PPM`] the CSR and bitset table are patched
+    /// incrementally ([`ChurnStrategy::Incremental`]); at or above it the
+    /// index is rebuilt cold ([`ChurnStrategy::Rebuild`]). All three produce
+    /// byte-identical results — the churn differential battery holds every
+    /// strategy to `SnapshotBuilder::build` over the mutated edge list.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Batch`] when a batch endpoint is out of range for the
+    /// snapshot's vertex set.
+    pub fn apply_batch(
+        &self,
+        batch: &EdgeBatch,
+    ) -> Result<(GraphSnapshot, ChurnReport), SnapshotError> {
+        let (graph, applied) = self.graph.apply_edge_batch(batch)?;
+        let old_m = self.graph.num_edges();
+        let churn_ppm = (applied.len() as u64) * 1_000_000 / (old_m as u64).max(1);
+        if applied.is_noop() {
+            return Ok((
+                self.clone(),
+                ChurnReport {
+                    strategy: ChurnStrategy::Noop,
+                    inserted: applied.inserted,
+                    deleted: applied.deleted,
+                    churn_ppm,
+                    bitset_rows_reused: 0,
+                    bitset_rows_rebuilt: 0,
+                },
+            ));
+        }
+        let (strategy, index, reused, rebuilt) = if churn_ppm >= REBUILD_CHURN_PPM {
+            (ChurnStrategy::Rebuild, CliqueIndex::build(&graph), 0, 0)
+        } else {
+            let mut touched = vec![false; graph.num_vertices()];
+            for &(u, v) in applied.inserted.iter().chain(&applied.deleted) {
+                touched[u as usize] = true;
+                touched[v as usize] = true;
+            }
+            let (index, stats) = CliqueIndex::build_incremental(&graph, &self.index, &touched);
+            (
+                ChurnStrategy::Incremental,
+                index,
+                stats.bitset_rows_reused,
+                stats.bitset_rows_rebuilt,
+            )
+        };
+        let id = content_id(&graph);
+        let plans = self
+            .plans
+            .iter()
+            .map(|&(p, _)| {
+                (
+                    p,
+                    ShardPlan::balanced(index.dag(), index.ordering(), p, self.target_shards),
+                )
+            })
+            .collect();
+        let snapshot = GraphSnapshot {
+            graph,
+            index,
+            plans,
+            id,
+            target_shards: self.target_shards,
+        };
+        let report = ChurnReport {
+            strategy,
+            inserted: applied.inserted,
+            deleted: applied.deleted,
+            churn_ppm,
+            bitset_rows_reused: reused,
+            bitset_rows_rebuilt: rebuilt,
+        };
+        Ok((snapshot, report))
     }
 }
 
@@ -269,5 +457,111 @@ mod tests {
             .with_edges_added(&[(0, 3)])
             .expect("edge fits");
         assert_ne!(path.id(), GraphSnapshot::build(grown).id());
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_to_one_identity() {
+        // The dedup contract (see `GraphSnapshot::builder`): duplicates —
+        // repeated or re-oriented — are merged by `Graph::from_edges`, so
+        // the snapshot and its identity depend only on the simple graph.
+        let clean = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let noisy =
+            Graph::from_edges(4, &[(1, 0), (0, 1), (2, 1), (2, 3), (3, 2), (1, 2)]).unwrap();
+        assert_eq!(clean, noisy, "CSR form is canonical in the edge set");
+        let a = GraphSnapshot::build(clean);
+        let b = GraphSnapshot::build(noisy);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b, "identical snapshots, byte for byte");
+        // And the inverse direction: a genuinely different edge set (one
+        // extra edge, not a duplicate) must change the identity.
+        let extra = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        assert_ne!(a.id(), GraphSnapshot::build(extra).id());
+    }
+
+    #[test]
+    fn apply_batch_matches_a_from_scratch_build() {
+        let g = gen::erdos_renyi(50, 0.2, 11);
+        let snapshot = GraphSnapshot::builder(g.clone())
+            .prepare_p(3)
+            .prepare_p(4)
+            .target_shards(16)
+            .build()
+            .unwrap();
+        let deletes: Vec<(u32, u32)> = g.edges().step_by(9).take(6).collect();
+        let inserts: Vec<(u32, u32)> = gen::erdos_renyi(50, 0.04, 99)
+            .edges()
+            .filter(|&(u, v)| !g.has_edge(u, v))
+            .take(6)
+            .collect();
+        let batch = EdgeBatch::new(&inserts, &deletes).unwrap();
+        let (next, report) = snapshot.apply_batch(&batch).unwrap();
+        assert_eq!(report.strategy, ChurnStrategy::Incremental);
+        assert_eq!(report.inserted, inserts);
+        assert_eq!(report.deleted, deletes);
+        assert_eq!(report.num_changes(), 12);
+        let scratch = GraphSnapshot::builder(next.graph().clone())
+            .prepare_p(3)
+            .prepare_p(4)
+            .target_shards(16)
+            .build()
+            .unwrap();
+        assert_eq!(next, scratch, "derived snapshot equals a cold build");
+        assert_ne!(next.id(), snapshot.id());
+        assert_eq!(next.prepared_ps(), vec![3, 4]);
+    }
+
+    #[test]
+    fn apply_batch_rebuilds_past_the_churn_threshold() {
+        let g = gen::path_graph(10); // 9 edges
+        let snapshot = GraphSnapshot::build(g);
+        // 3 effective changes over 9 edges = 333 333 ppm ≥ threshold.
+        let batch = EdgeBatch::new(&[(0, 5)], &[(0, 1), (1, 2)]).unwrap();
+        let (next, report) = snapshot.apply_batch(&batch).unwrap();
+        assert_eq!(report.strategy, ChurnStrategy::Rebuild);
+        assert!(report.churn_ppm >= REBUILD_CHURN_PPM);
+        assert_eq!(report.bitset_rows_reused + report.bitset_rows_rebuilt, 0);
+        assert_eq!(next, GraphSnapshot::build(next.graph().clone()));
+    }
+
+    #[test]
+    fn noop_batches_preserve_the_content_identity() {
+        let g = gen::erdos_renyi(30, 0.2, 3);
+        let snapshot = GraphSnapshot::build(g.clone());
+        // The empty batch.
+        let (same, report) = snapshot.apply_batch(&EdgeBatch::empty()).unwrap();
+        assert_eq!(report.strategy, ChurnStrategy::Noop);
+        assert_eq!(same.id(), snapshot.id());
+        assert_eq!(same, snapshot);
+        // Inserts that all exist + deletes that all miss: still a no-op.
+        let existing: Vec<(u32, u32)> = g.edges().take(4).collect();
+        let missing: Vec<(u32, u32)> = (0..30u32)
+            .flat_map(|u| ((u + 1)..30).map(move |v| (u, v)))
+            .filter(|&(u, v)| !g.has_edge(u, v))
+            .take(4)
+            .collect();
+        let batch = EdgeBatch::new(&existing, &missing).unwrap();
+        assert!(!batch.is_empty(), "the *batch* is non-empty");
+        let (same, report) = snapshot.apply_batch(&batch).unwrap();
+        assert_eq!(report.strategy, ChurnStrategy::Noop);
+        assert_eq!(report.num_changes(), 0);
+        assert_eq!(report.churn_ppm, 0);
+        assert_eq!(
+            same.id(),
+            snapshot.id(),
+            "no-op churn must not invalidate caches"
+        );
+        assert_eq!(same, snapshot);
+    }
+
+    #[test]
+    fn apply_batch_rejects_out_of_range_endpoints() {
+        let snapshot = GraphSnapshot::build(gen::path_graph(4));
+        let batch = EdgeBatch::new(&[(0, 40)], &[]).unwrap();
+        let err = snapshot.apply_batch(&batch).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::Batch(BatchError::VertexOutOfRange { vertex: 40, n: 4 })
+        );
+        assert!(format!("{err}").contains("edge batch rejected"));
     }
 }

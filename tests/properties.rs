@@ -11,6 +11,8 @@
 //! is exercised on a fixed number of sampled inputs spanning the same ranges
 //! the original proptest strategies used.
 
+mod common;
+
 use distributed_clique_listing::cliquelist::parts::TupleAssignment;
 use distributed_clique_listing::cliquelist::{verify_cliques, Engine};
 use distributed_clique_listing::expander::{decompose, DecompositionConfig};
@@ -255,6 +257,29 @@ fn csr_invariants_survive_subgraph_composition_chains() {
             assert!(graph.has_edge(u, v), "case {case}: phantom edge {u}-{v}");
         }
     }
+}
+
+#[test]
+fn clique_index_invariants_hold_on_random_graphs() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_000A);
+    for case in 0..CASES {
+        let graph = sample_graph(&mut rng, 60);
+        let index = cliques::CliqueIndex::build(&graph);
+        common::assert_index_invariants(&graph, &index, &format!("case {case}"));
+    }
+    // And on a graph dense enough to populate the adjacency bitsets (the
+    // sampled graphs above typically stay below the degree threshold).
+    let dense = gen::erdos_renyi(140, 0.6, 77);
+    assert!(
+        dense.max_degree() >= 64,
+        "workload must reach the threshold"
+    );
+    let index = cliques::CliqueIndex::build(&dense);
+    assert!(
+        (0..140u32).any(|v| index.bitset_row(v).is_some()),
+        "dense case must actually exercise the bitset audit"
+    );
+    common::assert_index_invariants(&dense, &index, "dense bitset case");
 }
 
 #[test]
