@@ -924,6 +924,7 @@ fn perf_hot_paths(cli: &Cli, json: bool) -> String {
             "workload",
             "p",
             "threads",
+            "kernel",
             "cliques",
             "best ms",
             "mean ms",
@@ -952,6 +953,11 @@ fn perf_hot_paths(cli: &Cli, json: bool) -> String {
                     .get("threads")
                     .and_then(Json::as_f64)
                     .map_or_else(|| "-".to_string(), |v| format!("{v}")),
+                config
+                    .get("kernel")
+                    .and_then(Json::as_str)
+                    .unwrap_or("-")
+                    .to_string(),
                 count,
                 field(metrics, "best_ms"),
                 field(metrics, "mean_ms"),
@@ -993,12 +999,18 @@ fn perf_run_json(record: &CellRecord) -> Json {
     if let Some(threads) = config.get("threads") {
         run.push(("threads", threads.clone()));
     }
+    if let Some(kernel) = config.get("kernel") {
+        run.push(("kernel", kernel.clone()));
+    }
     for key in [
         "available_parallelism",
         "cliques",
+        "resolved_kernel",
         "best_ms",
         "mean_ms",
         "speedup_vs_1_thread",
+        "speedup_vs_recursive",
+        "speedup_provenance",
         "threads_granted",
         "threads_used",
         "skipped",
@@ -1063,7 +1075,16 @@ fn check_cmd(cli: &Cli) -> i32 {
         }
     };
     let (_, outcome, rev) = run_selected_sweep(cli, true);
-    let violations = trajectory::check(&baseline, &outcome.records, cli.time_factor);
+    let mut violations = trajectory::check(&baseline, &outcome.records, cli.time_factor);
+    // The multi-core scaling gate (PR 10): a parallel build on a multi-core
+    // host must actually produce the derived speedup cells — CI's 4-vCPU
+    // legs fail here if the scaling series silently disappears. Sequential
+    // builds skip it (the scaling cells are feature-gated out), and 1-core
+    // hosts pass vacuously inside `check_scaling`.
+    if cfg!(feature = "parallel") {
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        violations.extend(trajectory::check_scaling(&outcome.records, host));
+    }
     if violations.is_empty() {
         eprintln!(
             "perf gate OK: {} fresh cells at rev {rev} are within thresholds of {}",

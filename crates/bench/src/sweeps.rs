@@ -206,6 +206,55 @@ pub fn perf_sweep() -> Sweep {
         );
     }
 
+    // Kernel sweep (PR 10): the recursive kernel against the induced-
+    // subgraph trie kernel (and the `Auto` heuristic) on the two shapes the
+    // selection heuristic distinguishes. `turan(450,3)` at p = 4 is the
+    // criterion cell — the extremal K4-free graph, pure intersection work
+    // with zero emissions, where the trie's pivot shortcut dominates;
+    // `er(400,0.25)` is the recursive kernel's low-degeneracy home turf.
+    // The clique count and the resolved kernel are deterministic and gated
+    // byte-exactly; consolidation derives `speedup_vs_recursive` per
+    // workload from the timing cells.
+    let kernel_cells: &[(&str, &str, usize, f64, usize, u64)] = &[
+        ("turan(450,3)", "turan", 450, 1.0, 4, 7),
+        ("er(400,0.25)", "er", 400, 0.25, 4, 7),
+    ];
+    for &(label, generator, n, param, p, graph_seed) in kernel_cells {
+        for kernel in ["recursive", "trie", "auto"] {
+            let mut config = base("kernel-sweep");
+            config.extend([
+                ("gen", Json::Str(generator.to_string())),
+                ("n", num(n)),
+                ("param", Json::Num(param)),
+                ("p", num(p)),
+                ("kernel", Json::Str(kernel.to_string())),
+            ]);
+            sweep.cell("kernel-sweep", label, Json::obj(config), graph_seed);
+        }
+    }
+
+    // Scaling sweep (PR 10): pinned-thread wall-clock of the sharded
+    // enumerator under each explicit kernel on the dense criterion workload.
+    // Unlike `thread-scaling` (which exercises the default kernel path),
+    // these cells pin both axes, so consolidation can derive
+    // `speedup_vs_1_thread` per kernel — the multi-core scaling evidence —
+    // and each derived cell records whether it came from a 1-core or a
+    // multi-core host.
+    for kernel in ["recursive", "trie"] {
+        for &threads in SCALING_THREADS {
+            let mut config = base("scaling-sweep");
+            config.extend([
+                ("gen", Json::Str("turan".to_string())),
+                ("n", num(450)),
+                ("param", Json::Num(1.0)),
+                ("p", num(4)),
+                ("kernel", Json::Str(kernel.to_string())),
+                ("threads", num(threads)),
+            ]);
+            sweep.cell("scaling-sweep", "turan(450,3)", Json::obj(config), 7);
+        }
+    }
+
     // Churn sweep (PR 9): incremental vs from-scratch snapshot derivation
     // over growing batch sizes on the cluster-scaling workload. The two
     // small batches stay under the rebuild threshold (the incremental
@@ -291,6 +340,55 @@ fn build_graph(config: &Json, seed: u64) -> Graph {
 
 fn usize_field(config: &Json, key: &str) -> usize {
     config.get(key).and_then(Json::as_f64).unwrap_or(0.0) as usize
+}
+
+/// The enumeration-kernel strategy of a `kernel-sweep`/`scaling-sweep` cell.
+fn kernel_strategy(config: &Json) -> cliques::KernelStrategy {
+    match config.get("kernel").and_then(Json::as_str) {
+        Some(name) => cliques::KernelStrategy::parse(name)
+            .unwrap_or_else(|| panic!("unknown kernel in cell config: {name:?}")),
+        None => cliques::KernelStrategy::Auto,
+    }
+}
+
+/// Like [`cliques::count_cliques_parallel`], but with the kernel pinned —
+/// the `scaling-sweep` measurement: `threads` workers steal shards of one
+/// [`cliques::ShardedEnumerator`] running an explicit [`KernelStrategy`](
+/// cliques::KernelStrategy), so each cell times exactly one (kernel,
+/// thread-grant) point.
+#[cfg(feature = "parallel")]
+fn count_cliques_pinned(
+    graph: &Graph,
+    p: usize,
+    strategy: cliques::KernelStrategy,
+    threads: usize,
+) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let enumerator = cliques::ShardedEnumerator::new(
+        graph,
+        p,
+        threads.saturating_mul(cliques::SHARDS_PER_THREAD),
+    )
+    .with_kernel(strategy);
+    let shards = enumerator.num_shards();
+    let next = AtomicUsize::new(0);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(shards).max(1) {
+            let (enumerator, next, total) = (&enumerator, &next, &total);
+            scope.spawn(move || loop {
+                let shard = next.fetch_add(1, Ordering::Relaxed);
+                if shard >= shards {
+                    break;
+                }
+                let mut count = 0usize;
+                enumerator.for_each_in_shard(shard, |_| count += 1);
+                total.fetch_add(count, Ordering::Relaxed);
+            });
+        }
+    });
+    total.into_inner()
 }
 
 /// The deterministic mixed batch of a `query-throughput` cell: census
@@ -416,6 +514,59 @@ pub fn execute_perf_cell(spec: &CellSpec) -> Result<Json, Interrupted> {
                 metrics.extend([
                     ("cliques".to_string(), num(count)),
                     ("threads".to_string(), num(threads)),
+                    ("best_ms".to_string(), Json::Num(best)),
+                    ("mean_ms".to_string(), Json::Num(mean)),
+                ]);
+            }
+            #[cfg(not(feature = "parallel"))]
+            metrics.push((
+                "skipped".to_string(),
+                Json::Str("built without the `parallel` feature".to_string()),
+            ));
+        }
+        "kernel-sweep" => {
+            let graph = build_graph(&spec.config, spec.seed);
+            let strategy = kernel_strategy(&spec.config);
+            let index = cliques::CliqueIndex::build(&graph);
+            let truth = cliques::count_cliques(&graph, p);
+            let mut count = 0usize;
+            let (best, mean) = time_reps(REPS, || {
+                count = 0;
+                index.for_each_clique_while_with(&graph, p, strategy, |_| {
+                    count += 1;
+                    true
+                });
+            });
+            assert_eq!(count, truth, "kernel diverged from the ground truth");
+            metrics.extend([
+                ("cliques".to_string(), num(count)),
+                (
+                    "resolved_kernel".to_string(),
+                    Json::Str(index.resolve_kernel(strategy).to_string()),
+                ),
+                ("best_ms".to_string(), Json::Num(best)),
+                ("mean_ms".to_string(), Json::Num(mean)),
+            ]);
+        }
+        "scaling-sweep" => {
+            #[cfg(feature = "parallel")]
+            {
+                let graph = build_graph(&spec.config, spec.seed);
+                let threads = usize_field(&spec.config, "threads");
+                let strategy = kernel_strategy(&spec.config);
+                let truth = cliques::count_cliques(&graph, p);
+                let resolved = cliques::CliqueIndex::build(&graph)
+                    .resolve_kernel(strategy)
+                    .to_string();
+                let mut count = 0usize;
+                let (best, mean) = time_reps(REPS, || {
+                    count = count_cliques_pinned(&graph, p, strategy, threads);
+                });
+                assert_eq!(count, truth, "pinned parallel count diverged");
+                metrics.extend([
+                    ("cliques".to_string(), num(count)),
+                    ("threads".to_string(), num(threads)),
+                    ("resolved_kernel".to_string(), Json::Str(resolved)),
                     ("best_ms".to_string(), Json::Num(best)),
                     ("mean_ms".to_string(), Json::Num(mean)),
                 ]);
@@ -642,10 +793,41 @@ mod tests {
                 "engine",
                 "enumeration",
                 "fault-sweep",
+                "kernel-sweep",
                 "query-throughput",
+                "scaling-sweep",
                 "thread-scaling"
             ]
         );
+        // The kernel sweep covers all three strategies on the dense
+        // criterion workload and the sparse control.
+        assert_eq!(
+            sweep
+                .cells
+                .iter()
+                .filter(|c| c.experiment == "kernel-sweep")
+                .count(),
+            6
+        );
+        assert!(sweep
+            .cells
+            .iter()
+            .any(|c| c.experiment == "kernel-sweep" && c.workload == "turan(450,3)"));
+        // The scaling sweep pins both axes: each explicit kernel runs the
+        // full thread grid, so the per-kernel speedup curves are derivable.
+        for kernel in ["recursive", "trie"] {
+            for &threads in SCALING_THREADS {
+                assert!(
+                    sweep.cells.iter().any(|c| {
+                        c.experiment == "scaling-sweep"
+                            && c.config.get("kernel").and_then(Json::as_str) == Some(kernel)
+                            && c.config.get("threads").and_then(Json::as_f64)
+                                == Some(threads as f64)
+                    }),
+                    "missing scaling-sweep cell: kernel={kernel}, threads={threads}"
+                );
+            }
+        }
         // The fault sweep covers a fault-free control and two loss rates.
         assert_eq!(
             sweep
@@ -847,6 +1029,86 @@ mod tests {
         }
         assert!(small.get("best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(small.get("rebuild_best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn executor_runs_kernel_cells_deterministically() {
+        let cell = |kernel: &str| CellSpec {
+            experiment: "kernel-sweep".into(),
+            workload: "er(40,0.3)".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("kernel-sweep".into())),
+                ("gen", Json::Str("er".into())),
+                ("n", num(40)),
+                ("param", Json::Num(0.3)),
+                ("p", num(4)),
+                ("kernel", Json::Str(kernel.into())),
+            ]),
+            seed: 3,
+        };
+        let truth = cliques::count_cliques(&gen::erdos_renyi(40, 0.3, 3), 4);
+        for kernel in ["recursive", "trie", "auto"] {
+            let metrics = execute_perf_cell(&cell(kernel)).expect("executor never interrupts");
+            assert_eq!(
+                metrics.get("cliques").and_then(Json::as_f64).unwrap() as usize,
+                truth,
+                "{kernel}: count diverged"
+            );
+            // The resolved kernel is pure in (strategy, graph): it replays
+            // byte-identically — that is what lets the trajectory gate it.
+            let again = execute_perf_cell(&cell(kernel)).expect("executor never interrupts");
+            assert_eq!(
+                metrics.get("resolved_kernel").unwrap().canonical(),
+                again.get("resolved_kernel").unwrap().canonical()
+            );
+        }
+        // Explicit strategies resolve to themselves.
+        let recursive = execute_perf_cell(&cell("recursive")).expect("runs");
+        assert_eq!(
+            recursive.get("resolved_kernel").and_then(Json::as_str),
+            Some("recursive")
+        );
+        let trie = execute_perf_cell(&cell("trie")).expect("runs");
+        assert_eq!(
+            trie.get("resolved_kernel").and_then(Json::as_str),
+            Some("trie")
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn executor_runs_scaling_cells_at_any_pinned_grant() {
+        let cell = |kernel: &str, threads: usize| CellSpec {
+            experiment: "scaling-sweep".into(),
+            workload: "er(40,0.3)".into(),
+            config: Json::obj(vec![
+                ("kind", Json::Str("scaling-sweep".into())),
+                ("gen", Json::Str("er".into())),
+                ("n", num(40)),
+                ("param", Json::Num(0.3)),
+                ("p", num(4)),
+                ("kernel", Json::Str(kernel.into())),
+                ("threads", num(threads)),
+            ]),
+            seed: 3,
+        };
+        let truth = cliques::count_cliques(&gen::erdos_renyi(40, 0.3, 3), 4);
+        for kernel in ["recursive", "trie"] {
+            for threads in [1usize, 4] {
+                let metrics =
+                    execute_perf_cell(&cell(kernel, threads)).expect("executor never interrupts");
+                assert_eq!(
+                    metrics.get("cliques").and_then(Json::as_f64).unwrap() as usize,
+                    truth,
+                    "{kernel} at {threads} threads: count diverged"
+                );
+                assert_eq!(
+                    metrics.get("threads").and_then(Json::as_f64).unwrap() as usize,
+                    threads
+                );
+                assert!(metrics.get("best_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   build flavour). Committed baselines come from a 1-core container — the
 //!   factor absorbs host noise while still catching order-of-magnitude
 //!   regressions.
+//! * **Scaling evidence is required on multi-core hosts.** [`check_scaling`]
+//!   fails the gate when a parallel-build sweep on a host with two or more
+//!   cores produces no derived `speedup_vs_1_thread` cells — the multi-core
+//!   CI leg cannot silently lose the scaling series — while 1-core hosts
+//!   pass vacuously (their derived cells are tagged with
+//!   `speedup_provenance: "1-core host"`, so they never masquerade as
+//!   multi-core evidence).
 //!
 //! New cells (grid growth) and baseline cells with no fresh counterpart
 //! (feature-gated series) are reported but never fail the gate.
@@ -59,6 +66,7 @@ const DETERMINISTIC_METRICS: &[&str] = &[
     "destroyed_cliques",
     "inserted",
     "report",
+    "resolved_kernel",
     "responses",
     "retransmits",
     "simulated_rounds",
@@ -106,30 +114,96 @@ fn cell_label(record: &CellRecord) -> String {
     )
 }
 
-/// Adds `speedup_vs_1_thread` to every scaling cell whose group has a
-/// `threads == 1` cell, mirroring the derived column of the historical
-/// artifacts. Computed at consolidation time from the cached cells, so a
-/// resumed sweep reports the same speedups as the original run.
+/// A cell's config with one key removed, canonically rendered — the group
+/// key of the speedup derivations (cells differing only in `threads`, or
+/// only in `kernel`, form one series).
+fn config_without(record: &CellRecord, key: &str) -> String {
+    let mut config = record.spec.config.clone();
+    if let Json::Obj(pairs) = &mut config {
+        pairs.retain(|(k, _)| k != key);
+    }
+    config.canonical()
+}
+
+/// The host-provenance tag of a derived speedup: committed 1-core baselines
+/// and real multi-core CI cells must be distinguishable in the artifact, so
+/// every cell that gets a derived speedup also records which kind of host
+/// produced it (from the `available_parallelism` metric the executor stamps
+/// on every cell).
+fn speedup_provenance(cell: &CellRecord) -> &'static str {
+    let cores = cell
+        .metrics
+        .get("available_parallelism")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0);
+    if cores > 1.0 {
+        "multi-core host"
+    } else {
+        "1-core host"
+    }
+}
+
+/// Adds `speedup_vs_1_thread` to every scaling cell whose series has a
+/// `threads == 1` cell (same experiment, workload, seed and config apart
+/// from the grant — so per-kernel series never cross-contaminate), and
+/// `speedup_vs_recursive` to every kernel cell whose series has a
+/// `kernel == "recursive"` cell. Each derived cell also records its
+/// `speedup_provenance` (1-core vs multi-core host). Computed at
+/// consolidation time from the cached cells, so a resumed sweep reports the
+/// same speedups as the original run.
 pub fn with_speedups(records: &[CellRecord]) -> Vec<CellRecord> {
     let mut out: Vec<CellRecord> = records.to_vec();
     for cell in &mut out {
-        let threads = cell.spec.config.get("threads").and_then(Json::as_f64);
         let best = cell.metrics.get("best_ms").and_then(Json::as_f64);
-        let (Some(_), Some(best)) = (threads, best) else {
+        let Some(best) = best.filter(|&ms| ms > 0.0) else {
             continue;
         };
-        let baseline = records.iter().find(|r| {
-            r.spec.experiment == cell.spec.experiment
-                && r.spec.workload == cell.spec.workload
-                && r.spec.config.get("threads").and_then(Json::as_f64) == Some(1.0)
-        });
-        if let Some(base_ms) =
-            baseline.and_then(|r| r.metrics.get("best_ms").and_then(Json::as_f64))
-        {
-            if base_ms > 0.0 && best > 0.0 {
+        let (experiment, workload, seed) = (
+            cell.spec.experiment.clone(),
+            cell.spec.workload.clone(),
+            cell.spec.seed,
+        );
+        let sans_threads = config_without(cell, "threads");
+        let sans_kernel = config_without(cell, "kernel");
+        let series = |r: &&CellRecord, key: &str, group: &str| {
+            r.spec.experiment == experiment
+                && r.spec.workload == workload
+                && r.spec.seed == seed
+                && config_without(r, key) == group
+        };
+        let mut derived = false;
+        if cell.spec.config.get("threads").is_some() {
+            let baseline = records.iter().find(|r| {
+                series(r, "threads", &sans_threads)
+                    && r.spec.config.get("threads").and_then(Json::as_f64) == Some(1.0)
+            });
+            if let Some(base_ms) = baseline
+                .and_then(|r| r.metrics.get("best_ms").and_then(Json::as_f64))
+                .filter(|&ms| ms > 0.0)
+            {
                 cell.metrics
                     .set("speedup_vs_1_thread", Json::Num(base_ms / best));
+                derived = true;
             }
+        }
+        if cell.spec.config.get("kernel").and_then(Json::as_str) == Some("trie") {
+            let baseline = records.iter().find(|r| {
+                series(r, "kernel", &sans_kernel)
+                    && r.spec.config.get("kernel").and_then(Json::as_str) == Some("recursive")
+            });
+            if let Some(base_ms) = baseline
+                .and_then(|r| r.metrics.get("best_ms").and_then(Json::as_f64))
+                .filter(|&ms| ms > 0.0)
+            {
+                cell.metrics
+                    .set("speedup_vs_recursive", Json::Num(base_ms / best));
+                derived = true;
+            }
+        }
+        if derived {
+            let provenance = speedup_provenance(cell);
+            cell.metrics
+                .set("speedup_provenance", Json::Str(provenance.to_string()));
         }
     }
     out
@@ -191,7 +265,9 @@ pub fn consolidate(sweep: &Sweep, records: &[CellRecord], history: &[Json], git_
             Json::Str(
                 "committed baselines are recorded on a 1-core container: timings and \
                  speedup_vs_1_thread carry 1-thread provenance (the query-throughput batch \
-                 fan-out included); deterministic metrics gate any host"
+                 fan-out included); deterministic metrics gate any host. Every cell with a \
+                 derived speedup records its own speedup_provenance (1-core host vs \
+                 multi-core host), so multi-core CI cells never alias the committed series"
                     .into(),
             ),
         ),
@@ -211,6 +287,14 @@ pub fn consolidate(sweep: &Sweep, records: &[CellRecord], history: &[Json], git_
                 (
                     "time_metric",
                     Json::Str("best_ms, compared only between identical full configs".into()),
+                ),
+                (
+                    "scaling",
+                    Json::Str(
+                        "on multi-core parallel-build hosts, every threads > 1 scaling cell \
+                         must derive speedup_vs_1_thread; missing cells fail the gate"
+                            .into(),
+                    ),
                 ),
             ]),
         ),
@@ -328,6 +412,61 @@ pub fn check(trajectory: &Json, fresh: &[CellRecord], time_factor: Option<f64>) 
     violations
 }
 
+/// The multi-core scaling gate (PR 10): on a host with two or more cores, a
+/// parallel-build sweep must actually produce the scaling evidence —
+/// every `scaling-sweep`/`thread-scaling` cell with `threads > 1` must have
+/// derived a `speedup_vs_1_thread`, and at least one such cell must exist.
+/// A 1-core host (`host_threads < 2`) cannot measure speedup, so the gate
+/// passes vacuously there — which is exactly why every derived cell also
+/// carries `speedup_provenance`: committed 1-core numbers and multi-core CI
+/// numbers never alias. The caller is expected to skip this on sequential
+/// builds (where the scaling cells are feature-gated out).
+pub fn check_scaling(fresh: &[CellRecord], host_threads: usize) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if host_threads < 2 {
+        return violations;
+    }
+    let fresh = with_speedups(fresh);
+    let mut saw_scaling_cell = false;
+    for cell in fresh.iter().filter(|r| {
+        matches!(
+            r.spec.experiment.as_str(),
+            "scaling-sweep" | "thread-scaling"
+        )
+    }) {
+        if cell.metrics.get("skipped").is_some() {
+            continue;
+        }
+        let threads = cell
+            .spec
+            .config
+            .get("threads")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0);
+        if threads <= 1.0 {
+            continue;
+        }
+        saw_scaling_cell = true;
+        if cell.metrics.get("speedup_vs_1_thread").is_none() {
+            violations.push(Violation {
+                cell: cell_label(cell),
+                metric: "speedup_vs_1_thread".to_string(),
+                baseline: "derivable (multi-core host, threads > 1)".to_string(),
+                fresh: "missing".to_string(),
+            });
+        }
+    }
+    if !saw_scaling_cell {
+        violations.push(Violation {
+            cell: "scaling-sweep".to_string(),
+            metric: "speedup_vs_1_thread".to_string(),
+            baseline: "at least one threads > 1 scaling cell on a multi-core host".to_string(),
+            fresh: "none ran".to_string(),
+        });
+    }
+    violations
+}
+
 fn truncate(text: &str) -> String {
     if text.len() <= 96 {
         return text.to_string();
@@ -387,6 +526,90 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((speedup - 4.0).abs() < 1e-9);
+    }
+
+    fn scaling_record(kernel: &str, threads: usize, best_ms: f64, cores: f64) -> CellRecord {
+        CellRecord {
+            spec: CellSpec {
+                experiment: "scaling-sweep".into(),
+                workload: "turan(450,3)".into(),
+                config: Json::obj(vec![
+                    ("kind", Json::Str("scaling-sweep".into())),
+                    ("p", Json::Num(4.0)),
+                    ("kernel", Json::Str(kernel.into())),
+                    ("threads", Json::Num(threads as f64)),
+                ]),
+                seed: 7,
+            },
+            git_rev: "rev".into(),
+            metrics: Json::obj(vec![
+                ("available_parallelism", Json::Num(cores)),
+                ("cliques", Json::Num(0.0)),
+                ("best_ms", Json::Num(best_ms)),
+            ]),
+        }
+    }
+
+    #[test]
+    fn speedup_series_never_cross_kernels() {
+        // Two kernels share the workload: each speedup must come from its
+        // own kernel's 1-thread cell, and the trie cells additionally derive
+        // speedup_vs_recursive from the recursive cell at the same grant.
+        let records = vec![
+            scaling_record("recursive", 1, 8.0, 4.0),
+            scaling_record("recursive", 4, 4.0, 4.0),
+            scaling_record("trie", 1, 4.0, 4.0),
+            scaling_record("trie", 4, 1.0, 4.0),
+        ];
+        let out = with_speedups(&records);
+        let speedup = |i: usize, key: &str| out[i].metrics.get(key).and_then(Json::as_f64);
+        assert!((speedup(1, "speedup_vs_1_thread").unwrap() - 2.0).abs() < 1e-9);
+        assert!((speedup(3, "speedup_vs_1_thread").unwrap() - 4.0).abs() < 1e-9);
+        assert!((speedup(2, "speedup_vs_recursive").unwrap() - 2.0).abs() < 1e-9);
+        assert!((speedup(3, "speedup_vs_recursive").unwrap() - 4.0).abs() < 1e-9);
+        assert!(speedup(0, "speedup_vs_recursive").is_none());
+        // The provenance tag distinguishes multi-core cells from the
+        // committed 1-core series.
+        assert_eq!(
+            out[3]
+                .metrics
+                .get("speedup_provenance")
+                .and_then(Json::as_str),
+            Some("multi-core host")
+        );
+        let one_core = with_speedups(&[
+            scaling_record("trie", 1, 4.0, 1.0),
+            scaling_record("trie", 4, 4.0, 1.0),
+        ]);
+        assert_eq!(
+            one_core[1]
+                .metrics
+                .get("speedup_provenance")
+                .and_then(Json::as_str),
+            Some("1-core host")
+        );
+    }
+
+    #[test]
+    fn scaling_gate_requires_speedups_on_multi_core_hosts() {
+        let full = vec![
+            scaling_record("trie", 1, 8.0, 4.0),
+            scaling_record("trie", 4, 2.0, 4.0),
+        ];
+        // A 1-core host passes vacuously — it cannot measure speedup.
+        assert!(check_scaling(&full, 1).is_empty());
+        // A multi-core host with a derivable series passes.
+        assert!(check_scaling(&full, 4).is_empty());
+        // Dropping the 1-thread baseline makes the speedup underivable: the
+        // threads > 1 cell is a violation.
+        let headless = vec![scaling_record("trie", 4, 2.0, 4.0)];
+        let violations = check_scaling(&headless, 4);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "speedup_vs_1_thread");
+        // Losing the scaling cells entirely is itself a violation.
+        let none = vec![scaling_record("trie", 1, 8.0, 4.0)];
+        assert_eq!(check_scaling(&none, 4).len(), 1);
+        assert!(check_scaling(&[], 4).len() == 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::error::ConfigError;
 use congest::{ChargePolicy, FaultPlan};
 use expander::DecompositionConfig;
+use graphcore::KernelStrategy;
 use serde::{Deserialize, Serialize};
 
 /// Which algorithm variant to run.
@@ -207,6 +208,14 @@ pub struct ListingConfig {
     /// without the `parallel` feature) runs sequentially and says so in the
     /// [`RunReport`](crate::RunReport).
     pub parallelism: Parallelism,
+    /// Enumeration kernel of every local clique search the run performs
+    /// (full listings, shards, goal-edge queries). Like [`Parallelism`] this
+    /// knob controls only wall-clock behaviour: both kernels emit the same
+    /// cliques in the same order, byte for byte (the kernel differential
+    /// battery enforces it), so reports are identical at every setting. The
+    /// default [`KernelStrategy::Auto`] resolves per enumerated graph by the
+    /// degeneracy heuristic in `graphcore::cliques`.
+    pub kernel: KernelStrategy,
     /// The slack factor between the arboricity bound `A` and the cluster
     /// degree parameter `n^δ` (`n^δ = A / slack`). `None` uses the paper's
     /// `2 log n`; experiments at simulation scale set a small constant here,
@@ -241,6 +250,7 @@ impl ListingConfig {
             max_list_iterations: 64,
             seed: 0xC11,
             parallelism: Parallelism::Off,
+            kernel: KernelStrategy::Auto,
             arboricity_slack: None,
             termination_exponent_override: None,
         };

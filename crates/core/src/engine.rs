@@ -27,12 +27,12 @@ use crate::config::{ExchangeMode, ListingConfig, Parallelism, Resilience, Varian
 use crate::congested_clique;
 use crate::driver;
 use crate::error::ConfigError;
-use crate::report::{Model, ParallelismSummary, RunOutcome, RunReport, SinkSummary};
+use crate::report::{KernelSummary, Model, ParallelismSummary, RunOutcome, RunReport, SinkSummary};
 use crate::result::phase;
 use crate::sink::{CliqueSink, CollectSink, CountSink, Counted, CrashFilter};
 use congest::ChargePolicy;
 use expander::DecompositionConfig;
-use graphcore::{Clique, Graph};
+use graphcore::{Clique, Graph, KernelStrategy};
 use std::fmt;
 
 /// Registry names of the built-in algorithms.
@@ -364,6 +364,17 @@ impl Engine {
             emitted: counted.emitted(),
             saturated: counted.is_saturated(),
         };
+        // Like the thread counts, the kernel summary is an execution detail
+        // kept out of `to_json`: the resolution is recomputed here as a pure
+        // function of the input graph's degeneracy so callers can see which
+        // kernel `Auto` picked without re-deriving the heuristic.
+        report.kernel = KernelSummary {
+            requested: self.config.kernel,
+            resolved: self
+                .config
+                .kernel
+                .resolve(graphcore::orientation::degeneracy_ordering(graph).degeneracy),
+        };
         // Capability + build only — never the requested thread count — so the
         // serialised report stays byte-identical across parallelism settings.
         // `threads_used` is whatever fan-out the algorithm recorded while it
@@ -512,6 +523,7 @@ pub struct EngineBuilder {
     custom: Option<Box<dyn ListingAlgorithm>>,
     seed: Option<u64>,
     parallelism: Option<Parallelism>,
+    kernel: Option<KernelStrategy>,
     exchange_mode: Option<ExchangeMode>,
     charge_policy: Option<ChargePolicy>,
     decomposition: Option<DecompositionConfig>,
@@ -566,6 +578,16 @@ impl EngineBuilder {
     /// rejected by [`EngineBuilder::build`].
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Selects the enumeration kernel of every local enumeration (defaults to
+    /// [`KernelStrategy::Auto`], which resolves per graph by degeneracy).
+    /// Like [`EngineBuilder::parallelism`], this knob never changes a run's
+    /// output — both kernels are held to byte-identical listings — only its
+    /// wall-clock profile.
+    pub fn kernel(mut self, kernel: KernelStrategy) -> Self {
+        self.kernel = Some(kernel);
         self
     }
 
@@ -690,6 +712,9 @@ impl EngineBuilder {
         }
         if let Some(parallelism) = self.parallelism {
             config.parallelism = parallelism;
+        }
+        if let Some(kernel) = self.kernel {
+            config.kernel = kernel;
         }
         if let Some(mode) = self.exchange_mode {
             config.exchange_mode = mode;
@@ -979,33 +1004,43 @@ mod tests {
     #[test]
     fn threads_used_records_actual_fanout_not_the_grant() {
         // A tiny graph cannot feed 8 workers: the shard plan has at most one
-        // shard per root vertex, so the recorded fan-out must stay strictly
-        // below the grant (that is the point of `threads_used` — the grant is
-        // an upper bound, not what happened).
+        // shard per root vertex (and the CONGEST pipelines at most one task
+        // per cluster), so the recorded fan-out must stay strictly below the
+        // grant for EVERY algorithm (that is the point of `threads_used` —
+        // the grant is an upper bound, not what happened).
         let tiny = gen::complete_graph(5);
-        let engine = Engine::builder()
-            .p(4)
-            .algorithm("naive-broadcast")
-            .parallelism(Parallelism::Threads(8))
-            .build()
-            .unwrap();
-        let (report, count) = engine.count(&tiny);
-        assert_eq!(count, 5);
-        assert_eq!(report.parallelism.threads_granted, 8);
-        assert!(report.parallelism.threads_used >= 1);
-        assert!(
-            report.parallelism.threads_used < 8,
-            "5 roots cannot use an 8-thread grant (used {})",
-            report.parallelism.threads_used
-        );
-        // Parallelism::Off pins the recorded fan-out to 1.
-        let off = Engine::builder()
-            .p(4)
-            .algorithm("naive-broadcast")
-            .build()
-            .unwrap();
-        let (report, _) = off.count(&tiny);
-        assert_eq!(report.parallelism.threads_used, 1);
+        for algorithm in algorithms() {
+            let info = algorithm.info();
+            if !info.supports_p(4) {
+                continue;
+            }
+            let engine = Engine::builder()
+                .p(4)
+                .algorithm(info.name)
+                .seed(3)
+                .parallelism(Parallelism::Threads(8))
+                .build()
+                .unwrap();
+            let (report, count) = engine.count(&tiny);
+            assert_eq!(count, 5, "{}", info.name);
+            assert_eq!(report.parallelism.threads_granted, 8, "{}", info.name);
+            assert!(report.parallelism.threads_used >= 1, "{}", info.name);
+            assert!(
+                report.parallelism.threads_used < 8,
+                "{}: 5 roots cannot use an 8-thread grant (used {})",
+                info.name,
+                report.parallelism.threads_used
+            );
+            // Parallelism::Off pins the recorded fan-out to 1.
+            let off = Engine::builder()
+                .p(4)
+                .algorithm(info.name)
+                .seed(3)
+                .build()
+                .unwrap();
+            let (report, _) = off.count(&tiny);
+            assert_eq!(report.parallelism.threads_used, 1, "{}", info.name);
+        }
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub(crate) fn stream_cliques(
             // hand it to the sharded path — the same build/query split the
             // `query` crate's GraphSnapshot amortises across whole batches.
             let index = cliques::CliqueIndex::build(graph);
-            return parallel_stream(graph, &index, config.p, threads, sink);
+            return parallel_stream(graph, &index, config, threads, sink);
         }
     }
-    cliques::for_each_clique_while(graph, config.p, |c| {
+    cliques::for_each_clique_while_with(graph, config.p, config.kernel, |c| {
         sink.accept(c);
         !sink.is_saturated()
     });
@@ -72,7 +72,7 @@ pub(crate) fn stream_cliques(
 fn parallel_stream(
     graph: &Graph,
     index: &cliques::CliqueIndex,
-    p: usize,
+    config: &ListingConfig,
     threads: usize,
     sink: &mut dyn CliqueSink,
 ) -> usize {
@@ -80,11 +80,13 @@ fn parallel_stream(
     use graphcore::cliques::{ShardedEnumerator, SHARDS_PER_THREAD};
     use graphcore::ordered_merge::ordered_merge as merge_shards;
 
+    let p = config.p;
     let enumerator =
-        ShardedEnumerator::with_index(graph, index, p, threads.saturating_mul(SHARDS_PER_THREAD));
+        ShardedEnumerator::with_index(graph, index, p, threads.saturating_mul(SHARDS_PER_THREAD))
+            .with_kernel(config.kernel);
     let shards = enumerator.num_shards();
     if shards <= 1 {
-        index.for_each_clique_while(graph, p, |c| {
+        index.for_each_clique_while_with(graph, p, config.kernel, |c| {
             sink.accept(c);
             !sink.is_saturated()
         });
@@ -128,9 +130,19 @@ mod tests {
                 Parallelism::Threads(2),
                 Parallelism::Threads(8),
             ] {
-                let mut sink = CollectSink::new();
-                stream_cliques(&g, &config(p, parallelism), &mut sink);
-                assert_eq!(sink.sorted(), truth, "p={p} {parallelism:?}");
+                for kernel in [
+                    cliques::KernelStrategy::Recursive,
+                    cliques::KernelStrategy::Trie,
+                    cliques::KernelStrategy::Auto,
+                ] {
+                    let mut sink = CollectSink::new();
+                    let cfg = ListingConfig {
+                        kernel,
+                        ..config(p, parallelism)
+                    };
+                    stream_cliques(&g, &cfg, &mut sink);
+                    assert_eq!(sink.sorted(), truth, "p={p} {parallelism:?} {kernel}");
+                }
             }
         }
     }

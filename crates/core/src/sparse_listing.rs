@@ -221,7 +221,8 @@ pub fn cluster_listing(
         .map(|&(a, b)| (a.min(b), a.max(b)))
         .collect();
     let known_graph = Graph::from_edges(n, &undirected).expect("known edges are in range");
-    let mut enumerator = cliques::EdgeCliqueEnumerator::new(&known_graph, p);
+    let mut enumerator =
+        cliques::EdgeCliqueEnumerator::with_strategy(&known_graph, p, config.kernel);
     for e in input.goal_edges.to_sorted_vec() {
         if sink.is_saturated() {
             break;

@@ -36,14 +36,50 @@
 use crate::orientation::{degeneracy_ordering, DegeneracyOrdering, OrientedDag};
 use crate::{Clique, Graph};
 
-/// Degree at or above which a vertex gets a word-packed adjacency bitset.
+#[path = "cliques_trie.rs"]
+pub mod trie;
+
+pub use trie::{KernelChoice, KernelStrategy, AUTO_TRIE_DEGENERACY, TRIE_NODE_WORD_BUDGET};
+
+/// Ceiling on the adaptive bitset degree threshold (the value every graph
+/// used before the threshold became adaptive).
 ///
 /// Intersecting a candidate set `C` with the neighbourhood of `u` costs
-/// `O(|C| + deg u)` as a sorted merge but only `O(|C|)` against a bitset;
-/// the bitset pays off once `deg u` clearly exceeds the candidate sets (which
-/// are bounded by the degeneracy). Rows below the threshold stay merge-only,
-/// so sparse graphs build no bitsets at all.
+/// `O(|C| + deg u)` as a sorted merge but only `O(|C|)` against a bitset, so
+/// a bitset row is never slower to *probe* — the threshold exists purely to
+/// bound the table's memory. [`bitset_threshold`] therefore starts from
+/// [`MIN_BITSET_DEGREE_THRESHOLD`] and raises the bar only while the
+/// qualifying rows overflow [`BITSET_WORD_BUDGET`], never past this ceiling.
 const BITSET_DEGREE_THRESHOLD: usize = 64;
+
+/// Floor of the adaptive bitset degree threshold: rows below this degree are
+/// so short that the sorted merge is already a handful of comparisons and a
+/// bitset row would waste `⌈n/64⌉` words on it.
+const MIN_BITSET_DEGREE_THRESHOLD: usize = 8;
+
+/// Picks the bitset degree threshold for `graph`: the smallest candidate in
+/// `{8, 16, 32, 64}` whose qualifying rows fit [`BITSET_WORD_BUDGET`]
+/// outright. Small and mid-size graphs get bitset rows for nearly every
+/// vertex that matters (widening the `O(|C|)` probe fast path well below the
+/// historical 64-degree bar); on graphs where even degree-64 rows overflow
+/// the budget the ceiling is returned and [`NeighborBitsets::build`]'s
+/// highest-degree-first truncation takes over, exactly as before. Pure in
+/// the graph's degree sequence, so cold and incremental builds agree.
+fn bitset_threshold(graph: &Graph) -> usize {
+    let n = graph.num_vertices();
+    let stride = n.div_ceil(64);
+    let mut threshold = MIN_BITSET_DEGREE_THRESHOLD;
+    while threshold < BITSET_DEGREE_THRESHOLD {
+        let qualifying = (0..n as u32)
+            .filter(|&v| graph.degree(v) >= threshold)
+            .count();
+        if qualifying.saturating_mul(stride) <= BITSET_WORD_BUDGET {
+            return threshold;
+        }
+        threshold *= 2;
+    }
+    BITSET_DEGREE_THRESHOLD
+}
 
 /// Total `u64` budget for the bitset table (16 MiB). Each row costs `⌈n/64⌉`
 /// words, so on large graphs where most vertices clear the degree threshold
@@ -57,7 +93,7 @@ const BITSET_WORD_BUDGET: usize = 1 << 21;
 /// `row_of[v]` indexes into `words` (stride [`NeighborBitsets::stride`]) when
 /// `deg(v) >= BITSET_DEGREE_THRESHOLD`, and is `u32::MAX` otherwise.
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct NeighborBitsets {
+pub(crate) struct NeighborBitsets {
     stride: usize,
     words: Vec<u64>,
     row_of: Vec<u32>,
@@ -235,7 +271,7 @@ impl CliqueIndex {
     pub fn build(graph: &Graph) -> CliqueIndex {
         let ordering = degeneracy_ordering(graph);
         let dag = OrientedDag::from_ordering(graph, &ordering);
-        let bitsets = NeighborBitsets::build(graph, BITSET_DEGREE_THRESHOLD);
+        let bitsets = NeighborBitsets::build(graph, bitset_threshold(graph));
         let max_out = dag.max_out_degree();
         CliqueIndex {
             ordering,
@@ -270,7 +306,7 @@ impl CliqueIndex {
         let ordering = degeneracy_ordering(graph);
         let dag = OrientedDag::from_ordering(graph, &ordering);
         let (bitsets, reused, rebuilt) =
-            NeighborBitsets::patched(graph, BITSET_DEGREE_THRESHOLD, &previous.bitsets, touched);
+            NeighborBitsets::patched(graph, bitset_threshold(graph), &previous.bitsets, touched);
         let max_out = dag.max_out_degree();
         (
             CliqueIndex {
@@ -317,34 +353,79 @@ impl CliqueIndex {
             .collect()
     }
 
+    /// Resolves a [`KernelStrategy`] against this index's graph: explicit
+    /// choices are honoured, `Auto` applies the degeneracy heuristic
+    /// ([`AUTO_TRIE_DEGENERACY`]), and any trie choice whose largest
+    /// candidate set would overflow [`TRIE_NODE_WORD_BUDGET`] falls back to
+    /// the recursive kernel (both kernels emit identical bytes, so the
+    /// fallback is purely a memory decision). Pure in the built index, so
+    /// every enumeration over the same graph resolves the same way.
+    pub fn resolve_kernel(&self, strategy: KernelStrategy) -> KernelChoice {
+        match strategy.resolve(self.degeneracy()) {
+            KernelChoice::Trie if trie::node_fits_budget(self.max_out) => KernelChoice::Trie,
+            _ => KernelChoice::Recursive,
+        }
+    }
+
     /// [`for_each_clique_while`] against a prebuilt index: calls `visit` for
     /// every `p`-clique of `graph` in the deterministic sequential order
-    /// until it declines; returns whether the enumeration completed.
+    /// until it declines; returns whether the enumeration completed. Runs
+    /// the kernel [`KernelStrategy::Auto`] resolves to for this graph.
     ///
     /// `graph` must be the graph this index was built from.
     pub fn for_each_clique_while(
         &self,
         graph: &Graph,
         p: usize,
+        visit: impl FnMut(&[u32]) -> bool,
+    ) -> bool {
+        self.for_each_clique_while_with(graph, p, KernelStrategy::Auto, visit)
+    }
+
+    /// [`CliqueIndex::for_each_clique_while`] under an explicit
+    /// [`KernelStrategy`]. The strategy affects wall-clock time only: both
+    /// kernels emit the same cliques in the same order, byte for byte (the
+    /// kernel differential battery enforces this), so callers may switch
+    /// strategies freely without perturbing any downstream determinism
+    /// contract.
+    pub fn for_each_clique_while_with(
+        &self,
+        graph: &Graph,
+        p: usize,
+        strategy: KernelStrategy,
         mut visit: impl FnMut(&[u32]) -> bool,
     ) -> bool {
         if p < 3 {
             return small_p_while(graph, p, visit);
         }
-        let mut arena = self.arena(p);
         let mut stack: Vec<u32> = Vec::with_capacity(p);
         let mut scratch: Vec<u32> = Vec::with_capacity(p);
-        enumerate_roots(
-            graph,
-            &self.bitsets,
-            &self.dag,
-            p,
-            &self.ordering.order,
-            &mut arena,
-            &mut stack,
-            &mut scratch,
-            &mut visit,
-        )
+        match self.resolve_kernel(strategy) {
+            KernelChoice::Trie => trie::TrieKernel::new().enumerate_roots(
+                graph,
+                &self.bitsets,
+                &self.dag,
+                p,
+                &self.ordering.order,
+                &mut stack,
+                &mut scratch,
+                &mut visit,
+            ),
+            KernelChoice::Recursive => {
+                let mut arena = self.arena(p);
+                enumerate_roots(
+                    graph,
+                    &self.bitsets,
+                    &self.dag,
+                    p,
+                    &self.ordering.order,
+                    &mut arena,
+                    &mut stack,
+                    &mut scratch,
+                    &mut visit,
+                )
+            }
+        }
     }
 
     /// Streams every `p`-clique of `graph` containing the vertex `v`
@@ -496,10 +577,21 @@ pub fn for_each_clique(graph: &Graph, p: usize, mut visit: impl FnMut(&[u32])) {
 /// nothing afterwards: no allocation per visited clique, no allocation per
 /// recursion node.
 pub fn for_each_clique_while(graph: &Graph, p: usize, visit: impl FnMut(&[u32]) -> bool) -> bool {
+    for_each_clique_while_with(graph, p, KernelStrategy::Auto, visit)
+}
+
+/// [`for_each_clique_while`] under an explicit [`KernelStrategy`]. Output is
+/// byte-identical across strategies; only wall-clock time differs.
+pub fn for_each_clique_while_with(
+    graph: &Graph,
+    p: usize,
+    strategy: KernelStrategy,
+    visit: impl FnMut(&[u32]) -> bool,
+) -> bool {
     if p < 3 {
         return small_p_while(graph, p, visit);
     }
-    CliqueIndex::build(graph).for_each_clique_while(graph, p, visit)
+    CliqueIndex::build(graph).for_each_clique_while_with(graph, p, strategy, visit)
 }
 
 /// Runs the ordered search from every root in `roots` (a slice of the
@@ -603,13 +695,28 @@ pub struct ShardPlan {
     ranges: Vec<(u32, u32)>,
 }
 
-/// Work estimate for one root: constant bookkeeping plus a quadratic term in
-/// the later-degree once the root can contribute a `p`-clique at all.
+/// Work estimate for one root: constant bookkeeping plus degree terms once
+/// the root can contribute a `p`-clique at all.
+///
+/// For `p ≥ 4` the recursion below a root is at least two candidate levels
+/// deep and the quadratic term dominates honestly. For `p = 3` the search is
+/// one intersection pass per candidate, so the real cost per root is
+/// `c₀ + c₁·d + d²/2` with per-root bookkeeping (arena copy, stack ops,
+/// shard bookkeeping) comparable to the probe term at the degrees a
+/// heavy-tailed (rmat-like) ordering actually produces. A pure `1 + d²`
+/// estimate therefore overweights the few dense roots and packs the long
+/// sparse tail — whose constant-and-linear cost it rounds to nothing — into
+/// oversized shards; the p-aware constant and linear terms restore the
+/// balance (asserted on the rmat workload in
+/// `triangle_shard_plans_balance_the_measured_work_better`).
 fn root_work(out_degree: usize, p: usize) -> u64 {
+    let d = out_degree as u64;
     if out_degree + 1 < p {
         1
+    } else if p == 3 {
+        8 + 4 * d + d * d / 2
     } else {
-        1 + (out_degree as u64) * (out_degree as u64)
+        1 + d * d
     }
 }
 
@@ -670,6 +777,7 @@ pub struct ShardedEnumerator<'g> {
     p: usize,
     index: IndexHandle<'g>,
     plan: ShardPlan,
+    kernel: KernelChoice,
 }
 
 /// How a [`ShardedEnumerator`] holds its [`CliqueIndex`]: built and owned by
@@ -724,12 +832,31 @@ impl<'g> ShardedEnumerator<'g> {
 
     fn assemble(graph: &'g Graph, p: usize, index: IndexHandle<'g>, plan: ShardPlan) -> Self {
         assert!(p >= 3, "sharded enumeration requires p >= 3 (got {p})");
+        let kernel = match &index {
+            IndexHandle::Owned(index) => index.resolve_kernel(KernelStrategy::Auto),
+            IndexHandle::Shared(index) => index.resolve_kernel(KernelStrategy::Auto),
+        };
         ShardedEnumerator {
             graph,
             p,
             index,
             plan,
+            kernel,
         }
+    }
+
+    /// Re-resolves the enumeration kernel under an explicit strategy
+    /// (constructors default to [`KernelStrategy::Auto`]). Per-shard output
+    /// is byte-identical across kernels, so the choice never affects the
+    /// merged emission order.
+    pub fn with_kernel(mut self, strategy: KernelStrategy) -> Self {
+        self.kernel = self.index().resolve_kernel(strategy);
+        self
+    }
+
+    /// The kernel every shard of this enumeration runs.
+    pub fn kernel(&self) -> KernelChoice {
+        self.kernel
     }
 
     /// The index backing this enumeration (owned or shared).
@@ -770,21 +897,35 @@ impl<'g> ShardedEnumerator<'g> {
         mut visit: impl FnMut(&[u32]) -> bool,
     ) -> bool {
         let index = self.index();
-        let mut arena = index.arena(self.p);
         let mut stack: Vec<u32> = Vec::with_capacity(self.p);
         let mut scratch: Vec<u32> = Vec::with_capacity(self.p);
         let roots = &index.ordering.order[self.plan.range(shard)];
-        enumerate_roots(
-            self.graph,
-            &index.bitsets,
-            &index.dag,
-            self.p,
-            roots,
-            &mut arena,
-            &mut stack,
-            &mut scratch,
-            &mut visit,
-        )
+        match self.kernel {
+            KernelChoice::Trie => trie::TrieKernel::new().enumerate_roots(
+                self.graph,
+                &index.bitsets,
+                &index.dag,
+                self.p,
+                roots,
+                &mut stack,
+                &mut scratch,
+                &mut visit,
+            ),
+            KernelChoice::Recursive => {
+                let mut arena = index.arena(self.p);
+                enumerate_roots(
+                    self.graph,
+                    &index.bitsets,
+                    &index.dag,
+                    self.p,
+                    roots,
+                    &mut arena,
+                    &mut stack,
+                    &mut scratch,
+                    &mut visit,
+                )
+            }
+        }
     }
 
     /// Like [`ShardedEnumerator::for_each_in_shard_while`] with a visitor
@@ -916,20 +1057,45 @@ pub struct EdgeCliqueEnumerator<'g> {
     arena: Vec<Vec<u32>>,
     stack: Vec<u32>,
     scratch: Vec<u32>,
+    strategy: KernelStrategy,
+    /// Trie-kernel state; its node caches the materialised neighbourhood of
+    /// [`EdgeCliqueEnumerator::cached_root`] across queries.
+    kernel: trie::TrieKernel,
+    /// Endpoint whose induced neighbourhood the kernel node currently holds.
+    cached_root: Option<u32>,
+    /// Lower endpoint of the previous query — `Auto`'s amortisation signal:
+    /// a materialisation is paid for only once a second consecutive query
+    /// shares the endpoint, so isolated queries never pay the `O(d²)` build.
+    last_root: Option<u32>,
 }
 
 impl<'g> EdgeCliqueEnumerator<'g> {
-    /// Prepares an enumerator for `p`-cliques of `graph`. Builds the
-    /// high-degree adjacency bitsets once; worth it from a handful of edge
-    /// queries onward.
+    /// Prepares an enumerator for `p`-cliques of `graph` under
+    /// [`KernelStrategy::Auto`]. Builds the high-degree adjacency bitsets
+    /// once; worth it from a handful of edge queries onward.
     pub fn new(graph: &'g Graph, p: usize) -> Self {
+        Self::with_strategy(graph, p, KernelStrategy::Auto)
+    }
+
+    /// Like [`EdgeCliqueEnumerator::new`] with an explicit
+    /// [`KernelStrategy`]. The strategy governs only whether queries sharing
+    /// a lower endpoint reuse one induced-subgraph materialisation of that
+    /// endpoint's neighbourhood (the prefix `{a} ⊂ {a, b}` of every such
+    /// query): `Trie` materialises on first use, `Auto` from the second
+    /// consecutive shared-endpoint query, `Recursive` never. Output is
+    /// byte-identical across strategies.
+    pub fn with_strategy(graph: &'g Graph, p: usize, strategy: KernelStrategy) -> Self {
         EdgeCliqueEnumerator {
             graph,
             p,
-            bitsets: NeighborBitsets::build(graph, BITSET_DEGREE_THRESHOLD),
+            bitsets: NeighborBitsets::build(graph, bitset_threshold(graph)),
             arena: (0..p.saturating_sub(1)).map(|_| Vec::new()).collect(),
             stack: Vec::with_capacity(p),
             scratch: Vec::with_capacity(p),
+            strategy,
+            kernel: trie::TrieKernel::new(),
+            cached_root: None,
+            last_root: None,
         }
     }
 
@@ -972,6 +1138,16 @@ impl<'g> EdgeCliqueEnumerator<'g> {
         if self.p == 2 {
             return visit(&[a.min(b), a.max(b)]);
         }
+        let root = a.min(b);
+        let other = a.max(b);
+        let reuse = match self.strategy {
+            KernelStrategy::Recursive => false,
+            KernelStrategy::Trie => true,
+            // Amortisation rule: only materialise once a second consecutive
+            // query shares the endpoint (or the node is already cached).
+            KernelStrategy::Auto => self.cached_root == Some(root) || self.last_root == Some(root),
+        } && trie::node_fits_budget(self.graph.degree(root));
+        self.last_root = Some(root);
         let EdgeCliqueEnumerator {
             graph,
             p,
@@ -979,15 +1155,36 @@ impl<'g> EdgeCliqueEnumerator<'g> {
             arena,
             stack,
             scratch,
+            kernel,
+            cached_root,
+            ..
         } = self;
         // Reset every piece of per-query scratch state up front — a previous
         // query aborted by its visitor leaves its seed vertices on the stack
-        // and the last partial clique in the sort scratch.
+        // and the last partial clique in the sort scratch. The cached trie
+        // node is *not* scratch: it is immutable during a query, so an abort
+        // cannot poison it.
         stack.clear();
         scratch.clear();
+        stack.push(root);
+        stack.push(other);
+        if reuse {
+            if *cached_root != Some(root) {
+                kernel
+                    .node_mut()
+                    .materialize(graph, bitsets, graph.neighbors(root));
+                *cached_root = Some(root);
+            }
+            // `other` is a neighbour of `root` by the edge check above, so it
+            // has a local id; its row inside N(root) is exactly the common
+            // neighbourhood of the edge — the initial candidate set.
+            let pivot = kernel
+                .node()
+                .local_index(other)
+                .expect("edge endpoint must appear in its neighbour's materialised node");
+            return kernel.descend_from_row(*p, pivot, stack, scratch, &mut visit);
+        }
         graph.common_neighbors_into(a, b, &mut arena[0]);
-        stack.push(a.min(b));
-        stack.push(a.max(b));
         extend_clique(graph, bitsets, *p, arena, stack, scratch, &mut visit)
     }
 }
@@ -1576,19 +1773,19 @@ mod tests {
         // A star centre sits far above the threshold; pull its degree below
         // it via deletions and push a light vertex above it via insertions —
         // both sides of the membership change must match a scratch build.
-        let n = BITSET_DEGREE_THRESHOLD * 3;
+        // On a graph this small the adaptive threshold always bottoms out at
+        // the floor, so the floor is the membership bar.
+        let threshold = MIN_BITSET_DEGREE_THRESHOLD;
+        let n = threshold * 3;
         let star = gen::star_graph(n);
+        assert_eq!(bitset_threshold(&star), threshold);
         let index = CliqueIndex::build(&star);
         assert!(index.bitset_row(0).is_some());
         // Delete enough spokes to drop the centre below the threshold, and
         // ring a previously-light vertex with enough new edges to cross it.
-        let deletes: Vec<(u32, u32)> = (1..=(n - BITSET_DEGREE_THRESHOLD + 1) as u32)
-            .map(|v| (0, v))
-            .collect();
+        let deletes: Vec<(u32, u32)> = (1..=(n - threshold + 1) as u32).map(|v| (0, v)).collect();
         let hub = (n - 1) as u32;
-        let inserts: Vec<(u32, u32)> = (1..=BITSET_DEGREE_THRESHOLD as u32)
-            .map(|v| (v, hub))
-            .collect();
+        let inserts: Vec<(u32, u32)> = (1..=threshold as u32).map(|v| (v, hub)).collect();
         let (next, touched) = mutate(&star, &inserts, &deletes);
         let (patched, stats) = CliqueIndex::build_incremental(&next, &index, &touched);
         let scratch = CliqueIndex::build(&next);
@@ -1598,6 +1795,209 @@ mod tests {
         // Every surviving row here was touched, so nothing could be reused.
         assert_eq!(stats.bitset_rows_reused, 0);
         assert!(stats.bitset_rows_rebuilt >= 1);
+    }
+
+    #[test]
+    fn explicit_kernel_strategies_agree_everywhere() {
+        // Trie and recursive kernels must emit identical bytes through every
+        // entry point: full listings, early-stopped prefixes, shards and
+        // edge-query streams. (The cross-crate differential battery widens
+        // this to engine reports; this test pins the graphcore layer.)
+        let workloads = [
+            gen::erdos_renyi(60, 0.25, 7),
+            gen::multipartite(48, 6, 1.0, 3),
+            gen::rmat(7, 6, (0.57, 0.19, 0.19, 0.05), 11),
+        ];
+        for (w, g) in workloads.iter().enumerate() {
+            let index = CliqueIndex::build(g);
+            for p in [3usize, 4] {
+                let mut recursive = Vec::new();
+                assert!(
+                    index.for_each_clique_while_with(g, p, KernelStrategy::Recursive, |c| {
+                        recursive.push(c.to_vec());
+                        true
+                    })
+                );
+                let mut via_trie = Vec::new();
+                assert!(
+                    index.for_each_clique_while_with(g, p, KernelStrategy::Trie, |c| {
+                        via_trie.push(c.to_vec());
+                        true
+                    })
+                );
+                assert_eq!(via_trie, recursive, "workload {w} p={p}");
+                // Early-stop prefixes agree (and both report the abort).
+                let limit = (recursive.len() / 2).max(1);
+                for strategy in [KernelStrategy::Recursive, KernelStrategy::Trie] {
+                    let mut prefix = Vec::new();
+                    let completed = index.for_each_clique_while_with(g, p, strategy, |c| {
+                        prefix.push(c.to_vec());
+                        prefix.len() < limit
+                    });
+                    if recursive.len() > limit {
+                        assert!(!completed, "workload {w} p={p} {strategy}");
+                        assert_eq!(prefix, recursive[..limit], "workload {w} p={p} {strategy}");
+                    }
+                }
+                // Shard-by-shard output agrees kernel for kernel.
+                for strategy in [KernelStrategy::Recursive, KernelStrategy::Trie] {
+                    let sharded =
+                        ShardedEnumerator::with_index(g, &index, p, 6).with_kernel(strategy);
+                    let mut merged = Vec::new();
+                    for shard in 0..sharded.num_shards() {
+                        sharded.for_each_in_shard(shard, |c| merged.push(c.to_vec()));
+                    }
+                    assert_eq!(merged, recursive, "workload {w} p={p} {strategy}");
+                }
+                // Edge-query streams agree across strategies, including after
+                // aborted queries and across shared-endpoint runs (the edges
+                // iterator groups edges by lower endpoint, which is exactly
+                // the prefix-reuse pattern).
+                let mut reference =
+                    EdgeCliqueEnumerator::with_strategy(g, p, KernelStrategy::Recursive);
+                for strategy in [KernelStrategy::Trie, KernelStrategy::Auto] {
+                    let mut reused = EdgeCliqueEnumerator::with_strategy(g, p, strategy);
+                    for (a, b) in g.edges() {
+                        let mut expected = Vec::new();
+                        reference.for_each_containing_edge_while(a, b, |c| {
+                            expected.push(c.to_vec());
+                            true
+                        });
+                        let mut streamed = Vec::new();
+                        assert!(reused.for_each_containing_edge_while(a, b, |c| {
+                            streamed.push(c.to_vec());
+                            true
+                        }));
+                        assert_eq!(streamed, expected, "workload {w} p={p} {strategy} {a}-{b}");
+                        // Aborting mid-stream must not poison the cache.
+                        if expected.len() > 1 {
+                            let mut first = Vec::new();
+                            assert!(!reused.for_each_containing_edge_while(a, b, |c| {
+                                first.push(c.to_vec());
+                                false
+                            }));
+                            assert_eq!(first[..], expected[..1]);
+                            let mut again = Vec::new();
+                            reused.for_each_containing_edge_while(a, b, |c| {
+                                again.push(c.to_vec());
+                                true
+                            });
+                            assert_eq!(again, expected, "workload {w} p={p} retry {a}-{b}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_kernel_resolution_is_a_pure_degeneracy_rule() {
+        // Sparse: degeneracy under the bar resolves to the recursive kernel.
+        let sparse = gen::erdos_renyi(200, 0.02, 1);
+        let sparse_index = CliqueIndex::build(&sparse);
+        assert!(sparse_index.degeneracy() < AUTO_TRIE_DEGENERACY);
+        assert_eq!(
+            sparse_index.resolve_kernel(KernelStrategy::Auto),
+            KernelChoice::Recursive
+        );
+        // Dense: a 6-partite Turán-style graph clears the bar.
+        let dense = gen::multipartite(60, 6, 1.0, 2);
+        let dense_index = CliqueIndex::build(&dense);
+        assert!(dense_index.degeneracy() >= AUTO_TRIE_DEGENERACY);
+        assert_eq!(
+            dense_index.resolve_kernel(KernelStrategy::Auto),
+            KernelChoice::Trie
+        );
+        // Explicit strategies are honoured on both graphs, and resolution is
+        // stable across repeated calls (pure function of the built index).
+        for index in [&sparse_index, &dense_index] {
+            assert_eq!(
+                index.resolve_kernel(KernelStrategy::Recursive),
+                KernelChoice::Recursive
+            );
+            assert_eq!(
+                index.resolve_kernel(KernelStrategy::Trie),
+                KernelChoice::Trie
+            );
+            assert_eq!(
+                index.resolve_kernel(KernelStrategy::Auto),
+                index.resolve_kernel(KernelStrategy::Auto)
+            );
+        }
+        // The sharded enumerator picks up the same resolution.
+        let sharded = ShardedEnumerator::with_index(&dense, &dense_index, 3, 4);
+        assert_eq!(sharded.kernel(), KernelChoice::Trie);
+        assert_eq!(
+            sharded.with_kernel(KernelStrategy::Recursive).kernel(),
+            KernelChoice::Recursive
+        );
+    }
+
+    #[test]
+    fn triangle_shard_plans_balance_the_measured_work_better() {
+        // Satellite fix: the old pure-quadratic root estimate rounds the long
+        // sparse tail of a heavy-tailed (rmat) ordering to nothing at p = 3,
+        // packing it into oversized shards. Compare plans built from the old
+        // and new weights over the same roots and assert the new plan spreads
+        // both the roots and the measured enumeration work more evenly.
+        let g = gen::rmat(10, 8, (0.57, 0.19, 0.19, 0.05), 42);
+        let index = CliqueIndex::build(&g);
+        let (dag, ordering) = (index.dag(), index.ordering());
+        let old_weights: Vec<u64> = ordering
+            .order
+            .iter()
+            .map(|&v| {
+                let d = dag.out_degree(v) as u64;
+                if (d + 1) < 3 {
+                    1
+                } else {
+                    1 + d * d
+                }
+            })
+            .collect();
+        let target = 16usize;
+        let old_plan = ShardPlan {
+            ranges: crate::ordered_merge::balanced_ranges(&old_weights, target),
+        };
+        let new_plan = ShardPlan::balanced(dag, ordering, 3, target);
+        assert_eq!(old_plan.num_shards(), target);
+        assert_eq!(new_plan.num_shards(), target);
+        // Measured work per shard: per-root bookkeeping + candidate-copy
+        // cost, plus the triangles the shard actually emits.
+        let measure = |plan: &ShardPlan| -> Vec<f64> {
+            let sharded = ShardedEnumerator::from_plan(&g, &index, 3, plan.clone());
+            (0..sharded.num_shards())
+                .map(|shard| {
+                    let mut visits = 0u64;
+                    sharded.for_each_in_shard(shard, |_| visits += 1);
+                    let bookkeeping: u64 = ordering.order[plan.range(shard)]
+                        .iter()
+                        .map(|&v| 8 + dag.out_degree(v) as u64)
+                        .sum();
+                    (visits + bookkeeping) as f64
+                })
+                .collect()
+        };
+        let variance = |xs: &[f64]| -> f64 {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64
+        };
+        let (old_work, new_work) = (measure(&old_plan), measure(&new_plan));
+        // Same total work either way — only the boundaries move.
+        let total: f64 = old_work.iter().sum();
+        assert!((total - new_work.iter().sum::<f64>()).abs() < 1e-6);
+        assert!(
+            variance(&new_work) < variance(&old_work),
+            "new plan must spread measured work more evenly: old {:?} new {:?}",
+            variance(&old_work),
+            variance(&new_work)
+        );
+        let sizes =
+            |plan: &ShardPlan| -> Vec<f64> { plan.ranges().map(|r| r.len() as f64).collect() };
+        assert!(
+            variance(&sizes(&new_plan)) < variance(&sizes(&old_plan)),
+            "new plan must also spread the roots more evenly"
+        );
     }
 
     #[test]

@@ -308,7 +308,8 @@ impl QueryService {
                     let shards = plan.num_shards();
                     if shards > 1 {
                         let enumerator =
-                            graphcore::cliques::ShardedEnumerator::from_plan(graph, index, p, plan);
+                            graphcore::cliques::ShardedEnumerator::from_plan(graph, index, p, plan)
+                                .with_kernel(self.snapshot.kernel());
                         let mut total = 0u64;
                         graphcore::ordered_merge::ordered_merge(
                             shards,
@@ -332,7 +333,7 @@ impl QueryService {
                 }
                 let _ = inner_threads;
                 let mut total = 0u64;
-                index.for_each_clique_while(graph, p, |_| {
+                index.for_each_clique_while_with(graph, p, self.snapshot.kernel(), |_| {
                     if !meter.admit() {
                         return false;
                     }
@@ -343,7 +344,7 @@ impl QueryService {
             }
             QueryKind::FirstK { k } => {
                 let mut cliques: Vec<Clique> = Vec::with_capacity(k);
-                index.for_each_clique_while(graph, p, |c| {
+                index.for_each_clique_while_with(graph, p, self.snapshot.kernel(), |c| {
                     if !meter.admit() {
                         return false;
                     }
@@ -379,7 +380,7 @@ impl QueryService {
             }
             QueryKind::Exists => {
                 let mut found = false;
-                index.for_each_clique_while(graph, p, |_| {
+                index.for_each_clique_while_with(graph, p, self.snapshot.kernel(), |_| {
                     if !meter.admit() {
                         return false;
                     }
@@ -457,6 +458,65 @@ mod tests {
     fn service(n: usize, prob: f64, seed: u64) -> (QueryService, Arc<GraphSnapshot>) {
         let snapshot = GraphSnapshot::build(gen::erdos_renyi(n, prob, seed)).into_shared();
         (QueryService::new(snapshot.clone()), snapshot)
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn query_reports_record_actual_fanout_not_the_grant() {
+        // A tiny snapshot degenerates to a single shard: however wide the
+        // service's grant, the per-query report must record what actually
+        // happened (sequential, one shard), and batch members always run
+        // their own enumeration sequentially — the batch's parallelism is the
+        // fan-out across queries, reported by `threads()`, not per query.
+        let snapshot = GraphSnapshot::build(gen::complete_graph(6)).into_shared();
+        let service = QueryService::with_parallelism(snapshot.clone(), Parallelism::Threads(8));
+        assert_eq!(service.threads(), 8, "the grant itself is remembered");
+        let count = QueryBuilder::new().p(4).count().build(&snapshot).unwrap();
+        let single = service.execute(&count).unwrap();
+        assert!(
+            single.report.threads_used < 8,
+            "one shard cannot use an 8-thread grant (used {})",
+            single.report.threads_used
+        );
+        service.clear_cache();
+        let batch = service
+            .execute_batch(&[count.clone(), count.clone(), count])
+            .unwrap();
+        for response in &batch {
+            assert_eq!(response.report.threads_used, 1);
+        }
+    }
+
+    #[test]
+    fn kernel_strategies_answer_queries_identically() {
+        // The snapshot's kernel knob must never change an answer — only the
+        // wall-clock profile of computing it.
+        let graph = gen::erdos_renyi(45, 0.3, 11);
+        let reference = GraphSnapshot::build(graph.clone()).into_shared();
+        let trie = GraphSnapshot::builder(graph)
+            .kernel(cliques::KernelStrategy::Trie)
+            .build()
+            .unwrap()
+            .into_shared();
+        assert_eq!(trie.id(), reference.id());
+        let ref_service = QueryService::new(reference.clone());
+        let trie_service = QueryService::new(trie.clone());
+        for p in [3usize, 4] {
+            let count_a = QueryBuilder::new().p(p).count().build(&reference).unwrap();
+            let count_b = QueryBuilder::new().p(p).count().build(&trie).unwrap();
+            assert_eq!(
+                ref_service.execute(&count_a).unwrap().outcome,
+                trie_service.execute(&count_b).unwrap().outcome,
+                "count p={p}"
+            );
+            let first_a = QueryBuilder::new().p(p).first(7).build(&reference).unwrap();
+            let first_b = QueryBuilder::new().p(p).first(7).build(&trie).unwrap();
+            assert_eq!(
+                ref_service.execute(&first_a).unwrap().outcome,
+                trie_service.execute(&first_b).unwrap().outcome,
+                "first-k p={p}"
+            );
+        }
     }
 
     #[test]

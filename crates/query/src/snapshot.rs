@@ -16,7 +16,7 @@
 
 use crate::cache::Fnv1a;
 use graphcore::cliques::{CliqueIndex, ShardPlan};
-use graphcore::{BatchError, EdgeBatch, Graph};
+use graphcore::{BatchError, EdgeBatch, Graph, KernelChoice, KernelStrategy};
 use std::fmt;
 use std::sync::Arc;
 
@@ -144,6 +144,7 @@ pub struct SnapshotBuilder {
     graph: Graph,
     ps: Vec<usize>,
     target_shards: usize,
+    kernel: KernelStrategy,
 }
 
 impl SnapshotBuilder {
@@ -160,6 +161,18 @@ impl SnapshotBuilder {
     #[must_use]
     pub fn target_shards(mut self, target_shards: usize) -> Self {
         self.target_shards = target_shards;
+        self
+    }
+
+    /// Selects the enumeration kernel every query against the snapshot runs
+    /// with (default [`KernelStrategy::Auto`], which resolves once per
+    /// snapshot by the built index's degeneracy). Like the shard target, the
+    /// knob is a pure performance choice: both kernels emit byte-identical
+    /// listings, so cached results — keyed by content identity — stay valid
+    /// across kernel settings.
+    #[must_use]
+    pub fn kernel(mut self, kernel: KernelStrategy) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -200,6 +213,7 @@ impl SnapshotBuilder {
             plans,
             id,
             target_shards: self.target_shards,
+            kernel: self.kernel,
         })
     }
 }
@@ -226,6 +240,11 @@ pub struct GraphSnapshot {
     /// Remembered so derived snapshots ([`GraphSnapshot::apply_batch`]) plan
     /// their shards with the same target as the original build.
     target_shards: usize,
+    /// The kernel strategy queries run with; propagated to derived snapshots
+    /// like the shard target. Deliberately **not** part of the content
+    /// identity: both kernels emit byte-identical listings, so cached
+    /// results transfer across kernel settings.
+    kernel: KernelStrategy,
 }
 
 impl GraphSnapshot {
@@ -248,6 +267,7 @@ impl GraphSnapshot {
             graph,
             ps: Vec::new(),
             target_shards: DEFAULT_TARGET_SHARDS,
+            kernel: KernelStrategy::Auto,
         }
     }
 
@@ -280,6 +300,17 @@ impl GraphSnapshot {
     /// The shared clique index (ordering + DAG + bitsets).
     pub fn index(&self) -> &CliqueIndex {
         &self.index
+    }
+
+    /// The kernel strategy queries against this snapshot run with.
+    pub fn kernel(&self) -> KernelStrategy {
+        self.kernel
+    }
+
+    /// What the snapshot's strategy resolves to on its own index — a pure
+    /// function of (strategy, degeneracy) plus the trie node budget.
+    pub fn resolved_kernel(&self) -> KernelChoice {
+        self.index.resolve_kernel(self.kernel)
     }
 
     /// The clique sizes this snapshot prepared shard plans for, ascending.
@@ -372,6 +403,7 @@ impl GraphSnapshot {
             plans,
             id,
             target_shards: self.target_shards,
+            kernel: self.kernel,
         };
         let report = ChurnReport {
             strategy,
@@ -551,6 +583,26 @@ mod tests {
             "no-op churn must not invalidate caches"
         );
         assert_eq!(same, snapshot);
+    }
+
+    #[test]
+    fn kernel_strategy_is_remembered_but_never_feeds_the_identity() {
+        let g = gen::erdos_renyi(40, 0.2, 5);
+        let snapshot = GraphSnapshot::builder(g.clone())
+            .kernel(KernelStrategy::Trie)
+            .build()
+            .unwrap();
+        assert_eq!(snapshot.kernel(), KernelStrategy::Trie);
+        assert_eq!(snapshot.resolved_kernel(), KernelChoice::Trie);
+        // Derived snapshots inherit the knob, like the shard target.
+        let removed: Vec<(u32, u32)> = g.edges().take(1).collect();
+        let batch = EdgeBatch::new(&[], &removed).unwrap();
+        let (next, _) = snapshot.apply_batch(&batch).unwrap();
+        assert_eq!(next.kernel(), KernelStrategy::Trie);
+        // The knob is a performance choice, not content: the same graph under
+        // the default strategy carries the same identity, so cached results
+        // transfer across kernel settings.
+        assert_eq!(GraphSnapshot::build(g).id(), snapshot.id());
     }
 
     #[test]
